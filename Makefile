@@ -1,0 +1,39 @@
+# Convenience targets; everything is plain `go` underneath (stdlib only).
+
+.PHONY: all build vet test bench experiments examples golden clean
+
+all: build vet test
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+test:
+	go test ./...
+
+# Record the full suite and benchmark outputs (as committed).
+record:
+	go test ./... 2>&1 | tee test_output.txt
+	go test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
+
+bench:
+	go test -bench=. -benchmem ./...
+
+# Regenerate every evaluation table (Section V). ~5 minutes at this scale.
+experiments:
+	go run ./cmd/experiments -seqs 4000 -batch 16
+
+examples:
+	go run ./examples/quickstart
+	go run ./examples/engines -seqs 1000 -queries 8
+	go run ./examples/cluster -seqs 800 -queries 8
+	go run ./examples/metagenomics -seqs 1500 -reads 16
+
+# Refresh the golden regression corpus after an intentional behaviour change.
+golden:
+	go test ./internal/core -run Golden -update-golden
+
+clean:
+	go clean ./...

@@ -1,0 +1,406 @@
+// Package blast is the public API of this muBLASTP reproduction: a
+// database-indexed protein sequence search library (BLASTP) for multicore
+// machines, implementing Zhang et al., "Eliminating Irregularities of
+// Protein Sequence Search on Multicore Architectures" (IPDPS 2017).
+//
+// Basic use:
+//
+//	db, err := blast.NewDatabase(seqs, blast.DefaultParams())
+//	res, err := db.Search("MKTAYIAKQR...")
+//	for _, h := range res.Hits { fmt.Println(h.SubjectName, h.EValue) }
+//
+// The database index is built once (NewDatabase) and reused across queries
+// and batches — the design point of database-indexed BLAST. Four engines are
+// available for comparison (EngineMuBLASTP, EngineNCBI, EngineNCBIdb,
+// EngineNCBIDFA); they return identical hits, differing only in speed and
+// memory behaviour.
+package blast
+
+import (
+	"fmt"
+	"runtime"
+
+	"repro/internal/alphabet"
+	"repro/internal/core"
+	"repro/internal/dbase"
+	"repro/internal/dbindex"
+	"repro/internal/gapped"
+	"repro/internal/matrix"
+	"repro/internal/neighbor"
+	"repro/internal/search"
+	"repro/internal/ungapped"
+)
+
+// Params configures a database and its searches. Zero values select the
+// BLASTP defaults noted per field; construct with DefaultParams and adjust.
+type Params struct {
+	// Matrix names the substitution matrix: BLOSUM62 (default), BLOSUM50,
+	// or PAM250.
+	Matrix string
+	// NeighborThreshold is the word-pair score T for neighboring words
+	// (default 11).
+	NeighborThreshold int
+	// TwoHitWindow is the two-hit distance A (default 40).
+	TwoHitWindow int
+	// UngappedXDrop stops ungapped extensions (raw score; default 16).
+	UngappedXDrop int
+	// UngappedTrigger is the raw score an ungapped alignment needs to enter
+	// the gapped stage (default 38).
+	UngappedTrigger int
+	// GapOpen/GapExtend are the affine gap penalties (default 11/1).
+	GapOpen   int
+	GapExtend int
+	// GappedXDrop stops gapped extensions (raw score; default 38).
+	GappedXDrop int
+	// EValueCutoff drops weaker hits (default 10).
+	EValueCutoff float64
+	// MaxResults caps hits per query (default 250).
+	MaxResults int
+	// BlockResidues caps index-block size in residues; 0 sizes blocks by
+	// the paper's L3 rule for the configured thread count.
+	BlockResidues int64
+	// Threads used by batch searches; 0 means GOMAXPROCS.
+	Threads int
+	// SplitLongerThan splits subject sequences longer than this into
+	// overlapping chunks before indexing (the Orion-style handling of
+	// ~40k-residue sequences, paper Section IV-A); hits are mapped back to
+	// original coordinates. 0 means the default of 10000; negative disables.
+	SplitLongerThan int
+	// SplitOverlap is the chunk overlap in residues (default 256).
+	SplitOverlap int
+	// OneHit switches to BLAST's one-hit algorithm (every hit extends,
+	// no two-hit pairing): more sensitive, much slower. NCBI pairs it with
+	// NeighborThreshold 13.
+	OneHit bool
+}
+
+// DefaultParams returns the BLASTP defaults the paper evaluates with.
+func DefaultParams() Params {
+	return Params{
+		Matrix:            "BLOSUM62",
+		NeighborThreshold: neighbor.DefaultThreshold,
+		TwoHitWindow:      40,
+		UngappedXDrop:     16,
+		UngappedTrigger:   38,
+		GapOpen:           11,
+		GapExtend:         1,
+		GappedXDrop:       38,
+		EValueCutoff:      10,
+		MaxResults:        250,
+	}
+}
+
+// Sequence is one named protein sequence in ASCII residues.
+type Sequence struct {
+	Name     string
+	Residues string
+}
+
+// EngineKind selects a search pipeline.
+type EngineKind int
+
+const (
+	// EngineMuBLASTP is the paper's optimized engine (default).
+	EngineMuBLASTP EngineKind = iota
+	// EngineNCBI is the query-indexed baseline (classic NCBI-BLAST).
+	EngineNCBI
+	// EngineNCBIdb is the db-indexed interleaved baseline ("NCBI-db").
+	EngineNCBIdb
+	// EngineNCBIDFA is the query-indexed baseline with FSA-BLAST's DFA hit
+	// detection instead of the lookup table (paper Section VI).
+	EngineNCBIDFA
+)
+
+func (k EngineKind) String() string {
+	switch k {
+	case EngineMuBLASTP:
+		return "muBLASTP"
+	case EngineNCBI:
+		return "NCBI"
+	case EngineNCBIdb:
+		return "NCBI-db"
+	case EngineNCBIDFA:
+		return "NCBI-DFA"
+	}
+	return fmt.Sprintf("EngineKind(%d)", int(k))
+}
+
+// Database is an indexed, searchable protein database.
+type Database struct {
+	params Params
+	cfg    *search.Config
+	db     *dbase.DB
+	ix     *dbindex.Index
+
+	// Long-sequence splitting bookkeeping: origin[i] records where db.Seqs
+	// (post-sort, by Name lookup) chunks came from. Keyed by chunk name.
+	chunkOrigin map[string]chunkInfo
+
+	mu      *core.Engine
+	ncbi    *search.QueryIndexed
+	ncbiDB  *search.DBIndexed
+	ncbiDFA *search.QueryIndexedDFA
+}
+
+// chunkInfo maps a split chunk back to its source sequence.
+type chunkInfo struct {
+	origName string
+	offset   int
+}
+
+// NewDatabase encodes and indexes the sequences. Sequences are length-
+// sorted internally; hit ordering in results is by score, not input order.
+func NewDatabase(seqs []Sequence, p Params) (*Database, error) {
+	encoded := make([][]alphabet.Code, len(seqs))
+	names := make([]string, len(seqs))
+	for i, s := range seqs {
+		e, err := alphabet.Encode([]byte(s.Residues))
+		if err != nil {
+			return nil, fmt.Errorf("blast: sequence %q: %w", s.Name, err)
+		}
+		encoded[i] = e
+		names[i] = s.Name
+	}
+	db := dbase.New(encoded)
+	for i := range db.Seqs {
+		if names[i] != "" {
+			db.Seqs[i].Name = names[i]
+		}
+	}
+	return newDatabaseFrom(db, p)
+}
+
+func newDatabaseFrom(db *dbase.DB, p Params) (*Database, error) {
+	cfg, err := buildConfig(p)
+	if err != nil {
+		return nil, err
+	}
+	splitLen := p.SplitLongerThan
+	if splitLen == 0 {
+		splitLen = 10000
+	}
+	overlap := p.SplitOverlap
+	if overlap <= 0 {
+		overlap = 256
+	}
+	var chunkOrigin map[string]chunkInfo
+	if splitLen > 0 && overlap < splitLen {
+		origNames := make([]string, db.NumSeqs())
+		for i := range db.Seqs {
+			origNames[i] = db.Seqs[i].Name
+		}
+		split, origins := dbase.SplitLong(db, splitLen, overlap)
+		if split.NumSeqs() != db.NumSeqs() {
+			chunkOrigin = make(map[string]chunkInfo)
+			for i := range split.Seqs {
+				o := origins[i]
+				if o.Offset > 0 || split.Seqs[i].Name != origNames[o.OrigIndex] {
+					chunkOrigin[split.Seqs[i].Name] = chunkInfo{origName: origNames[o.OrigIndex], offset: o.Offset}
+				}
+			}
+			db = split
+		}
+	}
+	blockResidues := p.BlockResidues
+	if blockResidues <= 0 {
+		threads := p.Threads
+		if threads <= 0 {
+			threads = runtime.GOMAXPROCS(0)
+		}
+		// Paper Section V-B sizing rule against a 30MB LLC default.
+		blockResidues = dbindex.OptimalBlockResidues(30<<20, threads)
+	}
+	ix, err := dbindex.Build(db, cfg.Neighbors, blockResidues)
+	if err != nil {
+		return nil, fmt.Errorf("blast: building index: %w", err)
+	}
+	d := &Database{params: p, cfg: cfg, db: db, ix: ix, chunkOrigin: chunkOrigin}
+	d.attachEngines()
+	return d, nil
+}
+
+func (d *Database) attachEngines() {
+	d.mu = core.New(d.cfg, d.ix)
+	d.ncbi = search.NewQueryIndexed(d.cfg, d.db)
+	d.ncbiDB = search.NewDBIndexed(d.cfg, d.ix)
+	d.ncbiDFA = search.NewQueryIndexedDFA(d.cfg, d.db)
+}
+
+// readIndex deserializes an index and re-attaches the in-memory pieces the
+// serialized form omits (database and neighbor table).
+func readIndex(r interface{ Read([]byte) (int, error) }, db *dbase.DB, cfg *search.Config) (*dbindex.Index, error) {
+	ix, err := dbindex.ReadFrom(r, db)
+	if err != nil {
+		return nil, fmt.Errorf("blast: loading index: %w", err)
+	}
+	ix.Neighbors = cfg.Neighbors
+	return ix, nil
+}
+
+func buildConfig(p Params) (*search.Config, error) {
+	m, err := matrix.ByName(p.Matrix)
+	if err != nil {
+		return nil, fmt.Errorf("blast: %w", err)
+	}
+	nbr := neighbor.Build(m, p.NeighborThreshold)
+	cfg, err := search.NewConfig(m, nbr)
+	if err != nil {
+		return nil, fmt.Errorf("blast: %w", err)
+	}
+	cfg.TwoHit = ungapped.Params{Window: p.TwoHitWindow, XDrop: p.UngappedXDrop, Trigger: p.UngappedTrigger, OneHit: p.OneHit}
+	cfg.Gap = gapped.Params{GapOpen: p.GapOpen, GapExtend: p.GapExtend, XDrop: p.GappedXDrop}
+	cfg.EValueCutoff = p.EValueCutoff
+	cfg.MaxResults = p.MaxResults
+	return cfg, nil
+}
+
+// NumSequences returns the number of database sequences.
+func (d *Database) NumSequences() int { return d.db.NumSeqs() }
+
+// TotalResidues returns the total residue count.
+func (d *Database) TotalResidues() int64 { return d.db.TotalResidues }
+
+// NumBlocks returns the number of index blocks.
+func (d *Database) NumBlocks() int { return len(d.ix.Blocks) }
+
+// IndexSizeBytes returns the in-memory size of the database index.
+func (d *Database) IndexSizeBytes() int64 { return d.ix.SizeBytes() }
+
+// SubjectResidues returns the residues of a subject by its Hit.Subject id.
+func (d *Database) SubjectResidues(subject int) string {
+	return alphabet.String(d.db.Seqs[subject].Data)
+}
+
+// Hit is one reported alignment.
+type Hit struct {
+	Subject      int // database-internal subject id (see SubjectResidues)
+	SubjectName  string
+	Score        int // raw alignment score
+	BitScore     float64
+	EValue       float64
+	QueryStart   int // 0-based, half-open
+	QueryEnd     int
+	SubjectStart int
+	SubjectEnd   int
+	Identity     float64 // fraction of aligned columns with identical residues
+	Ops          string  // traceback: M (aligned pair), I (gap in query), D (gap in subject)
+}
+
+// Result is the outcome of one query.
+type Result struct {
+	QueryLen int
+	Hits     []Hit
+	Stats    search.Stats
+}
+
+// Search runs a single query through the muBLASTP engine.
+func (d *Database) Search(query string) (*Result, error) {
+	return d.SearchWithEngine(EngineMuBLASTP, query)
+}
+
+// SearchWithEngine runs a single query through the chosen engine.
+func (d *Database) SearchWithEngine(kind EngineKind, query string) (*Result, error) {
+	q, err := alphabet.Encode([]byte(query))
+	if err != nil {
+		return nil, fmt.Errorf("blast: query: %w", err)
+	}
+	var res search.QueryResult
+	switch kind {
+	case EngineMuBLASTP:
+		res = d.mu.Search(0, q)
+	case EngineNCBI:
+		res = d.ncbi.Search(0, q)
+	case EngineNCBIdb:
+		res = d.ncbiDB.Search(0, q)
+	case EngineNCBIDFA:
+		res = d.ncbiDFA.Search(0, q)
+	default:
+		return nil, fmt.Errorf("blast: unknown engine %v", kind)
+	}
+	return d.convert(q, res), nil
+}
+
+// SearchBatch runs a batch of queries through the muBLASTP engine with the
+// configured thread count (Algorithm 3's block-major parallel loop).
+func (d *Database) SearchBatch(queries []string) ([]*Result, error) {
+	enc := make([][]alphabet.Code, len(queries))
+	for i, s := range queries {
+		q, err := alphabet.Encode([]byte(s))
+		if err != nil {
+			return nil, fmt.Errorf("blast: query %d: %w", i, err)
+		}
+		enc[i] = q
+	}
+	results := d.mu.SearchBatch(enc, d.params.Threads)
+	out := make([]*Result, len(results))
+	for i := range results {
+		out[i] = d.convert(enc[i], results[i])
+	}
+	return out, nil
+}
+
+func (d *Database) convert(q []alphabet.Code, res search.QueryResult) *Result {
+	out := &Result{QueryLen: len(q), Stats: res.Stats, Hits: make([]Hit, 0, len(res.HSPs))}
+	type hitKey struct {
+		name          string
+		score, qs, ss int
+	}
+	var seen map[hitKey]bool
+	for _, h := range res.HSPs {
+		s := d.db.Seqs[h.Subject].Data
+		hit := Hit{
+			Subject:      h.Subject,
+			SubjectName:  h.SubjectName,
+			Score:        h.Aln.Score,
+			BitScore:     h.BitScore,
+			EValue:       h.EValue,
+			QueryStart:   h.Aln.QStart,
+			QueryEnd:     h.Aln.QEnd,
+			SubjectStart: h.Aln.SStart,
+			SubjectEnd:   h.Aln.SEnd,
+			Identity:     identity(q, s, &h.Aln),
+			Ops:          string(h.Aln.Ops),
+		}
+		// Map split chunks back to original-sequence coordinates and drop
+		// duplicates found in the overlap region of adjacent chunks
+		// (Section IV-A's assembly step).
+		if info, ok := d.chunkOrigin[h.SubjectName]; ok {
+			hit.SubjectName = info.origName
+			hit.SubjectStart += info.offset
+			hit.SubjectEnd += info.offset
+			if seen == nil {
+				seen = make(map[hitKey]bool)
+			}
+			k := hitKey{info.origName, hit.Score, hit.QueryStart, hit.SubjectStart}
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+		}
+		out.Hits = append(out.Hits, hit)
+	}
+	return out
+}
+
+// identity computes the fraction of alignment columns that are identical
+// residue pairs.
+func identity(q, s []alphabet.Code, a *gapped.Alignment) float64 {
+	if len(a.Ops) == 0 {
+		return 0
+	}
+	qi, sj, same := a.QStart, a.SStart, 0
+	for _, op := range a.Ops {
+		switch op {
+		case gapped.OpMatch:
+			if q[qi] == s[sj] {
+				same++
+			}
+			qi, sj = qi+1, sj+1
+		case gapped.OpIns:
+			sj++
+		case gapped.OpDel:
+			qi++
+		}
+	}
+	return float64(same) / float64(len(a.Ops))
+}

@@ -1,0 +1,499 @@
+package blast
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/alphabet"
+	"repro/internal/seqgen"
+)
+
+var (
+	dbOnce     sync.Once
+	sharedDB   *Database
+	sharedSeqs []Sequence
+)
+
+func testDatabase(t *testing.T) (*Database, []Sequence) {
+	t.Helper()
+	dbOnce.Do(func() {
+		g := seqgen.New(seqgen.UniprotProfile(), 321)
+		raw := g.Database(150)
+		sharedSeqs = make([]Sequence, len(raw))
+		for i, s := range raw {
+			sharedSeqs[i] = Sequence{Name: nameFor(i), Residues: alphabet.String(s)}
+		}
+		p := DefaultParams()
+		p.BlockResidues = 16384
+		var err error
+		sharedDB, err = NewDatabase(sharedSeqs, p)
+		if err != nil {
+			panic(err)
+		}
+	})
+	return sharedDB, sharedSeqs
+}
+
+func nameFor(i int) string {
+	return "prot" + string(rune('A'+i/26%26)) + string(rune('A'+i%26))
+}
+
+func queryFrom(seqs []Sequence, minLen int) string {
+	for _, s := range seqs {
+		if len(s.Residues) >= minLen {
+			return s.Residues[5 : minLen-5]
+		}
+	}
+	return seqs[0].Residues
+}
+
+func TestSearchFindsSource(t *testing.T) {
+	db, seqs := testDatabase(t)
+	q := queryFrom(seqs, 150)
+	res, err := db.Search(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Hits) == 0 {
+		t.Fatal("no hits for exact subsequence")
+	}
+	top := res.Hits[0]
+	if top.EValue > 1e-10 {
+		t.Errorf("top E-value %g for exact subsequence", top.EValue)
+	}
+	if top.Identity < 0.99 {
+		t.Errorf("top identity %.2f for exact subsequence", top.Identity)
+	}
+}
+
+func TestEnginesAgree(t *testing.T) {
+	db, seqs := testDatabase(t)
+	q := queryFrom(seqs, 120)
+	var results [3]*Result
+	for i, k := range []EngineKind{EngineMuBLASTP, EngineNCBI, EngineNCBIdb} {
+		r, err := db.SearchWithEngine(k, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results[i] = r
+	}
+	for i := 1; i < 3; i++ {
+		if len(results[i].Hits) != len(results[0].Hits) {
+			t.Fatalf("engine %d: %d hits vs %d", i, len(results[i].Hits), len(results[0].Hits))
+		}
+		for j := range results[0].Hits {
+			a, b := results[0].Hits[j], results[i].Hits[j]
+			if a != b {
+				t.Fatalf("engine %d hit %d: %+v vs %+v", i, j, a, b)
+			}
+		}
+	}
+}
+
+func TestSearchBatchMatchesSingle(t *testing.T) {
+	db, seqs := testDatabase(t)
+	queries := []string{
+		queryFrom(seqs, 100),
+		queryFrom(seqs[50:], 100),
+		queryFrom(seqs[100:], 100),
+	}
+	batch, err := db.SearchBatch(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range queries {
+		single, err := db.Search(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(single.Hits) != len(batch[i].Hits) {
+			t.Fatalf("query %d: batch %d hits vs single %d", i, len(batch[i].Hits), len(single.Hits))
+		}
+		for j := range single.Hits {
+			if single.Hits[j] != batch[i].Hits[j] {
+				t.Fatalf("query %d hit %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestInvalidInputs(t *testing.T) {
+	db, _ := testDatabase(t)
+	if _, err := db.Search("MKT1A"); err == nil {
+		t.Error("accepted invalid query residue")
+	}
+	if _, err := NewDatabase([]Sequence{{Name: "x", Residues: "AB@"}}, DefaultParams()); err == nil {
+		t.Error("accepted invalid database residue")
+	}
+	p := DefaultParams()
+	p.Matrix = "NOPE"
+	if _, err := NewDatabase([]Sequence{{Name: "x", Residues: "ARN"}}, p); err == nil {
+		t.Error("accepted unknown matrix")
+	}
+	if _, err := db.SearchWithEngine(EngineKind(99), "ARNDC"); err == nil {
+		t.Error("accepted unknown engine")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	db, seqs := testDatabase(t)
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	p := DefaultParams()
+	p.BlockResidues = 16384
+	loaded, err := Load(&buf, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.NumSequences() != db.NumSequences() || loaded.NumBlocks() != db.NumBlocks() {
+		t.Fatalf("loaded shape differs: %d seqs %d blocks", loaded.NumSequences(), loaded.NumBlocks())
+	}
+	q := queryFrom(seqs, 130)
+	a, err := db.Search(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := loaded.Search(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Hits) != len(b.Hits) {
+		t.Fatalf("loaded db returns %d hits vs %d", len(b.Hits), len(a.Hits))
+	}
+	for i := range a.Hits {
+		if a.Hits[i] != b.Hits[i] {
+			t.Fatalf("hit %d differs after reload", i)
+		}
+	}
+}
+
+func TestFASTARoundTrip(t *testing.T) {
+	_, seqs := testDatabase(t)
+	var buf bytes.Buffer
+	if err := WriteFASTA(&buf, seqs[:5]); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFASTA(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 5 {
+		t.Fatalf("round trip produced %d sequences", len(got))
+	}
+	for i := range got {
+		if got[i] != seqs[i] {
+			t.Errorf("sequence %d differs", i)
+		}
+	}
+}
+
+func TestFormatHit(t *testing.T) {
+	db, seqs := testDatabase(t)
+	q := queryFrom(seqs, 150)
+	res, err := db.Search(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Hits) == 0 {
+		t.Fatal("no hits")
+	}
+	out := db.FormatHit(q, &res.Hits[0])
+	if !strings.Contains(out, "Query  1") {
+		t.Errorf("formatted output missing 1-based query line:\n%s", out)
+	}
+	if !strings.Contains(out, "Score =") || !strings.Contains(out, "Expect =") {
+		t.Errorf("formatted output missing header:\n%s", out)
+	}
+	// Every Query line must pair with a Sbjct line.
+	ql := strings.Count(out, "Query  ")
+	sl := strings.Count(out, "Sbjct  ")
+	if ql == 0 || ql != sl {
+		t.Errorf("Query/Sbjct line mismatch: %d vs %d", ql, sl)
+	}
+}
+
+func TestSummaryTable(t *testing.T) {
+	db, seqs := testDatabase(t)
+	res, err := db.Search(queryFrom(seqs, 120))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := res.Summary()
+	if !strings.Contains(sum, "Subject") || !strings.Contains(sum, "E-value") {
+		t.Errorf("summary missing header: %q", sum)
+	}
+	if strings.Count(sum, "\n") != len(res.Hits)+1 {
+		t.Errorf("summary has %d lines for %d hits", strings.Count(sum, "\n"), len(res.Hits))
+	}
+}
+
+func TestDatabaseAccessors(t *testing.T) {
+	db, seqs := testDatabase(t)
+	if db.NumSequences() != len(seqs) {
+		t.Errorf("NumSequences = %d", db.NumSequences())
+	}
+	if db.TotalResidues() <= 0 || db.IndexSizeBytes() <= 0 || db.NumBlocks() <= 1 {
+		t.Errorf("accessors: %d residues, %d bytes, %d blocks",
+			db.TotalResidues(), db.IndexSizeBytes(), db.NumBlocks())
+	}
+}
+
+func TestEngineKindString(t *testing.T) {
+	if EngineMuBLASTP.String() != "muBLASTP" || EngineNCBI.String() != "NCBI" ||
+		EngineNCBIdb.String() != "NCBI-db" {
+		t.Error("engine names wrong")
+	}
+	if EngineKind(9).String() == "" {
+		t.Error("unknown engine stringer empty")
+	}
+}
+
+func TestIdentityComputation(t *testing.T) {
+	// Build a db with a known near-identical pair.
+	seqs := []Sequence{
+		{Name: "exact", Residues: "MKTAYIAKQRQISFVKSHFSRQLEERLGLIEVQAPILSRVGDGTQDNLSGAEKAVQVKVKALPDAQ"},
+	}
+	p := DefaultParams()
+	db, err := NewDatabase(seqs, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Search(seqs[0].Residues)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Hits) != 1 {
+		t.Fatalf("%d hits for self search", len(res.Hits))
+	}
+	if res.Hits[0].Identity != 1.0 {
+		t.Errorf("self-search identity %.3f, want 1.0", res.Hits[0].Identity)
+	}
+	if res.Hits[0].Ops != strings.Repeat("M", len(seqs[0].Residues)) {
+		t.Error("self-search traceback not all matches")
+	}
+}
+
+func TestLongSequenceSplitting(t *testing.T) {
+	// Build a database containing one very long sequence; with
+	// SplitLongerThan set below its length, hits must still come back in
+	// original-sequence coordinates under the original name.
+	g := seqgen.New(seqgen.UniprotProfile(), 777)
+	long := alphabet.String(g.Sequence(9000))
+	short := alphabet.String(g.Sequence(200))
+	p := DefaultParams()
+	p.SplitLongerThan = 2000
+	p.SplitOverlap = 200
+	db, err := NewDatabase([]Sequence{
+		{Name: "giant", Residues: long},
+		{Name: "small", Residues: short},
+	}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The database now holds more sequences than were supplied (chunks).
+	if db.NumSequences() <= 2 {
+		t.Fatalf("splitting did not happen: %d sequences", db.NumSequences())
+	}
+	// Query a window deep inside the long sequence.
+	const start = 5000
+	q := long[start : start+150]
+	res, err := db.Search(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Hits) == 0 {
+		t.Fatal("no hits inside split sequence")
+	}
+	top := res.Hits[0]
+	if top.SubjectName != "giant" {
+		t.Errorf("top hit name %q, want giant", top.SubjectName)
+	}
+	if top.SubjectStart != start || top.SubjectEnd != start+150 {
+		t.Errorf("subject coords [%d,%d), want [%d,%d)",
+			top.SubjectStart, top.SubjectEnd, start, start+150)
+	}
+	if top.Identity < 0.999 {
+		t.Errorf("identity %.3f for exact window", top.Identity)
+	}
+	// No duplicate of the same alignment from the overlapping chunk.
+	for i := 1; i < len(res.Hits); i++ {
+		h := res.Hits[i]
+		if h.SubjectName == "giant" && h.SubjectStart == top.SubjectStart && h.Score == top.Score {
+			t.Errorf("duplicate hit from chunk overlap: %+v", h)
+		}
+	}
+}
+
+func TestSplitDatabaseSaveLoadKeepsMapping(t *testing.T) {
+	g := seqgen.New(seqgen.UniprotProfile(), 778)
+	long := alphabet.String(g.Sequence(6000))
+	p := DefaultParams()
+	p.SplitLongerThan = 2000
+	db, err := NewDatabase([]Sequence{{Name: "big", Residues: long}}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := long[3000:3150]
+	res, err := loaded.Search(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Hits) == 0 {
+		t.Fatal("no hits after reload")
+	}
+	if res.Hits[0].SubjectName != "big" || res.Hits[0].SubjectStart != 3000 {
+		t.Errorf("reload lost chunk mapping: %+v", res.Hits[0])
+	}
+}
+
+func TestDFAEngineAgrees(t *testing.T) {
+	db, seqs := testDatabase(t)
+	q := queryFrom(seqs, 140)
+	ref, err := db.SearchWithEngine(EngineNCBI, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := db.SearchWithEngine(EngineNCBIDFA, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ref.Hits) != len(got.Hits) {
+		t.Fatalf("DFA engine: %d hits vs %d", len(got.Hits), len(ref.Hits))
+	}
+	for i := range ref.Hits {
+		if ref.Hits[i] != got.Hits[i] {
+			t.Fatalf("DFA engine hit %d differs", i)
+		}
+	}
+	if EngineNCBIDFA.String() != "NCBI-DFA" {
+		t.Error("engine name")
+	}
+}
+
+func TestSearchLongMatchesDirectSearch(t *testing.T) {
+	db, seqs := testDatabase(t)
+	// A moderately long query searched whole vs in chunks: the chunked
+	// search must find every subject the direct search finds (alignments
+	// longer than the overlap may fragment, so compare subject sets and
+	// top-hit identity).
+	q := queryFrom(seqs, 190)
+	direct, err := db.Search(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunked, err := db.SearchLong(q, 120, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chunked.Hits) == 0 {
+		t.Fatal("chunked search found nothing")
+	}
+	if direct.Hits[0].SubjectName != chunked.Hits[0].SubjectName {
+		t.Errorf("top hits differ: %s vs %s", direct.Hits[0].SubjectName, chunked.Hits[0].SubjectName)
+	}
+	directSubjects := map[string]bool{}
+	for _, h := range direct.Hits {
+		directSubjects[h.SubjectName] = true
+	}
+	found := 0
+	for s := range directSubjects {
+		for _, h := range chunked.Hits {
+			if h.SubjectName == s {
+				found++
+				break
+			}
+		}
+	}
+	if found < len(directSubjects)/2 {
+		t.Errorf("chunked search recovered only %d/%d subjects", found, len(directSubjects))
+	}
+	// Query coordinates must stay within the whole query.
+	for _, h := range chunked.Hits {
+		if h.QueryStart < 0 || h.QueryEnd > len(q) {
+			t.Errorf("chunk hit outside query bounds: %+v", h)
+		}
+	}
+}
+
+func TestSearchLongShortQueryDelegates(t *testing.T) {
+	db, seqs := testDatabase(t)
+	q := queryFrom(seqs, 100)
+	a, err := db.Search(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := db.SearchLong(q, 2048, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Hits) != len(b.Hits) {
+		t.Errorf("delegation differs: %d vs %d hits", len(a.Hits), len(b.Hits))
+	}
+	if _, err := db.SearchLong(q, 100, 100); err == nil {
+		t.Error("accepted overlap >= chunk length")
+	}
+}
+
+func TestTabularFormat(t *testing.T) {
+	db, seqs := testDatabase(t)
+	q := queryFrom(seqs, 130)
+	res, err := db.Search(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := res.Tabular("q1")
+	lines := strings.Split(strings.TrimSpace(tab), "\n")
+	if len(lines) != len(res.Hits) {
+		t.Fatalf("%d tabular lines for %d hits", len(lines), len(res.Hits))
+	}
+	for _, line := range lines {
+		cols := strings.Split(line, "\t")
+		if len(cols) != 12 {
+			t.Fatalf("line has %d columns: %q", len(cols), line)
+		}
+		if cols[0] != "q1" {
+			t.Errorf("qseqid = %q", cols[0])
+		}
+	}
+	// Top hit: near-exact match, so pident ~100 and mismatches small.
+	cols := strings.Split(lines[0], "\t")
+	pident, perr := strconv.ParseFloat(cols[2], 64)
+	if perr != nil || pident < 90 {
+		t.Errorf("top hit pident %s, want >= 90", cols[2])
+	}
+}
+
+func TestOneHitModeFacade(t *testing.T) {
+	_, seqs := testDatabase(t)
+	p := DefaultParams()
+	p.OneHit = true
+	p.NeighborThreshold = 13 // NCBI's usual one-hit threshold
+	p.BlockResidues = 16384
+	db, err := NewDatabase(seqs, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Search(queryFrom(seqs, 120))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Hits) == 0 {
+		t.Fatal("one-hit search found nothing")
+	}
+	if res.Stats.Pairs != res.Stats.Hits {
+		t.Errorf("one-hit mode: pairs %d != hits %d", res.Stats.Pairs, res.Stats.Hits)
+	}
+}

@@ -1,0 +1,30 @@
+package blast_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/blast"
+)
+
+// Example demonstrates the index-once, search-many workflow: build a
+// database, search a peptide, and read the ranked hits.
+func Example() {
+	db, err := blast.NewDatabase([]blast.Sequence{
+		{Name: "P53_HUMAN", Residues: "SVTCTYSPALNKMFCQLAKTCPVQLWVDSTPPPGTRVRAMAIYKQSQHMTEVVRRCPHHE"},
+		{Name: "RECA_ECOLI", Residues: "MAIDENKQKALAAALGQIEKQFGKGSIMRLGEDRSMDVETISTGSLSLDIALGAGGLPMG"},
+	}, blast.DefaultParams())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := db.Search("TCTYSPALNKMFCQLAKTCPVELWV")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, h := range res.Hits {
+		fmt.Printf("%s raw=%d identity=%.0f%%\n", h.SubjectName, h.Score, 100*h.Identity)
+	}
+	// Output:
+	// P53_HUMAN raw=140 identity=96%
+}

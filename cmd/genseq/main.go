@@ -1,0 +1,90 @@
+// Command genseq generates synthetic protein databases and query sets with
+// the statistical shape of the paper's uniprot_sprot and env_nr databases
+// (see internal/seqgen). Output is FASTA.
+//
+// Usage:
+//
+//	genseq -profile uniprot -n 10000 -seed 7 -out db.fasta
+//	genseq -profile envnr -n 10000 -queries 128 -qlen 256 -out db.fasta -qout queries.fasta
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/blast"
+	"repro/internal/alphabet"
+	"repro/internal/seqgen"
+)
+
+func main() {
+	var (
+		profile = flag.String("profile", "uniprot", "database profile: uniprot or envnr")
+		n       = flag.Int("n", 10000, "number of database sequences")
+		seed    = flag.Int64("seed", 7, "generator seed")
+		out     = flag.String("out", "", "database FASTA output path (default stdout)")
+		queries = flag.Int("queries", 0, "also sample this many queries from the database")
+		qlen    = flag.Int("qlen", 0, "query length (0 = mixed, following the database distribution)")
+		qout    = flag.String("qout", "", "query FASTA output path (required with -queries)")
+	)
+	flag.Parse()
+
+	var prof seqgen.Profile
+	switch *profile {
+	case "uniprot":
+		prof = seqgen.UniprotProfile()
+	case "envnr":
+		prof = seqgen.EnvNRProfile()
+	default:
+		fatalf("unknown profile %q (want uniprot or envnr)", *profile)
+	}
+	if *queries > 0 && *qout == "" {
+		fatalf("-queries requires -qout")
+	}
+
+	g := seqgen.New(prof, *seed)
+	db := g.Database(*n)
+	seqs := make([]blast.Sequence, len(db))
+	for i, s := range db {
+		seqs[i] = blast.Sequence{Name: fmt.Sprintf("%s_%06d", *profile, i), Residues: alphabet.String(s)}
+	}
+	if err := writeFASTA(*out, seqs); err != nil {
+		fatalf("writing database: %v", err)
+	}
+
+	if *queries > 0 {
+		qs := g.Queries(db, *queries, *qlen)
+		qseqs := make([]blast.Sequence, len(qs))
+		for i, q := range qs {
+			qseqs[i] = blast.Sequence{Name: fmt.Sprintf("query_%04d", i), Residues: alphabet.String(q)}
+		}
+		if err := writeFASTA(*qout, qseqs); err != nil {
+			fatalf("writing queries: %v", err)
+		}
+	}
+
+	st := seqgen.Summarize(db)
+	fmt.Fprintf(os.Stderr, "generated %d sequences (%d residues, median %d, mean %.0f)\n",
+		st.Count, st.Total, st.Median, st.Mean)
+}
+
+func writeFASTA(path string, seqs []blast.Sequence) error {
+	if path == "" {
+		return blast.WriteFASTA(os.Stdout, seqs)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := blast.WriteFASTA(f, seqs); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "genseq: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,129 @@
+// Command mublastp searches protein queries against a database with the
+// muBLASTP engine (or a baseline engine, for comparison). The database can
+// be a FASTA file (indexed on the fly) or a prebuilt index from makedb.
+//
+// Usage:
+//
+//	mublastp -db db.mublastp -query queries.fasta
+//	mublastp -subjects db.fasta -query queries.fasta -engine ncbi -format full
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/blast"
+)
+
+func main() {
+	var (
+		dbPath    = flag.String("db", "", "prebuilt database index (from makedb)")
+		subjects  = flag.String("subjects", "", "FASTA database to index on the fly")
+		queryPath = flag.String("query", "", "FASTA queries (required)")
+		engine    = flag.String("engine", "mublastp", "engine: mublastp, ncbi, or ncbidb")
+		threads   = flag.Int("threads", 0, "threads for batch search (0 = all cores)")
+		evalue    = flag.Float64("evalue", 10, "E-value cutoff")
+		maxHits   = flag.Int("max-hits", 250, "maximum hits per query")
+		format    = flag.String("format", "summary", "output format: summary, full, or tabular")
+	)
+	flag.Parse()
+	if *queryPath == "" || (*dbPath == "") == (*subjects == "") {
+		fmt.Fprintln(os.Stderr, "mublastp: need -query and exactly one of -db / -subjects")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var kind blast.EngineKind
+	switch *engine {
+	case "mublastp":
+		kind = blast.EngineMuBLASTP
+	case "ncbi":
+		kind = blast.EngineNCBI
+	case "ncbidb":
+		kind = blast.EngineNCBIdb
+	default:
+		fatalf("unknown engine %q", *engine)
+	}
+
+	p := blast.DefaultParams()
+	p.EValueCutoff = *evalue
+	p.MaxResults = *maxHits
+	p.Threads = *threads
+
+	var db *blast.Database
+	var err error
+	start := time.Now()
+	if *dbPath != "" {
+		db, err = blast.LoadFile(*dbPath, p)
+	} else {
+		var seqs []blast.Sequence
+		if seqs, err = blast.ReadFASTAFile(*subjects); err == nil {
+			db, err = blast.NewDatabase(seqs, p)
+		}
+	}
+	if err != nil {
+		fatalf("loading database: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "mublastp: database ready in %v (%d sequences, %d blocks)\n",
+		time.Since(start).Round(time.Millisecond), db.NumSequences(), db.NumBlocks())
+
+	queries, err := blast.ReadFASTAFile(*queryPath)
+	if err != nil {
+		fatalf("reading queries: %v", err)
+	}
+
+	out := bufio.NewWriter(os.Stdout)
+	defer out.Flush()
+	start = time.Now()
+	if kind == blast.EngineMuBLASTP {
+		texts := make([]string, len(queries))
+		for i := range queries {
+			texts[i] = queries[i].Residues
+		}
+		results, err := db.SearchBatch(texts)
+		if err != nil {
+			fatalf("search: %v", err)
+		}
+		for i, res := range results {
+			printResult(out, db, queries[i], res, *format)
+		}
+	} else {
+		for i := range queries {
+			res, err := db.SearchWithEngine(kind, queries[i].Residues)
+			if err != nil {
+				fatalf("search: %v", err)
+			}
+			printResult(out, db, queries[i], res, *format)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "mublastp: %d queries searched in %v with %s\n",
+		len(queries), time.Since(start).Round(time.Millisecond), kind)
+}
+
+func printResult(out *bufio.Writer, db *blast.Database, q blast.Sequence, res *blast.Result, format string) {
+	if format == "tabular" {
+		fmt.Fprint(out, res.Tabular(q.Name))
+		return
+	}
+	fmt.Fprintf(out, "Query: %s (%d residues) — %d hits\n", q.Name, res.QueryLen, len(res.Hits))
+	if len(res.Hits) == 0 {
+		fmt.Fprintln(out)
+		return
+	}
+	fmt.Fprint(out, res.Summary())
+	if format == "full" {
+		fmt.Fprintln(out)
+		for i := range res.Hits {
+			fmt.Fprint(out, db.FormatHit(q.Residues, &res.Hits[i]))
+		}
+	}
+	fmt.Fprintln(out)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "mublastp: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,52 @@
+// Quickstart: index a handful of protein sequences and search one query,
+// printing the BLAST-style report. This is the smallest complete use of the
+// public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/blast"
+)
+
+func main() {
+	// A miniature database. P53HUMAN carries the query's source region.
+	subjects := []blast.Sequence{
+		{Name: "sp|P04637|P53_HUMAN", Residues: "MEEPQSDPSVEPPLSQETFSDLWKLLPENNVLSPLPSQAMDDLMLSPDDIEQWFTEDPGP" +
+			"DEAPRMPEAAPPVAPAPAAPTPAAPAPAPSWPLSSSVPSQKTYQGSYGFRLGFLHSGTAK" +
+			"SVTCTYSPALNKMFCQLAKTCPVQLWVDSTPPPGTRVRAMAIYKQSQHMTEVVRRCPHHE"},
+		{Name: "sp|P02340|P53_MOUSE", Residues: "MEESQSDISLELPLSQETFSGLWKLLPPEDILPSPHCMDDLLLPQDVEEFFEGPSEALRV" +
+			"SGAPAAQDPVTETPGPVAPAPATPWPLSSFVPSQKTYQGNYGFHLGFLQSGTAKSVMCTY" +
+			"SPPLNKLFCQLAKTCPVQLWVSATPPAGSRVRAMAIYKKSQHMTEVVRRCPHHE"},
+		{Name: "sp|P0A7G6|RECA_ECOLI", Residues: "MAIDENKQKALAAALGQIEKQFGKGSIMRLGEDRSMDVETISTGSLSLDIALGAGGLPMG" +
+			"RIVEIYGPESSGKTTLTLQVIAAAQREGKTCAFIDAEHALDPIYARKLGVDIDNLLCSQP" +
+			"DTGEQALEICDALARSGAVDVIVVDSVAALTPKAEIEGEIGDSHMGLAARMMSQAMRKLA"},
+		{Name: "sp|P69905|HBA_HUMAN", Residues: "MVLSPADKTNVKAAWGKVGAHAGEYGAEALERMFLSFPTTKTYFPHFDLSHGSAQVKGHG" +
+			"KKVADALTNAVAHVDDMPNALSALSDLHAHKLRVDPVNFKLLSHCLLVTLAAHLPAEFTP" +
+			"AVHASLDKFLASVSTVLTSKYR"},
+	}
+
+	db, err := blast.NewDatabase(subjects, blast.DefaultParams())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("indexed %d sequences (%d residues) into %d block(s)\n\n",
+		db.NumSequences(), db.TotalResidues(), db.NumBlocks())
+
+	// A fragment of human p53 with a few substitutions.
+	query := "SVTCTYSPALNKMFCQLAKTCPVELWVDSTPPPGTRVRAMAIYKQSQHMTE"
+
+	res, err := db.Search(query)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("query (%d residues): %d hit(s)\n\n", res.QueryLen, len(res.Hits))
+	fmt.Print(res.Summary())
+	fmt.Println()
+	for i := range res.Hits {
+		fmt.Print(db.FormatHit(query, &res.Hits[i]))
+	}
+	fmt.Printf("pipeline stats: %d hits -> %d pairs -> %d extensions -> %d kept -> %d gapped\n",
+		res.Stats.Hits, res.Stats.Pairs, res.Stats.Extensions, res.Stats.Kept, res.Stats.GappedExts)
+}

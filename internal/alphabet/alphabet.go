@@ -1,0 +1,135 @@
+// Package alphabet defines the 24-letter protein alphabet used throughout
+// the library and the encoding between ASCII residues and compact codes.
+//
+// The order of the letters follows the convention used by the BLOSUM and PAM
+// scoring matrices shipped in internal/matrix: the 20 standard amino acids
+// first, then the ambiguity codes B and Z, the unknown residue X, and the
+// stop/gap character '*'. BLASTP treats all 24 as alignable characters, which
+// is why the paper's word space is 24^3 = 13824 (Section V-B).
+package alphabet
+
+import "fmt"
+
+// Size is the number of distinct residue codes.
+const Size = 24
+
+// Letters lists the residues in code order: Letters[code] is the ASCII
+// letter for that code.
+const Letters = "ARNDCQEGHILKMFPSTWYVBZX*"
+
+// Code is a compact residue code in [0, Size).
+type Code = byte
+
+// Common residue codes, useful in tests and generators.
+const (
+	CodeA Code = iota
+	CodeR
+	CodeN
+	CodeD
+	CodeC
+	CodeQ
+	CodeE
+	CodeG
+	CodeH
+	CodeI
+	CodeL
+	CodeK
+	CodeM
+	CodeF
+	CodeP
+	CodeS
+	CodeT
+	CodeW
+	CodeY
+	CodeV
+	CodeB
+	CodeZ
+	CodeX
+	CodeStop
+)
+
+// codeOf maps an ASCII byte to its residue code, or 0xFF for invalid bytes.
+var codeOf [256]byte
+
+func init() {
+	for i := range codeOf {
+		codeOf[i] = 0xFF
+	}
+	for c := 0; c < Size; c++ {
+		upper := Letters[c]
+		codeOf[upper] = byte(c)
+		if upper >= 'A' && upper <= 'Z' {
+			codeOf[upper+'a'-'A'] = byte(c)
+		}
+	}
+	// Residues that appear in real protein data but are outside the matrix
+	// alphabet fold onto near-equivalents, matching NCBI behaviour:
+	//   U (selenocysteine) -> C, O (pyrrolysine) -> K, J (I or L) -> L,
+	//   '-' (gap in aligned input) -> X.
+	codeOf['U'], codeOf['u'] = CodeC, CodeC
+	codeOf['O'], codeOf['o'] = CodeK, CodeK
+	codeOf['J'], codeOf['j'] = CodeL, CodeL
+	codeOf['-'] = CodeX
+}
+
+// CodeFor returns the residue code for an ASCII letter and whether the
+// letter is a recognized residue.
+func CodeFor(b byte) (Code, bool) {
+	c := codeOf[b]
+	return c, c != 0xFF
+}
+
+// LetterFor returns the canonical ASCII letter for a residue code.
+// It panics if the code is out of range, since that always indicates
+// a programming error rather than bad input.
+func LetterFor(c Code) byte {
+	if int(c) >= Size {
+		panic(fmt.Sprintf("alphabet: code %d out of range", c))
+	}
+	return Letters[c]
+}
+
+// Encode converts an ASCII protein sequence to residue codes.
+// Unrecognized characters produce an error naming the offending byte.
+func Encode(seq []byte) ([]Code, error) {
+	out := make([]Code, len(seq))
+	for i, b := range seq {
+		c := codeOf[b]
+		if c == 0xFF {
+			return nil, fmt.Errorf("alphabet: invalid residue %q at position %d", b, i)
+		}
+		out[i] = c
+	}
+	return out, nil
+}
+
+// MustEncode is Encode for trusted input; it panics on invalid residues.
+func MustEncode(seq string) []Code {
+	out, err := Encode([]byte(seq))
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// Decode converts residue codes back to an ASCII protein sequence.
+func Decode(codes []Code) []byte {
+	out := make([]byte, len(codes))
+	for i, c := range codes {
+		out[i] = LetterFor(c)
+	}
+	return out
+}
+
+// String renders residue codes as a string; convenient in tests and output.
+func String(codes []Code) string { return string(Decode(codes)) }
+
+// Valid reports whether every byte of seq is a recognized residue letter.
+func Valid(seq []byte) bool {
+	for _, b := range seq {
+		if codeOf[b] == 0xFF {
+			return false
+		}
+	}
+	return true
+}

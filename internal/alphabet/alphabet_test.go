@@ -1,0 +1,188 @@
+package alphabet
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestLettersRoundTrip(t *testing.T) {
+	for c := 0; c < Size; c++ {
+		letter := LetterFor(Code(c))
+		got, ok := CodeFor(letter)
+		if !ok {
+			t.Fatalf("CodeFor(%q) not recognized", letter)
+		}
+		if got != Code(c) {
+			t.Errorf("CodeFor(LetterFor(%d)) = %d", c, got)
+		}
+	}
+}
+
+func TestLowercaseAccepted(t *testing.T) {
+	up, err := Encode([]byte("ARNDC"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, err := Encode([]byte("arndc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(up, lo) {
+		t.Errorf("lowercase encoding %v != uppercase %v", lo, up)
+	}
+}
+
+func TestNonStandardResidueFolding(t *testing.T) {
+	cases := []struct {
+		in   byte
+		want Code
+	}{
+		{'U', CodeC}, {'u', CodeC},
+		{'O', CodeK}, {'o', CodeK},
+		{'J', CodeL}, {'j', CodeL},
+		{'-', CodeX},
+	}
+	for _, c := range cases {
+		got, ok := CodeFor(c.in)
+		if !ok || got != c.want {
+			t.Errorf("CodeFor(%q) = %d,%v want %d", c.in, got, ok, c.want)
+		}
+	}
+}
+
+func TestEncodeRejectsInvalid(t *testing.T) {
+	for _, bad := range []string{"AR1DC", "AB@", " ", "A\nC"} {
+		if _, err := Encode([]byte(bad)); err == nil {
+			t.Errorf("Encode(%q) accepted invalid input", bad)
+		}
+	}
+}
+
+func TestEncodeEmptyIsEmpty(t *testing.T) {
+	got, err := Encode(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("Encode(nil) = %v, want empty", got)
+	}
+}
+
+func TestDecodeRoundTripsEncode(t *testing.T) {
+	seq := []byte("ARNDCQEGHILKMFPSTWYVBZX*")
+	codes, err := Encode(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Decode(codes); !bytes.Equal(got, seq) {
+		t.Errorf("Decode(Encode(%q)) = %q", seq, got)
+	}
+}
+
+func TestValid(t *testing.T) {
+	if !Valid([]byte("ACDEFGHIKLMNPQRSTVWY")) {
+		t.Error("standard residues reported invalid")
+	}
+	if Valid([]byte("AC DE")) {
+		t.Error("space reported valid")
+	}
+}
+
+func TestMustEncodePanicsOnBadInput(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustEncode did not panic on invalid input")
+		}
+	}()
+	MustEncode("A1C")
+}
+
+func TestLetterForPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("LetterFor did not panic on out-of-range code")
+		}
+	}()
+	LetterFor(Code(Size))
+}
+
+func TestPackWordRoundTrip(t *testing.T) {
+	check := func(a, b, c uint8) bool {
+		c0, c1, c2 := Code(a%Size), Code(b%Size), Code(c%Size)
+		w := PackWord(c0, c1, c2)
+		if !w.Valid() {
+			return false
+		}
+		g0, g1, g2 := w.Unpack()
+		return g0 == c0 && g1 == c1 && g2 == c2
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWordOrderingIsLexicographic(t *testing.T) {
+	// Words that share a prefix must be numerically adjacent: AAB > AAA etc.
+	waaa := PackWord(0, 0, 0)
+	waab := PackWord(0, 0, 1)
+	waba := PackWord(0, 1, 0)
+	if waab != waaa+1 {
+		t.Errorf("AAB = %d, want %d", waab, waaa+1)
+	}
+	if waba != waaa+Size {
+		t.Errorf("ABA = %d, want %d", waba, waaa+Size)
+	}
+}
+
+func TestWordString(t *testing.T) {
+	w := PackWord(CodeA, CodeR, CodeN)
+	if got := w.String(); got != "ARN" {
+		t.Errorf("String() = %q, want ARN", got)
+	}
+}
+
+func TestWordAtMatchesPack(t *testing.T) {
+	seq := MustEncode("ARNDCQ")
+	for i := 0; i+W <= len(seq); i++ {
+		if WordAt(seq, i) != PackWord(seq[i], seq[i+1], seq[i+2]) {
+			t.Errorf("WordAt(%d) mismatch", i)
+		}
+	}
+}
+
+func TestWordsEnumeratesOverlapping(t *testing.T) {
+	seq := MustEncode("ARNDC")
+	var offsets []int
+	var words []string
+	Words(seq, func(off int, w Word) {
+		offsets = append(offsets, off)
+		words = append(words, w.String())
+	})
+	wantOff := []int{0, 1, 2}
+	wantW := []string{"ARN", "RND", "NDC"}
+	if len(offsets) != len(wantOff) {
+		t.Fatalf("got %d words, want %d", len(offsets), len(wantOff))
+	}
+	for i := range wantOff {
+		if offsets[i] != wantOff[i] || words[i] != wantW[i] {
+			t.Errorf("word %d = (%d,%s), want (%d,%s)", i, offsets[i], words[i], wantOff[i], wantW[i])
+		}
+	}
+}
+
+func TestWordsShortSequence(t *testing.T) {
+	for _, s := range []string{"", "A", "AR"} {
+		n := 0
+		Words(MustEncode(s), func(int, Word) { n++ })
+		if n != 0 {
+			t.Errorf("Words(%q) yielded %d words, want 0", s, n)
+		}
+	}
+}
+
+func TestNumWordsValue(t *testing.T) {
+	if NumWords != 13824 {
+		t.Errorf("NumWords = %d, want 13824 (24^3, per paper Section V-B)", NumWords)
+	}
+}

@@ -1,0 +1,157 @@
+// Package bench is the experiment harness: it builds the paper's workloads
+// (scaled to a single machine), runs the three engines under measurement or
+// cache simulation, and renders one table or series per figure of the
+// evaluation section (Section V). The cmd/experiments binary and the
+// repository-level benchmarks are thin wrappers around this package.
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/internal/alphabet"
+	"repro/internal/dbase"
+	"repro/internal/dbindex"
+	"repro/internal/matrix"
+	"repro/internal/neighbor"
+	"repro/internal/search"
+	"repro/internal/seqgen"
+)
+
+// Scale sets experiment sizes. The paper's databases (300K–6M sequences) are
+// scaled down so every experiment runs in seconds to minutes on one machine;
+// relative behaviour is what the figures compare.
+type Scale struct {
+	UniprotSeqs int   // sequences in the uniprot_sprot-like database
+	EnvNRSeqs   int   // sequences in the env_nr-like database
+	Batch       int   // queries per batch (paper: 128)
+	Threads     int   // worker threads (0 = GOMAXPROCS)
+	Seed        int64 // generator seed
+	BlockBytes  int64 // default index block size in bytes (0 = paper rule)
+}
+
+// SmallScale finishes in a few seconds; used by tests.
+func SmallScale() Scale {
+	return Scale{UniprotSeqs: 400, EnvNRSeqs: 600, Batch: 8, Threads: 2, Seed: 7}
+}
+
+// DefaultScale is the cmd/experiments default: minutes, not hours.
+func DefaultScale() Scale {
+	return Scale{UniprotSeqs: 8000, EnvNRSeqs: 16000, Batch: 32, Threads: 0, Seed: 7}
+}
+
+func (s Scale) threads() int {
+	if s.Threads > 0 {
+		return s.Threads
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// blockResidues resolves the index block size in residues (positions),
+// applying the paper's L3 sizing rule against the *scaled* LLC model so the
+// block:cache relationship matches the paper's at any workload scale.
+func (s Scale) blockResidues(dbBytes int64) int64 {
+	if s.BlockBytes > 0 {
+		return s.BlockBytes / 4
+	}
+	return dbindex.OptimalBlockResidues(ScaledLLCBytes(dbBytes), s.threads())
+}
+
+// Workload is one database plus its index, engines' config, and query sets.
+type Workload struct {
+	Name    string
+	Profile seqgen.Profile
+	DB      *dbase.DB
+	Index   *dbindex.Index
+	Cfg     *search.Config
+	Gen     *seqgen.Generator
+	// Queries holds the paper's four query sets, keyed "128", "256", "512"
+	// and "mixed"; each has Scale.Batch queries.
+	Queries map[string][][]alphabet.Code
+}
+
+// QuerySetNames lists the sets in presentation order.
+var QuerySetNames = []string{"128", "256", "512", "mixed"}
+
+// sharedNeighbors caches the neighbor table across workloads (it depends
+// only on the matrix and threshold).
+var sharedNeighbors *neighbor.Table
+
+// Neighbors returns the shared BLOSUM62/T=11 neighbor table.
+func Neighbors() *neighbor.Table {
+	if sharedNeighbors == nil {
+		sharedNeighbors = neighbor.Build(matrix.Blosum62, neighbor.DefaultThreshold)
+	}
+	return sharedNeighbors
+}
+
+// NewWorkload builds a workload for a profile.
+func NewWorkload(name string, prof seqgen.Profile, nSeqs int, s Scale) (*Workload, error) {
+	g := seqgen.New(prof, s.Seed)
+	db := dbase.New(g.Database(nSeqs))
+	cfg, err := search.NewConfig(matrix.Blosum62, Neighbors())
+	if err != nil {
+		return nil, err
+	}
+	ix, err := dbindex.Build(db, cfg.Neighbors, s.blockResidues(db.TotalResidues))
+	if err != nil {
+		return nil, err
+	}
+	w := &Workload{
+		Name:    name,
+		Profile: prof,
+		DB:      db,
+		Index:   ix,
+		Cfg:     cfg,
+		Gen:     g,
+		Queries: map[string][][]alphabet.Code{},
+	}
+	seqs := make([][]alphabet.Code, db.NumSeqs())
+	for i := range db.Seqs {
+		seqs[i] = db.Seqs[i].Data
+	}
+	for _, l := range []int{128, 256, 512} {
+		w.Queries[fmt.Sprint(l)] = g.Queries(seqs, s.Batch, l)
+	}
+	w.Queries["mixed"] = g.Queries(seqs, s.Batch, 0)
+	return w, nil
+}
+
+// Uniprot builds the uniprot_sprot-like workload.
+func Uniprot(s Scale) (*Workload, error) {
+	return NewWorkload("uniprot_sprot-like", seqgen.UniprotProfile(), s.UniprotSeqs, s)
+}
+
+// EnvNR builds the env_nr-like workload.
+func EnvNR(s Scale) (*Workload, error) {
+	return NewWorkload("env_nr-like", seqgen.EnvNRProfile(), s.EnvNRSeqs, s)
+}
+
+// Reindex rebuilds the workload's index with a different block size (for
+// the Fig 8 sweep). The database is already length-sorted, so engines stay
+// comparable.
+func (w *Workload) Reindex(blockResidues int64) error {
+	ix, err := dbindex.Build(w.DB, w.Cfg.Neighbors, blockResidues)
+	if err != nil {
+		return err
+	}
+	w.Index = ix
+	return nil
+}
+
+// TimeIt measures fn's wall-clock duration.
+func TimeIt(fn func()) time.Duration {
+	start := time.Now()
+	fn()
+	return time.Since(start)
+}
+
+// TotalQueryResidues sums the lengths of a query set.
+func TotalQueryResidues(queries [][]alphabet.Code) int64 {
+	var n int64
+	for _, q := range queries {
+		n += int64(len(q))
+	}
+	return n
+}

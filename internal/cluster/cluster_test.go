@@ -1,0 +1,263 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+
+	"repro/internal/alphabet"
+	"repro/internal/core"
+	"repro/internal/dbase"
+	"repro/internal/dbindex"
+	"repro/internal/matrix"
+	"repro/internal/neighbor"
+	"repro/internal/search"
+	"repro/internal/seqgen"
+)
+
+var (
+	cfgOnce sync.Once
+	cfgVal  *search.Config
+)
+
+func cfg(t *testing.T) *search.Config {
+	t.Helper()
+	cfgOnce.Do(func() {
+		nbr := neighbor.Build(matrix.Blosum62, neighbor.DefaultThreshold)
+		var err error
+		cfgVal, err = search.NewConfig(matrix.Blosum62, nbr)
+		if err != nil {
+			panic(err)
+		}
+	})
+	c := *cfgVal
+	return &c
+}
+
+// hspKey flattens an HSP for set comparison across runs whose subject ids
+// are partition-local.
+func hspKey(h search.HSP) string {
+	return fmt.Sprintf("%s/%d/%d-%d/%d-%d/%s",
+		h.SubjectName, h.Aln.Score, h.Aln.QStart, h.Aln.QEnd, h.Aln.SStart, h.Aln.SEnd, h.Aln.Ops)
+}
+
+func TestDistributedMatchesSingleNode(t *testing.T) {
+	c := cfg(t)
+	g := seqgen.New(seqgen.EnvNRProfile(), 2024)
+	db := dbase.New(g.Database(300))
+	seqs := make([][]alphabet.Code, db.NumSeqs())
+	for i := range db.Seqs {
+		seqs[i] = db.Seqs[i].Data
+	}
+	queries := g.Queries(seqs, 4, 128)
+
+	// Single-node reference over the whole database.
+	refDB := db.Subset(intRange(db.NumSeqs())) // deep-enough copy (same data)
+	ix, err := dbindex.Build(refDB, c.Neighbors, 16384)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine := core.New(c, ix)
+	ref := engine.SearchBatch(queries, 2)
+
+	for _, ranks := range []int{1, 3, 8} {
+		got, busy := RunDistributed(c, db, queries, DistOptions{
+			Ranks: ranks, ThreadsPerRank: 2, BlockResidues: 16384,
+		})
+		if len(busy) != ranks {
+			t.Fatalf("ranks=%d: %d busy entries", ranks, len(busy))
+		}
+		for qi := range queries {
+			a := keySet(ref[qi].HSPs)
+			b := keySet(got[qi].HSPs)
+			if len(a) != len(b) {
+				t.Fatalf("ranks=%d query %d: %d vs %d HSPs", ranks, qi, len(a), len(b))
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("ranks=%d query %d: HSP sets differ:\n  %s\n  %s", ranks, qi, a[i], b[i])
+				}
+			}
+			// E-values must match the global search space, not the partition.
+			for j := range got[qi].HSPs {
+				if got[qi].HSPs[j].EValue > c.EValueCutoff {
+					t.Errorf("ranks=%d query %d: E-value above cutoff", ranks, qi)
+				}
+			}
+		}
+	}
+}
+
+func keySet(hsps []search.HSP) []string {
+	out := make([]string, len(hsps))
+	for i, h := range hsps {
+		out[i] = hspKey(h)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func intRange(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func TestRoundRobinBalancesBetterThanContiguous(t *testing.T) {
+	c := cfg(t)
+	g := seqgen.New(seqgen.UniprotProfile(), 555)
+	db := dbase.New(g.Database(400))
+	seqs := make([][]alphabet.Code, db.NumSeqs())
+	for i := range db.Seqs {
+		seqs[i] = db.Seqs[i].Data
+	}
+	queries := g.Queries(seqs, 2, 128)
+
+	spread := func(contig bool) float64 {
+		dbCopy := dbase.New(seqs)
+		_, busy := RunDistributed(c, dbCopy, queries, DistOptions{
+			Ranks: 8, ThreadsPerRank: 1, BlockResidues: 16384, Contiguous: contig,
+		})
+		min := 1.0
+		for _, b := range busy {
+			if b < min {
+				min = b
+			}
+		}
+		return min // busiest rank is 1.0; min = balance quality
+	}
+	rr := spread(false)
+	contig := spread(true)
+	if rr < 0.6 {
+		t.Errorf("round-robin min busy fraction %.2f, want >= 0.6", rr)
+	}
+	if contig >= rr {
+		t.Errorf("contiguous partitioning (%.2f) not worse than round-robin (%.2f)", contig, rr)
+	}
+}
+
+// --- scaling model tests ---
+
+func modelWorkload(nQueries, nSeqs int, seed int64) ([]int, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	g := seqgen.New(seqgen.EnvNRProfile(), seed)
+	queryLens := make([]int, nQueries)
+	for i := range queryLens {
+		queryLens[i] = 128 << (rng.Intn(3)) // 128/256/512
+	}
+	seqLens := make([]int, nSeqs)
+	for i := range seqLens {
+		seqLens[i] = g.Length()
+	}
+	return queryLens, seqLens
+}
+
+func calibrated() CostParams {
+	p := DefaultCostParams()
+	// Representative calibration: muBLASTP ~3x faster per cell than NCBI
+	// (Fig 9's single-node advantage).
+	p.SecPerCellNCBI = 3e-9
+	p.SecPerCellMu = 1e-9
+	return p
+}
+
+func TestMuBLASTPScalesNearlyLinearly(t *testing.T) {
+	queryLens, seqLens := modelWorkload(128, 200000, 1)
+	p := calibrated()
+	db := dbase.New(nil)
+	_ = db
+	counts := []int{1, 2, 4, 8, 16, 32, 64, 128}
+	curve := ScalingCurve(counts, func(nodes int) Makespan {
+		parts := roundRobinResidues(seqLens, nodes)
+		return SimulateMuBLASTP(queryLens, parts, 16, p)
+	})
+	for _, pt := range curve {
+		if pt.Nodes >= 2 && (pt.Efficiency < 0.80 || pt.Efficiency > 1.02) {
+			t.Errorf("muBLASTP efficiency at %d nodes = %.2f, want ~0.88-0.92 band", pt.Nodes, pt.Efficiency)
+		}
+	}
+}
+
+func TestMPIBlastScalesPoorly(t *testing.T) {
+	queryLens, seqLens := modelWorkload(128, 200000, 1)
+	p := calibrated()
+	counts := []int{1, 2, 4, 8, 16, 32, 64, 128}
+	curve := ScalingCurve(counts, func(nodes int) Makespan {
+		frags := contiguousResidues(seqLens, nodes*16)
+		return SimulateMPIBlast(queryLens, frags, p)
+	})
+	last := curve[len(curve)-1]
+	if last.Efficiency > 0.70 {
+		t.Errorf("mpiBLAST efficiency at 128 nodes = %.2f, expected well below muBLASTP's", last.Efficiency)
+	}
+	if last.Efficiency < 0.10 {
+		t.Errorf("mpiBLAST efficiency at 128 nodes = %.2f, implausibly low", last.Efficiency)
+	}
+	// Efficiency should decline with node count.
+	if curve[1].Efficiency < last.Efficiency {
+		t.Errorf("mpiBLAST efficiency not declining: %v -> %v", curve[1].Efficiency, last.Efficiency)
+	}
+}
+
+func TestMuBLASTPBeatsMPIBlastEverywhere(t *testing.T) {
+	queryLens, seqLens := modelWorkload(128, 200000, 1)
+	p := calibrated()
+	prevRatio := 0.0
+	for _, nodes := range []int{1, 8, 32, 128} {
+		mu := SimulateMuBLASTP(queryLens, roundRobinResidues(seqLens, nodes), 16, p)
+		mb := SimulateMPIBlast(queryLens, contiguousResidues(seqLens, nodes*16), p)
+		ratio := mb.Total / mu.Total
+		if ratio <= 1 {
+			t.Errorf("%d nodes: muBLASTP (%.1fs) not faster than mpiBLAST (%.1fs)", nodes, mu.Total, mb.Total)
+		}
+		if ratio < prevRatio {
+			t.Errorf("%d nodes: speedup ratio %.2f declined from %.2f (paper: gap widens with nodes)",
+				nodes, ratio, prevRatio)
+		}
+		prevRatio = ratio
+	}
+	// The paper reports 2.2x at small node counts growing to 8.9x at 128.
+	if prevRatio < 2 {
+		t.Errorf("128-node speedup over mpiBLAST %.2f, want >= 2", prevRatio)
+	}
+}
+
+func roundRobinResidues(seqLens []int, parts int) []int64 {
+	sorted := append([]int(nil), seqLens...)
+	sort.Ints(sorted)
+	out := make([]int64, parts)
+	for i, l := range sorted {
+		out[i%parts] += int64(l)
+	}
+	return out
+}
+
+func contiguousResidues(seqLens []int, parts int) []int64 {
+	out := make([]int64, parts)
+	n := len(seqLens)
+	for p := 0; p < parts; p++ {
+		lo, hi := p*n/parts, (p+1)*n/parts
+		for i := lo; i < hi; i++ {
+			out[p] += int64(seqLens[i])
+		}
+	}
+	return out
+}
+
+func TestSimulatorEdgeCases(t *testing.T) {
+	p := calibrated()
+	if m := SimulateMPIBlast(nil, []int64{100}, p); m.Total != 0 {
+		t.Error("empty query list produced nonzero makespan")
+	}
+	if m := SimulateMuBLASTP([]int{128}, nil, 16, p); m.Total != 0 {
+		t.Error("zero nodes produced nonzero makespan")
+	}
+	m := SimulateMuBLASTP([]int{128}, []int64{1000}, 0, p)
+	if m.Total <= 0 {
+		t.Error("threads clamp failed")
+	}
+}

@@ -1,0 +1,81 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+)
+
+func TestScalingCurveAnchorsAtFirstEntry(t *testing.T) {
+	// A perfectly scalable system: makespan = 100/n.
+	counts := []int{1, 2, 4, 8}
+	curve := ScalingCurve(counts, func(nodes int) Makespan {
+		return Makespan{Total: 100.0 / float64(nodes)}
+	})
+	for i, pt := range curve {
+		if pt.Nodes != counts[i] {
+			t.Errorf("point %d nodes = %d", i, pt.Nodes)
+		}
+		if math.Abs(pt.Efficiency-1) > 1e-9 {
+			t.Errorf("%d nodes: efficiency %g, want 1", pt.Nodes, pt.Efficiency)
+		}
+		if math.Abs(pt.Speedup-float64(pt.Nodes)) > 1e-9 {
+			t.Errorf("%d nodes: speedup %g, want %d", pt.Nodes, pt.Speedup, pt.Nodes)
+		}
+	}
+}
+
+func TestScalingCurveSerialSystem(t *testing.T) {
+	// A system that doesn't scale at all: constant makespan.
+	curve := ScalingCurve([]int{1, 4, 16}, func(int) Makespan {
+		return Makespan{Total: 50}
+	})
+	if math.Abs(curve[2].Speedup-1) > 1e-9 {
+		t.Errorf("speedup %g for serial system, want 1", curve[2].Speedup)
+	}
+	if math.Abs(curve[2].Efficiency-1.0/16) > 1e-9 {
+		t.Errorf("efficiency %g, want 1/16", curve[2].Efficiency)
+	}
+}
+
+func TestMakespanComponentsAddUp(t *testing.T) {
+	p := calibrated()
+	queryLens := []int{128, 256}
+	m := SimulateMPIBlast(queryLens, []int64{1000, 2000, 1500}, p)
+	if m.Total <= 0 || m.Compute <= 0 {
+		t.Fatalf("degenerate makespan %+v", m)
+	}
+	if math.Abs(m.Total-(m.Compute+m.Coordinate)) > 1e-9*m.Total {
+		t.Errorf("components don't add up: %+v", m)
+	}
+	mu := SimulateMuBLASTP(queryLens, []int64{1000, 2000}, 16, p)
+	if math.Abs(mu.Total-(mu.Compute+mu.Coordinate)) > 1e-9*mu.Total {
+		t.Errorf("muBLASTP components don't add up: %+v", mu)
+	}
+}
+
+func TestStragglersRaiseMPIBlastMakespan(t *testing.T) {
+	p := calibrated()
+	p.MergePerResult, p.DispatchPerTask, p.Latency = 0, 0, 0
+	queryLens := []int{256}
+	balanced := SimulateMPIBlast(queryLens, []int64{1000, 1000, 1000, 1000}, p)
+	skewed := SimulateMPIBlast(queryLens, []int64{400, 800, 800, 2000}, p) // same total
+	if skewed.Total <= balanced.Total {
+		t.Errorf("skewed fragments (%g) not slower than balanced (%g)", skewed.Total, balanced.Total)
+	}
+	// With zero coordination the balanced makespan equals per-proc compute.
+	want := p.SecPerCellNCBI * 256 * 1000
+	if math.Abs(balanced.Total-want) > 1e-12 {
+		t.Errorf("balanced makespan %g, want %g", balanced.Total, want)
+	}
+}
+
+func TestMuBLASTPThreadEfficiencyScalesCompute(t *testing.T) {
+	p := calibrated()
+	p.Latency, p.BatchMergePerResult = 0, 0
+	queryLens := []int{100}
+	sixteen := SimulateMuBLASTP(queryLens, []int64{10000}, 16, p)
+	want := p.SecPerCellMu * 100 * 10000 / (16 * p.ThreadEff)
+	if math.Abs(sixteen.Total-want) > 1e-12*want {
+		t.Errorf("16-thread makespan %g, want %g", sixteen.Total, want)
+	}
+}

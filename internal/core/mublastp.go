@@ -1,0 +1,449 @@
+// Package core implements muBLASTP, the paper's contribution: a database-
+// indexed BLASTP whose stages are decoupled and whose hits are reordered so
+// that the irregular memory accesses of interleaved db-indexed search
+// disappear (Section IV). Per index block and query:
+//
+//  1. hit detection scans the query once against the block's lookup table,
+//     running the pre-filter (per-diagonal last-hit arrays, Algorithm 2) so
+//     that only two-hit pairs — typically <5% of hits (Fig 6) — are buffered;
+//  2. the buffered pairs are reordered by a stable LSD radix sort on the
+//     packed (sequence, diagonal) key (Section IV-B);
+//  3. ungapped extension consumes the sorted pairs, walking subject
+//     sequences in order and skipping pairs covered by a previous extension
+//     (Algorithm 1 lines 15–25);
+//  4. the gapped stage and final E-value ranking are shared with the
+//     baseline engines in internal/search.
+//
+// The two-hit semantics are ungapped.Canon's, shared with the baselines, so
+// all engines return identical results (verified in tests — the paper's
+// Section V-E property).
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/alphabet"
+	"repro/internal/dbindex"
+	"repro/internal/gapped"
+	"repro/internal/hit"
+	"repro/internal/hitsort"
+	"repro/internal/parallel"
+	"repro/internal/search"
+	"repro/internal/ungapped"
+)
+
+// Sorter selects the hit-reordering algorithm (Section IV-B ablation).
+type Sorter int
+
+const (
+	// SortLSD is the paper's choice: stable LSD radix sort.
+	SortLSD Sorter = iota
+	// SortMSD uses MSD radix sort.
+	SortMSD
+	// SortMerge uses stable merge sort.
+	SortMerge
+	// SortTwoLevel uses the earlier prototype's two-level binning (§VI).
+	SortTwoLevel
+)
+
+// Options toggles the paper's individual optimizations, for ablation.
+type Options struct {
+	// Prefilter enables the hit pre-filter (Section IV-C). Disabling it
+	// reproduces Algorithm 1's post-filtering variant: every hit is
+	// buffered and sorted, and pairs are selected after reordering.
+	Prefilter bool
+	// Sorter selects the reordering algorithm.
+	Sorter Sorter
+}
+
+// DefaultOptions enables every muBLASTP optimization as evaluated.
+func DefaultOptions() Options { return Options{Prefilter: true, Sorter: SortLSD} }
+
+// Engine is the muBLASTP search engine.
+type Engine struct {
+	Cfg *search.Config
+	Ix  *dbindex.Index
+	Opt Options
+
+	subjOff []int64
+	ixBase  []int64
+}
+
+// New creates a muBLASTP engine with default options.
+func New(cfg *search.Config, ix *dbindex.Index) *Engine {
+	return NewWithOptions(cfg, ix, DefaultOptions())
+}
+
+// NewWithOptions creates a muBLASTP engine with explicit options.
+func NewWithOptions(cfg *search.Config, ix *dbindex.Index, opt Options) *Engine {
+	e := &Engine{Cfg: cfg, Ix: ix, Opt: opt, subjOff: make([]int64, ix.DB.NumSeqs()+1)}
+	var off int64
+	for i := range ix.DB.Seqs {
+		e.subjOff[i] = off
+		off += int64(len(ix.DB.Seqs[i].Data))
+	}
+	e.subjOff[ix.DB.NumSeqs()] = off
+	e.ixBase = make([]int64, len(ix.Blocks))
+	var base int64
+	for i, b := range ix.Blocks {
+		e.ixBase[i] = base
+		base += b.SizeBytes()
+	}
+	return e
+}
+
+// scratch is the per-worker reusable state.
+type scratch struct {
+	lastPos search.StampedLastPos
+	diagOff []int32
+	pairs   []hit.Pair
+	pairBuf []hit.Pair
+	hits    []hit.Hit
+	hitBuf  []hit.Hit
+	exts    []ungapped.Ext
+	aligner *gapped.Aligner
+}
+
+func (e *Engine) newScratch() *scratch {
+	return &scratch{aligner: gapped.NewAligner(e.Cfg.Matrix, e.Cfg.Gap)}
+}
+
+// Search runs one query through all index blocks sequentially.
+func (e *Engine) Search(queryIdx int, q []alphabet.Code) search.QueryResult {
+	sc := e.newScratch()
+	var st search.Stats
+	var subjects []search.SubjectAlignments
+	if len(q) >= alphabet.W {
+		for bi := range e.Ix.Blocks {
+			subs := e.searchBlock(sc, q, bi, &st)
+			subjects = append(subjects, subs...)
+		}
+	}
+	return search.Finalize(e.Cfg, sc.aligner, queryIdx, q, e.Ix.DB, subjects, st)
+}
+
+// SearchBatch implements the multithreaded loop structure of Algorithm 3:
+// index blocks are processed one at a time (so every thread works on the
+// same block and shares it in cache), queries are distributed dynamically
+// across threads within each block, and per-query finalization runs as a
+// second parallel loop.
+func (e *Engine) SearchBatch(queries [][]alphabet.Code, threads int) []search.QueryResult {
+	scratches := make([]*scratch, parallel.NumWorkers(len(queries), threads))
+	for i := range scratches {
+		scratches[i] = e.newScratch()
+	}
+	subjects := make([][]search.SubjectAlignments, len(queries))
+	stats := make([]search.Stats, len(queries))
+	for bi := range e.Ix.Blocks {
+		parallel.ForWorkers(len(queries), threads, func(w, qi int) {
+			if len(queries[qi]) < alphabet.W {
+				return
+			}
+			subs := e.searchBlock(scratches[w], queries[qi], bi, &stats[qi])
+			subjects[qi] = append(subjects[qi], subs...)
+		})
+	}
+	results := make([]search.QueryResult, len(queries))
+	parallel.ForWorkers(len(queries), threads, func(w, qi int) {
+		results[qi] = search.Finalize(e.Cfg, scratches[w].aligner, qi, queries[qi], e.Ix.DB, subjects[qi], stats[qi])
+	})
+	return results
+}
+
+// searchBlock runs the decoupled pipeline for one (block, query) pair and
+// returns the per-subject gapped alignments, ascending by subject.
+func (e *Engine) searchBlock(sc *scratch, q []alphabet.Code, bi int, st *search.Stats) []search.SubjectAlignments {
+	b := e.Ix.Blocks[bi]
+	numSeqs := b.Block.NumSeqs()
+	diagBias := len(q) - alphabet.W
+	maxDiags := len(q) + b.Block.MaxLen - 2*alphabet.W + 1
+	coder, err := hit.NewKeyCoder(numSeqs, maxDiags)
+	if err != nil {
+		// Key overflow means the block is far too large for the query; the
+		// index builder prevents this for any sane configuration.
+		panic(fmt.Sprintf("core: block %d: %v (rebuild the index with smaller blocks)", bi, err))
+	}
+
+	if e.Opt.Prefilter {
+		e.detectPrefiltered(sc, q, bi, coder, st)
+		st.SortedItems += int64(len(sc.pairs))
+		e.sortPairs(sc, coder)
+		return e.extendPairs(sc, q, bi, coder, diagBias, st)
+	}
+	e.detectAll(sc, q, bi, coder, st)
+	st.SortedItems += int64(len(sc.hits))
+	e.sortHits(sc, coder)
+	return e.extendPostFiltered(sc, q, bi, coder, diagBias, st)
+}
+
+// detectPrefiltered is hit detection with the Algorithm 2 pre-filter: the
+// per-(sequence, diagonal) last-hit array is consulted during detection and
+// only two-hit pairs enter the buffer.
+func (e *Engine) detectPrefiltered(sc *scratch, q []alphabet.Code, bi int, coder hit.KeyCoder, st *search.Stats) {
+	b := e.Ix.Blocks[bi]
+	numSeqs := b.Block.NumSeqs()
+	diagBias := len(q) - alphabet.W
+	window := int32(e.Cfg.TwoHit.Window)
+	trace := e.Cfg.Trace
+
+	// Per-sequence diagonal offsets for the flat last-hit array.
+	if cap(sc.diagOff) < numSeqs+1 {
+		sc.diagOff = make([]int32, numSeqs+1)
+	}
+	sc.diagOff = sc.diagOff[:numSeqs+1]
+	total := int32(0)
+	for l := 0; l < numSeqs; l++ {
+		sc.diagOff[l] = total
+		sl := len(e.Ix.DB.Seqs[b.Block.Start+l].Data)
+		if sl >= alphabet.W {
+			total += int32(len(q) + sl - 2*alphabet.W + 1)
+		}
+	}
+	sc.diagOff[numSeqs] = total
+	sc.lastPos.Reset(int(total))
+	sc.pairs = sc.pairs[:0]
+
+	for qOff := 0; qOff+alphabet.W <= len(q); qOff++ {
+		w := alphabet.WordAt(q, qOff)
+		for _, v := range e.Cfg.Neighbors.Neighbors(w) {
+			ps := b.Positions(v)
+			if len(ps) == 0 {
+				continue
+			}
+			base := e.ixBase[bi] + int64(b.Base(v))*4
+			for pi, packed := range ps {
+				st.Hits++
+				local, sOff := b.Decode(packed)
+				diag := sOff - qOff + diagBias
+				slot := int(sc.diagOff[local]) + diag
+				if trace != nil {
+					trace(search.SpaceIndex, base+int64(pi)*4)
+					trace(search.SpaceLastHit, int64(slot)*4)
+				}
+				var dist int32
+				var paired bool
+				if e.Cfg.TwoHit.OneHit {
+					paired = true
+				} else {
+					dist, paired = sc.lastPos.Check(slot, int32(qOff), window)
+				}
+				if paired {
+					st.Pairs++
+					if trace != nil {
+						trace(search.SpaceHitBuf, int64(len(sc.pairs))*12)
+					}
+					sc.pairs = append(sc.pairs, hit.Pair{
+						Key:  coder.Encode(local, diag),
+						QOff: int32(qOff),
+						Dist: dist,
+					})
+				}
+			}
+		}
+	}
+}
+
+// detectAll is hit detection without the pre-filter: every hit is buffered
+// (Algorithm 1's input to the sort).
+func (e *Engine) detectAll(sc *scratch, q []alphabet.Code, bi int, coder hit.KeyCoder, st *search.Stats) {
+	b := e.Ix.Blocks[bi]
+	diagBias := len(q) - alphabet.W
+	trace := e.Cfg.Trace
+	sc.hits = sc.hits[:0]
+	for qOff := 0; qOff+alphabet.W <= len(q); qOff++ {
+		w := alphabet.WordAt(q, qOff)
+		for _, v := range e.Cfg.Neighbors.Neighbors(w) {
+			ps := b.Positions(v)
+			if len(ps) == 0 {
+				continue
+			}
+			base := e.ixBase[bi] + int64(b.Base(v))*4
+			for pi, packed := range ps {
+				st.Hits++
+				local, sOff := b.Decode(packed)
+				diag := sOff - qOff + diagBias
+				if trace != nil {
+					trace(search.SpaceIndex, base+int64(pi)*4)
+					trace(search.SpaceHitBuf, int64(len(sc.hits))*8)
+				}
+				sc.hits = append(sc.hits, hit.Hit{Key: coder.Encode(local, diag), QOff: int32(qOff)})
+			}
+		}
+	}
+}
+
+func (e *Engine) sortPairs(sc *scratch, coder hit.KeyCoder) {
+	e.traceSort(len(sc.pairs), 12, (coder.KeyBits()+7)/8)
+	if cap(sc.pairBuf) < len(sc.pairs) {
+		sc.pairBuf = make([]hit.Pair, len(sc.pairs))
+	}
+	switch e.Opt.Sorter {
+	case SortLSD:
+		hitsort.LSD(sc.pairs, coder.KeyBits(), sc.pairBuf)
+	case SortMSD:
+		hitsort.MSD(sc.pairs, coder.KeyBits(), sc.pairBuf)
+	case SortMerge:
+		hitsort.Merge(sc.pairs, sc.pairBuf)
+	case SortTwoLevel:
+		hitsort.TwoLevelBin(sc.pairs, coder.DiagBits, coder.NumSeqs, coder.NumDiags, sc.pairBuf)
+	}
+}
+
+func (e *Engine) sortHits(sc *scratch, coder hit.KeyCoder) {
+	e.traceSort(len(sc.hits), 8, (coder.KeyBits()+7)/8)
+	if cap(sc.hitBuf) < len(sc.hits) {
+		sc.hitBuf = make([]hit.Hit, len(sc.hits))
+	}
+	switch e.Opt.Sorter {
+	case SortLSD:
+		hitsort.LSD(sc.hits, coder.KeyBits(), sc.hitBuf)
+	case SortMSD:
+		hitsort.MSD(sc.hits, coder.KeyBits(), sc.hitBuf)
+	case SortMerge:
+		hitsort.Merge(sc.hits, sc.hitBuf)
+	case SortTwoLevel:
+		hitsort.TwoLevelBin(sc.hits, coder.DiagBits, coder.NumSeqs, coder.NumDiags, sc.hitBuf)
+	}
+}
+
+// traceSort approximates the sort's memory traffic for the cache simulator:
+// each radix pass reads the buffer sequentially and scatters to 256
+// advancing output streams, which behaves like another sequential pass.
+func (e *Engine) traceSort(n, recordSize, passes int) {
+	trace := e.Cfg.Trace
+	if trace == nil || n == 0 {
+		return
+	}
+	for p := 0; p < passes; p++ {
+		for i := 0; i < n; i++ {
+			trace(search.SpaceHitBuf, int64(i)*int64(recordSize))
+		}
+	}
+}
+
+// extendPairs consumes sorted pairs: per key group the extension-stage
+// two-hit state is a pair of scalars (Algorithm 1's reachedKey/extReached),
+// and subjects arrive in ascending order so each subject sequence is walked
+// once (the locality the reordering buys).
+func (e *Engine) extendPairs(sc *scratch, q []alphabet.Code, bi int, coder hit.KeyCoder, diagBias int, st *search.Stats) []search.SubjectAlignments {
+	b := e.Ix.Blocks[bi]
+	canon := &ungapped.Canon{P: e.Cfg.TwoHit, Matrix: e.Cfg.Matrix}
+	trace := e.Cfg.Trace
+
+	var subjects []search.SubjectAlignments
+	curKey := uint32(0)
+	haveKey := false
+	curLocal := -1
+	var d ungapped.DiagState
+	sc.exts = sc.exts[:0]
+
+	flushSubject := func() {
+		if curLocal < 0 || len(sc.exts) == 0 {
+			return
+		}
+		gsi := b.Block.Start + curLocal
+		s := e.Ix.DB.Seqs[gsi].Data
+		alns := search.GappedStage(e.Cfg, sc.aligner, q, s, sc.exts, st)
+		if len(alns) > 0 {
+			subjects = append(subjects, search.SubjectAlignments{Subject: gsi, Alns: alns})
+		}
+		sc.exts = sc.exts[:0]
+	}
+
+	for i := range sc.pairs {
+		p := &sc.pairs[i]
+		if !haveKey || p.Key != curKey {
+			curKey = p.Key
+			haveKey = true
+			d.Reset()
+			local, _ := coder.Decode(p.Key)
+			if local != curLocal {
+				flushSubject()
+				curLocal = local
+			}
+		}
+		local, diag := coder.Decode(p.Key)
+		gsi := b.Block.Start + local
+		s := e.Ix.DB.Seqs[gsi].Data
+		sOff := diag + int(p.QOff) - diagBias
+		ext, extended, keep := canon.ExtendPair(&d, q, s, int(p.QOff), sOff)
+		if extended {
+			st.Extensions++
+			if trace != nil {
+				for off := e.subjOff[gsi] + int64(ext.SStart); off < e.subjOff[gsi]+int64(ext.SEnd); off++ {
+					trace(search.SpaceSubject, off)
+				}
+			}
+		}
+		if keep {
+			st.Kept++
+			sc.exts = append(sc.exts, ext)
+		}
+	}
+	flushSubject()
+	return subjects
+}
+
+// extendPostFiltered consumes sorted raw hits, applying the pair selection
+// and extension in one pass (Algorithm 1's post-filter form).
+func (e *Engine) extendPostFiltered(sc *scratch, q []alphabet.Code, bi int, coder hit.KeyCoder, diagBias int, st *search.Stats) []search.SubjectAlignments {
+	b := e.Ix.Blocks[bi]
+	canon := &ungapped.Canon{P: e.Cfg.TwoHit, Matrix: e.Cfg.Matrix}
+	trace := e.Cfg.Trace
+
+	var subjects []search.SubjectAlignments
+	curKey := uint32(0)
+	haveKey := false
+	curLocal := -1
+	var d ungapped.DiagState
+	sc.exts = sc.exts[:0]
+
+	flushSubject := func() {
+		if curLocal < 0 || len(sc.exts) == 0 {
+			return
+		}
+		gsi := b.Block.Start + curLocal
+		s := e.Ix.DB.Seqs[gsi].Data
+		alns := search.GappedStage(e.Cfg, sc.aligner, q, s, sc.exts, st)
+		if len(alns) > 0 {
+			subjects = append(subjects, search.SubjectAlignments{Subject: gsi, Alns: alns})
+		}
+		sc.exts = sc.exts[:0]
+	}
+
+	for i := range sc.hits {
+		h := &sc.hits[i]
+		if !haveKey || h.Key != curKey {
+			curKey = h.Key
+			haveKey = true
+			d.Reset()
+			local, _ := coder.Decode(h.Key)
+			if local != curLocal {
+				flushSubject()
+				curLocal = local
+			}
+		}
+		local, diag := coder.Decode(h.Key)
+		gsi := b.Block.Start + local
+		s := e.Ix.DB.Seqs[gsi].Data
+		sOff := diag + int(h.QOff) - diagBias
+		ext, paired, extended, keep := canon.Step(&d, q, s, int(h.QOff), sOff)
+		if paired {
+			st.Pairs++
+		}
+		if extended {
+			st.Extensions++
+			if trace != nil {
+				for off := e.subjOff[gsi] + int64(ext.SStart); off < e.subjOff[gsi]+int64(ext.SEnd); off++ {
+					trace(search.SpaceSubject, off)
+				}
+			}
+		}
+		if keep {
+			st.Kept++
+			sc.exts = append(sc.exts, ext)
+		}
+	}
+	flushSubject()
+	return subjects
+}

@@ -1,0 +1,269 @@
+package core
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/alphabet"
+	"repro/internal/dbase"
+	"repro/internal/dbindex"
+	"repro/internal/matrix"
+	"repro/internal/neighbor"
+	"repro/internal/search"
+	"repro/internal/seqgen"
+)
+
+var (
+	worldOnce sync.Once
+	worldCfg  *search.Config
+)
+
+func cfgShared(t *testing.T) *search.Config {
+	t.Helper()
+	worldOnce.Do(func() {
+		nbr := neighbor.Build(matrix.Blosum62, neighbor.DefaultThreshold)
+		var err error
+		worldCfg, err = search.NewConfig(matrix.Blosum62, nbr)
+		if err != nil {
+			panic(err)
+		}
+	})
+	cfg := *worldCfg
+	return &cfg
+}
+
+func world(t *testing.T, seed int64, nSeqs, nQueries, qLen int, blockResidues int64) (*search.Config, *dbindex.Index, [][]alphabet.Code) {
+	t.Helper()
+	cfg := cfgShared(t)
+	g := seqgen.New(seqgen.UniprotProfile(), seed)
+	db := dbase.New(g.Database(nSeqs))
+	ix, err := dbindex.Build(db, cfg.Neighbors, blockResidues)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqs := make([][]alphabet.Code, db.NumSeqs())
+	for i := range db.Seqs {
+		seqs[i] = db.Seqs[i].Data
+	}
+	return cfg, ix, g.Queries(seqs, nQueries, qLen)
+}
+
+// requireIdentical asserts that two result sets agree exactly: same HSPs,
+// same coordinates, scores, tracebacks and E-values. This is the paper's
+// Section V-E verification.
+func requireIdentical(t *testing.T, label string, a, b []search.QueryResult) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: result counts %d vs %d", label, len(a), len(b))
+	}
+	for qi := range a {
+		ra, rb := a[qi], b[qi]
+		if len(ra.HSPs) != len(rb.HSPs) {
+			t.Fatalf("%s query %d: %d vs %d HSPs", label, qi, len(ra.HSPs), len(rb.HSPs))
+		}
+		for j := range ra.HSPs {
+			x, y := ra.HSPs[j], rb.HSPs[j]
+			if x.Subject != y.Subject || x.Aln.Score != y.Aln.Score ||
+				x.Aln.QStart != y.Aln.QStart || x.Aln.QEnd != y.Aln.QEnd ||
+				x.Aln.SStart != y.Aln.SStart || x.Aln.SEnd != y.Aln.SEnd ||
+				string(x.Aln.Ops) != string(y.Aln.Ops) {
+				t.Fatalf("%s query %d HSP %d differs:\n  %+v\n  %+v", label, qi, j, x, y)
+			}
+			if math.Abs(x.EValue-y.EValue) > 1e-12*math.Max(x.EValue, 1e-300) {
+				t.Fatalf("%s query %d HSP %d E-value %g vs %g", label, qi, j, x.EValue, y.EValue)
+			}
+		}
+	}
+}
+
+func runAll(e interface {
+	Search(int, []alphabet.Code) search.QueryResult
+}, queries [][]alphabet.Code) []search.QueryResult {
+	out := make([]search.QueryResult, len(queries))
+	for i, q := range queries {
+		out[i] = e.Search(i, q)
+	}
+	return out
+}
+
+// TestIdenticalAcrossEngines is the central verification: query-indexed
+// NCBI, db-indexed NCBI (interleaved), and muBLASTP (decoupled, prefiltered,
+// radix-sorted) must produce exactly the same alignments.
+func TestIdenticalAcrossEngines(t *testing.T) {
+	for _, blockResidues := range []int64{4096, 32768, 1 << 20} {
+		cfg, ix, queries := world(t, 42, 150, 6, 128, blockResidues)
+		ncbi := runAll(search.NewQueryIndexed(cfg, ix.DB), queries)
+		ncbiDB := runAll(search.NewDBIndexed(cfg, ix), queries)
+		mu := runAll(New(cfg, ix), queries)
+		requireIdentical(t, "NCBI vs NCBI-db", ncbi, ncbiDB)
+		requireIdentical(t, "NCBI vs muBLASTP", ncbi, mu)
+	}
+}
+
+func TestIdenticalAcrossQueryLengths(t *testing.T) {
+	for _, qLen := range []int{64, 256, 512} {
+		cfg, ix, queries := world(t, 7, 120, 3, qLen, 16384)
+		ncbi := runAll(search.NewQueryIndexed(cfg, ix.DB), queries)
+		mu := runAll(New(cfg, ix), queries)
+		requireIdentical(t, "len", ncbi, mu)
+	}
+}
+
+func TestHitAndPairCountsMatchBaselines(t *testing.T) {
+	cfg, ix, queries := world(t, 11, 100, 4, 128, 8192)
+	de := search.NewDBIndexed(cfg, ix)
+	mu := New(cfg, ix)
+	for qi, q := range queries {
+		sa := de.Search(qi, q).Stats
+		sb := mu.Search(qi, q).Stats
+		if sa.Hits != sb.Hits {
+			t.Errorf("query %d: hits %d vs %d", qi, sa.Hits, sb.Hits)
+		}
+		if sa.Pairs != sb.Pairs {
+			t.Errorf("query %d: pairs %d vs %d", qi, sa.Pairs, sb.Pairs)
+		}
+		if sa.Extensions != sb.Extensions {
+			t.Errorf("query %d: extensions %d vs %d", qi, sa.Extensions, sb.Extensions)
+		}
+		if sa.Kept != sb.Kept {
+			t.Errorf("query %d: kept %d vs %d", qi, sa.Kept, sb.Kept)
+		}
+	}
+}
+
+func TestPrefilterAblation(t *testing.T) {
+	cfg, ix, queries := world(t, 13, 120, 4, 256, 16384)
+	withPF := NewWithOptions(cfg, ix, Options{Prefilter: true, Sorter: SortLSD})
+	noPF := NewWithOptions(cfg, ix, Options{Prefilter: false, Sorter: SortLSD})
+	ra := runAll(withPF, queries)
+	rb := runAll(noPF, queries)
+	requireIdentical(t, "prefilter on/off", ra, rb)
+	for qi := range ra {
+		a, b := ra[qi].Stats, rb[qi].Stats
+		if a.Pairs != b.Pairs {
+			t.Errorf("query %d: pair counts differ %d vs %d", qi, a.Pairs, b.Pairs)
+		}
+		// The whole point of the prefilter: far fewer records sorted.
+		if a.SortedItems >= b.SortedItems {
+			t.Errorf("query %d: prefilter sorted %d >= unfiltered %d", qi, a.SortedItems, b.SortedItems)
+		}
+		// Paper Fig 6 reports <5% of hits surviving on real databases; our
+		// synthetic databases plant denser homologies (correlated hits pair
+		// more often), so the measured fraction is higher but must remain a
+		// small minority of all hits for the optimization to make sense.
+		frac := float64(a.SortedItems) / float64(b.SortedItems)
+		if frac > 0.35 {
+			t.Errorf("query %d: %.1f%% of hits survive prefilter, expected well under 35%%", qi, 100*frac)
+		}
+	}
+}
+
+func TestAllSortersIdentical(t *testing.T) {
+	cfg, ix, queries := world(t, 17, 100, 3, 128, 8192)
+	ref := runAll(NewWithOptions(cfg, ix, Options{Prefilter: true, Sorter: SortLSD}), queries)
+	for _, s := range []Sorter{SortMSD, SortMerge, SortTwoLevel} {
+		got := runAll(NewWithOptions(cfg, ix, Options{Prefilter: true, Sorter: s}), queries)
+		requireIdentical(t, "sorter", ref, got)
+	}
+}
+
+func TestSearchBatchMatchesSequential(t *testing.T) {
+	cfg, ix, queries := world(t, 19, 120, 8, 128, 8192)
+	e := New(cfg, ix)
+	seq := runAll(e, queries)
+	for _, threads := range []int{1, 2, 8} {
+		batch := e.SearchBatch(queries, threads)
+		requireIdentical(t, "batch", seq, batch)
+	}
+}
+
+func TestMixedLengthQueries(t *testing.T) {
+	cfg, ix, _ := world(t, 23, 100, 0, 0, 8192)
+	g := seqgen.New(seqgen.UniprotProfile(), 77)
+	seqs := make([][]alphabet.Code, ix.DB.NumSeqs())
+	for i := range ix.DB.Seqs {
+		seqs[i] = ix.DB.Seqs[i].Data
+	}
+	queries := g.Queries(seqs, 5, 0) // mixed lengths
+	ncbi := runAll(search.NewQueryIndexed(cfg, ix.DB), queries)
+	mu := runAll(New(cfg, ix), queries)
+	requireIdentical(t, "mixed", ncbi, mu)
+}
+
+func TestEnvNRLikeDatabase(t *testing.T) {
+	cfg := cfgShared(t)
+	g := seqgen.New(seqgen.EnvNRProfile(), 31)
+	db := dbase.New(g.Database(200))
+	ix, err := dbindex.Build(db, cfg.Neighbors, 8192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqs := make([][]alphabet.Code, db.NumSeqs())
+	for i := range db.Seqs {
+		seqs[i] = db.Seqs[i].Data
+	}
+	queries := g.Queries(seqs, 4, 128)
+	ncbi := runAll(search.NewQueryIndexed(cfg, db), queries)
+	mu := runAll(New(cfg, ix), queries)
+	requireIdentical(t, "env_nr-like", ncbi, mu)
+}
+
+func TestShortQueryNoOutput(t *testing.T) {
+	cfg, ix, _ := world(t, 37, 50, 0, 0, 1<<20)
+	e := New(cfg, ix)
+	res := e.Search(0, alphabet.MustEncode("AR"))
+	if len(res.HSPs) != 0 || res.Stats.Hits != 0 {
+		t.Errorf("short query produced output: %+v", res)
+	}
+	batch := e.SearchBatch([][]alphabet.Code{nil, alphabet.MustEncode("A")}, 2)
+	for _, r := range batch {
+		if len(r.HSPs) != 0 {
+			t.Errorf("short batch query produced output")
+		}
+	}
+}
+
+func TestResultsValidateAgainstSequences(t *testing.T) {
+	cfg, ix, queries := world(t, 41, 100, 3, 256, 16384)
+	e := New(cfg, ix)
+	for qi, q := range queries {
+		res := e.Search(qi, q)
+		if len(res.HSPs) == 0 {
+			t.Errorf("query %d found nothing", qi)
+		}
+		for i, h := range res.HSPs {
+			s := ix.DB.Seqs[h.Subject].Data
+			if err := h.Aln.Validate(cfg.Matrix, q, s, cfg.Gap); err != nil {
+				t.Fatalf("query %d HSP %d: %v", qi, i, err)
+			}
+		}
+	}
+}
+
+func TestOneHitModeEquivalentAcrossEngines(t *testing.T) {
+	cfg, ix, queries := world(t, 47, 80, 3, 128, 8192)
+	oneHit := *cfg
+	oneHit.TwoHit.OneHit = true
+	// NCBI pairs one-hit with a higher neighbor threshold; we keep T=11 to
+	// reuse the shared table — equivalence across engines is what matters.
+	ncbi := runAll(search.NewQueryIndexed(&oneHit, ix.DB), queries)
+	ncbiDB := runAll(search.NewDBIndexed(&oneHit, ix), queries)
+	mu := runAll(New(&oneHit, ix), queries)
+	requireIdentical(t, "one-hit NCBI vs NCBI-db", ncbi, ncbiDB)
+	requireIdentical(t, "one-hit NCBI vs muBLASTP", ncbi, mu)
+
+	// One-hit mode extends at least as much as two-hit and never finds
+	// fewer subjects.
+	twoHit := runAll(New(cfg, ix), queries)
+	for qi := range queries {
+		if mu[qi].Stats.Extensions < twoHit[qi].Stats.Extensions {
+			t.Errorf("query %d: one-hit extensions %d < two-hit %d",
+				qi, mu[qi].Stats.Extensions, twoHit[qi].Stats.Extensions)
+		}
+		if len(mu[qi].HSPs) < len(twoHit[qi].HSPs) {
+			t.Errorf("query %d: one-hit found %d HSPs, two-hit %d",
+				qi, len(mu[qi].HSPs), len(twoHit[qi].HSPs))
+		}
+	}
+}

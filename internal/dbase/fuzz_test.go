@@ -1,0 +1,45 @@
+package dbase
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/seqgen"
+)
+
+// FuzzReadFrom: arbitrary bytes must never panic the deserializer, and a
+// valid serialized database with flipped bytes must either be rejected or
+// decode to *something* without crashing (silent corruption of sequence
+// data is acceptable only because every residue code is validated).
+func FuzzReadFrom(f *testing.F) {
+	g := seqgen.New(seqgen.UniprotProfile(), 5)
+	db := New(g.Database(5))
+	var buf bytes.Buffer
+	if _, err := db.WriteTo(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte("MUDB1\n"))
+	f.Add(valid[:len(valid)/2])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := ReadFrom(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Whatever decoded must be internally consistent.
+		var total int64
+		for i := range got.Seqs {
+			total += int64(len(got.Seqs[i].Data))
+			for _, c := range got.Seqs[i].Data {
+				if int(c) >= 24 {
+					t.Fatalf("accepted invalid residue code %d", c)
+				}
+			}
+		}
+		if total != got.TotalResidues {
+			t.Fatalf("TotalResidues %d != sum %d", got.TotalResidues, total)
+		}
+	})
+}

@@ -1,0 +1,112 @@
+package dbase
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/alphabet"
+)
+
+// Binary database format:
+//
+//	magic "MUDB1\n"
+//	uvarint numSeqs
+//	per sequence: uvarint nameLen, name bytes, uvarint seqLen, residue codes
+//
+// Residue codes are stored raw (one byte each, values < 24). The format is
+// deliberately simple: the on-disk artifact the pipelines actually reuse is
+// the database *index* (internal/dbindex has its own serializer).
+
+const dbMagic = "MUDB1\n"
+
+// WriteTo serializes the database.
+func (db *DB) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	write := func(p []byte) error {
+		m, err := bw.Write(p)
+		n += int64(m)
+		return err
+	}
+	if err := write([]byte(dbMagic)); err != nil {
+		return n, err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	writeUvarint := func(v uint64) error {
+		return write(buf[:binary.PutUvarint(buf[:], v)])
+	}
+	if err := writeUvarint(uint64(len(db.Seqs))); err != nil {
+		return n, err
+	}
+	for i := range db.Seqs {
+		s := &db.Seqs[i]
+		if err := writeUvarint(uint64(len(s.Name))); err != nil {
+			return n, err
+		}
+		if err := write([]byte(s.Name)); err != nil {
+			return n, err
+		}
+		if err := writeUvarint(uint64(len(s.Data))); err != nil {
+			return n, err
+		}
+		if err := write(s.Data); err != nil {
+			return n, err
+		}
+	}
+	return n, bw.Flush()
+}
+
+// ReadFrom deserializes a database written by WriteTo.
+func ReadFrom(r io.Reader) (*DB, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(dbMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("dbase: reading magic: %w", err)
+	}
+	if string(magic) != dbMagic {
+		return nil, fmt.Errorf("dbase: bad magic %q", magic)
+	}
+	numSeqs, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("dbase: reading sequence count: %w", err)
+	}
+	const maxSeqs = 1 << 30
+	if numSeqs > maxSeqs {
+		return nil, fmt.Errorf("dbase: implausible sequence count %d", numSeqs)
+	}
+	db := &DB{Seqs: make([]Sequence, numSeqs)}
+	for i := range db.Seqs {
+		nameLen, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("dbase: seq %d name length: %w", i, err)
+		}
+		if nameLen > 1<<20 {
+			return nil, fmt.Errorf("dbase: seq %d implausible name length %d", i, nameLen)
+		}
+		name := make([]byte, nameLen)
+		if _, err := io.ReadFull(br, name); err != nil {
+			return nil, fmt.Errorf("dbase: seq %d name: %w", i, err)
+		}
+		seqLen, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("dbase: seq %d length: %w", i, err)
+		}
+		if seqLen > 1<<28 {
+			return nil, fmt.Errorf("dbase: seq %d implausible length %d", i, seqLen)
+		}
+		data := make([]alphabet.Code, seqLen)
+		if _, err := io.ReadFull(br, data); err != nil {
+			return nil, fmt.Errorf("dbase: seq %d data: %w", i, err)
+		}
+		for j, c := range data {
+			if int(c) >= alphabet.Size {
+				return nil, fmt.Errorf("dbase: seq %d position %d: invalid code %d", i, j, c)
+			}
+		}
+		db.Seqs[i] = Sequence{ID: i, Name: string(name), Data: data}
+		db.TotalResidues += int64(seqLen)
+	}
+	return db, nil
+}

@@ -1,0 +1,246 @@
+package dbindex
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"repro/internal/alphabet"
+	"repro/internal/dbase"
+	"repro/internal/matrix"
+	"repro/internal/neighbor"
+	"repro/internal/seqgen"
+)
+
+var (
+	nbrOnce sync.Once
+	nbrTbl  *neighbor.Table
+)
+
+func nbr() *neighbor.Table {
+	nbrOnce.Do(func() { nbrTbl = neighbor.Build(matrix.Blosum62, neighbor.DefaultThreshold) })
+	return nbrTbl
+}
+
+func testIndex(t *testing.T, nSeqs int, blockResidues int64) *Index {
+	t.Helper()
+	g := seqgen.New(seqgen.UniprotProfile(), 77)
+	db := dbase.New(g.Database(nSeqs))
+	ix, err := Build(db, nbr(), blockResidues)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix
+}
+
+func TestEveryPositionIndexed(t *testing.T) {
+	ix := testIndex(t, 80, 8192)
+	// Total positions must equal the number of words across all sequences.
+	want := 0
+	for _, s := range ix.DB.Seqs {
+		if n := len(s.Data) - alphabet.W + 1; n > 0 {
+			want += n
+		}
+	}
+	if got := ix.NumPositions(); got != want {
+		t.Errorf("NumPositions = %d, want %d", got, want)
+	}
+}
+
+func TestPositionsDecodeToMatchingWords(t *testing.T) {
+	ix := testIndex(t, 50, 8192)
+	for _, b := range ix.Blocks {
+		for w := alphabet.Word(0); w < alphabet.NumWords; w++ {
+			for _, packed := range b.Positions(w) {
+				local, sOff := b.Decode(packed)
+				seq := b.Seq(ix.DB, local)
+				if got := alphabet.WordAt(seq.Data, sOff); got != w {
+					t.Fatalf("position (%d,%d) under word %s has word %s", local, sOff, w, got)
+				}
+			}
+		}
+	}
+}
+
+func TestPositionsCompleteAndOrdered(t *testing.T) {
+	ix := testIndex(t, 50, 8192)
+	// Every word occurrence in every sequence must appear exactly once, and
+	// positions under a word must be (seqLocal, sOff)-ascending.
+	for _, b := range ix.Blocks {
+		seen := map[[2]int]bool{}
+		for w := alphabet.Word(0); w < alphabet.NumWords; w++ {
+			ps := b.Positions(w)
+			for i, packed := range ps {
+				if i > 0 && ps[i] <= ps[i-1] {
+					t.Fatalf("word %s positions not strictly increasing", w)
+				}
+				local, sOff := b.Decode(packed)
+				key := [2]int{local, sOff}
+				if seen[key] {
+					t.Fatalf("position %v indexed twice", key)
+				}
+				seen[key] = true
+			}
+		}
+		for s := b.Block.Start; s < b.Block.End; s++ {
+			seq := ix.DB.Seqs[s]
+			for off := 0; off+alphabet.W <= len(seq.Data); off++ {
+				if !seen[[2]int{s - b.Block.Start, off}] {
+					t.Fatalf("position (seq %d, off %d) missing from index", s, off)
+				}
+			}
+		}
+	}
+}
+
+func TestBlocksRespectResidueCap(t *testing.T) {
+	ix := testIndex(t, 200, 4096)
+	if len(ix.Blocks) < 2 {
+		t.Fatalf("expected multiple blocks, got %d", len(ix.Blocks))
+	}
+	for _, b := range ix.Blocks {
+		if b.Block.Residues > 4096 && b.Block.NumSeqs() > 1 {
+			t.Errorf("block %+v exceeds cap", b.Block)
+		}
+	}
+}
+
+func TestDatabaseSortedDuringBuild(t *testing.T) {
+	g := seqgen.New(seqgen.UniprotProfile(), 3)
+	db := dbase.New(g.Database(60))
+	if _, err := Build(db, nbr(), 1<<20); err != nil {
+		t.Fatal(err)
+	}
+	if !db.IsSortedByLength() {
+		t.Error("Build did not length-sort the database")
+	}
+}
+
+func TestBuildRejectsBadBlockSize(t *testing.T) {
+	db := dbase.New([][]alphabet.Code{make([]alphabet.Code, 10)})
+	if _, err := Build(db, nbr(), 0); err == nil {
+		t.Error("accepted zero block size")
+	}
+}
+
+func TestTwoLevelSmallerThanExpanded(t *testing.T) {
+	ix := testIndex(t, 100, 1<<20)
+	if ix.SizeBytes() >= ix.ExpandedSizeBytes() {
+		t.Errorf("two-level index (%d B) not smaller than neighbor-expanded (%d B)",
+			ix.SizeBytes(), ix.ExpandedSizeBytes())
+	}
+	// The reduction should be roughly the average neighbor count (tens of x).
+	ratio := float64(ix.ExpandedSizeBytes()) / float64(ix.SizeBytes())
+	if ratio < 3 {
+		t.Errorf("expansion ratio %.1f, expected well above 3", ratio)
+	}
+}
+
+func TestOptimalBlockResidues(t *testing.T) {
+	// Paper example: 30MB L3, 12 threads -> b = 30MB/25 = 1.2MB -> ~300K
+	// positions.
+	got := OptimalBlockResidues(30<<20, 12)
+	if got < 250_000 || got > 350_000 {
+		t.Errorf("OptimalBlockResidues(30MB,12) = %d, want ~300K", got)
+	}
+	if OptimalBlockResidues(1024, 64) < 1024 {
+		t.Error("clamp to minimum failed")
+	}
+	if OptimalBlockResidues(30<<20, 0) <= 0 {
+		t.Error("zero threads not handled")
+	}
+}
+
+func TestSerializeRoundTrip(t *testing.T) {
+	ix := testIndex(t, 60, 8192)
+	var buf bytes.Buffer
+	if _, err := ix.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFrom(&buf, ix.DB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Blocks) != len(ix.Blocks) || got.BlockResidues != ix.BlockResidues {
+		t.Fatalf("shape mismatch: %d blocks vs %d", len(got.Blocks), len(ix.Blocks))
+	}
+	for i, b := range ix.Blocks {
+		gb := got.Blocks[i]
+		if gb.Block != b.Block || gb.OffBits != b.OffBits {
+			t.Fatalf("block %d metadata mismatch: %+v vs %+v", i, gb.Block, b.Block)
+		}
+		if len(gb.flat) != len(b.flat) {
+			t.Fatalf("block %d position count mismatch", i)
+		}
+		for j := range b.flat {
+			if gb.flat[j] != b.flat[j] {
+				t.Fatalf("block %d position %d mismatch", i, j)
+			}
+		}
+		for w := range b.offsets {
+			if gb.offsets[w] != b.offsets[w] {
+				t.Fatalf("block %d offset %d mismatch", i, w)
+			}
+		}
+	}
+}
+
+func TestReadFromRejectsGarbage(t *testing.T) {
+	if _, err := ReadFrom(bytes.NewReader([]byte("junk")), nil); err == nil {
+		t.Error("accepted garbage")
+	}
+	if _, err := ReadFrom(bytes.NewReader([]byte(ixMagic)), nil); err == nil {
+		t.Error("accepted truncated stream")
+	}
+}
+
+func TestReadFromValidatesBlockRange(t *testing.T) {
+	ix := testIndex(t, 30, 8192)
+	var buf bytes.Buffer
+	if _, err := ix.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	tiny := dbase.New([][]alphabet.Code{make([]alphabet.Code, 10)})
+	if _, err := ReadFrom(&buf, tiny); err == nil {
+		t.Error("accepted index with block ranges beyond the attached db")
+	}
+}
+
+func TestEmptyDatabase(t *testing.T) {
+	db := dbase.New(nil)
+	ix, err := Build(db, nbr(), 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ix.Blocks) != 0 || ix.NumPositions() != 0 {
+		t.Errorf("empty db produced %d blocks", len(ix.Blocks))
+	}
+}
+
+func TestBuildParallelMatchesSerial(t *testing.T) {
+	mk := func(threads int) *Index {
+		g := seqgen.New(seqgen.UniprotProfile(), 88)
+		db := dbase.New(g.Database(150))
+		ix, err := BuildParallel(db, nbr(), 4096, threads)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ix
+	}
+	serial := mk(1)
+	par := mk(4)
+	if len(serial.Blocks) != len(par.Blocks) {
+		t.Fatalf("block counts differ: %d vs %d", len(serial.Blocks), len(par.Blocks))
+	}
+	for i := range serial.Blocks {
+		a, b := serial.Blocks[i], par.Blocks[i]
+		if a.Block != b.Block || a.OffBits != b.OffBits || len(a.flat) != len(b.flat) {
+			t.Fatalf("block %d metadata differs", i)
+		}
+		for j := range a.flat {
+			if a.flat[j] != b.flat[j] {
+				t.Fatalf("block %d position %d differs", i, j)
+			}
+		}
+	}
+}

@@ -1,0 +1,170 @@
+package dbindex
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/alphabet"
+	"repro/internal/dbase"
+)
+
+// Index file format (little-endian):
+//
+//	magic "MUIX1\n"
+//	int64 blockResidues
+//	uvarint numBlocks
+//	per block:
+//	  uvarint start, end, residues, maxLen, offBits
+//	  offsets: NumWords+1 little-endian uint32 deltas (uvarint-encoded)
+//	  uvarint numPositions, then raw little-endian uint32 positions
+//
+// The database itself is serialized separately (dbase.WriteTo); on load the
+// caller re-attaches it. The neighbor table is always rebuilt from the
+// scoring matrix (cheap) rather than stored.
+
+const ixMagic = "MUIX1\n"
+
+// WriteTo serializes the index structure (not the database or neighbor table).
+func (ix *Index) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	var n int64
+	var scratch [binary.MaxVarintLen64]byte
+	write := func(p []byte) error {
+		m, err := bw.Write(p)
+		n += int64(m)
+		return err
+	}
+	writeUvarint := func(v uint64) error {
+		return write(scratch[:binary.PutUvarint(scratch[:], v)])
+	}
+	if err := write([]byte(ixMagic)); err != nil {
+		return n, err
+	}
+	binary.LittleEndian.PutUint64(scratch[:8], uint64(ix.BlockResidues))
+	if err := write(scratch[:8]); err != nil {
+		return n, err
+	}
+	if err := writeUvarint(uint64(len(ix.Blocks))); err != nil {
+		return n, err
+	}
+	for _, b := range ix.Blocks {
+		for _, v := range []uint64{
+			uint64(b.Block.Start), uint64(b.Block.End),
+			uint64(b.Block.Residues), uint64(b.Block.MaxLen), uint64(b.OffBits),
+		} {
+			if err := writeUvarint(v); err != nil {
+				return n, err
+			}
+		}
+		prev := int32(0)
+		for _, off := range b.offsets {
+			if err := writeUvarint(uint64(off - prev)); err != nil {
+				return n, err
+			}
+			prev = off
+		}
+		if err := writeUvarint(uint64(len(b.flat))); err != nil {
+			return n, err
+		}
+		var buf [4]byte
+		for _, p := range b.flat {
+			binary.LittleEndian.PutUint32(buf[:], p)
+			if err := write(buf[:]); err != nil {
+				return n, err
+			}
+		}
+	}
+	return n, bw.Flush()
+}
+
+// ReadFrom deserializes an index written by WriteTo and attaches it to db
+// (which must be the same length-sorted database the index was built from).
+func ReadFrom(r io.Reader, db *dbase.DB) (*Index, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	magic := make([]byte, len(ixMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("dbindex: reading magic: %w", err)
+	}
+	if string(magic) != ixMagic {
+		return nil, fmt.Errorf("dbindex: bad magic %q", magic)
+	}
+	var hdr [8]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("dbindex: reading header: %w", err)
+	}
+	ix := &Index{DB: db, BlockResidues: int64(binary.LittleEndian.Uint64(hdr[:]))}
+	numBlocks, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("dbindex: block count: %w", err)
+	}
+	if numBlocks > 1<<24 {
+		return nil, fmt.Errorf("dbindex: implausible block count %d", numBlocks)
+	}
+	readUvarint := func(what string) (uint64, error) {
+		v, err := binary.ReadUvarint(br)
+		if err != nil {
+			return 0, fmt.Errorf("dbindex: %s: %w", what, err)
+		}
+		return v, nil
+	}
+	for i := uint64(0); i < numBlocks; i++ {
+		var vals [5]uint64
+		for j, what := range []string{"start", "end", "residues", "maxLen", "offBits"} {
+			if vals[j], err = readUvarint(what); err != nil {
+				return nil, err
+			}
+		}
+		b := &BlockIndex{
+			Block: dbase.Block{
+				Start: int(vals[0]), End: int(vals[1]),
+				Residues: int64(vals[2]), MaxLen: int(vals[3]),
+			},
+			OffBits: uint32(vals[4]),
+			offsets: make([]int32, alphabet.NumWords+1),
+		}
+		if db != nil && (b.Block.End > db.NumSeqs() || b.Block.Start > b.Block.End) {
+			return nil, fmt.Errorf("dbindex: block %d range [%d,%d) invalid for db with %d seqs",
+				i, b.Block.Start, b.Block.End, db.NumSeqs())
+		}
+		prev := int32(0)
+		for w := range b.offsets {
+			d, err := readUvarint("offset delta")
+			if err != nil {
+				return nil, err
+			}
+			prev += int32(d)
+			b.offsets[w] = prev
+		}
+		numPos, err := readUvarint("position count")
+		if err != nil {
+			return nil, err
+		}
+		if numPos > 1<<31 {
+			return nil, fmt.Errorf("dbindex: implausible position count %d", numPos)
+		}
+		if int32(numPos) != b.offsets[alphabet.NumWords] {
+			return nil, fmt.Errorf("dbindex: block %d position count %d does not match offsets (%d)",
+				i, numPos, b.offsets[alphabet.NumWords])
+		}
+		b.flat = make([]uint32, numPos)
+		raw := make([]byte, 4*1024)
+		read := 0
+		for read < int(numPos) {
+			chunk := int(numPos) - read
+			if chunk > len(raw)/4 {
+				chunk = len(raw) / 4
+			}
+			if _, err := io.ReadFull(br, raw[:chunk*4]); err != nil {
+				return nil, fmt.Errorf("dbindex: block %d positions: %w", i, err)
+			}
+			for j := 0; j < chunk; j++ {
+				b.flat[read+j] = binary.LittleEndian.Uint32(raw[j*4:])
+			}
+			read += chunk
+		}
+		ix.Blocks = append(ix.Blocks, b)
+	}
+	return ix, nil
+}

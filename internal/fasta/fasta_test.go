@@ -1,0 +1,163 @@
+package fasta
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestReadSimple(t *testing.T) {
+	in := ">sp|P1|TEST first protein\nARNDC\nQEGHI\n>seq2\nLKMFP\n"
+	recs, err := ReadAll(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("got %d records, want 2", len(recs))
+	}
+	if recs[0].ID != "sp|P1|TEST" || recs[0].Description != "first protein" {
+		t.Errorf("record 0 header = %q / %q", recs[0].ID, recs[0].Description)
+	}
+	if string(recs[0].Seq) != "ARNDCQEGHI" {
+		t.Errorf("record 0 seq = %q", recs[0].Seq)
+	}
+	if recs[1].ID != "seq2" || string(recs[1].Seq) != "LKMFP" {
+		t.Errorf("record 1 = %q %q", recs[1].ID, recs[1].Seq)
+	}
+}
+
+func TestReadHandlesCRLFAndBlankLines(t *testing.T) {
+	in := ">a desc here\r\nARN\r\n\r\nDCQ\r\n>b\r\nEGH\r\n"
+	recs, err := ReadAll(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || string(recs[0].Seq) != "ARNDCQ" || string(recs[1].Seq) != "EGH" {
+		t.Fatalf("bad parse: %+v", recs)
+	}
+}
+
+func TestReadNoTrailingNewline(t *testing.T) {
+	recs, err := ReadAll(strings.NewReader(">x\nARNDC"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || string(recs[0].Seq) != "ARNDC" {
+		t.Fatalf("bad parse: %+v", recs)
+	}
+}
+
+func TestReadEmptyStream(t *testing.T) {
+	recs, err := ReadAll(strings.NewReader(""))
+	if err != nil || len(recs) != 0 {
+		t.Fatalf("empty stream: %v, %v", recs, err)
+	}
+}
+
+func TestReadRejectsLeadingSequence(t *testing.T) {
+	if _, err := ReadAll(strings.NewReader("ARNDC\n>x\nA\n")); err == nil {
+		t.Error("accepted sequence before header")
+	}
+}
+
+func TestReadRejectsEmptyHeader(t *testing.T) {
+	if _, err := ReadAll(strings.NewReader(">\nARN\n")); err == nil {
+		t.Error("accepted empty header")
+	}
+}
+
+func TestEmptySequenceRecordAllowed(t *testing.T) {
+	recs, err := ReadAll(strings.NewReader(">a\n>b\nARN\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || len(recs[0].Seq) != 0 || string(recs[1].Seq) != "ARN" {
+		t.Fatalf("bad parse: %+v", recs)
+	}
+}
+
+func TestWhitespaceInsideSequenceStripped(t *testing.T) {
+	recs, err := ReadAll(strings.NewReader(">a\nAR ND\tC\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(recs[0].Seq) != "ARNDC" {
+		t.Errorf("seq = %q, want ARNDC", recs[0].Seq)
+	}
+}
+
+func TestWriterWraps(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Width = 5
+	rec := &Record{ID: "x", Description: "d", Seq: []byte("ARNDCQEGHILK")}
+	if err := w.Write(rec); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	want := ">x d\nARNDC\nQEGHI\nLK\n"
+	if buf.String() != want {
+		t.Errorf("wrote %q, want %q", buf.String(), want)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	letters := []byte("ARNDCQEGHILKMFPSTWYV")
+	gen := func(id uint16, n uint16) bool {
+		seq := make([]byte, int(n%500)+1)
+		for i := range seq {
+			seq[i] = letters[(int(id)+i*7)%len(letters)]
+		}
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		orig := &Record{ID: "s" + string(rune('a'+id%26)), Seq: seq}
+		if err := w.Write(orig); err != nil {
+			return false
+		}
+		if err := w.Flush(); err != nil {
+			return false
+		}
+		recs, err := ReadAll(&buf)
+		if err != nil || len(recs) != 1 {
+			return false
+		}
+		return recs[0].ID == orig.ID && bytes.Equal(recs[0].Seq, seq)
+	}
+	if err := quick.Check(gen, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStreamingReader(t *testing.T) {
+	in := ">a\nAR\n>b\nND\n>c\nCQ\n"
+	r := NewReader(strings.NewReader(in))
+	var ids []string
+	for {
+		rec, err := r.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, rec.ID)
+	}
+	if strings.Join(ids, ",") != "a,b,c" {
+		t.Errorf("ids = %v", ids)
+	}
+}
+
+func TestHeaderReconstruction(t *testing.T) {
+	r := &Record{ID: "q1", Description: "query one"}
+	if r.Header() != "q1 query one" {
+		t.Errorf("Header() = %q", r.Header())
+	}
+	r2 := &Record{ID: "q2"}
+	if r2.Header() != "q2" {
+		t.Errorf("Header() = %q", r2.Header())
+	}
+}

@@ -1,0 +1,45 @@
+package fasta
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReader: the parser must never panic, and anything it accepts must
+// round-trip through the writer to an equivalent record set.
+func FuzzReader(f *testing.F) {
+	f.Add([]byte(">a desc\nARNDC\n>b\nQEG\n"))
+	f.Add([]byte(">x\n"))
+	f.Add([]byte(""))
+	f.Add([]byte(">only header"))
+	f.Add([]byte("garbage before\n>a\nAR\n"))
+	f.Add([]byte(">a\r\nAR ND\r\n\r\n>b\r\nC\r\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs, err := ReadAll(bytes.NewReader(data))
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		for _, r := range recs {
+			if err := w.Write(r); err != nil {
+				t.Fatalf("writing accepted record: %v", err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		again, err := ReadAll(&buf)
+		if err != nil {
+			t.Fatalf("re-reading own output: %v", err)
+		}
+		if len(again) != len(recs) {
+			t.Fatalf("round trip changed record count: %d -> %d", len(recs), len(again))
+		}
+		for i := range recs {
+			if recs[i].ID != again[i].ID || !bytes.Equal(recs[i].Seq, again[i].Seq) {
+				t.Fatalf("record %d changed in round trip", i)
+			}
+		}
+	})
+}

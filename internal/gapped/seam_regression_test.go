@@ -1,0 +1,32 @@
+package gapped_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gapped"
+	"repro/internal/matrix"
+)
+
+func TestSeamGapMergeRegression(t *testing.T) {
+	// Regression for the seam-merge bug: when both half-extensions meet the
+	// seed with the same gap type, the stitched traceback merges the runs and
+	// the score must include the seam correction (found by property testing).
+	al := gapped.NewAligner(matrix.Blosum62, gapped.DefaultParams())
+	seed := int64(-4087018571053703100)
+	rng := rand.New(rand.NewSource(seed))
+	qlen := int(uint8(0x47)%120) + 1
+	slen := int(uint8(0xe1)%120) + 1
+	q := randomSeq(rng, qlen)
+	s := randomSeq(rng, slen)
+	qSeed := rng.Intn(qlen + 1)
+	sSeed := rng.Intn(slen + 1)
+	a := al.Extend(q, s, qSeed, sSeed)
+	t.Logf("qlen=%d slen=%d qSeed=%d sSeed=%d score=%d", qlen, slen, qSeed, sSeed, a.Score)
+	if err := a.Validate(matrix.Blosum62, q, s, al.P); err != nil {
+		t.Fatal(err)
+	}
+	if a.Score < 0 {
+		t.Fatal("negative score")
+	}
+}

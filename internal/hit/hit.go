@@ -1,0 +1,97 @@
+// Package hit defines the hit records exchanged between hit detection, hit
+// reordering, and ungapped extension, and the packed 32-bit key the paper
+// sorts on (Section IV-A): subject sequence id in the high bits, diagonal id
+// in the low bits, so one sort pass orders hits by sequence and diagonal at
+// once. Only the query offset is stored alongside the key; the subject
+// offset is recomputed from the diagonal when needed.
+package hit
+
+import "fmt"
+
+// Hit is a single word hit: packed (sequence, diagonal) key plus the query
+// offset where the hit's word starts.
+type Hit struct {
+	Key  uint32
+	QOff int32
+}
+
+// SortKey returns the radix key of the hit.
+func (h Hit) SortKey() uint32 { return h.Key }
+
+// Pair is a two-hit pair selected for ungapped extension: the second hit of
+// the pair plus the distance back to the first hit on the same diagonal.
+type Pair struct {
+	Key  uint32
+	QOff int32 // query offset of the second hit's word start
+	Dist int32 // distance (in query positions) back to the first hit
+}
+
+// SortKey returns the radix key of the pair.
+func (p Pair) SortKey() uint32 { return p.Key }
+
+// KeyCoder packs and unpacks (sequence, diagonal) keys for one
+// (index block, query) combination. The diagonal field width is chosen per
+// block so that blocks with short sequences spend fewer bits on diagonals
+// and leave more for sequence ids.
+type KeyCoder struct {
+	DiagBits uint32
+	NumSeqs  int
+	NumDiags int
+}
+
+// NewKeyCoder sizes the key fields for a block with numSeqs sequences and at
+// most numDiags diagonals per sequence (numDiags = maxSubjectLen + queryLen
+// is always sufficient). It fails if the two fields cannot share 32 bits,
+// which the index builder treats as "make the blocks smaller".
+func NewKeyCoder(numSeqs, numDiags int) (KeyCoder, error) {
+	if numSeqs <= 0 || numDiags <= 0 {
+		return KeyCoder{}, fmt.Errorf("hit: invalid key space %d seqs x %d diags", numSeqs, numDiags)
+	}
+	diagBits := uint32(bitsFor(numDiags))
+	seqBits := uint32(bitsFor(numSeqs))
+	if diagBits+seqBits > 32 {
+		return KeyCoder{}, fmt.Errorf("hit: key space %d seqs x %d diags needs %d bits > 32",
+			numSeqs, numDiags, diagBits+seqBits)
+	}
+	return KeyCoder{DiagBits: diagBits, NumSeqs: numSeqs, NumDiags: numDiags}, nil
+}
+
+// bitsFor returns the number of bits needed to represent values 0..n-1.
+func bitsFor(n int) int {
+	bits := 0
+	for v := n - 1; v > 0; v >>= 1 {
+		bits++
+	}
+	if bits == 0 {
+		bits = 1
+	}
+	return bits
+}
+
+// Encode packs a (sequence, diagonal) pair. Arguments must be in range; this
+// is the hot path, so validation is reserved for tests (see EncodeChecked).
+func (k KeyCoder) Encode(seq, diag int) uint32 {
+	return uint32(seq)<<k.DiagBits | uint32(diag)
+}
+
+// EncodeChecked is Encode with range validation, for tests and debugging.
+func (k KeyCoder) EncodeChecked(seq, diag int) (uint32, error) {
+	if seq < 0 || seq >= k.NumSeqs {
+		return 0, fmt.Errorf("hit: sequence %d out of range [0,%d)", seq, k.NumSeqs)
+	}
+	if diag < 0 || diag >= k.NumDiags {
+		return 0, fmt.Errorf("hit: diagonal %d out of range [0,%d)", diag, k.NumDiags)
+	}
+	return k.Encode(seq, diag), nil
+}
+
+// Decode unpacks a key into its (sequence, diagonal) pair.
+func (k KeyCoder) Decode(key uint32) (seq, diag int) {
+	return int(key >> k.DiagBits), int(key & (1<<k.DiagBits - 1))
+}
+
+// KeyBits returns the number of significant bits in keys from this coder,
+// which bounds the number of radix passes the sort needs.
+func (k KeyCoder) KeyBits() int {
+	return bitsFor(k.NumSeqs) + int(k.DiagBits)
+}

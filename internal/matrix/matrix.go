@@ -1,0 +1,99 @@
+// Package matrix provides protein substitution scoring matrices over the
+// 24-letter alphabet of internal/alphabet, in the same residue order
+// (ARNDCQEGHILKMFPSTWYVBZX*). BLOSUM62 is the BLASTP default and the matrix
+// the paper uses; BLOSUM50 and PAM250 are included for completeness.
+package matrix
+
+import (
+	"fmt"
+
+	"repro/internal/alphabet"
+)
+
+// Matrix is a substitution scoring matrix over the 24-letter alphabet.
+// Scores fit comfortably in int8 but are exposed as int to keep arithmetic
+// in callers free of conversions.
+type Matrix struct {
+	Name   string
+	scores [alphabet.Size][alphabet.Size]int8
+	max    int
+	min    int
+}
+
+// New builds a Matrix from a row-major table. It validates dimensions and
+// symmetry, since every standard substitution matrix is symmetric and an
+// asymmetric table always indicates a transcription error.
+func New(name string, table [alphabet.Size][alphabet.Size]int8) (*Matrix, error) {
+	m := &Matrix{Name: name, scores: table, max: int(table[0][0]), min: int(table[0][0])}
+	for i := 0; i < alphabet.Size; i++ {
+		for j := 0; j < alphabet.Size; j++ {
+			if table[i][j] != table[j][i] {
+				return nil, fmt.Errorf("matrix %s: asymmetric at (%c,%c): %d vs %d",
+					name, alphabet.Letters[i], alphabet.Letters[j], table[i][j], table[j][i])
+			}
+			if s := int(table[i][j]); s > m.max {
+				m.max = s
+			} else if s < m.min {
+				m.min = s
+			}
+		}
+	}
+	return m, nil
+}
+
+func mustNew(name string, table [alphabet.Size][alphabet.Size]int8) *Matrix {
+	m, err := New(name, table)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Score returns the substitution score for aligning residues a and b.
+func (m *Matrix) Score(a, b alphabet.Code) int { return int(m.scores[a][b]) }
+
+// Max returns the largest score in the matrix (e.g. 11 for W/W in BLOSUM62).
+func (m *Matrix) Max() int { return m.max }
+
+// Min returns the smallest score in the matrix.
+func (m *Matrix) Min() int { return m.min }
+
+// WordScore scores two aligned W-letter words: the sum of the per-position
+// substitution scores. This is the quantity compared against the neighbor
+// threshold T when generating neighboring words (paper Section II-A).
+func (m *Matrix) WordScore(a, b alphabet.Word) int {
+	a0, a1, a2 := a.Unpack()
+	b0, b1, b2 := b.Unpack()
+	return int(m.scores[a0][b0]) + int(m.scores[a1][b1]) + int(m.scores[a2][b2])
+}
+
+// SeqScore scores two equal-length encoded segments position by position.
+// It panics if the lengths differ (caller bug, not input error).
+func (m *Matrix) SeqScore(a, b []alphabet.Code) int {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("matrix: SeqScore length mismatch %d vs %d", len(a), len(b)))
+	}
+	s := 0
+	for i := range a {
+		s += int(m.scores[a[i]][b[i]])
+	}
+	return s
+}
+
+// Row returns the scoring row for residue a, indexed by the second residue's
+// code. The returned array is a copy-free view used in inner loops.
+func (m *Matrix) Row(a alphabet.Code) *[alphabet.Size]int8 { return &m.scores[a] }
+
+// ByName returns the named built-in matrix (case-sensitive: "BLOSUM62",
+// "BLOSUM50", "PAM250").
+func ByName(name string) (*Matrix, error) {
+	switch name {
+	case "BLOSUM62":
+		return Blosum62, nil
+	case "BLOSUM50":
+		return Blosum50, nil
+	case "PAM250":
+		return Pam250, nil
+	}
+	return nil, fmt.Errorf("matrix: unknown matrix %q", name)
+}

@@ -1,0 +1,169 @@
+package matrix
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/alphabet"
+)
+
+func allMatrices() []*Matrix { return []*Matrix{Blosum62, Blosum50, Pam250} }
+
+func TestSymmetry(t *testing.T) {
+	for _, m := range allMatrices() {
+		for i := 0; i < alphabet.Size; i++ {
+			for j := 0; j < alphabet.Size; j++ {
+				a, b := alphabet.Code(i), alphabet.Code(j)
+				if m.Score(a, b) != m.Score(b, a) {
+					t.Errorf("%s: asymmetric at (%c,%c)", m.Name,
+						alphabet.Letters[i], alphabet.Letters[j])
+				}
+			}
+		}
+	}
+}
+
+func TestDiagonalIsMaximalPerRow(t *testing.T) {
+	// For the 20 standard residues, self-substitution must score at least
+	// as high as substitution by any other residue. (Not required of the
+	// ambiguity codes.)
+	for _, m := range allMatrices() {
+		for i := 0; i < 20; i++ {
+			a := alphabet.Code(i)
+			self := m.Score(a, a)
+			for j := 0; j < alphabet.Size; j++ {
+				if s := m.Score(a, alphabet.Code(j)); s > self {
+					t.Errorf("%s: score(%c,%c)=%d exceeds self score %d",
+						m.Name, alphabet.Letters[i], alphabet.Letters[j], s, self)
+				}
+			}
+		}
+	}
+}
+
+func TestBlosum62KnownValues(t *testing.T) {
+	// Spot checks against the canonical NCBI BLOSUM62 file.
+	cases := []struct {
+		a, b byte
+		want int
+	}{
+		{'A', 'A', 4}, {'W', 'W', 11}, {'C', 'C', 9},
+		{'A', 'R', -1}, {'W', 'C', -2}, {'I', 'L', 2},
+		{'D', 'B', 4}, {'E', 'Z', 4}, {'X', 'X', -1},
+		{'*', '*', 1}, {'A', '*', -4}, {'K', 'E', 1},
+		{'F', 'Y', 3}, {'S', 'T', 1}, {'P', 'P', 7},
+	}
+	for _, c := range cases {
+		ca, _ := alphabet.CodeFor(c.a)
+		cb, _ := alphabet.CodeFor(c.b)
+		if got := Blosum62.Score(ca, cb); got != c.want {
+			t.Errorf("BLOSUM62(%c,%c) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestBlosum50KnownValues(t *testing.T) {
+	cases := []struct {
+		a, b byte
+		want int
+	}{
+		{'A', 'A', 5}, {'W', 'W', 15}, {'C', 'C', 13},
+		{'R', 'K', 3}, {'*', '*', 1}, {'A', '*', -5},
+	}
+	for _, c := range cases {
+		ca, _ := alphabet.CodeFor(c.a)
+		cb, _ := alphabet.CodeFor(c.b)
+		if got := Blosum50.Score(ca, cb); got != c.want {
+			t.Errorf("BLOSUM50(%c,%c) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestPam250KnownValues(t *testing.T) {
+	cases := []struct {
+		a, b byte
+		want int
+	}{
+		{'W', 'W', 17}, {'C', 'C', 12}, {'A', 'A', 2}, {'F', 'Y', 7},
+	}
+	for _, c := range cases {
+		ca, _ := alphabet.CodeFor(c.a)
+		cb, _ := alphabet.CodeFor(c.b)
+		if got := Pam250.Score(ca, cb); got != c.want {
+			t.Errorf("PAM250(%c,%c) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestMaxMin(t *testing.T) {
+	if Blosum62.Max() != 11 {
+		t.Errorf("BLOSUM62 Max = %d, want 11 (W/W)", Blosum62.Max())
+	}
+	if Blosum62.Min() != -4 {
+		t.Errorf("BLOSUM62 Min = %d, want -4", Blosum62.Min())
+	}
+	if Blosum50.Max() != 15 || Pam250.Max() != 17 {
+		t.Errorf("Max: BLOSUM50=%d PAM250=%d, want 15, 17", Blosum50.Max(), Pam250.Max())
+	}
+}
+
+func TestWordScoreMatchesSum(t *testing.T) {
+	check := func(x, y, z, u, v, w uint8) bool {
+		a := alphabet.PackWord(x%alphabet.Size, y%alphabet.Size, z%alphabet.Size)
+		b := alphabet.PackWord(u%alphabet.Size, v%alphabet.Size, w%alphabet.Size)
+		want := Blosum62.Score(x%alphabet.Size, u%alphabet.Size) +
+			Blosum62.Score(y%alphabet.Size, v%alphabet.Size) +
+			Blosum62.Score(z%alphabet.Size, w%alphabet.Size)
+		return Blosum62.WordScore(a, b) == want
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSeqScore(t *testing.T) {
+	a := alphabet.MustEncode("ARN")
+	b := alphabet.MustEncode("ARN")
+	want := 4 + 5 + 6
+	if got := Blosum62.SeqScore(a, b); got != want {
+		t.Errorf("SeqScore(ARN,ARN) = %d, want %d", got, want)
+	}
+}
+
+func TestSeqScorePanicsOnLengthMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("SeqScore did not panic on length mismatch")
+		}
+	}()
+	Blosum62.SeqScore(alphabet.MustEncode("AR"), alphabet.MustEncode("ARN"))
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"BLOSUM62", "BLOSUM50", "PAM250"} {
+		m, err := ByName(name)
+		if err != nil || m.Name != name {
+			t.Errorf("ByName(%q) = %v, %v", name, m, err)
+		}
+	}
+	if _, err := ByName("BLOSUM80"); err == nil {
+		t.Error("ByName accepted unknown matrix")
+	}
+}
+
+func TestNewRejectsAsymmetric(t *testing.T) {
+	var bad [alphabet.Size][alphabet.Size]int8
+	bad[0][1] = 3 // and bad[1][0] stays 0
+	if _, err := New("bad", bad); err == nil {
+		t.Error("New accepted asymmetric table")
+	}
+}
+
+func TestRowView(t *testing.T) {
+	row := Blosum62.Row(alphabet.CodeA)
+	for j := 0; j < alphabet.Size; j++ {
+		if int(row[j]) != Blosum62.Score(alphabet.CodeA, alphabet.Code(j)) {
+			t.Fatalf("Row(A)[%d] mismatch", j)
+		}
+	}
+}

@@ -1,0 +1,149 @@
+// Package mpi is a small message-passing substrate: ranks run as goroutines
+// inside one process and communicate through point-to-point channels with
+// MPI-shaped collectives (Send/Recv, Bcast, Gather, Barrier, Reduce). It
+// stands in for MVAPICH on Stampede (Section V-A): the inter-node muBLASTP
+// of Section IV-D runs unchanged on top of it, with every rank owning a
+// database partition (see internal/cluster).
+package mpi
+
+import (
+	"fmt"
+	"sync"
+)
+
+// World is a fixed-size group of ranks.
+type World struct {
+	n     int
+	chans [][]chan any // chans[from][to]
+
+	barrierMu  sync.Mutex
+	barrierCnt int
+	barrierGen int
+	barrierC   *sync.Cond
+}
+
+// NewWorld creates a world with n ranks.
+func NewWorld(n int) *World {
+	if n <= 0 {
+		panic("mpi: world size must be positive")
+	}
+	w := &World{n: n, chans: make([][]chan any, n)}
+	for i := range w.chans {
+		w.chans[i] = make([]chan any, n)
+		for j := range w.chans[i] {
+			w.chans[i][j] = make(chan any, 16)
+		}
+	}
+	w.barrierC = sync.NewCond(&w.barrierMu)
+	return w
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.n }
+
+// Run spawns one goroutine per rank executing fn and waits for all of them.
+func (w *World) Run(fn func(r *Rank)) {
+	var wg sync.WaitGroup
+	wg.Add(w.n)
+	for id := 0; id < w.n; id++ {
+		go func(id int) {
+			defer wg.Done()
+			fn(&Rank{id: id, w: w})
+		}(id)
+	}
+	wg.Wait()
+}
+
+// Rank is one process's view of the world.
+type Rank struct {
+	id int
+	w  *World
+}
+
+// ID returns this rank's id in [0, Size).
+func (r *Rank) ID() int { return r.id }
+
+// Size returns the world size.
+func (r *Rank) Size() int { return r.w.n }
+
+// Send delivers payload to rank `to` (blocking only when the channel buffer
+// between the pair is full).
+func (r *Rank) Send(to int, payload any) {
+	if to < 0 || to >= r.w.n {
+		panic(fmt.Sprintf("mpi: send to invalid rank %d", to))
+	}
+	r.w.chans[r.id][to] <- payload
+}
+
+// Recv blocks until a message from rank `from` arrives and returns it.
+// Messages between a pair of ranks arrive in send order.
+func (r *Rank) Recv(from int) any {
+	if from < 0 || from >= r.w.n {
+		panic(fmt.Sprintf("mpi: recv from invalid rank %d", from))
+	}
+	return <-r.w.chans[from][r.id]
+}
+
+// Bcast distributes v from root to every rank; every rank returns the
+// broadcast value (v itself at the root).
+func (r *Rank) Bcast(root int, v any) any {
+	if r.id == root {
+		for to := 0; to < r.w.n; to++ {
+			if to != root {
+				r.Send(to, v)
+			}
+		}
+		return v
+	}
+	return r.Recv(root)
+}
+
+// Gather collects one value from every rank at root, in rank order. Only
+// the root receives the slice; other ranks return nil.
+func (r *Rank) Gather(root int, v any) []any {
+	if r.id != root {
+		r.Send(root, v)
+		return nil
+	}
+	out := make([]any, r.w.n)
+	for from := 0; from < r.w.n; from++ {
+		if from == root {
+			out[from] = v
+			continue
+		}
+		out[from] = r.Recv(from)
+	}
+	return out
+}
+
+// ReduceFloat64 combines one float64 per rank at root with op; other ranks
+// return 0 and false.
+func (r *Rank) ReduceFloat64(root int, v float64, op func(a, b float64) float64) (float64, bool) {
+	vals := r.Gather(root, v)
+	if vals == nil {
+		return 0, false
+	}
+	acc := vals[0].(float64)
+	for _, x := range vals[1:] {
+		acc = op(acc, x.(float64))
+	}
+	return acc, true
+}
+
+// Barrier blocks until every rank has entered it.
+func (r *Rank) Barrier() {
+	w := r.w
+	w.barrierMu.Lock()
+	gen := w.barrierGen
+	w.barrierCnt++
+	if w.barrierCnt == w.n {
+		w.barrierCnt = 0
+		w.barrierGen++
+		w.barrierC.Broadcast()
+	} else {
+		for gen == w.barrierGen {
+			w.barrierC.Wait()
+		}
+	}
+	w.barrierMu.Unlock()
+}

@@ -1,0 +1,148 @@
+package mpi
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestSendRecvOrdering(t *testing.T) {
+	w := NewWorld(2)
+	w.Run(func(r *Rank) {
+		if r.ID() == 0 {
+			for i := 0; i < 100; i++ {
+				r.Send(1, i)
+			}
+		} else {
+			for i := 0; i < 100; i++ {
+				if got := r.Recv(0).(int); got != i {
+					t.Errorf("message %d arrived as %d", i, got)
+					return
+				}
+			}
+		}
+	})
+}
+
+func TestBcast(t *testing.T) {
+	w := NewWorld(8)
+	var sum atomic.Int64
+	w.Run(func(r *Rank) {
+		v := -1
+		if r.ID() == 3 {
+			v = 42
+		}
+		got := r.Bcast(3, v).(int)
+		sum.Add(int64(got))
+	})
+	if sum.Load() != 42*8 {
+		t.Errorf("broadcast sum %d, want %d", sum.Load(), 42*8)
+	}
+}
+
+func TestGatherInRankOrder(t *testing.T) {
+	w := NewWorld(6)
+	w.Run(func(r *Rank) {
+		vals := r.Gather(0, r.ID()*10)
+		if r.ID() == 0 {
+			if len(vals) != 6 {
+				t.Errorf("gathered %d values", len(vals))
+				return
+			}
+			for i, v := range vals {
+				if v.(int) != i*10 {
+					t.Errorf("vals[%d] = %v", i, v)
+				}
+			}
+		} else if vals != nil {
+			t.Errorf("non-root rank %d received gather result", r.ID())
+		}
+	})
+}
+
+func TestReduce(t *testing.T) {
+	w := NewWorld(5)
+	w.Run(func(r *Rank) {
+		got, isRoot := r.ReduceFloat64(2, float64(r.ID()), func(a, b float64) float64 { return a + b })
+		if r.ID() == 2 {
+			if !isRoot || got != 10 {
+				t.Errorf("reduce = %v (root %v), want 10", got, isRoot)
+			}
+		} else if isRoot {
+			t.Errorf("rank %d claims to be root", r.ID())
+		}
+	})
+}
+
+func TestBarrierSynchronizes(t *testing.T) {
+	w := NewWorld(8)
+	var phase1 atomic.Int32
+	fail := atomic.Bool{}
+	w.Run(func(r *Rank) {
+		phase1.Add(1)
+		r.Barrier()
+		if phase1.Load() != 8 {
+			fail.Store(true)
+		}
+		r.Barrier()
+	})
+	if fail.Load() {
+		t.Error("a rank passed the barrier before all ranks arrived")
+	}
+}
+
+func TestRepeatedBarriers(t *testing.T) {
+	w := NewWorld(4)
+	var counter atomic.Int32
+	fail := atomic.Bool{}
+	w.Run(func(r *Rank) {
+		for round := 1; round <= 10; round++ {
+			counter.Add(1)
+			r.Barrier()
+			if counter.Load() != int32(4*round) {
+				fail.Store(true)
+			}
+			r.Barrier()
+		}
+	})
+	if fail.Load() {
+		t.Error("barrier generations interleaved")
+	}
+}
+
+func TestPipelinePattern(t *testing.T) {
+	// Ring: each rank sends its id to the next; verifies point-to-point
+	// channels are fully connected.
+	const n = 7
+	w := NewWorld(n)
+	var received [n]int32
+	w.Run(func(r *Rank) {
+		next := (r.ID() + 1) % n
+		prev := (r.ID() + n - 1) % n
+		r.Send(next, r.ID())
+		got := r.Recv(prev).(int)
+		atomic.StoreInt32(&received[r.ID()], int32(got))
+	})
+	for i := 0; i < n; i++ {
+		want := (i + n - 1) % n
+		if received[i] != int32(want) {
+			t.Errorf("rank %d received %d, want %d", i, received[i], want)
+		}
+	}
+}
+
+func TestInvalidRankPanics(t *testing.T) {
+	w := NewWorld(2)
+	w.Run(func(r *Rank) {
+		if r.ID() != 0 {
+			r.Recv(0) // consume the valid send below
+			return
+		}
+		defer func() {
+			if recover() == nil {
+				t.Error("Send to invalid rank did not panic")
+			}
+			r.Send(1, "ok")
+		}()
+		r.Send(5, "boom")
+	})
+}

@@ -1,0 +1,265 @@
+// Package papar is a small declarative data-partitioning framework modeled
+// on the authors' PaPar system (paper Section IV-D3, reference [33]):
+// partitioning algorithms are expressed as pipelines of reusable operators
+// (sort, scatter, coalesce) over key/index records, then executed either
+// serially or distributed over the mpi substrate. The paper's sorted
+// round-robin database partitioning — and the naive contiguous scheme it
+// replaces — are both two-operator plans here, and the cluster code's
+// partitioners are verified against them.
+package papar
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/mpi"
+)
+
+// Record is one item to partition: an application-defined sort key (for
+// database partitioning, the sequence length) and the item's index in the
+// caller's collection.
+type Record struct {
+	Key   int64
+	Index int
+}
+
+// Op is one pipeline stage: it consumes the per-partition record lists and
+// produces new ones. A serial stage sees everything in partition 0.
+type Op interface {
+	Apply(parts [][]Record) ([][]Record, error)
+	Name() string
+}
+
+// Plan is an ordered operator pipeline.
+type Plan struct {
+	ops []Op
+}
+
+// NewPlan creates an empty plan.
+func NewPlan() *Plan { return &Plan{} }
+
+// Add appends an operator.
+func (p *Plan) Add(op Op) *Plan {
+	p.ops = append(p.ops, op)
+	return p
+}
+
+// SortByKey appends a stable ascending sort (within each partition).
+func (p *Plan) SortByKey() *Plan { return p.Add(sortOp{}) }
+
+// ScatterRoundRobin appends a scatter that deals records round-robin into n
+// partitions — the paper's load-balancing partitioner.
+func (p *Plan) ScatterRoundRobin(n int) *Plan { return p.Add(scatterRR{n}) }
+
+// ScatterBlock appends a scatter that cuts the record stream into n
+// contiguous chunks of near-equal count — the naive partitioner the paper's
+// ablation compares against.
+func (p *Plan) ScatterBlock(n int) *Plan { return p.Add(scatterBlock{n}) }
+
+// ScatterByKeySum appends a greedy scatter that assigns each record to the
+// partition with the smallest accumulated key sum — a longest-processing-
+// time style balancer for heavy-tailed keys (records should be sorted
+// descending first for the classic LPT bound; combine with SortByKey and
+// Reverse).
+func (p *Plan) ScatterByKeySum(n int) *Plan { return p.Add(scatterGreedy{n}) }
+
+// Reverse appends a per-partition order reversal.
+func (p *Plan) Reverse() *Plan { return p.Add(reverseOp{}) }
+
+// Coalesce appends a stage that concatenates all partitions back into one,
+// preserving partition order.
+func (p *Plan) Coalesce() *Plan { return p.Add(coalesceOp{}) }
+
+// Execute runs the plan serially over the given records.
+func (p *Plan) Execute(records []Record) ([][]Record, error) {
+	parts := [][]Record{append([]Record(nil), records...)}
+	var err error
+	for _, op := range p.ops {
+		parts, err = op.Apply(parts)
+		if err != nil {
+			return nil, fmt.Errorf("papar: %s: %w", op.Name(), err)
+		}
+	}
+	return parts, nil
+}
+
+// ExecuteMPI runs the plan at rank 0 of a world and scatters the final
+// partitions so rank r returns partition r (other stages still execute at
+// the root, which matches how the paper's partitioning runs ahead of the
+// distributed search). The plan must produce exactly world-size partitions.
+func ExecuteMPI(r *mpi.Rank, p *Plan, records []Record) ([]Record, error) {
+	if r.ID() == 0 {
+		parts, err := p.Execute(records)
+		if err == nil && len(parts) != r.Size() {
+			err = fmt.Errorf("papar: plan produced %d partitions for %d ranks", len(parts), r.Size())
+		}
+		if err != nil {
+			// Deliver the error to every rank.
+			for to := 1; to < r.Size(); to++ {
+				r.Send(to, err)
+			}
+			return nil, err
+		}
+		for to := 1; to < r.Size(); to++ {
+			r.Send(to, parts[to])
+		}
+		return parts[0], nil
+	}
+	switch v := r.Recv(0).(type) {
+	case error:
+		return nil, v
+	case []Record:
+		return v, nil
+	}
+	return nil, fmt.Errorf("papar: unexpected message type")
+}
+
+// --- operators ---
+
+type sortOp struct{}
+
+func (sortOp) Name() string { return "sort-by-key" }
+func (sortOp) Apply(parts [][]Record) ([][]Record, error) {
+	for i := range parts {
+		sort.SliceStable(parts[i], func(a, b int) bool { return parts[i][a].Key < parts[i][b].Key })
+	}
+	return parts, nil
+}
+
+type reverseOp struct{}
+
+func (reverseOp) Name() string { return "reverse" }
+func (reverseOp) Apply(parts [][]Record) ([][]Record, error) {
+	for i := range parts {
+		p := parts[i]
+		for l, r := 0, len(p)-1; l < r; l, r = l+1, r-1 {
+			p[l], p[r] = p[r], p[l]
+		}
+	}
+	return parts, nil
+}
+
+type coalesceOp struct{}
+
+func (coalesceOp) Name() string { return "coalesce" }
+func (coalesceOp) Apply(parts [][]Record) ([][]Record, error) {
+	var all []Record
+	for _, p := range parts {
+		all = append(all, p...)
+	}
+	return [][]Record{all}, nil
+}
+
+type scatterRR struct{ n int }
+
+func (s scatterRR) Name() string { return "scatter-round-robin" }
+func (s scatterRR) Apply(parts [][]Record) ([][]Record, error) {
+	if s.n <= 0 {
+		return nil, fmt.Errorf("need positive partition count, got %d", s.n)
+	}
+	flat, err := flatten(parts)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]Record, s.n)
+	for i, rec := range flat {
+		out[i%s.n] = append(out[i%s.n], rec)
+	}
+	return out, nil
+}
+
+type scatterBlock struct{ n int }
+
+func (s scatterBlock) Name() string { return "scatter-block" }
+func (s scatterBlock) Apply(parts [][]Record) ([][]Record, error) {
+	if s.n <= 0 {
+		return nil, fmt.Errorf("need positive partition count, got %d", s.n)
+	}
+	flat, err := flatten(parts)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]Record, s.n)
+	total := len(flat)
+	for p := 0; p < s.n; p++ {
+		lo, hi := p*total/s.n, (p+1)*total/s.n
+		out[p] = append(out[p], flat[lo:hi]...)
+	}
+	return out, nil
+}
+
+type scatterGreedy struct{ n int }
+
+func (s scatterGreedy) Name() string { return "scatter-by-key-sum" }
+func (s scatterGreedy) Apply(parts [][]Record) ([][]Record, error) {
+	if s.n <= 0 {
+		return nil, fmt.Errorf("need positive partition count, got %d", s.n)
+	}
+	flat, err := flatten(parts)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]Record, s.n)
+	sums := make([]int64, s.n)
+	for _, rec := range flat {
+		best := 0
+		for p := 1; p < s.n; p++ {
+			if sums[p] < sums[best] {
+				best = p
+			}
+		}
+		out[best] = append(out[best], rec)
+		sums[best] += rec.Key
+	}
+	return out, nil
+}
+
+// flatten requires a single upstream partition (scatters re-partition from
+// a single stream, as in PaPar's dataflow).
+func flatten(parts [][]Record) ([]Record, error) {
+	if len(parts) == 1 {
+		return parts[0], nil
+	}
+	return nil, fmt.Errorf("scatter requires a single upstream partition (got %d); insert Coalesce", len(parts))
+}
+
+// --- convenience constructions used by the search system ---
+
+// SortedRoundRobin is the paper's database partitioner (Section IV-D3):
+// sort by key (sequence length) ascending, then deal round-robin.
+func SortedRoundRobin(n int) *Plan { return NewPlan().SortByKey().ScatterRoundRobin(n) }
+
+// Contiguous is the ablation partitioner: block scatter without sorting.
+func Contiguous(n int) *Plan { return NewPlan().ScatterBlock(n) }
+
+// IndexLists converts partition records to index lists.
+func IndexLists(parts [][]Record) [][]int {
+	out := make([][]int, len(parts))
+	for i, p := range parts {
+		out[i] = make([]int, len(p))
+		for j, rec := range p {
+			out[i][j] = rec.Index
+		}
+	}
+	return out
+}
+
+// KeySums returns the per-partition key totals (the load metric).
+func KeySums(parts [][]Record) []int64 {
+	out := make([]int64, len(parts))
+	for i, p := range parts {
+		for _, rec := range p {
+			out[i] += rec.Key
+		}
+	}
+	return out
+}
+
+// FromLengths builds records whose keys are the given lengths.
+func FromLengths(lengths []int) []Record {
+	out := make([]Record, len(lengths))
+	for i, l := range lengths {
+		out[i] = Record{Key: int64(l), Index: i}
+	}
+	return out
+}

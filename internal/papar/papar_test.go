@@ -1,0 +1,202 @@
+package papar
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dbase"
+	"repro/internal/mpi"
+	"repro/internal/seqgen"
+)
+
+func lengthsFromProfile(n int, seed int64) []int {
+	g := seqgen.New(seqgen.UniprotProfile(), seed)
+	out := make([]int, n)
+	for i := range out {
+		out[i] = g.Length()
+	}
+	return out
+}
+
+func TestSortedRoundRobinMatchesDbase(t *testing.T) {
+	// The paper's partitioner expressed as a plan must agree exactly with
+	// the direct implementation in dbase (sort by length, renumber, deal).
+	g := seqgen.New(seqgen.UniprotProfile(), 77)
+	seqs := g.Database(203)
+	db := dbase.New(seqs)
+	db.SortByLength()
+	const n = 7
+	want := db.Partitions(n)
+
+	lengths := make([]int, len(seqs))
+	for i, s := range seqs {
+		lengths[i] = len(s)
+	}
+	parts, err := SortedRoundRobin(n).Execute(FromLengths(lengths))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := IndexLists(parts)
+	// dbase indices refer to the *sorted* database; papar indices refer to
+	// the original order. Compare by the sequence lengths assigned to each
+	// partition, in order — identical plans assign identical length
+	// multisets in identical positions (both sorts are stable).
+	for p := 0; p < n; p++ {
+		if len(got[p]) != len(want[p]) {
+			t.Fatalf("partition %d: %d vs %d records", p, len(got[p]), len(want[p]))
+		}
+		for j := range got[p] {
+			gl := lengths[got[p][j]]
+			wl := db.Seqs[want[p][j]].Len()
+			if gl != wl {
+				t.Fatalf("partition %d item %d: length %d vs %d", p, j, gl, wl)
+			}
+		}
+	}
+}
+
+func TestPartitionCoverageProperty(t *testing.T) {
+	check := func(seed int64, nRaw, partsRaw uint8) bool {
+		n := int(nRaw)%100 + 1
+		parts := int(partsRaw)%8 + 1
+		lengths := lengthsFromProfile(n, seed)
+		for _, plan := range []*Plan{
+			SortedRoundRobin(parts),
+			Contiguous(parts),
+			NewPlan().SortByKey().Reverse().ScatterByKeySum(parts),
+		} {
+			out, err := plan.Execute(FromLengths(lengths))
+			if err != nil {
+				return false
+			}
+			if len(out) != parts {
+				return false
+			}
+			seen := make([]bool, n)
+			for _, p := range out {
+				for _, rec := range p {
+					if rec.Index < 0 || rec.Index >= n || seen[rec.Index] {
+						return false
+					}
+					seen[rec.Index] = true
+				}
+			}
+			for _, s := range seen {
+				if !s {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBalanceOrdering(t *testing.T) {
+	// On heavy-tailed lengths: greedy <= round-robin <= contiguous spread.
+	lengths := lengthsFromProfile(1000, 5)
+	spread := func(plan *Plan) float64 {
+		parts, err := plan.Execute(FromLengths(lengths))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sums := KeySums(parts)
+		min, max := sums[0], sums[0]
+		for _, s := range sums {
+			if s < min {
+				min = s
+			}
+			if s > max {
+				max = s
+			}
+		}
+		return float64(max) / float64(min)
+	}
+	rr := spread(SortedRoundRobin(16))
+	contig := spread(NewPlan().SortByKey().ScatterBlock(16))
+	greedy := spread(NewPlan().SortByKey().Reverse().ScatterByKeySum(16))
+	if rr > 1.15 {
+		t.Errorf("round-robin spread %.3f, want near 1", rr)
+	}
+	if greedy > rr*1.01 {
+		t.Errorf("greedy spread %.3f worse than round-robin %.3f", greedy, rr)
+	}
+	if contig < rr {
+		t.Errorf("contiguous-on-sorted spread %.3f unexpectedly better than round-robin %.3f", contig, rr)
+	}
+}
+
+func TestScatterRequiresSingleUpstream(t *testing.T) {
+	plan := NewPlan().ScatterRoundRobin(2).ScatterRoundRobin(2)
+	if _, err := plan.Execute(FromLengths([]int{1, 2, 3})); err == nil {
+		t.Error("chained scatter without Coalesce accepted")
+	}
+	plan = NewPlan().ScatterRoundRobin(2).Coalesce().ScatterBlock(3)
+	if _, err := plan.Execute(FromLengths([]int{1, 2, 3, 4, 5})); err != nil {
+		t.Errorf("coalesced rescatter failed: %v", err)
+	}
+}
+
+func TestBadPartitionCounts(t *testing.T) {
+	for _, plan := range []*Plan{
+		NewPlan().ScatterRoundRobin(0),
+		NewPlan().ScatterBlock(-1),
+		NewPlan().ScatterByKeySum(0),
+	} {
+		if _, err := plan.Execute(FromLengths([]int{1})); err == nil {
+			t.Error("accepted non-positive partition count")
+		}
+	}
+}
+
+func TestExecuteMPI(t *testing.T) {
+	lengths := lengthsFromProfile(40, 9)
+	const ranks = 4
+	world := mpi.NewWorld(ranks)
+	var mu sync.Mutex
+	got := make([][]Record, ranks)
+	world.Run(func(r *mpi.Rank) {
+		var recs []Record
+		if r.ID() == 0 {
+			recs = FromLengths(lengths)
+		}
+		part, err := ExecuteMPI(r, SortedRoundRobin(ranks), recs)
+		if err != nil {
+			t.Errorf("rank %d: %v", r.ID(), err)
+			return
+		}
+		mu.Lock()
+		got[r.ID()] = part
+		mu.Unlock()
+	})
+	want, err := SortedRoundRobin(ranks).Execute(FromLengths(lengths))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := range want {
+		if len(got[p]) != len(want[p]) {
+			t.Fatalf("rank %d: %d vs %d records", p, len(got[p]), len(want[p]))
+		}
+		for j := range want[p] {
+			if got[p][j] != want[p][j] {
+				t.Fatalf("rank %d record %d differs", p, j)
+			}
+		}
+	}
+}
+
+func TestExecuteMPIPlanSizeMismatch(t *testing.T) {
+	world := mpi.NewWorld(3)
+	world.Run(func(r *mpi.Rank) {
+		var recs []Record
+		if r.ID() == 0 {
+			recs = FromLengths([]int{1, 2, 3})
+		}
+		if _, err := ExecuteMPI(r, SortedRoundRobin(2), recs); err == nil {
+			t.Errorf("rank %d: mismatched plan accepted", r.ID())
+		}
+	})
+}

@@ -1,0 +1,72 @@
+// Package parallel provides the dynamic-schedule parallel loop the paper's
+// multithreaded implementation relies on (Algorithm 3's
+// "omp parallel for schedule(dynamic)"): iterations are handed to workers
+// one at a time from a shared atomic counter, so variable per-iteration cost
+// (BLAST is input-sensitive, Section IV-D2) does not unbalance the workers.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// NumWorkers returns the number of workers ForWorkers will actually use for
+// n iterations and the requested worker count, so callers can pre-allocate
+// per-worker scratch state.
+func NumWorkers(n, workers int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// For runs fn(i) for i in [0, n) on min(workers, n) goroutines with dynamic
+// scheduling. workers <= 0 uses GOMAXPROCS. It returns when all iterations
+// are complete. fn must be safe to call concurrently.
+func For(n, workers int, fn func(i int)) {
+	ForWorkers(n, workers, func(_, i int) { fn(i) })
+}
+
+// ForWorkers is For with the worker id passed to fn, so callers can keep
+// per-worker scratch state (last-hit arrays, aligners, hit buffers) without
+// locking. Worker ids are dense in [0, numWorkers).
+func ForWorkers(n, workers int, fn func(worker, i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(0, i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(worker, i)
+			}
+		}(w)
+	}
+	wg.Wait()
+}

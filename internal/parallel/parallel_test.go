@@ -1,0 +1,77 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestForCoversAllIterations(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 100, 1000} {
+		for _, workers := range []int{0, 1, 3, 16, 2000} {
+			seen := make([]atomic.Int32, n)
+			For(n, workers, func(i int) { seen[i].Add(1) })
+			for i := range seen {
+				if got := seen[i].Load(); got != 1 {
+					t.Fatalf("n=%d workers=%d: iteration %d ran %d times", n, workers, i, got)
+				}
+			}
+		}
+	}
+}
+
+func TestForWorkersIDsAreDense(t *testing.T) {
+	const n, workers = 200, 8
+	var maxID atomic.Int32
+	maxID.Store(-1)
+	ForWorkers(n, workers, func(w, _ int) {
+		for {
+			cur := maxID.Load()
+			if int32(w) <= cur || maxID.CompareAndSwap(cur, int32(w)) {
+				break
+			}
+		}
+		if w < 0 || w >= workers {
+			t.Errorf("worker id %d out of range", w)
+		}
+	})
+	if maxID.Load() >= workers {
+		t.Errorf("max worker id %d >= %d", maxID.Load(), workers)
+	}
+}
+
+func TestDynamicSchedulingBalancesSkew(t *testing.T) {
+	// One very expensive iteration plus many cheap ones: dynamic scheduling
+	// should finish in roughly the expensive iteration's time, not the sum.
+	const n = 64
+	start := time.Now()
+	For(n, 8, func(i int) {
+		if i == 0 {
+			time.Sleep(50 * time.Millisecond)
+		} else {
+			time.Sleep(time.Millisecond)
+		}
+	})
+	elapsed := time.Since(start)
+	// Static blocking would put ~8ms of cheap work after the 50ms one on the
+	// same worker only if unlucky; the real guard is that we are far below
+	// the serial time of ~113ms.
+	if elapsed > 90*time.Millisecond {
+		t.Errorf("elapsed %v suggests poor scheduling", elapsed)
+	}
+}
+
+func TestSingleWorkerIsSequential(t *testing.T) {
+	order := make([]int, 0, 10)
+	ForWorkers(10, 1, func(w, i int) {
+		if w != 0 {
+			t.Errorf("worker id %d with 1 worker", w)
+		}
+		order = append(order, i) // safe: single worker
+	})
+	for i, v := range order {
+		if v != i {
+			t.Errorf("sequential order violated: %v", order)
+		}
+	}
+}

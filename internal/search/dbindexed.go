@@ -1,0 +1,182 @@
+package search
+
+import (
+	"repro/internal/alphabet"
+	"repro/internal/dbindex"
+	"repro/internal/gapped"
+	"repro/internal/parallel"
+	"repro/internal/ungapped"
+)
+
+// DBIndexed is the paper's "NCBI-db" baseline: the classic interleaved
+// heuristics (hit → immediate two-hit check → immediate ungapped extension)
+// running over the blocked database index. Because a scan of the query
+// touches positions from many subject sequences, the engine keeps one
+// last-hit state per (subject, diagonal) of the whole block and the
+// execution jumps between subject sequences — the irregular memory pattern
+// Fig 2 profiles and muBLASTP removes.
+type DBIndexed struct {
+	Cfg *Config
+	Ix  *dbindex.Index
+	// subjOff maps global sequence index to its byte offset in the
+	// concatenated subject space (trace addressing).
+	subjOff []int64
+	// ixBase maps a block number to the byte offset of its position array
+	// in the concatenated index space (trace addressing).
+	ixBase []int64
+}
+
+// NewDBIndexed creates the engine over a built index.
+func NewDBIndexed(cfg *Config, ix *dbindex.Index) *DBIndexed {
+	e := &DBIndexed{Cfg: cfg, Ix: ix, subjOff: make([]int64, ix.DB.NumSeqs()+1)}
+	var off int64
+	for i := range ix.DB.Seqs {
+		e.subjOff[i] = off
+		off += int64(len(ix.DB.Seqs[i].Data))
+	}
+	e.subjOff[ix.DB.NumSeqs()] = off
+	e.ixBase = make([]int64, len(ix.Blocks))
+	var base int64
+	for i, b := range ix.Blocks {
+		e.ixBase[i] = base
+		base += b.SizeBytes()
+	}
+	return e
+}
+
+// dbiScratch is the per-worker reusable state.
+type dbiScratch struct {
+	diags   StampedDiags
+	diagOff []int32
+	// extLists collects surviving ungapped extensions per local sequence of
+	// the current block; touched lists the locals with at least one.
+	extLists [][]ungapped.Ext
+	touched  []int32
+	aligner  *gapped.Aligner
+}
+
+func (e *DBIndexed) newScratch() *dbiScratch {
+	return &dbiScratch{aligner: gapped.NewAligner(e.Cfg.Matrix, e.Cfg.Gap)}
+}
+
+// Search runs one query through the engine.
+func (e *DBIndexed) Search(queryIdx int, q []alphabet.Code) QueryResult {
+	return e.searchOne(e.newScratch(), queryIdx, q)
+}
+
+// SearchBatch searches all queries in parallel (dynamic scheduling).
+func (e *DBIndexed) SearchBatch(queries [][]alphabet.Code, threads int) []QueryResult {
+	results := make([]QueryResult, len(queries))
+	scratches := makeScratches(threads, len(queries), e.newScratch)
+	parallel.ForWorkers(len(queries), threads, func(w, i int) {
+		results[i] = e.searchOne(scratches[w], i, queries[i])
+	})
+	return results
+}
+
+func (e *DBIndexed) searchOne(sc *dbiScratch, queryIdx int, q []alphabet.Code) QueryResult {
+	cfg := e.Cfg
+	var st Stats
+	if len(q) < alphabet.W {
+		return Finalize(cfg, sc.aligner, queryIdx, q, e.Ix.DB, nil, st)
+	}
+	canon := &ungapped.Canon{P: cfg.TwoHit, Matrix: cfg.Matrix}
+	diagBias := len(q) - alphabet.W
+	trace := cfg.Trace
+	var subjects []SubjectAlignments
+
+	for bi, b := range e.Ix.Blocks {
+		numSeqs := b.Block.NumSeqs()
+		// Per-sequence diagonal offsets into one flat state array: sequence
+		// local l owns slots [diagOff[l], diagOff[l+1]).
+		if cap(sc.diagOff) < numSeqs+1 {
+			sc.diagOff = make([]int32, numSeqs+1)
+		}
+		sc.diagOff = sc.diagOff[:numSeqs+1]
+		total := int32(0)
+		for l := 0; l < numSeqs; l++ {
+			sc.diagOff[l] = total
+			sl := len(e.Ix.DB.Seqs[b.Block.Start+l].Data)
+			if sl >= alphabet.W {
+				total += int32(len(q) + sl - 2*alphabet.W + 1)
+			}
+		}
+		sc.diagOff[numSeqs] = total
+		sc.diags.Reset(int(total))
+		if cap(sc.extLists) < numSeqs {
+			sc.extLists = make([][]ungapped.Ext, numSeqs)
+		}
+		sc.extLists = sc.extLists[:numSeqs]
+		sc.touched = sc.touched[:0]
+
+		for qOff := 0; qOff+alphabet.W <= len(q); qOff++ {
+			w := alphabet.WordAt(q, qOff)
+			for _, v := range cfg.Neighbors.Neighbors(w) {
+				ps := b.Positions(v)
+				if len(ps) == 0 {
+					continue
+				}
+				base := e.ixBase[bi] + int64(b.Base(v))*4
+				for pi, packed := range ps {
+					st.Hits++
+					local, sOff := b.Decode(packed)
+					gsi := b.Block.Start + local
+					s := e.Ix.DB.Seqs[gsi].Data
+					diag := sOff - qOff + diagBias
+					slot := int(sc.diagOff[local]) + diag
+					if trace != nil {
+						trace(SpaceIndex, base+int64(pi)*4)
+						trace(SpaceLastHit, int64(slot)*8)
+					}
+					d := sc.diags.Get(slot)
+					ext, paired, extended, keep := canon.Step(d, q, s, qOff, sOff)
+					if paired {
+						st.Pairs++
+					}
+					if extended {
+						st.Extensions++
+						if trace != nil {
+							traceSpan(trace, SpaceSubject, e.subjOff[gsi]+int64(ext.SStart), e.subjOff[gsi]+int64(ext.SEnd))
+						}
+					}
+					if keep {
+						st.Kept++
+						if len(sc.extLists[local]) == 0 {
+							sc.touched = append(sc.touched, int32(local))
+						}
+						sc.extLists[local] = append(sc.extLists[local], ext)
+					}
+				}
+			}
+		}
+
+		// Gapped stage per touched subject, in ascending local order so the
+		// output ordering matches the other engines. touched was appended in
+		// first-keep order, which is not sorted; sort it.
+		sortInt32(sc.touched)
+		for _, local := range sc.touched {
+			gsi := b.Block.Start + int(local)
+			s := e.Ix.DB.Seqs[gsi].Data
+			alns := GappedStage(cfg, sc.aligner, q, s, sc.extLists[local], &st)
+			sc.extLists[local] = sc.extLists[local][:0]
+			if len(alns) > 0 {
+				subjects = append(subjects, SubjectAlignments{Subject: gsi, Alns: alns})
+			}
+		}
+	}
+	return Finalize(cfg, sc.aligner, queryIdx, q, e.Ix.DB, subjects, st)
+}
+
+// sortInt32 sorts a small int32 slice ascending (insertion sort: touched
+// lists are short and nearly sorted).
+func sortInt32(a []int32) {
+	for i := 1; i < len(a); i++ {
+		v := a[i]
+		j := i - 1
+		for j >= 0 && a[j] > v {
+			a[j+1] = a[j]
+			j--
+		}
+		a[j+1] = v
+	}
+}

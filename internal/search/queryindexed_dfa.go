@@ -1,0 +1,88 @@
+package search
+
+import (
+	"repro/internal/alphabet"
+	"repro/internal/dbase"
+	"repro/internal/gapped"
+	"repro/internal/parallel"
+	"repro/internal/qdfa"
+	"repro/internal/ungapped"
+)
+
+// QueryIndexedDFA is the FSA-BLAST variant of the query-indexed baseline
+// (paper Section VI): hit detection streams each subject through a
+// deterministic finite automaton built from the query instead of probing a
+// lookup table. Everything downstream (two-hit logic, extensions, ranking)
+// is shared, so its results are identical to QueryIndexed's — it exists for
+// the index-structure ablation.
+type QueryIndexedDFA struct {
+	Cfg *Config
+	DB  *dbase.DB
+}
+
+// NewQueryIndexedDFA creates the engine over db (used in its current order).
+func NewQueryIndexedDFA(cfg *Config, db *dbase.DB) *QueryIndexedDFA {
+	return &QueryIndexedDFA{Cfg: cfg, DB: db}
+}
+
+// Search runs one query through the engine.
+func (e *QueryIndexedDFA) Search(queryIdx int, q []alphabet.Code) QueryResult {
+	return e.searchOne(&qiScratch{aligner: gapped.NewAligner(e.Cfg.Matrix, e.Cfg.Gap)}, queryIdx, q)
+}
+
+// SearchBatch searches all queries with dynamic scheduling.
+func (e *QueryIndexedDFA) SearchBatch(queries [][]alphabet.Code, threads int) []QueryResult {
+	results := make([]QueryResult, len(queries))
+	scratches := makeScratches(threads, len(queries), func() *qiScratch {
+		return &qiScratch{aligner: gapped.NewAligner(e.Cfg.Matrix, e.Cfg.Gap)}
+	})
+	parallel.ForWorkers(len(queries), threads, func(w, i int) {
+		results[i] = e.searchOne(scratches[w], i, queries[i])
+	})
+	return results
+}
+
+func (e *QueryIndexedDFA) searchOne(sc *qiScratch, queryIdx int, q []alphabet.Code) QueryResult {
+	cfg := e.Cfg
+	var st Stats
+	if len(q) < alphabet.W {
+		return Finalize(cfg, sc.aligner, queryIdx, q, e.DB, nil, st)
+	}
+	dfa := qdfa.Build(q, cfg.Neighbors)
+	canon := &ungapped.Canon{P: cfg.TwoHit, Matrix: cfg.Matrix}
+	diagBias := len(q) - alphabet.W
+	var subjects []SubjectAlignments
+
+	for si := range e.DB.Seqs {
+		s := e.DB.Seqs[si].Data
+		if len(s) < alphabet.W {
+			continue
+		}
+		numDiags := len(q) + len(s) - 2*alphabet.W + 1
+		sc.diags.Reset(numDiags)
+		sc.exts = sc.exts[:0]
+		dfa.Scan(s, func(sOff int, qPos int32) {
+			st.Hits++
+			diag := sOff - int(qPos) + diagBias
+			d := sc.diags.Get(diag)
+			ext, paired, extended, keep := canon.Step(d, q, s, int(qPos), sOff)
+			if paired {
+				st.Pairs++
+			}
+			if extended {
+				st.Extensions++
+			}
+			if keep {
+				st.Kept++
+				sc.exts = append(sc.exts, ext)
+			}
+		})
+		if len(sc.exts) > 0 {
+			alns := GappedStage(cfg, sc.aligner, q, s, sc.exts, &st)
+			if len(alns) > 0 {
+				subjects = append(subjects, SubjectAlignments{Subject: si, Alns: alns})
+			}
+		}
+	}
+	return Finalize(cfg, sc.aligner, queryIdx, q, e.DB, subjects, st)
+}

@@ -1,0 +1,82 @@
+package search
+
+import "repro/internal/ungapped"
+
+// StampedDiags is a reusable array of per-diagonal two-hit states with
+// epoch-based lazy reset: advancing the epoch invalidates every slot in O(1)
+// instead of clearing the array, which matters because the db-indexed
+// pipelines need one state per (subject, diagonal) of a whole index block
+// and reset it for every query (Section II-B's last-hit arrays).
+type StampedDiags struct {
+	epoch  uint32
+	stamps []uint32
+	states []ungapped.DiagState
+}
+
+// Reset invalidates all states and ensures capacity for n slots.
+func (sd *StampedDiags) Reset(n int) {
+	if cap(sd.stamps) < n {
+		sd.stamps = make([]uint32, n)
+		sd.states = make([]ungapped.DiagState, n)
+	}
+	sd.stamps = sd.stamps[:n]
+	sd.states = sd.states[:n]
+	sd.epoch++
+	if sd.epoch == 0 {
+		// Stamp wrap-around: clear once and restart at epoch 1.
+		for i := range sd.stamps {
+			sd.stamps[i] = 0
+		}
+		sd.epoch = 1
+	}
+}
+
+// Get returns the state for slot i, lazily resetting it on first access in
+// the current epoch.
+func (sd *StampedDiags) Get(i int) *ungapped.DiagState {
+	if sd.stamps[i] != sd.epoch {
+		sd.stamps[i] = sd.epoch
+		sd.states[i].Reset()
+	}
+	return &sd.states[i]
+}
+
+// StampedLastPos is the pre-filter variant: only the last-hit position per
+// (subject, diagonal) slot, since the pre-filter never consults extension
+// state (Algorithm 2's lastHitArr).
+type StampedLastPos struct {
+	epoch  uint32
+	stamps []uint32
+	pos    []int32
+}
+
+// Reset invalidates all slots and ensures capacity for n of them.
+func (sl *StampedLastPos) Reset(n int) {
+	if cap(sl.stamps) < n {
+		sl.stamps = make([]uint32, n)
+		sl.pos = make([]int32, n)
+	}
+	sl.stamps = sl.stamps[:n]
+	sl.pos = sl.pos[:n]
+	sl.epoch++
+	if sl.epoch == 0 {
+		for i := range sl.stamps {
+			sl.stamps[i] = 0
+		}
+		sl.epoch = 1
+	}
+}
+
+// Check performs the two-hit pair test for a hit at qOff on slot i and
+// records qOff as the slot's new last position. It returns the distance to
+// the previous hit and whether the pair test passed (0 < dist < window).
+func (sl *StampedLastPos) Check(i int, qOff int32, window int32) (dist int32, paired bool) {
+	if sl.stamps[i] != sl.epoch {
+		sl.stamps[i] = sl.epoch
+		sl.pos[i] = qOff
+		return 0, false
+	}
+	dist = qOff - sl.pos[i]
+	sl.pos[i] = qOff
+	return dist, dist > 0 && dist < window
+}

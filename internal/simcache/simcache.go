@@ -1,0 +1,306 @@
+// Package simcache is a software cache and TLB simulator that stands in for
+// the hardware performance counters the paper reads (LLC miss rate, TLB
+// miss rate, stalled cycles — Fig 2 and Fig 8). The search engines emit
+// their significant memory accesses through search.Config.Trace; this
+// package replays that stream through a model of the evaluation machine's
+// memory hierarchy (dual-socket Haswell E5-2680v3: 32KB L1, 256KB L2, 30MB
+// shared L3, Section V-A).
+//
+// Miss *rates* and their trends across pipelines and block sizes are
+// properties of the access stream, which the instrumented engines reproduce
+// exactly; absolute cycle counts are not claimed (see DESIGN.md).
+package simcache
+
+// Cache is a set-associative cache with LRU replacement.
+type Cache struct {
+	lineBits uint
+	sets     uint64
+	ways     int
+	tags     []uint64 // sets x ways; 0 means empty
+	ages     []uint64 // LRU clocks, parallel to tags
+	clock    uint64
+
+	Accesses int64
+	Misses   int64
+}
+
+// NewCache builds a cache of sizeBytes with the given associativity and
+// 64-byte lines. Set count need not be a power of two (indexing is modular),
+// so real LLC sizes like 30MB/20-way model exactly.
+func NewCache(sizeBytes, ways int) *Cache {
+	const lineSize = 64
+	sets := sizeBytes / (ways * lineSize)
+	if sets <= 0 {
+		panic("simcache: cache smaller than one set")
+	}
+	return &Cache{
+		lineBits: 6,
+		sets:     uint64(sets),
+		ways:     ways,
+		tags:     make([]uint64, sets*ways),
+		ages:     make([]uint64, sets*ways),
+	}
+}
+
+// Access looks up addr, updating LRU state, and reports whether it hit.
+func (c *Cache) Access(addr uint64) bool {
+	c.Accesses++
+	line := addr >> c.lineBits
+	set := int(line % c.sets)
+	tag := line | 1<<63 // bit 63 marks a valid entry (tag 0 is otherwise ambiguous)
+	base := set * c.ways
+	c.clock++
+	victim := base
+	oldest := c.ages[base]
+	for i := base; i < base+c.ways; i++ {
+		if c.tags[i] == tag {
+			c.ages[i] = c.clock
+			return true
+		}
+		if c.ages[i] < oldest {
+			oldest = c.ages[i]
+			victim = i
+		}
+	}
+	c.Misses++
+	c.tags[victim] = tag
+	c.ages[victim] = c.clock
+	return false
+}
+
+// Install fills addr's line without touching the access/miss counters —
+// the path hardware prefetches take into the cache.
+func (c *Cache) Install(addr uint64) {
+	line := addr >> c.lineBits
+	set := int(line % c.sets)
+	tag := line | 1<<63
+	base := set * c.ways
+	c.clock++
+	victim := base
+	oldest := c.ages[base]
+	for i := base; i < base+c.ways; i++ {
+		if c.tags[i] == tag {
+			c.ages[i] = c.clock
+			return
+		}
+		if c.ages[i] < oldest {
+			oldest = c.ages[i]
+			victim = i
+		}
+	}
+	c.tags[victim] = tag
+	c.ages[victim] = c.clock
+}
+
+// MissRate returns misses/accesses (0 if never accessed).
+func (c *Cache) MissRate() float64 {
+	if c.Accesses == 0 {
+		return 0
+	}
+	return float64(c.Misses) / float64(c.Accesses)
+}
+
+// TLB is a fully-associative translation buffer with LRU replacement over
+// 4KB pages.
+type TLB struct {
+	entries  int
+	pages    []uint64
+	ages     []uint64
+	clock    uint64
+	Accesses int64
+	Misses   int64
+}
+
+// NewTLB builds a TLB with the given number of entries.
+func NewTLB(entries int) *TLB {
+	return &TLB{entries: entries, pages: make([]uint64, entries), ages: make([]uint64, entries)}
+}
+
+// Access translates addr, reporting whether the page was resident.
+func (t *TLB) Access(addr uint64) bool {
+	t.Accesses++
+	page := addr>>12 | 1<<63
+	t.clock++
+	victim, oldest := 0, t.ages[0]
+	for i := 0; i < t.entries; i++ {
+		if t.pages[i] == page {
+			t.ages[i] = t.clock
+			return true
+		}
+		if t.ages[i] < oldest {
+			oldest = t.ages[i]
+			victim = i
+		}
+	}
+	t.Misses++
+	t.pages[victim] = page
+	t.ages[victim] = t.clock
+	return false
+}
+
+// MissRate returns misses/accesses (0 if never accessed).
+func (t *TLB) MissRate() float64 {
+	if t.Accesses == 0 {
+		return 0
+	}
+	return float64(t.Misses) / float64(t.Accesses)
+}
+
+// Hierarchy is the modeled L1 -> L2 -> LLC + TLB memory system fed by
+// engine traces, including a hardware-style stream prefetcher: without one,
+// every cold streaming line would count as an LLC miss, which is not what
+// performance counters on the paper's Haswell report for sequential scans.
+type Hierarchy struct {
+	L1, L2, LLC *Cache
+	TLB         *TLB
+
+	streams [16]stream
+	sclock  uint64
+}
+
+// stream is one detected sequential access stream.
+type stream struct {
+	valid   bool
+	next    uint64 // next expected line
+	lastUse uint64
+}
+
+// prefetchDepth is how many lines ahead the modeled prefetcher runs.
+const prefetchDepth = 4
+
+// NewHaswell models one core's view of the paper's single-node platform:
+// 32KB 8-way L1D, 256KB 8-way L2, 30MB 20-way shared L3, and a 1536-entry
+// second-level TLB.
+func NewHaswell() *Hierarchy {
+	return &Hierarchy{
+		L1:  NewCache(32<<10, 8),
+		L2:  NewCache(256<<10, 8),
+		LLC: NewCache(30<<20, 20),
+		TLB: NewTLB(1536),
+	}
+}
+
+// NewHierarchy builds a custom hierarchy (sizes in bytes).
+func NewHierarchy(l1, l2, llc, tlbEntries int) *Hierarchy {
+	return &Hierarchy{
+		L1:  NewCache(l1, 8),
+		L2:  NewCache(l2, 8),
+		LLC: NewCache(llc, 20),
+		TLB: NewTLB(tlbEntries),
+	}
+}
+
+// spaceBase places each trace space in its own terabyte-aligned region so
+// logical arrays never alias.
+func spaceBase(space uint8) uint64 { return (uint64(space) + 1) << 40 }
+
+// Access replays one traced access through the hierarchy.
+func (h *Hierarchy) Access(space uint8, offset int64) {
+	addr := spaceBase(space) + uint64(offset)
+	h.TLB.Access(addr)
+	h.prefetch(addr)
+	if h.L1.Access(addr) {
+		return
+	}
+	if h.L2.Access(addr) {
+		return
+	}
+	h.LLC.Access(addr)
+}
+
+// prefetch runs the stream detector: an access continuing a tracked stream
+// installs the next prefetchDepth lines into L2 and LLC (uncounted), which
+// is how sequential scans stay cheap on real hardware.
+func (h *Hierarchy) prefetch(addr uint64) {
+	line := addr >> 6
+	h.sclock++
+	victim, oldest := 0, h.sclock
+	for i := range h.streams {
+		s := &h.streams[i]
+		if s.valid {
+			if line == s.next-1 {
+				// Still on the stream's current line: nothing to do.
+				s.lastUse = h.sclock
+				return
+			}
+			if line == s.next {
+				s.next = line + 1
+				s.lastUse = h.sclock
+				// Install into the LLC only: demand accesses to prefetched
+				// lines then count as LLC hits, which is how counters on
+				// real hardware see a well-prefetched stream.
+				for k := uint64(1); k <= prefetchDepth; k++ {
+					h.LLC.Install((line + k) << 6)
+				}
+				return
+			}
+		}
+		if !s.valid {
+			victim, oldest = i, 0
+		} else if s.lastUse < oldest {
+			victim, oldest = i, s.lastUse
+		}
+	}
+	h.streams[victim] = stream{valid: true, next: line + 1, lastUse: h.sclock}
+}
+
+// Tracer returns a function suitable for search.Config.Trace.
+func (h *Hierarchy) Tracer() func(space uint8, offset int64) {
+	return h.Access
+}
+
+// Report summarizes the replayed stream.
+type Report struct {
+	Accesses    int64
+	L1MissRate  float64
+	L2MissRate  float64
+	LLCMissRate float64
+	TLBMissRate float64
+	// StalledFrac is a proxy for the stalled-cycle percentage of Fig 2c: the
+	// fraction of modeled cycles spent waiting on the memory system beyond
+	// the L1 latency, under nominal Haswell latencies (L1 4, L2 12, LLC 42,
+	// DRAM 200 cycles).
+	StalledFrac float64
+	// ModeledCycles is the total modeled memory-system cycle count of the
+	// traced stream under those latencies. Because only significant memory
+	// accesses are traced, this understates real cycle counts uniformly; it
+	// is meaningful for comparing pipelines on the modeled hierarchy, which
+	// is how Fig 9's paper-scale speedups are projected (see DESIGN.md).
+	ModeledCycles float64
+}
+
+// ModeledSeconds converts modeled cycles to seconds at a clock frequency in
+// GHz (the evaluation Haswells run at 2.5GHz).
+func (r Report) ModeledSeconds(ghz float64) float64 {
+	return r.ModeledCycles / (ghz * 1e9)
+}
+
+// Report computes the summary.
+func (h *Hierarchy) Report() Report {
+	const (
+		latL1  = 4.0
+		latL2  = 12.0
+		latLLC = 42.0
+		latMem = 200.0
+	)
+	l1Hits := h.L1.Accesses - h.L1.Misses
+	l2Hits := h.L2.Accesses - h.L2.Misses
+	llcHits := h.LLC.Accesses - h.LLC.Misses
+	llcMisses := h.LLC.Misses
+	busy := float64(h.L1.Accesses) * latL1
+	stall := float64(l2Hits)*(latL2-latL1) + float64(llcHits)*(latLLC-latL1) + float64(llcMisses)*(latMem-latL1)
+	total := busy + stall
+	r := Report{
+		Accesses:    h.L1.Accesses,
+		L1MissRate:  h.L1.MissRate(),
+		L2MissRate:  h.L2.MissRate(),
+		LLCMissRate: h.LLC.MissRate(),
+		TLBMissRate: h.TLB.MissRate(),
+	}
+	_ = l1Hits
+	r.ModeledCycles = total
+	if total > 0 {
+		r.StalledFrac = stall / total
+	}
+	return r
+}

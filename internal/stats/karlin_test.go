@@ -1,0 +1,134 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/matrix"
+)
+
+func TestRobinsonFreqsSumToOne(t *testing.T) {
+	sum := 0.0
+	for _, f := range RobinsonFreqs {
+		sum += f
+	}
+	if math.Abs(sum-1) > 1e-3 {
+		t.Errorf("Robinson frequencies sum to %g, want ~1", sum)
+	}
+}
+
+func TestUngappedBlosum62MatchesPublished(t *testing.T) {
+	// Published ungapped BLOSUM62 values: lambda ~ 0.3176, K ~ 0.134, H ~ 0.40.
+	p, err := UngappedParams(matrix.Blosum62, &RobinsonFreqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p.Lambda-0.3176) > 0.005 {
+		t.Errorf("lambda = %g, want ~0.3176", p.Lambda)
+	}
+	if math.Abs(p.K-0.134) > 0.02 {
+		t.Errorf("K = %g, want ~0.134", p.K)
+	}
+	if math.Abs(p.H-0.40) > 0.04 {
+		t.Errorf("H = %g, want ~0.40", p.H)
+	}
+}
+
+func TestUngappedBlosum50(t *testing.T) {
+	// Published ungapped BLOSUM50: lambda ~ 0.232, K ~ 0.11, H ~ 0.34.
+	p, err := UngappedParams(matrix.Blosum50, &RobinsonFreqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p.Lambda-0.232) > 0.005 {
+		t.Errorf("lambda = %g, want ~0.232", p.Lambda)
+	}
+	if p.K < 0.05 || p.K > 0.2 {
+		t.Errorf("K = %g, want ~0.11", p.K)
+	}
+}
+
+func TestGappedParamsLookup(t *testing.T) {
+	p, err := GappedParams(matrix.Blosum62, 11, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Lambda != 0.267 || p.K != 0.041 {
+		t.Errorf("gapped BLOSUM62 11/1 = %+v, want lambda 0.267 K 0.041", p)
+	}
+	if _, err := GappedParams(matrix.Blosum62, 5, 5); err == nil {
+		t.Error("GappedParams accepted unsupported penalties")
+	}
+}
+
+func TestBitScoreMonotonic(t *testing.T) {
+	p := Params{Lambda: 0.267, K: 0.041, H: 0.14}
+	if p.BitScore(100) <= p.BitScore(50) {
+		t.Error("bit score not monotonic in raw score")
+	}
+	// Known conversion: raw 100 with lambda .267, K .041:
+	// (0.267*100 - ln 0.041)/ln2 = (26.7 + 3.194)/0.6931 ~ 43.1 bits.
+	if got := p.BitScore(100); math.Abs(got-43.1) > 0.2 {
+		t.Errorf("BitScore(100) = %g, want ~43.1", got)
+	}
+}
+
+func TestEValueScalesWithSearchSpace(t *testing.T) {
+	p := Params{Lambda: 0.267, K: 0.041, H: 0.14}
+	e1 := p.EValue(80, 100, 1_000_000)
+	e2 := p.EValue(80, 100, 2_000_000)
+	if math.Abs(e2/e1-2) > 1e-9 {
+		t.Errorf("E-value did not double with database size: %g vs %g", e1, e2)
+	}
+	if p.EValue(200, 100, 1_000_000) >= e1 {
+		t.Error("E-value not decreasing in score")
+	}
+}
+
+func TestRawScoreForEValueInverts(t *testing.T) {
+	p := Params{Lambda: 0.267, K: 0.041, H: 0.14}
+	for _, e := range []float64{10, 1, 1e-3, 1e-10} {
+		s := p.RawScoreForEValue(e, 256, 50_000_000)
+		if got := p.EValue(s, 256, 50_000_000); got > e*1.0001 {
+			t.Errorf("cutoff %d for E=%g has E-value %g > %g", s, e, got, e)
+		}
+		if got := p.EValue(s-1, 256, 50_000_000); got < e {
+			t.Errorf("cutoff %d is not minimal for E=%g (s-1 gives %g)", s, e, got)
+		}
+	}
+}
+
+func TestEffectiveLengths(t *testing.T) {
+	p := Params{Lambda: 0.267, K: 0.041, H: 0.14}
+	effQ, effDB := p.EffectiveLengths(256, 50_000_000, 100_000)
+	if effQ >= 256 || effQ < 1 {
+		t.Errorf("effective query length %d not in [1,256)", effQ)
+	}
+	if effDB >= 50_000_000 || effDB < 1 {
+		t.Errorf("effective db length %d not reduced", effDB)
+	}
+	// Degenerate inputs must not panic and must stay positive.
+	effQ, effDB = p.EffectiveLengths(0, 0, 0)
+	if effQ < 1 || effDB < 1 {
+		t.Errorf("degenerate effective lengths %d, %d", effQ, effDB)
+	}
+	// Tiny search spaces must not go negative.
+	effQ, effDB = p.EffectiveLengths(10, 50, 5)
+	if effQ < 1 || effDB < 1 {
+		t.Errorf("tiny search space effective lengths %d, %d", effQ, effDB)
+	}
+}
+
+func TestUniformFrequenciesStillSolvable(t *testing.T) {
+	var uniform [24]float64
+	for i := 0; i < 20; i++ {
+		uniform[i] = 1.0 / 20
+	}
+	p, err := UngappedParams(matrix.Blosum62, &uniform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Lambda <= 0 || p.K <= 0 || p.H <= 0 {
+		t.Errorf("uniform params non-positive: %+v", p)
+	}
+}

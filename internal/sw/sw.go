@@ -1,0 +1,146 @@
+// Package sw implements the full Smith–Waterman local alignment algorithm
+// with affine gap penalties (Gotoh's variant). BLAST approximates this
+// optimal algorithm (Section II-A); the full O(mn) version is the gold
+// standard the test suite aligns the heuristic pipelines against.
+package sw
+
+import (
+	"math"
+
+	"repro/internal/alphabet"
+	"repro/internal/gapped"
+	"repro/internal/matrix"
+)
+
+const negInf = math.MinInt32 / 4
+
+// Align computes the optimal local alignment of q and s under the given
+// matrix and affine gap penalties (gap of length k costs open + k*extend).
+// It returns the alignment with traceback; an empty alignment (score 0) is
+// returned when no positive-scoring alignment exists.
+func Align(m *matrix.Matrix, q, s []alphabet.Code, gapOpen, gapExtend int) gapped.Alignment {
+	openExt := int32(gapOpen + gapExtend)
+	ext := int32(gapExtend)
+	rows, cols := len(q)+1, len(s)+1
+
+	h := make([]int32, rows*cols)
+	e := make([]int32, rows*cols)
+	f := make([]int32, rows*cols)
+	for j := 0; j < cols; j++ {
+		e[j], f[j] = negInf, negInf
+	}
+	best := int32(0)
+	bi, bj := 0, 0
+	for i := 1; i < rows; i++ {
+		base := i * cols
+		prev := base - cols
+		e[base], f[base] = negInf, negInf
+		mRow := m.Row(q[i-1])
+		for j := 1; j < cols; j++ {
+			ec := maxI32(h[base+j-1]-openExt, e[base+j-1]-ext)
+			fc := maxI32(h[prev+j]-openExt, f[prev+j]-ext)
+			hc := h[prev+j-1] + int32(mRow[s[j-1]])
+			hc = maxI32(hc, maxI32(ec, fc))
+			if hc < 0 {
+				hc = 0 // local alignment restart
+			}
+			h[base+j], e[base+j], f[base+j] = hc, ec, fc
+			if hc > best {
+				best = hc
+				bi, bj = i, j
+			}
+		}
+	}
+	if best == 0 {
+		return gapped.Alignment{}
+	}
+
+	// Traceback from (bi, bj) until a zero cell.
+	var rops []gapped.EditOp
+	i, j := bi, bj
+	state := byte('H')
+	for {
+		base := i * cols
+		switch state {
+		case 'H':
+			hc := h[base+j]
+			if hc == 0 {
+				goto done
+			}
+			switch {
+			case i > 0 && j > 0 && hc == h[base-cols+j-1]+int32(m.Score(q[i-1], s[j-1])):
+				rops = append(rops, gapped.OpMatch)
+				i, j = i-1, j-1
+			case hc == e[base+j]:
+				state = 'E'
+			default:
+				state = 'F'
+			}
+		case 'E':
+			rops = append(rops, gapped.OpIns)
+			if e[base+j] == h[base+j-1]-openExt {
+				state = 'H'
+			}
+			j--
+		case 'F':
+			rops = append(rops, gapped.OpDel)
+			if f[base+j] == h[base-cols+j]-openExt {
+				state = 'H'
+			}
+			i--
+		}
+	}
+done:
+	for l, r := 0, len(rops)-1; l < r; l, r = l+1, r-1 {
+		rops[l], rops[r] = rops[r], rops[l]
+	}
+	return gapped.Alignment{
+		Score:  int(best),
+		QStart: i, QEnd: bi,
+		SStart: j, SEnd: bj,
+		Ops: rops,
+	}
+}
+
+// Score computes only the optimal local alignment score, using O(n) memory.
+// Useful for large-scale verification sweeps where tracebacks are not needed.
+func Score(m *matrix.Matrix, q, s []alphabet.Code, gapOpen, gapExtend int) int {
+	openExt := int32(gapOpen + gapExtend)
+	ext := int32(gapExtend)
+	cols := len(s) + 1
+	h := make([]int32, cols)
+	e := make([]int32, cols)
+	for j := range e {
+		e[j] = negInf
+	}
+	f := make([]int32, cols)
+	best := int32(0)
+	for i := 1; i <= len(q); i++ {
+		diag := h[0]
+		h[0] = 0
+		mRow := m.Row(q[i-1])
+		for j := 1; j < cols; j++ {
+			e[j] = maxI32(h[j-1]-openExt, e[j-1]-ext)
+			// f[j] here still holds row i-1's value.
+			fc := maxI32(h[j]-openExt, f[j]-ext)
+			hc := diag + int32(mRow[s[j-1]])
+			hc = maxI32(hc, maxI32(e[j], fc))
+			if hc < 0 {
+				hc = 0
+			}
+			diag = h[j]
+			h[j], f[j] = hc, fc
+			if hc > best {
+				best = hc
+			}
+		}
+	}
+	return int(best)
+}
+
+func maxI32(a, b int32) int32 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,151 @@
+package sw
+
+import (
+	"testing"
+
+	"repro/internal/alphabet"
+	"repro/internal/gapped"
+	"repro/internal/matrix"
+	"repro/internal/seqgen"
+)
+
+func enc(s string) []alphabet.Code { return alphabet.MustEncode(s) }
+
+func TestIdenticalSequences(t *testing.T) {
+	q := enc("ARNDCQEGHILKMFPSTWYV")
+	a := Align(matrix.Blosum62, q, q, 11, 1)
+	want := matrix.Blosum62.SeqScore(q, q)
+	if a.Score != want {
+		t.Errorf("score %d, want %d", a.Score, want)
+	}
+	if a.QStart != 0 || a.QEnd != len(q) || a.SStart != 0 || a.SEnd != len(q) {
+		t.Errorf("span %+v, want full", a)
+	}
+	if err := a.Validate(matrix.Blosum62, q, q, gapped.Params{GapOpen: 11, GapExtend: 1}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNoPositiveAlignment(t *testing.T) {
+	q := enc("WWWW")
+	s := enc("PPPP") // W vs P scores -4
+	a := Align(matrix.Blosum62, q, s, 11, 1)
+	if a.Score != 0 || len(a.Ops) != 0 {
+		t.Errorf("expected empty alignment, got %+v", a)
+	}
+}
+
+func TestKnownGappedAlignment(t *testing.T) {
+	// Two identical halves with an insertion in the subject.
+	q := enc("HHHHHHHHHHKKKKKKKKKK")
+	s := enc("HHHHHHHHHHAAAKKKKKKKKKK")
+	a := Align(matrix.Blosum62, q, s, 11, 1)
+	// Perfect match score is 10*8 + 10*5 = 130; a 3-gap costs 11+3 = 14.
+	want := 130 - 14
+	if a.Score != want {
+		t.Errorf("score %d, want %d", a.Score, want)
+	}
+	// The traceback must contain exactly 3 insertions.
+	ins := 0
+	for _, op := range a.Ops {
+		if op == gapped.OpIns {
+			ins++
+		}
+	}
+	if ins != 3 {
+		t.Errorf("%d insertions, want 3", ins)
+	}
+	if err := a.Validate(matrix.Blosum62, q, s, gapped.Params{GapOpen: 11, GapExtend: 1}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeletionSide(t *testing.T) {
+	q := enc("HHHHHHHHHHAAAKKKKKKKKKK")
+	s := enc("HHHHHHHHHHKKKKKKKKKK")
+	a := Align(matrix.Blosum62, q, s, 11, 1)
+	dels := 0
+	for _, op := range a.Ops {
+		if op == gapped.OpDel {
+			dels++
+		}
+	}
+	if dels != 3 {
+		t.Errorf("%d deletions, want 3", dels)
+	}
+	if err := a.Validate(matrix.Blosum62, q, s, gapped.Params{GapOpen: 11, GapExtend: 1}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLocalityTrimsNegativeEnds(t *testing.T) {
+	// Strong core flanked by junk: local alignment must not include flanks.
+	q := enc("PPPP" + "WWWWHHHHWWWW" + "PPPP")
+	s := enc("GGGG" + "WWWWHHHHWWWW" + "GGGG")
+	a := Align(matrix.Blosum62, q, s, 11, 1)
+	if a.QStart != 4 || a.QEnd != 16 {
+		t.Errorf("query span [%d,%d), want [4,16)", a.QStart, a.QEnd)
+	}
+	core := enc("WWWWHHHHWWWW")
+	if want := matrix.Blosum62.SeqScore(core, core); a.Score != want {
+		t.Errorf("score %d, want %d", a.Score, want)
+	}
+}
+
+func TestScoreMatchesAlign(t *testing.T) {
+	g := seqgen.New(seqgen.UniprotProfile(), 55)
+	db := g.Database(12)
+	qs := g.Queries(db, 6, 80)
+	for i, q := range qs {
+		for j := range db {
+			a := Align(matrix.Blosum62, q, db[j], 11, 1)
+			sc := Score(matrix.Blosum62, q, db[j], 11, 1)
+			if a.Score != sc {
+				t.Errorf("q%d s%d: Align score %d != Score %d", i, j, a.Score, sc)
+			}
+			if a.Score > 0 {
+				if err := a.Validate(matrix.Blosum62, q, db[j],
+					gapped.Params{GapOpen: 11, GapExtend: 1}); err != nil {
+					t.Errorf("q%d s%d: %v", i, j, err)
+				}
+			}
+		}
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	q := enc("ARN")
+	if a := Align(matrix.Blosum62, q, nil, 11, 1); a.Score != 0 {
+		t.Errorf("empty subject scored %d", a.Score)
+	}
+	if a := Align(matrix.Blosum62, nil, q, 11, 1); a.Score != 0 {
+		t.Errorf("empty query scored %d", a.Score)
+	}
+	if s := Score(matrix.Blosum62, nil, nil, 11, 1); s != 0 {
+		t.Errorf("empty/empty scored %d", s)
+	}
+}
+
+func TestGapPenaltyConvention(t *testing.T) {
+	// A single-residue gap costs open + 1*extend = 12 with 11/1. The tail
+	// uses distinct residues so the frame-shifted (ungapped) alternative
+	// scores far worse and the optimum must take the gap.
+	q := enc("WYFHKDERNC" + "ARNDCWYFKM")
+	s := enc("WYFHKDERNC" + "G" + "ARNDCWYFKM")
+	a := Align(matrix.Blosum62, q, s, 11, 1)
+	head := enc("WYFHKDERNC")
+	tail := enc("ARNDCWYFKM")
+	want := matrix.Blosum62.SeqScore(head, head) + matrix.Blosum62.SeqScore(tail, tail) - 12
+	if a.Score != want {
+		t.Errorf("score %d, want %d", a.Score, want)
+	}
+	gaps := 0
+	for _, op := range a.Ops {
+		if op != gapped.OpMatch {
+			gaps++
+		}
+	}
+	if gaps != 1 {
+		t.Errorf("%d gap ops, want 1", gaps)
+	}
+}

@@ -1,0 +1,166 @@
+// Package ungapped implements BLAST's two-hit ungapped extension stage
+// (Section II-A): given two word hits close together on the same diagonal,
+// extend outward from the second hit in both directions without gaps,
+// stopping when the running score drops more than XDrop below the best seen.
+//
+// The same Extend kernel and the same two-hit semantics (Canon) are used by
+// every pipeline in this repository — query-indexed, db-indexed interleaved,
+// and muBLASTP — which is what makes the Section V-E verification (identical
+// outputs at every stage) hold by construction.
+package ungapped
+
+import (
+	"repro/internal/alphabet"
+	"repro/internal/matrix"
+)
+
+// Params controls hit-pair selection and extension.
+type Params struct {
+	// Window is the two-hit window A: a pair of hits on one diagonal
+	// triggers extension only if their distance is positive and below this
+	// (BLASTP default 40).
+	Window int
+	// XDrop stops extension when the running score falls this far below
+	// the best score seen (raw score units; BLASTP default ~16 raw for
+	// the 7-bit ungapped X-drop under BLOSUM62).
+	XDrop int
+	// Trigger is the raw score an ungapped alignment needs to be kept and
+	// handed to the gapped stage (Algorithm 1's thresholdT; ~38 raw
+	// approximates NCBI's 22-bit gapped trigger).
+	Trigger int
+	// OneHit switches to BLAST's one-hit algorithm: every hit triggers an
+	// extension attempt instead of requiring a second hit in the window.
+	// More sensitive and much slower; NCBI pairs it with a higher neighbor
+	// threshold (T=13 vs 11).
+	OneHit bool
+}
+
+// DefaultParams returns the BLASTP-default two-hit parameters.
+func DefaultParams() Params { return Params{Window: 40, XDrop: 16, Trigger: 38} }
+
+// Ext is one ungapped alignment (half-open coordinates).
+type Ext struct {
+	Score  int
+	QStart int
+	QEnd   int
+	SStart int
+	SEnd   int
+}
+
+// Extend runs the two-directional ungapped extension seeded at the word hit
+// (qOff, sOff): the W seed residues always belong to the alignment, the left
+// extension walks from qOff-1 toward the sequence starts, and the right
+// extension from qOff+W toward the ends, each keeping its best prefix under
+// the X-drop rule.
+func Extend(m *matrix.Matrix, q, s []alphabet.Code, qOff, sOff, xDrop int) Ext {
+	// Seed word score.
+	word := 0
+	for k := 0; k < alphabet.W; k++ {
+		word += m.Score(q[qOff+k], s[sOff+k])
+	}
+	// Left extension.
+	leftBest, cum := 0, 0
+	qStart := qOff
+	for i, j := qOff-1, sOff-1; i >= 0 && j >= 0; i, j = i-1, j-1 {
+		cum += m.Score(q[i], s[j])
+		if cum > leftBest {
+			leftBest = cum
+			qStart = i
+		} else if cum <= leftBest-xDrop {
+			break
+		}
+	}
+	// Right extension.
+	rightBest, cum := 0, 0
+	qEnd := qOff + alphabet.W
+	for i, j := qOff+alphabet.W, sOff+alphabet.W; i < len(q) && j < len(s); i, j = i+1, j+1 {
+		cum += m.Score(q[i], s[j])
+		if cum > rightBest {
+			rightBest = cum
+			qEnd = i + 1
+		} else if cum <= rightBest-xDrop {
+			break
+		}
+	}
+	return Ext{
+		Score:  leftBest + word + rightBest,
+		QStart: qStart,
+		QEnd:   qEnd,
+		SStart: qStart - qOff + sOff,
+		SEnd:   qEnd - qOff + sOff,
+	}
+}
+
+// Canon is the canonical per-diagonal two-hit state machine. Every pipeline
+// feeds it the hits of one (subject sequence, diagonal) in increasing query
+// offset and gets back the identical sequence of extensions, whether the
+// pipeline interleaves stages (NCBI, NCBI-db) or batches them (muBLASTP).
+//
+// Semantics (Algorithm 1 lines 5–25):
+//
+//   - a hit pairs with the previous hit on the diagonal when their distance
+//     is in (0, Window);
+//   - a pair whose second hit is already covered by the previous extension
+//     on the diagonal (extReached > qOff) is skipped;
+//   - after an extension scoring above Trigger, the diagonal's reached
+//     position advances to the extension end; otherwise to the hit offset.
+type Canon struct {
+	P      Params
+	Matrix *matrix.Matrix
+}
+
+// DiagState is the per-diagonal state: the last hit offset seen (for
+// pairing) and the furthest query position reached by an extension.
+type DiagState struct {
+	LastPos    int32 // query offset of the previous hit; -1 if none
+	ExtReached int32 // query offset up to which extensions have covered; -1 if none
+}
+
+// Reset prepares the state for a new diagonal.
+func (d *DiagState) Reset() { d.LastPos, d.ExtReached = -1, -1 }
+
+// PairCheck processes one hit's two-hit test on the diagonal: it reports
+// whether the hit pairs with the previous hit (distance in (0, Window)) and
+// advances the diagonal's last-hit position. This is exactly what the
+// muBLASTP pre-filter computes during hit detection (Algorithm 2).
+func (c *Canon) PairCheck(d *DiagState, qOff int) bool {
+	if c.P.OneHit {
+		d.LastPos = int32(qOff)
+		return true
+	}
+	dist := int32(qOff) - d.LastPos
+	paired := d.LastPos >= 0 && dist > 0 && int(dist) < c.P.Window
+	d.LastPos = int32(qOff)
+	return paired
+}
+
+// ExtendPair processes one *paired* hit in the extension stage: skipped if
+// covered by the previous extension on the diagonal, otherwise extended.
+// keep reports whether the extension met the Trigger score. This is
+// Algorithm 1 lines 15–25, shared verbatim between the interleaved and
+// decoupled pipelines.
+func (c *Canon) ExtendPair(d *DiagState, q, s []alphabet.Code, qOff, sOff int) (ext Ext, extended, keep bool) {
+	if d.ExtReached > int32(qOff) {
+		return Ext{}, false, false // covered by a previous extension
+	}
+	ext = Extend(c.Matrix, q, s, qOff, sOff, c.P.XDrop)
+	if ext.Score > c.P.Trigger {
+		d.ExtReached = int32(ext.QEnd)
+		return ext, true, true
+	}
+	d.ExtReached = int32(qOff)
+	return ext, true, false
+}
+
+// Step processes one hit at query offset qOff / subject offset sOff on the
+// diagonal with state d, running the pair check and (when it passes) the
+// extension-stage logic — the interleaved execution of the NCBI pipelines.
+// paired reports the two-hit test outcome, extended whether an extension
+// ran, keep whether it met the Trigger score.
+func (c *Canon) Step(d *DiagState, q, s []alphabet.Code, qOff, sOff int) (ext Ext, paired, extended, keep bool) {
+	if !c.PairCheck(d, qOff) {
+		return Ext{}, false, false, false
+	}
+	ext, extended, keep = c.ExtendPair(d, q, s, qOff, sOff)
+	return ext, true, extended, keep
+}
