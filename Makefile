@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath (stdlib only).
 
-.PHONY: all build vet test bench experiments examples golden clean
+.PHONY: all build vet test race bench experiments examples golden clean
 
 all: build vet test
 
@@ -10,8 +10,13 @@ build:
 vet:
 	go vet ./...
 
-test:
+test: vet race
 	go test ./...
+
+# Race-detector pass over the packages with concurrent hot paths (the batch
+# scheduler, the task-grid runtime, and the engines it drives).
+race:
+	go test -race ./internal/core ./internal/parallel ./internal/search
 
 # Record the full suite and benchmark outputs (as committed).
 record:

@@ -233,6 +233,7 @@ func benchSort(b *testing.B, n int, sorter func([]hit.Pair)) {
 	}
 	work := make([]hit.Pair, n)
 	b.SetBytes(int64(n * 12))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		copy(work, src)
@@ -258,6 +259,48 @@ func BenchmarkHitsort_Merge(b *testing.B) {
 func BenchmarkHitsort_TwoLevelBin(b *testing.B) {
 	scratch := make([]hit.Pair, 1<<17)
 	benchSort(b, 1<<17, func(p []hit.Pair) { hitsort.TwoLevelBin(p, 11, 2048, 2048, scratch) })
+}
+
+func BenchmarkHitsort_TwoLevelBinReusedCounts(b *testing.B) {
+	scratch := make([]hit.Pair, 1<<17)
+	var counts []int
+	benchSort(b, 1<<17, func(p []hit.Pair) {
+		counts = hitsort.TwoLevelBinWith(p, 11, 2048, 2048, scratch, counts)
+	})
+}
+
+// --- Section IV ablation: batch schedulers (barrier vs block-major grid) ---
+
+func BenchmarkSchedulerAblation_Batch(b *testing.B) {
+	uni, _ := fixtures(b)
+	// Skewed mix: mostly short queries plus one straggler, the shape where
+	// per-block barriers leave workers idle.
+	seqs := make([][]alphabet.Code, uni.DB.NumSeqs())
+	for i := range uni.DB.Seqs {
+		seqs[i] = uni.DB.Seqs[i].Data
+	}
+	skewed := append(append([][]alphabet.Code{}, uni.Queries["128"]...),
+		uni.Gen.Queries(seqs, 1, 1024)...)
+	for _, mix := range []struct {
+		name string
+		qs   [][]alphabet.Code
+	}{{"uniform256", uni.Queries["256"]}, {"skewed", skewed}} {
+		for _, s := range []struct {
+			name  string
+			sched core.Scheduler
+		}{{"barrier", core.SchedBarrier}, {"grid", core.SchedBlockMajor}} {
+			b.Run(mix.name+"/"+s.name, func(b *testing.B) {
+				opt := core.DefaultOptions()
+				opt.Scheduler = s.sched
+				e := core.NewWithOptions(uni.Cfg, uni.Index, opt)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					e.SearchBatch(mix.qs, 0)
+				}
+			})
+		}
+	}
 }
 
 func BenchmarkSorterAblation_EndToEnd(b *testing.B) {

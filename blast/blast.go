@@ -72,6 +72,12 @@ type Params struct {
 	// no two-hit pairing): more sensitive, much slower. NCBI pairs it with
 	// NeighborThreshold 13.
 	OneHit bool
+	// Scheduler selects the batch scheduling strategy: "block-major" (the
+	// default, a barrier-free dynamic schedule over the flattened
+	// block × query task grid) or "barrier" (the paper's Algorithm 3 as
+	// printed, with a worker barrier at every index-block boundary; kept
+	// for ablation). Both produce identical results.
+	Scheduler string
 }
 
 // DefaultParams returns the BLASTP defaults the paper evaluates with.
@@ -214,13 +220,29 @@ func newDatabaseFrom(db *dbase.DB, p Params) (*Database, error) {
 	if err != nil {
 		return nil, fmt.Errorf("blast: building index: %w", err)
 	}
+	if _, err := schedulerFor(p.Scheduler); err != nil {
+		return nil, err
+	}
 	d := &Database{params: p, cfg: cfg, db: db, ix: ix, chunkOrigin: chunkOrigin}
 	d.attachEngines()
 	return d, nil
 }
 
+// schedulerFor maps the Params.Scheduler name to the engine option.
+func schedulerFor(name string) (core.Scheduler, error) {
+	switch name {
+	case "", "block-major":
+		return core.SchedBlockMajor, nil
+	case "barrier":
+		return core.SchedBarrier, nil
+	}
+	return 0, fmt.Errorf("blast: unknown scheduler %q (want block-major or barrier)", name)
+}
+
 func (d *Database) attachEngines() {
-	d.mu = core.New(d.cfg, d.ix)
+	opt := core.DefaultOptions()
+	opt.Scheduler, _ = schedulerFor(d.params.Scheduler)
+	d.mu = core.NewWithOptions(d.cfg, d.ix, opt)
 	d.ncbi = search.NewQueryIndexed(d.cfg, d.db)
 	d.ncbiDB = search.NewDBIndexed(d.cfg, d.ix)
 	d.ncbiDFA = search.NewQueryIndexedDFA(d.cfg, d.db)
@@ -321,22 +343,30 @@ func (d *Database) SearchWithEngine(kind EngineKind, query string) (*Result, err
 }
 
 // SearchBatch runs a batch of queries through the muBLASTP engine with the
-// configured thread count (Algorithm 3's block-major parallel loop).
+// configured thread count and scheduler (barrier-free block-major grid by
+// default; Params.Scheduler selects the Algorithm 3 barrier loop instead).
 func (d *Database) SearchBatch(queries []string) ([]*Result, error) {
+	out, _, err := d.SearchBatchStats(queries)
+	return out, err
+}
+
+// SearchBatchStats is SearchBatch plus the batch scheduler's utilization
+// counters (workers used, task spread, busy vs stalled worker-time).
+func (d *Database) SearchBatchStats(queries []string) ([]*Result, search.SchedStats, error) {
 	enc := make([][]alphabet.Code, len(queries))
 	for i, s := range queries {
 		q, err := alphabet.Encode([]byte(s))
 		if err != nil {
-			return nil, fmt.Errorf("blast: query %d: %w", i, err)
+			return nil, search.SchedStats{}, fmt.Errorf("blast: query %d: %w", i, err)
 		}
 		enc[i] = q
 	}
-	results := d.mu.SearchBatch(enc, d.params.Threads)
+	results, sched := d.mu.SearchBatchStats(enc, d.params.Threads)
 	out := make([]*Result, len(results))
 	for i := range results {
 		out[i] = d.convert(enc[i], results[i])
 	}
-	return out, nil
+	return out, sched, nil
 }
 
 func (d *Database) convert(q []alphabet.Code, res search.QueryResult) *Result {

@@ -120,6 +120,69 @@ func TestSearchBatchMatchesSingle(t *testing.T) {
 	}
 }
 
+func TestSchedulerParam(t *testing.T) {
+	_, seqs := testDatabase(t)
+	queries := []string{
+		queryFrom(seqs, 100),
+		queryFrom(seqs[50:], 100),
+		queryFrom(seqs[100:], 100),
+	}
+	// Every accepted spelling produces identical batch results and reports
+	// the scheduler it ran under.
+	type run struct {
+		results []*Result
+		sched   string
+	}
+	runs := map[string]run{}
+	for _, name := range []string{"", "block-major", "barrier"} {
+		p := DefaultParams()
+		p.BlockResidues = 16384
+		p.Scheduler = name
+		db, err := NewDatabase(sharedSeqs, p)
+		if err != nil {
+			t.Fatalf("scheduler %q: %v", name, err)
+		}
+		results, stats, err := db.SearchBatchStats(queries)
+		if err != nil {
+			t.Fatalf("scheduler %q: %v", name, err)
+		}
+		want := "block-major"
+		if name == "barrier" {
+			want = "barrier"
+		}
+		if stats.Scheduler != want {
+			t.Errorf("scheduler %q ran as %q", name, stats.Scheduler)
+		}
+		if stats.Tasks <= 0 {
+			t.Errorf("scheduler %q reported %d tasks", name, stats.Tasks)
+		}
+		runs[name] = run{results, stats.Scheduler}
+	}
+	ref := runs[""]
+	for name, r := range runs {
+		if len(r.results) != len(ref.results) {
+			t.Fatalf("scheduler %q: %d results vs %d", name, len(r.results), len(ref.results))
+		}
+		for i := range r.results {
+			if len(r.results[i].Hits) != len(ref.results[i].Hits) {
+				t.Fatalf("scheduler %q query %d: %d hits vs %d",
+					name, i, len(r.results[i].Hits), len(ref.results[i].Hits))
+			}
+			for j := range r.results[i].Hits {
+				if r.results[i].Hits[j] != ref.results[i].Hits[j] {
+					t.Fatalf("scheduler %q query %d hit %d differs", name, i, j)
+				}
+			}
+		}
+	}
+
+	p := DefaultParams()
+	p.Scheduler = "simd" // not a scheduler
+	if _, err := NewDatabase(sharedSeqs[:3], p); err == nil {
+		t.Error("accepted unknown scheduler")
+	}
+}
+
 func TestInvalidInputs(t *testing.T) {
 	db, _ := testDatabase(t)
 	if _, err := db.Search("MKT1A"); err == nil {

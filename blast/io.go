@@ -95,6 +95,9 @@ func Load(r io.Reader, p Params) (*Database, error) {
 	if err != nil {
 		return nil, err
 	}
+	if _, err := schedulerFor(p.Scheduler); err != nil {
+		return nil, err
+	}
 	if sec, err = readSection("index"); err != nil {
 		return nil, err
 	}

@@ -15,6 +15,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -34,6 +36,7 @@ var experiments = []experiment{
 	{"fig8", "block-size sweep", bench.Fig8},
 	{"fig9", "single-node engine comparison", bench.Fig9},
 	{"fig10", "multi-node scaling vs mpiBLAST", bench.Fig10},
+	{"sched", "barrier vs barrier-free batch scheduling", bench.SchedulerAblation},
 	{"index-size", "two-level vs expanded index size", bench.IndexSize},
 	{"verify", "Section V-E output verification", bench.Verify},
 }
@@ -48,8 +51,40 @@ func main() {
 		seed     = flag.Int64("seed", 0, "override generator seed")
 		blockKB  = flag.Int64("block-kb", 0, "override index block size (KB; 0 = scaled L3 rule)")
 		markdown = flag.Bool("markdown", false, "emit markdown tables")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile after the experiments to this file")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: memprofile: %v\n", err)
+				return
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: memprofile: %v\n", err)
+			}
+			f.Close()
+		}()
+	}
 
 	s := bench.DefaultScale()
 	if *scale == "small" {

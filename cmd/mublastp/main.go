@@ -13,6 +13,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"repro/blast"
@@ -28,6 +30,9 @@ func main() {
 		evalue    = flag.Float64("evalue", 10, "E-value cutoff")
 		maxHits   = flag.Int("max-hits", 250, "maximum hits per query")
 		format    = flag.String("format", "summary", "output format: summary, full, or tabular")
+		scheduler = flag.String("scheduler", "block-major", "batch scheduler: block-major or barrier")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the search to this file")
+		memProf   = flag.String("memprofile", "", "write a heap profile after the search to this file")
 	)
 	flag.Parse()
 	if *queryPath == "" || (*dbPath == "") == (*subjects == "") {
@@ -52,6 +57,7 @@ func main() {
 	p.EValueCutoff = *evalue
 	p.MaxResults = *maxHits
 	p.Threads = *threads
+	p.Scheduler = *scheduler
 
 	var db *blast.Database
 	var err error
@@ -73,6 +79,35 @@ func main() {
 	queries, err := blast.ReadFASTAFile(*queryPath)
 	if err != nil {
 		fatalf("reading queries: %v", err)
+	}
+
+	// The profile window covers only the search phase, not database
+	// construction or output formatting.
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fatalf("cpuprofile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatalf("cpuprofile: %v", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fatalf("memprofile: %v", err)
+			}
+			runtime.GC() // flush dead objects so the profile shows live scratch
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatalf("memprofile: %v", err)
+			}
+			f.Close()
+		}()
 	}
 
 	out := bufio.NewWriter(os.Stdout)

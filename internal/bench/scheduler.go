@@ -1,0 +1,76 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/alphabet"
+	"repro/internal/core"
+	"repro/internal/search"
+)
+
+// SchedulerAblation compares the two batch schedulers (DESIGN.md ablation
+// item 6): the per-block barrier loop as printed in Algorithm 3 versus the
+// barrier-free block-major task grid. Both run the same uniform and skewed
+// query mixes at several thread counts; the skewed mix (short queries plus
+// one much longer straggler) is where the barrier leaves workers idling at
+// block boundaries and the grid does not.
+func SchedulerAblation(s Scale) (*Table, error) {
+	w, err := Uniprot(s)
+	if err != nil {
+		return nil, err
+	}
+	seqs := make([][]alphabet.Code, w.DB.NumSeqs())
+	for i := range w.DB.Seqs {
+		seqs[i] = w.DB.Seqs[i].Data
+	}
+	skewed := w.Gen.Queries(seqs, s.Batch-1, 128)
+	skewed = append(skewed, w.Gen.Queries(seqs, 1, 1024)...)
+	mixes := []struct {
+		name string
+		qs   [][]alphabet.Code
+	}{
+		{"uniform-256", w.Queries["256"]},
+		{"skewed-128+1024", skewed},
+	}
+
+	var threadCounts []int
+	seen := map[int]bool{}
+	for _, threads := range []int{1, 2, s.threads(), 2 * s.threads()} {
+		if threads >= 1 && !seen[threads] {
+			seen[threads] = true
+			threadCounts = append(threadCounts, threads)
+		}
+	}
+	t := &Table{
+		Title: "Scheduler ablation: per-block barrier vs barrier-free block-major grid (uniprot_sprot-like, batch of " +
+			fmt.Sprint(s.Batch) + ")",
+		Columns: []string{"queries", "threads", "barrier (s)", "grid (s)", "grid speedup",
+			"barrier util (%)", "grid util (%)"},
+	}
+	for _, mix := range mixes {
+		for _, threads := range threadCounts {
+			bTime, bStats := runScheduler(w, core.SchedBarrier, mix.qs, threads)
+			gTime, gStats := runScheduler(w, core.SchedBlockMajor, mix.qs, threads)
+			t.AddRow(mix.name, threads, secs(bTime), secs(gTime), ratio(bTime, gTime),
+				pct(bStats.Utilization()), pct(gStats.Utilization()))
+		}
+	}
+	t.Note("barrier: workers rejoin after every index block (Algorithm 3 as printed); grid: one atomic task counter over the (block x query) grid, merged at finalize")
+	t.Note("both schedulers produce byte-identical output (TestBatchIdentityAllOptions); utilization = busy time / (workers x elapsed)")
+	return t, nil
+}
+
+// runScheduler times one warm batch run under the given scheduler and
+// returns its wall time plus the scheduler's own utilization counters.
+func runScheduler(w *Workload, sched core.Scheduler, qs [][]alphabet.Code, threads int) (time.Duration, search.SchedStats) {
+	opt := core.DefaultOptions()
+	opt.Scheduler = sched
+	e := core.NewWithOptions(w.Cfg, w.Index, opt)
+	// One untimed pass warms the per-worker scratch pool so both schedulers
+	// are measured at steady state.
+	e.SearchBatchStats(qs, threads)
+	var stats search.SchedStats
+	elapsed := TimeIt(func() { _, stats = e.SearchBatchStats(qs, threads) })
+	return elapsed, stats
+}

@@ -21,6 +21,8 @@ package core
 
 import (
 	"fmt"
+	"sync"
+	"time"
 
 	"repro/internal/alphabet"
 	"repro/internal/dbindex"
@@ -46,6 +48,34 @@ const (
 	SortTwoLevel
 )
 
+// Scheduler selects how SearchBatch distributes (block, query) work across
+// threads.
+type Scheduler int
+
+const (
+	// SchedBlockMajor is the default: one dynamic-schedule pass over the
+	// flattened (block × query) task grid, ordered block-major so
+	// consecutive tasks share a hot index block, with no synchronization
+	// between blocks. Results land in per-task cells merged at finalize, so
+	// the output is identical to sequential search.
+	SchedBlockMajor Scheduler = iota
+	// SchedBarrier is Algorithm 3 as printed: blocks processed one at a
+	// time with a full worker barrier at every block boundary. Kept for the
+	// scheduling ablation; a straggler query idles every other worker once
+	// per block.
+	SchedBarrier
+)
+
+func (s Scheduler) String() string {
+	switch s {
+	case SchedBlockMajor:
+		return "block-major"
+	case SchedBarrier:
+		return "barrier"
+	}
+	return fmt.Sprintf("Scheduler(%d)", int(s))
+}
+
 // Options toggles the paper's individual optimizations, for ablation.
 type Options struct {
 	// Prefilter enables the hit pre-filter (Section IV-C). Disabling it
@@ -54,10 +84,15 @@ type Options struct {
 	Prefilter bool
 	// Sorter selects the reordering algorithm.
 	Sorter Sorter
+	// Scheduler selects the batch scheduling strategy (zero value:
+	// barrier-free block-major grid).
+	Scheduler Scheduler
 }
 
 // DefaultOptions enables every muBLASTP optimization as evaluated.
-func DefaultOptions() Options { return Options{Prefilter: true, Sorter: SortLSD} }
+func DefaultOptions() Options {
+	return Options{Prefilter: true, Sorter: SortLSD, Scheduler: SchedBlockMajor}
+}
 
 // Engine is the muBLASTP search engine.
 type Engine struct {
@@ -67,6 +102,11 @@ type Engine struct {
 
 	subjOff []int64
 	ixBase  []int64
+	canon   ungapped.Canon
+	// scratches pools per-worker state across Search/SearchBatch calls, so
+	// steady-state searches re-allocate neither the last-hit arrays nor the
+	// hit/pair buffers nor the gapped aligner's DP rows.
+	scratches sync.Pool
 }
 
 // New creates a muBLASTP engine with default options.
@@ -89,28 +129,38 @@ func NewWithOptions(cfg *search.Config, ix *dbindex.Index, opt Options) *Engine 
 		e.ixBase[i] = base
 		base += b.SizeBytes()
 	}
+	e.canon = ungapped.Canon{P: cfg.TwoHit, Matrix: cfg.Matrix}
+	e.scratches.New = func() any { return e.newScratch() }
 	return e
 }
 
 // scratch is the per-worker reusable state.
 type scratch struct {
-	lastPos search.StampedLastPos
-	diagOff []int32
-	pairs   []hit.Pair
-	pairBuf []hit.Pair
-	hits    []hit.Hit
-	hitBuf  []hit.Hit
-	exts    []ungapped.Ext
-	aligner *gapped.Aligner
+	lastPos   search.StampedLastPos
+	diagOff   []int32
+	pairs     []hit.Pair
+	pairBuf   []hit.Pair
+	hits      []hit.Hit
+	hitBuf    []hit.Hit
+	exts      []ungapped.Ext
+	binCounts []int
+	aligner   *gapped.Aligner
 }
 
 func (e *Engine) newScratch() *scratch {
 	return &scratch{aligner: gapped.NewAligner(e.Cfg.Matrix, e.Cfg.Gap)}
 }
 
+// getScratch takes a scratch from the pool (allocating on first use).
+func (e *Engine) getScratch() *scratch { return e.scratches.Get().(*scratch) }
+
+// putScratch returns a scratch for reuse by later searches.
+func (e *Engine) putScratch(sc *scratch) { e.scratches.Put(sc) }
+
 // Search runs one query through all index blocks sequentially.
 func (e *Engine) Search(queryIdx int, q []alphabet.Code) search.QueryResult {
-	sc := e.newScratch()
+	sc := e.getScratch()
+	defer e.putScratch(sc)
 	var st search.Stats
 	var subjects []search.SubjectAlignments
 	if len(q) >= alphabet.W {
@@ -122,32 +172,135 @@ func (e *Engine) Search(queryIdx int, q []alphabet.Code) search.QueryResult {
 	return search.Finalize(e.Cfg, sc.aligner, queryIdx, q, e.Ix.DB, subjects, st)
 }
 
-// SearchBatch implements the multithreaded loop structure of Algorithm 3:
-// index blocks are processed one at a time (so every thread works on the
-// same block and shares it in cache), queries are distributed dynamically
-// across threads within each block, and per-query finalization runs as a
-// second parallel loop.
+// SearchBatch runs a batch of queries across threads using the configured
+// scheduler (barrier-free block-major grid by default; see Scheduler).
 func (e *Engine) SearchBatch(queries [][]alphabet.Code, threads int) []search.QueryResult {
-	scratches := make([]*scratch, parallel.NumWorkers(len(queries), threads))
-	for i := range scratches {
-		scratches[i] = e.newScratch()
+	results, _ := e.SearchBatchStats(queries, threads)
+	return results
+}
+
+// SearchBatchStats is SearchBatch plus the scheduler's utilization counters
+// for the hit-search phase.
+func (e *Engine) SearchBatchStats(queries [][]alphabet.Code, threads int) ([]search.QueryResult, search.SchedStats) {
+	if e.Opt.Scheduler == SchedBarrier {
+		return e.searchBatchBarrier(queries, threads)
 	}
+	return e.searchBatchGrid(queries, threads)
+}
+
+// searchBatchGrid is the barrier-free scheduler: the (block × query) grid is
+// flattened into one task list ordered block-major — consecutive tasks share
+// a hot index block, preserving the cache-locality argument of Algorithm 3 —
+// and workers pull tasks from a single atomic counter with no synchronization
+// until the whole grid drains. Task (bi, qi) writes its alignments and stats
+// into the preallocated cell bi*nq+qi, so there are no locks and no append
+// races; finalize concatenates each query's cells in block order, which is
+// exactly the order sequential Search visits blocks — output is identical.
+func (e *Engine) searchBatchGrid(queries [][]alphabet.Code, threads int) ([]search.QueryResult, search.SchedStats) {
+	nq := len(queries)
+	nb := len(e.Ix.Blocks)
+	nTasks := nb * nq
+	workers := parallel.NumWorkers(nTasks, threads)
+	scratches := make([]*scratch, workers)
+	for i := range scratches {
+		scratches[i] = e.getScratch()
+	}
+	defer func() {
+		for _, sc := range scratches {
+			e.putScratch(sc)
+		}
+	}()
+	cells := make([][]search.SubjectAlignments, nTasks)
+	cellStats := make([]search.Stats, nTasks)
+	ts := parallel.ForTasks(nTasks, threads, func(w, t int) {
+		bi, qi := t/nq, t%nq
+		q := queries[qi]
+		if len(q) < alphabet.W {
+			return
+		}
+		st := &cellStats[t]
+		start := time.Now()
+		cells[t] = e.searchBlock(scratches[w], q, bi, st)
+		st.SchedTasks = 1
+		st.SchedBusyNanos = int64(time.Since(start))
+	})
+
+	results := make([]search.QueryResult, nq)
+	parallel.ForWorkers(nq, workers, func(w, qi int) {
+		total := 0
+		for bi := 0; bi < nb; bi++ {
+			total += len(cells[bi*nq+qi])
+		}
+		var subjects []search.SubjectAlignments
+		if total > 0 {
+			subjects = make([]search.SubjectAlignments, 0, total)
+		}
+		var st search.Stats
+		for bi := 0; bi < nb; bi++ {
+			t := bi*nq + qi
+			subjects = append(subjects, cells[t]...)
+			st.Add(cellStats[t])
+		}
+		results[qi] = search.Finalize(e.Cfg, scratches[w].aligner, qi, queries[qi], e.Ix.DB, subjects, st)
+	})
+	return results, schedStatsFrom(SchedBlockMajor, ts)
+}
+
+// searchBatchBarrier implements the multithreaded loop structure of
+// Algorithm 3 as printed: index blocks are processed one at a time (every
+// thread works on the same block and shares it in cache), queries are
+// distributed dynamically across threads within each block — with a full
+// worker barrier at every block boundary — and per-query finalization runs
+// as a second parallel loop. Kept as the ablation baseline for the
+// barrier-free grid scheduler.
+func (e *Engine) searchBatchBarrier(queries [][]alphabet.Code, threads int) ([]search.QueryResult, search.SchedStats) {
+	workers := parallel.NumWorkers(len(queries), threads)
+	scratches := make([]*scratch, workers)
+	for i := range scratches {
+		scratches[i] = e.getScratch()
+	}
+	defer func() {
+		for _, sc := range scratches {
+			e.putScratch(sc)
+		}
+	}()
 	subjects := make([][]search.SubjectAlignments, len(queries))
 	stats := make([]search.Stats, len(queries))
+	var ts parallel.TaskStats
 	for bi := range e.Ix.Blocks {
-		parallel.ForWorkers(len(queries), threads, func(w, qi int) {
+		blockTS := parallel.ForTasks(len(queries), threads, func(w, qi int) {
 			if len(queries[qi]) < alphabet.W {
 				return
 			}
-			subs := e.searchBlock(scratches[w], queries[qi], bi, &stats[qi])
+			st := &stats[qi]
+			start := time.Now()
+			subs := e.searchBlock(scratches[w], queries[qi], bi, st)
+			st.SchedTasks++
+			st.SchedBusyNanos += int64(time.Since(start))
 			subjects[qi] = append(subjects[qi], subs...)
 		})
+		ts.Merge(blockTS)
 	}
 	results := make([]search.QueryResult, len(queries))
 	parallel.ForWorkers(len(queries), threads, func(w, qi int) {
 		results[qi] = search.Finalize(e.Cfg, scratches[w].aligner, qi, queries[qi], e.Ix.DB, subjects[qi], stats[qi])
 	})
-	return results
+	return results, schedStatsFrom(SchedBarrier, ts)
+}
+
+// schedStatsFrom folds one scheduler run's counters into the search-level
+// summary.
+func schedStatsFrom(s Scheduler, ts parallel.TaskStats) search.SchedStats {
+	return search.SchedStats{
+		Scheduler:      s.String(),
+		Workers:        ts.Workers,
+		Tasks:          int64(ts.Tasks),
+		MinWorkerTasks: ts.MinWorkerTasks(),
+		MaxWorkerTasks: ts.MaxWorkerTasks(),
+		BusyNanos:      ts.TotalBusyNanos(),
+		StallNanos:     ts.StallNanos(),
+		ElapsedNanos:   ts.ElapsedNanos,
+	}
 }
 
 // searchBlock runs the decoupled pipeline for one (block, query) pair and
@@ -285,7 +438,7 @@ func (e *Engine) sortPairs(sc *scratch, coder hit.KeyCoder) {
 	case SortMerge:
 		hitsort.Merge(sc.pairs, sc.pairBuf)
 	case SortTwoLevel:
-		hitsort.TwoLevelBin(sc.pairs, coder.DiagBits, coder.NumSeqs, coder.NumDiags, sc.pairBuf)
+		sc.binCounts = hitsort.TwoLevelBinWith(sc.pairs, coder.DiagBits, coder.NumSeqs, coder.NumDiags, sc.pairBuf, sc.binCounts)
 	}
 }
 
@@ -302,7 +455,7 @@ func (e *Engine) sortHits(sc *scratch, coder hit.KeyCoder) {
 	case SortMerge:
 		hitsort.Merge(sc.hits, sc.hitBuf)
 	case SortTwoLevel:
-		hitsort.TwoLevelBin(sc.hits, coder.DiagBits, coder.NumSeqs, coder.NumDiags, sc.hitBuf)
+		sc.binCounts = hitsort.TwoLevelBinWith(sc.hits, coder.DiagBits, coder.NumSeqs, coder.NumDiags, sc.hitBuf, sc.binCounts)
 	}
 }
 
@@ -327,7 +480,7 @@ func (e *Engine) traceSort(n, recordSize, passes int) {
 // once (the locality the reordering buys).
 func (e *Engine) extendPairs(sc *scratch, q []alphabet.Code, bi int, coder hit.KeyCoder, diagBias int, st *search.Stats) []search.SubjectAlignments {
 	b := e.Ix.Blocks[bi]
-	canon := &ungapped.Canon{P: e.Cfg.TwoHit, Matrix: e.Cfg.Matrix}
+	canon := &e.canon
 	trace := e.Cfg.Trace
 
 	var subjects []search.SubjectAlignments
@@ -388,7 +541,7 @@ func (e *Engine) extendPairs(sc *scratch, q []alphabet.Code, bi int, coder hit.K
 // and extension in one pass (Algorithm 1's post-filter form).
 func (e *Engine) extendPostFiltered(sc *scratch, q []alphabet.Code, bi int, coder hit.KeyCoder, diagBias int, st *search.Stats) []search.SubjectAlignments {
 	b := e.Ix.Blocks[bi]
-	canon := &ungapped.Canon{P: e.Cfg.TwoHit, Matrix: e.Cfg.Matrix}
+	canon := &e.canon
 	trace := e.Cfg.Trace
 
 	var subjects []search.SubjectAlignments

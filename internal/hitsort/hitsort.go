@@ -206,8 +206,25 @@ func mergeRuns[T Keyed](out, a, b []T) {
 // paper criticizes) and moves every record twice regardless of how few
 // survive filtering. diagBits is the width of the diagonal field in the key.
 func TwoLevelBin[T Keyed](items []T, diagBits uint32, numSeqs, numDiags int, scratch []T) {
+	TwoLevelBinWith(items, diagBits, numSeqs, numDiags, scratch, nil)
+}
+
+// TwoLevelBinWith is TwoLevelBin with a caller-provided counting buffer, so
+// repeated sorts (one per (block, query) task in the batch hot path) stop
+// re-allocating the histogram arrays. The two binning passes run back to
+// back, so one buffer of max(numDiags, numSeqs)+1 entries serves both; it is
+// grown as needed and returned for the caller to keep. The fixed 256-entry
+// histograms of LSD and MSD live on the stack and need no such pooling.
+func TwoLevelBinWith[T Keyed](items []T, diagBits uint32, numSeqs, numDiags int, scratch []T, counts []int) []int {
+	need := numDiags + 1
+	if numSeqs+1 > need {
+		need = numSeqs + 1
+	}
+	if cap(counts) < need {
+		counts = make([]int, need)
+	}
 	if len(items) < 2 {
-		return
+		return counts
 	}
 	if cap(scratch) < len(items) {
 		scratch = make([]T, len(items))
@@ -216,38 +233,41 @@ func TwoLevelBin[T Keyed](items []T, diagBits uint32, numSeqs, numDiags int, scr
 	diagMask := uint32(1)<<diagBits - 1
 
 	// Pass 1: bin by diagonal id.
-	counts := make([]int, numDiags+1)
+	c1 := counts[:numDiags+1]
+	clear(c1)
 	for i := range items {
-		counts[items[i].SortKey()&diagMask]++
+		c1[items[i].SortKey()&diagMask]++
 	}
 	sum := 0
-	for d := range counts {
-		c := counts[d]
-		counts[d] = sum
+	for d := range c1 {
+		c := c1[d]
+		c1[d] = sum
 		sum += c
 	}
 	for i := range items {
 		d := items[i].SortKey() & diagMask
-		scratch[counts[d]] = items[i]
-		counts[d]++
+		scratch[c1[d]] = items[i]
+		c1[d]++
 	}
 
 	// Pass 2: bin by sequence id.
-	counts2 := make([]int, numSeqs+1)
+	c2 := counts[:numSeqs+1]
+	clear(c2)
 	for i := range scratch {
-		counts2[scratch[i].SortKey()>>diagBits]++
+		c2[scratch[i].SortKey()>>diagBits]++
 	}
 	sum = 0
-	for s := range counts2 {
-		c := counts2[s]
-		counts2[s] = sum
+	for s := range c2 {
+		c := c2[s]
+		c2[s] = sum
 		sum += c
 	}
 	for i := range scratch {
 		s := scratch[i].SortKey() >> diagBits
-		items[counts2[s]] = scratch[i]
-		counts2[s]++
+		items[c2[s]] = scratch[i]
+		c2[s]++
 	}
+	return counts
 }
 
 // IsSorted reports whether items are in non-decreasing key order.

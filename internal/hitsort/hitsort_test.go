@@ -175,6 +175,49 @@ func TestIsSorted(t *testing.T) {
 	}
 }
 
+func TestTwoLevelBinWithReusesCounts(t *testing.T) {
+	coder, err := hit.NewKeyCoder(512, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(6))
+	n := 5000
+	scratch := make([]hit.Hit, n)
+	var counts []int
+	for trial := 0; trial < 4; trial++ {
+		hits := make([]hit.Hit, n)
+		for i := range hits {
+			hits[i] = hit.Hit{Key: coder.Encode(rng.Intn(512), rng.Intn(1024)), QOff: int32(i)}
+		}
+		want := append([]hit.Hit(nil), hits...)
+		sort.SliceStable(want, func(i, j int) bool { return want[i].Key < want[j].Key })
+		counts = TwoLevelBinWith(hits, coder.DiagBits, 512, 1024, scratch, counts)
+		for i := range hits {
+			if hits[i] != want[i] {
+				t.Fatalf("trial %d: mismatch at %d", trial, i)
+			}
+		}
+	}
+	// With buffers warmed, re-sorting must not allocate at all.
+	hits := make([]hit.Hit, n)
+	refill := func() {
+		for i := range hits {
+			hits[i] = hit.Hit{Key: coder.Encode(rng.Intn(512), rng.Intn(1024)), QOff: int32(i)}
+		}
+	}
+	refill()
+	allocs := testing.AllocsPerRun(10, func() {
+		counts = TwoLevelBinWith(hits, coder.DiagBits, 512, 1024, scratch, counts)
+	})
+	if allocs != 0 {
+		t.Errorf("TwoLevelBinWith allocates %.1f objects per sort with warm buffers, want 0", allocs)
+	}
+	// The count buffer must be sized for the larger of the two passes.
+	if len(counts) == 0 || cap(counts) < 1025 {
+		t.Errorf("returned counts cap %d, want >= 1025", cap(counts))
+	}
+}
+
 func TestTwoLevelBinMatchesLSDOnRealisticKeys(t *testing.T) {
 	// Realistic block shape: 512 sequences x 1024 diagonals.
 	coder, err := hit.NewKeyCoder(512, 1024)

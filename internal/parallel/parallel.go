@@ -9,6 +9,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // NumWorkers returns the number of workers ForWorkers will actually use for
@@ -69,4 +70,150 @@ func ForWorkers(n, workers int, fn func(worker, i int)) {
 		}(w)
 	}
 	wg.Wait()
+}
+
+// TaskStats reports what each worker did during one ForTasks run. Every pull
+// from the shared counter is effectively a steal from one global queue, so
+// per-worker task counts show how the load actually distributed; busy time
+// vs run wall-clock shows how much of the run each worker spent stalled
+// (waiting behind the final barrier after the queue drained, or descheduled).
+type TaskStats struct {
+	Workers int // workers actually used
+	Tasks   int // tasks executed (== max(n, 0))
+	// WorkerTasks[w] counts the tasks worker w pulled from the shared queue.
+	WorkerTasks []int64
+	// WorkerBusy[w] is the wall-clock nanoseconds worker w spent inside fn.
+	WorkerBusy []int64
+	// ElapsedNanos is the wall-clock duration of the whole run.
+	ElapsedNanos int64
+}
+
+// Utilization is the fraction of total worker-time spent inside tasks:
+// sum(WorkerBusy) / (Workers * ElapsedNanos), in (0, 1] for any run that did
+// work. A straggler task that idles the other workers lowers it.
+func (ts *TaskStats) Utilization() float64 {
+	if ts.Workers == 0 || ts.ElapsedNanos <= 0 {
+		return 0
+	}
+	return float64(ts.TotalBusyNanos()) / (float64(ts.Workers) * float64(ts.ElapsedNanos))
+}
+
+// TotalBusyNanos sums the workers' in-task time.
+func (ts *TaskStats) TotalBusyNanos() int64 {
+	var sum int64
+	for _, b := range ts.WorkerBusy {
+		sum += b
+	}
+	return sum
+}
+
+// StallNanos is the total worker-time spent outside tasks:
+// Workers * ElapsedNanos - TotalBusyNanos, clamped at zero.
+func (ts *TaskStats) StallNanos() int64 {
+	s := int64(ts.Workers)*ts.ElapsedNanos - ts.TotalBusyNanos()
+	if s < 0 {
+		s = 0
+	}
+	return s
+}
+
+// MinWorkerTasks returns the smallest per-worker task count.
+func (ts *TaskStats) MinWorkerTasks() int64 {
+	if len(ts.WorkerTasks) == 0 {
+		return 0
+	}
+	min := ts.WorkerTasks[0]
+	for _, c := range ts.WorkerTasks[1:] {
+		if c < min {
+			min = c
+		}
+	}
+	return min
+}
+
+// MaxWorkerTasks returns the largest per-worker task count.
+func (ts *TaskStats) MaxWorkerTasks() int64 {
+	var max int64
+	for _, c := range ts.WorkerTasks {
+		if c > max {
+			max = c
+		}
+	}
+	return max
+}
+
+// Merge folds another run's counters into ts (summing tasks, busy time and
+// elapsed time; per-worker slices are added elementwise). Used by callers
+// that run one ForTasks per stage and want whole-phase numbers.
+func (ts *TaskStats) Merge(o TaskStats) {
+	if o.Workers > ts.Workers {
+		ts.Workers = o.Workers
+	}
+	ts.Tasks += o.Tasks
+	ts.ElapsedNanos += o.ElapsedNanos
+	for len(ts.WorkerTasks) < len(o.WorkerTasks) {
+		ts.WorkerTasks = append(ts.WorkerTasks, 0)
+		ts.WorkerBusy = append(ts.WorkerBusy, 0)
+	}
+	for w := range o.WorkerTasks {
+		ts.WorkerTasks[w] += o.WorkerTasks[w]
+		ts.WorkerBusy[w] += o.WorkerBusy[w]
+	}
+}
+
+// ForTasks is ForWorkers plus scheduler instrumentation: it runs fn(worker,
+// task) for task in [0, n) with dynamic scheduling from a single atomic
+// counter and returns per-worker utilization counters. There is exactly one
+// synchronization point — the final wait after the counter passes n — so a
+// flattened task grid (e.g. block-major (block, query) cells) runs with no
+// intermediate barriers. The timing overhead is two clock reads per task;
+// callers with sub-microsecond tasks should use ForWorkers instead.
+func ForTasks(n, workers int, fn func(worker, task int)) TaskStats {
+	if n <= 0 {
+		return TaskStats{Workers: 0, Tasks: 0}
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	ts := TaskStats{
+		Workers:     workers,
+		Tasks:       n,
+		WorkerTasks: make([]int64, workers),
+		WorkerBusy:  make([]int64, workers),
+	}
+	runStart := time.Now()
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			taskStart := time.Now()
+			fn(0, i)
+			ts.WorkerBusy[0] += int64(time.Since(taskStart))
+		}
+		ts.WorkerTasks[0] = int64(n)
+		ts.ElapsedNanos = int64(time.Since(runStart))
+		return ts
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				taskStart := time.Now()
+				fn(worker, i)
+				ts.WorkerBusy[worker] += int64(time.Since(taskStart))
+				ts.WorkerTasks[worker]++
+			}
+		}(w)
+	}
+	wg.Wait()
+	ts.ElapsedNanos = int64(time.Since(runStart))
+	return ts
 }

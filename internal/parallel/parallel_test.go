@@ -61,6 +61,119 @@ func TestDynamicSchedulingBalancesSkew(t *testing.T) {
 	}
 }
 
+func TestForTasksCoversAllIterations(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 100, 1000} {
+		for _, workers := range []int{0, 1, 3, 16, 2000} {
+			seen := make([]atomic.Int32, n)
+			ts := ForTasks(n, workers, func(_, i int) { seen[i].Add(1) })
+			for i := range seen {
+				if got := seen[i].Load(); got != 1 {
+					t.Fatalf("n=%d workers=%d: task %d ran %d times", n, workers, i, got)
+				}
+			}
+			if ts.Tasks != n {
+				t.Errorf("n=%d workers=%d: stats report %d tasks", n, workers, ts.Tasks)
+			}
+			var sum int64
+			for _, c := range ts.WorkerTasks {
+				sum += c
+			}
+			if sum != int64(n) {
+				t.Errorf("n=%d workers=%d: per-worker counts sum to %d", n, workers, sum)
+			}
+		}
+	}
+}
+
+func TestForTasksStatsAccounting(t *testing.T) {
+	const n, workers = 64, 4
+	ts := ForTasks(n, workers, func(_, i int) { time.Sleep(time.Millisecond) })
+	if ts.Workers != workers {
+		t.Fatalf("used %d workers, want %d", ts.Workers, workers)
+	}
+	if ts.Tasks != n {
+		t.Errorf("ran %d tasks, want %d", ts.Tasks, n)
+	}
+	// Sleeping tasks yield the processor, so even on one CPU every worker
+	// pulls from the queue while it is non-empty.
+	if ts.MinWorkerTasks() < 1 {
+		t.Errorf("a worker pulled %d tasks", ts.MinWorkerTasks())
+	}
+	if ts.MaxWorkerTasks() < ts.MinWorkerTasks() {
+		t.Errorf("task spread inverted: max %d < min %d", ts.MaxWorkerTasks(), ts.MinWorkerTasks())
+	}
+	if ts.TotalBusyNanos() < int64(n)*int64(time.Millisecond)/2 {
+		t.Errorf("busy time %d ns implausibly small", ts.TotalBusyNanos())
+	}
+	if ts.ElapsedNanos <= 0 {
+		t.Error("no elapsed time recorded")
+	}
+	if u := ts.Utilization(); u <= 0 || u > 1.05 {
+		t.Errorf("utilization %.3f outside (0, 1]", u)
+	}
+	if ts.StallNanos() < 0 {
+		t.Errorf("negative stall %d", ts.StallNanos())
+	}
+}
+
+func TestForTasksStragglerNoIdling(t *testing.T) {
+	// One 40ms straggler plus 63 cheap tasks on 4 workers: with a single
+	// task queue and no intermediate barriers, the cheap tasks drain on the
+	// other workers while the straggler runs — elapsed stays near the
+	// straggler's own time, far below the 103ms serial sum, and utilization
+	// stays high (sleeps yield, so this holds even on one CPU).
+	const n = 64
+	ts := ForTasks(n, 4, func(_, i int) {
+		if i == 0 {
+			time.Sleep(40 * time.Millisecond)
+		} else {
+			time.Sleep(time.Millisecond)
+		}
+	})
+	if ts.ElapsedNanos > int64(90*time.Millisecond) {
+		t.Errorf("elapsed %v suggests workers idled behind the straggler", time.Duration(ts.ElapsedNanos))
+	}
+	if u := ts.Utilization(); u < 0.3 {
+		t.Errorf("utilization %.3f; workers idled", u)
+	}
+}
+
+func TestForTasksSingleWorkerSequential(t *testing.T) {
+	order := make([]int, 0, 10)
+	ts := ForTasks(10, 1, func(w, i int) {
+		if w != 0 {
+			t.Errorf("worker id %d with 1 worker", w)
+		}
+		order = append(order, i) // safe: single worker
+	})
+	for i, v := range order {
+		if v != i {
+			t.Errorf("sequential order violated: %v", order)
+		}
+	}
+	if ts.Workers != 1 || ts.WorkerTasks[0] != 10 {
+		t.Errorf("single-worker stats wrong: %+v", ts)
+	}
+}
+
+func TestTaskStatsMerge(t *testing.T) {
+	a := TaskStats{Workers: 2, Tasks: 10, WorkerTasks: []int64{6, 4}, WorkerBusy: []int64{600, 400}, ElapsedNanos: 1000}
+	b := TaskStats{Workers: 3, Tasks: 5, WorkerTasks: []int64{1, 2, 2}, WorkerBusy: []int64{100, 200, 200}, ElapsedNanos: 500}
+	a.Merge(b)
+	if a.Workers != 3 || a.Tasks != 15 || a.ElapsedNanos != 1500 {
+		t.Errorf("merged totals wrong: %+v", a)
+	}
+	if a.WorkerTasks[0] != 7 || a.WorkerTasks[1] != 6 || a.WorkerTasks[2] != 2 {
+		t.Errorf("merged per-worker tasks wrong: %v", a.WorkerTasks)
+	}
+	if a.TotalBusyNanos() != 1500 {
+		t.Errorf("merged busy %d, want 1500", a.TotalBusyNanos())
+	}
+	if a.MinWorkerTasks() != 2 || a.MaxWorkerTasks() != 7 {
+		t.Errorf("min/max %d/%d, want 2/7", a.MinWorkerTasks(), a.MaxWorkerTasks())
+	}
+}
+
 func TestSingleWorkerIsSequential(t *testing.T) {
 	order := make([]int, 0, 10)
 	ForWorkers(10, 1, func(w, i int) {

@@ -106,6 +106,12 @@ type Stats struct {
 	Kept        int64 // ungapped extensions above the trigger score
 	GappedExts  int64 // score-only gapped extensions performed (stage 3)
 	Tracebacks  int64 // traceback re-alignments of reported HSPs (stage 4)
+
+	// Scheduler counters, set only by batch searches: how many scheduler
+	// tasks (index-block × query cells) this query's work was split into and
+	// how long workers spent inside them. Zero for single-query searches.
+	SchedTasks     int64
+	SchedBusyNanos int64
 }
 
 // Add accumulates o into s.
@@ -117,6 +123,32 @@ func (s *Stats) Add(o Stats) {
 	s.Kept += o.Kept
 	s.GappedExts += o.GappedExts
 	s.Tracebacks += o.Tracebacks
+	s.SchedTasks += o.SchedTasks
+	s.SchedBusyNanos += o.SchedBusyNanos
+}
+
+// SchedStats summarizes the batch scheduler's behaviour over one SearchBatch
+// call (the hit-search phase; per-query finalization is not counted). It is
+// the batch-level complement of the per-query Sched* fields in Stats.
+type SchedStats struct {
+	Scheduler      string // "block-major" (barrier-free grid) or "barrier"
+	Workers        int    // workers actually used
+	Tasks          int64  // (block, query) tasks executed
+	MinWorkerTasks int64  // fewest tasks any worker pulled
+	MaxWorkerTasks int64  // most tasks any worker pulled
+	BusyNanos      int64  // total worker-time inside tasks
+	StallNanos     int64  // total worker-time outside tasks (barriers, idle)
+	ElapsedNanos   int64  // wall-clock time of the search phase
+}
+
+// Utilization is the fraction of total worker-time spent inside tasks,
+// in (0, 1] for any batch that did work. Per-block barriers and straggler
+// queries show up as utilization lost to StallNanos.
+func (s SchedStats) Utilization() float64 {
+	if s.Workers == 0 || s.ElapsedNanos <= 0 {
+		return 0
+	}
+	return float64(s.BusyNanos) / (float64(s.Workers) * float64(s.ElapsedNanos))
 }
 
 // HSP is one reported alignment between the query and a subject sequence.
