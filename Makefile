@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath (stdlib only).
 
-.PHONY: all build vet test race bench experiments examples golden clean
+.PHONY: all build vet test race fuzz bench experiments examples golden clean
 
 all: build vet test
 
@@ -10,13 +10,24 @@ build:
 vet:
 	go vet ./...
 
-test: vet race
+test: vet race fuzz
 	go test ./...
 
 # Race-detector pass over the packages with concurrent hot paths (the batch
 # scheduler, the task-grid runtime, and the engines it drives).
 race:
 	go test -race ./internal/core ./internal/parallel ./internal/search
+
+# Short-budget fuzz pass over every decoder at the I/O boundary: the FASTA
+# parser, the database and index deserializers, and the container loader.
+# Each corpus gets a fixed time slice so the default test flow stays fast;
+# crank -fuzztime up for a real hunt.
+FUZZTIME ?= 10s
+fuzz:
+	go test -fuzz=FuzzReader -fuzztime=$(FUZZTIME) -run='^$$' ./internal/fasta
+	go test -fuzz=FuzzReadFrom -fuzztime=$(FUZZTIME) -run='^$$' ./internal/dbase
+	go test -fuzz=FuzzReadFrom -fuzztime=$(FUZZTIME) -run='^$$' ./internal/dbindex
+	go test -fuzz=FuzzLoad -fuzztime=$(FUZZTIME) -run='^$$' ./blast
 
 # Record the full suite and benchmark outputs (as committed).
 record:

@@ -140,7 +140,15 @@ type Database struct {
 
 	// Long-sequence splitting bookkeeping: origin[i] records where db.Seqs
 	// (post-sort, by Name lookup) chunks came from. Keyed by chunk name.
+	// The table is persisted in the saved container (ORGN section) rather
+	// than recovered from name suffixes, so sequence names containing "#"
+	// are never misread as chunks.
 	chunkOrigin map[string]chunkInfo
+
+	// Effective split geometry the database was built with (0/0 when
+	// splitting is disabled); recorded in the saved container's fingerprint.
+	splitLen     int
+	splitOverlap int
 
 	mu      *core.Engine
 	ncbi    *search.QueryIndexed
@@ -181,16 +189,9 @@ func newDatabaseFrom(db *dbase.DB, p Params) (*Database, error) {
 	if err != nil {
 		return nil, err
 	}
-	splitLen := p.SplitLongerThan
-	if splitLen == 0 {
-		splitLen = 10000
-	}
-	overlap := p.SplitOverlap
-	if overlap <= 0 {
-		overlap = 256
-	}
+	splitLen, overlap := effectiveSplit(p)
 	var chunkOrigin map[string]chunkInfo
-	if splitLen > 0 && overlap < splitLen {
+	if splitLen > 0 {
 		origNames := make([]string, db.NumSeqs())
 		for i := range db.Seqs {
 			origNames[i] = db.Seqs[i].Name
@@ -223,9 +224,29 @@ func newDatabaseFrom(db *dbase.DB, p Params) (*Database, error) {
 	if _, err := schedulerFor(p.Scheduler); err != nil {
 		return nil, err
 	}
-	d := &Database{params: p, cfg: cfg, db: db, ix: ix, chunkOrigin: chunkOrigin}
+	d := &Database{params: p, cfg: cfg, db: db, ix: ix, chunkOrigin: chunkOrigin,
+		splitLen: splitLen, splitOverlap: overlap}
 	d.attachEngines()
 	return d, nil
+}
+
+// effectiveSplit resolves Params' long-sequence split geometry to the values
+// actually applied: (0, 0) when splitting is disabled, otherwise the
+// threshold and overlap with defaults filled in. Load compares these against
+// the saved fingerprint.
+func effectiveSplit(p Params) (splitLen, overlap int) {
+	splitLen = p.SplitLongerThan
+	if splitLen == 0 {
+		splitLen = 10000
+	}
+	overlap = p.SplitOverlap
+	if overlap <= 0 {
+		overlap = 256
+	}
+	if splitLen <= 0 || overlap >= splitLen {
+		return 0, 0
+	}
+	return splitLen, overlap
 }
 
 // schedulerFor maps the Params.Scheduler name to the engine option.
@@ -246,17 +267,6 @@ func (d *Database) attachEngines() {
 	d.ncbi = search.NewQueryIndexed(d.cfg, d.db)
 	d.ncbiDB = search.NewDBIndexed(d.cfg, d.ix)
 	d.ncbiDFA = search.NewQueryIndexedDFA(d.cfg, d.db)
-}
-
-// readIndex deserializes an index and re-attaches the in-memory pieces the
-// serialized form omits (database and neighbor table).
-func readIndex(r interface{ Read([]byte) (int, error) }, db *dbase.DB, cfg *search.Config) (*dbindex.Index, error) {
-	ix, err := dbindex.ReadFrom(r, db)
-	if err != nil {
-		return nil, fmt.Errorf("blast: loading index: %w", err)
-	}
-	ix.Neighbors = cfg.Neighbors
-	return ix, nil
 }
 
 func buildConfig(p Params) (*search.Config, error) {

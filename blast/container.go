@@ -1,0 +1,557 @@
+package blast
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"repro/internal/alphabet"
+	"repro/internal/dbase"
+	"repro/internal/dbindex"
+)
+
+// This file implements the on-disk database container (format version 2).
+//
+// A saved database is a long-lived, network-shipped artifact — the whole
+// point of the paper's database index is build-once/search-many reuse — so
+// the container is hardened against corruption and parameter drift:
+//
+//	magic   13 bytes  "\x89muBLASTP\r\n\x1a\n" (PNG-style: catches text-mode
+//	                  mangling and truncation at a glance)
+//	version uint16 LE (currently 2)
+//	sections, in fixed order: PRMS, SEQS, XIDX, ORGN, FEND
+//
+// Each section is framed as
+//
+//	tag     4 bytes   ASCII
+//	length  uint64 LE payload bytes
+//	payload
+//	crc32   uint32 LE IEEE CRC of tag+length+payload
+//
+// PRMS holds the build fingerprint (matrix name, word size W, neighbor
+// threshold T, block residues, split parameters) that Load validates against
+// the caller's Params. SEQS and XIDX carry the dbase and dbindex streams.
+// ORGN persists the split-chunk origin table, replacing the old recovery of
+// origins by parsing "#<offset>" name suffixes (which misclassified user
+// sequences whose names legitimately contain "#<digits>"). FEND is an empty
+// trailer section, so truncation anywhere is detectable. Load verifies every
+// checksum, that each section is fully consumed, and that nothing follows
+// FEND.
+//
+// Version history: version 1 is the pre-container format (bare
+// length-prefixed sections, no magic, no checksums, no fingerprint); it is
+// detected and rejected with ErrVersion. Any layout change bumps the
+// version; readers reject versions they do not know.
+
+// Typed load errors. Callers can distinguish "the artifact is damaged,
+// rebuild it" (ErrCorrupt), "the artifact comes from an incompatible
+// writer" (ErrVersion), and "operator error: the requested Params do not
+// match what the index was built with" (ErrParamsMismatch) via errors.Is.
+var (
+	ErrCorrupt        = errors.New("database container corrupt")
+	ErrVersion        = errors.New("unsupported database container version")
+	ErrParamsMismatch = errors.New("params do not match database build fingerprint")
+)
+
+const (
+	containerMagic   = "\x89muBLASTP\r\n\x1a\n"
+	containerVersion = 2
+)
+
+// Section tags, in file order.
+const (
+	secParams = "PRMS"
+	secSeqs   = "SEQS"
+	secIndex  = "XIDX"
+	secOrigin = "ORGN"
+	secEnd    = "FEND"
+)
+
+// Per-section payload caps. A flipped bit in a length field must never drive
+// an allocation, so every declared length is checked against the cap for its
+// section before any decoding starts; the decoders additionally cap each
+// internal allocation against the declared section length.
+const (
+	maxParamsSection = 1 << 16
+	maxSeqsSection   = 1 << 38
+	maxIndexSection  = 1 << 38
+	maxOriginSection = 1 << 30
+)
+
+// Fingerprint identifies how a saved database was built. Load refuses to
+// attach an index to Params it was not built for (see Load for the exact
+// policy); Verify reports it for operators.
+type Fingerprint struct {
+	Matrix            string // canonical substitution-matrix name
+	WordSize          int    // alphabet.W of the writer
+	NeighborThreshold int    // neighbor-word score threshold T
+	BlockResidues     int64  // residue cap each index block was built with
+	SplitLongerThan   int    // long-sequence split threshold; 0 = splitting disabled
+	SplitOverlap      int    // split-chunk overlap; 0 when splitting disabled
+}
+
+// ContainerInfo is what Verify reports about a container it fully validated.
+type ContainerInfo struct {
+	Version       int
+	Fingerprint   Fingerprint
+	NumSequences  int
+	TotalResidues int64
+	NumBlocks     int
+	NumChunks     int // sequences that are chunks of a split original
+}
+
+func corruptf(format string, args ...any) error {
+	return fmt.Errorf("blast: %w: %s", ErrCorrupt, fmt.Sprintf(format, args...))
+}
+
+func mismatchf(format string, args ...any) error {
+	return fmt.Errorf("blast: %w: %s", ErrParamsMismatch, fmt.Sprintf(format, args...))
+}
+
+// fingerprint captures the database's build parameters for Save.
+func (d *Database) fingerprint() Fingerprint {
+	return Fingerprint{
+		Matrix:            d.cfg.Matrix.Name,
+		WordSize:          alphabet.W,
+		NeighborThreshold: d.params.NeighborThreshold,
+		BlockResidues:     d.ix.BlockResidues,
+		SplitLongerThan:   d.splitLen,
+		SplitOverlap:      d.splitOverlap,
+	}
+}
+
+// Save writes the database (fingerprint, sequences, index, split origins)
+// as a version-2 container so a later Load skips index construction — the
+// reuse the paper's database-index design is for. Every section is framed
+// with a length and a CRC32 so Load can prove integrity.
+func (d *Database) Save(w io.Writer) error {
+	var hdr [len(containerMagic) + 2]byte
+	copy(hdr[:], containerMagic)
+	binary.LittleEndian.PutUint16(hdr[len(containerMagic):], containerVersion)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("blast: saving header: %w", err)
+	}
+	writeSection := func(tag string, fill func(io.Writer) error) error {
+		var buf bytes.Buffer
+		if err := fill(&buf); err != nil {
+			return fmt.Errorf("blast: saving %s section: %w", tag, err)
+		}
+		var sh [12]byte
+		copy(sh[:4], tag)
+		binary.LittleEndian.PutUint64(sh[4:], uint64(buf.Len()))
+		crc := crc32.NewIEEE()
+		crc.Write(sh[:])
+		crc.Write(buf.Bytes())
+		var tail [4]byte
+		binary.LittleEndian.PutUint32(tail[:], crc.Sum32())
+		for _, p := range [][]byte{sh[:], buf.Bytes(), tail[:]} {
+			if _, err := w.Write(p); err != nil {
+				return fmt.Errorf("blast: saving %s section: %w", tag, err)
+			}
+		}
+		return nil
+	}
+	if err := writeSection(secParams, d.writeFingerprint); err != nil {
+		return err
+	}
+	if err := writeSection(secSeqs, func(w io.Writer) error { _, err := d.db.WriteTo(w); return err }); err != nil {
+		return err
+	}
+	if err := writeSection(secIndex, func(w io.Writer) error { _, err := d.ix.WriteTo(w); return err }); err != nil {
+		return err
+	}
+	if err := writeSection(secOrigin, d.writeOrigins); err != nil {
+		return err
+	}
+	return writeSection(secEnd, func(io.Writer) error { return nil })
+}
+
+func (d *Database) writeFingerprint(w io.Writer) error {
+	fp := d.fingerprint()
+	var buf [binary.MaxVarintLen64]byte
+	out := make([]byte, 0, 64)
+	out = append(out, buf[:binary.PutUvarint(buf[:], uint64(len(fp.Matrix)))]...)
+	out = append(out, fp.Matrix...)
+	for _, v := range []int64{
+		int64(fp.WordSize), int64(fp.NeighborThreshold), fp.BlockResidues,
+		int64(fp.SplitLongerThan), int64(fp.SplitOverlap),
+	} {
+		out = append(out, buf[:binary.PutVarint(buf[:], v)]...)
+	}
+	_, err := w.Write(out)
+	return err
+}
+
+// writeOrigins persists the split-chunk origin table: for every database
+// sequence that is a chunk of a split original, its index, the chunk's
+// offset in the original, and the original's name.
+func (d *Database) writeOrigins(w io.Writer) error {
+	var buf [binary.MaxVarintLen64]byte
+	var out []byte
+	putUvarint := func(v uint64) { out = append(out, buf[:binary.PutUvarint(buf[:], v)]...) }
+	n := 0
+	for i := range d.db.Seqs {
+		if _, ok := d.chunkOrigin[d.db.Seqs[i].Name]; ok {
+			n++
+		}
+	}
+	putUvarint(uint64(n))
+	for i := range d.db.Seqs {
+		info, ok := d.chunkOrigin[d.db.Seqs[i].Name]
+		if !ok {
+			continue
+		}
+		putUvarint(uint64(i))
+		putUvarint(uint64(info.offset))
+		putUvarint(uint64(len(info.origName)))
+		out = append(out, info.origName...)
+	}
+	_, err := w.Write(out)
+	return err
+}
+
+// container is a fully decoded and checksum-verified artifact, before any
+// Params-dependent wiring.
+type container struct {
+	fp      Fingerprint
+	db      *dbase.DB
+	ix      *dbindex.Index
+	origins map[string]chunkInfo
+}
+
+// loadContainer decodes and validates a container independent of Params:
+// magic, version, every section checksum, full consumption of every
+// section, structural bounds of the decoded database and index, and no
+// trailing bytes after the FEND trailer.
+func loadContainer(r io.Reader) (*container, error) {
+	head := make([]byte, len(containerMagic)+2)
+	if _, err := io.ReadFull(r, head); err != nil {
+		return nil, corruptf("reading container header: %v", err)
+	}
+	if !bytes.Equal(head[:len(containerMagic)], []byte(containerMagic)) {
+		// The pre-container format starts with an 8-byte section length
+		// followed by the dbase magic.
+		if bytes.Equal(head[8:13], []byte("MUDB1")) {
+			return nil, fmt.Errorf("blast: %w: legacy version-1 database (bare sections, no checksums); rebuild it with makedb", ErrVersion)
+		}
+		return nil, corruptf("bad magic %q: not a muBLASTP database container", head[:len(containerMagic)])
+	}
+	if v := binary.LittleEndian.Uint16(head[len(containerMagic):]); v != containerVersion {
+		return nil, fmt.Errorf("blast: %w: container version %d (this build reads version %d)", ErrVersion, v, containerVersion)
+	}
+	c := &container{}
+	readSection := func(wantTag string, maxLen int64, decode func(r io.Reader, length int64) error) error {
+		var sh [12]byte
+		if _, err := io.ReadFull(r, sh[:]); err != nil {
+			return corruptf("%s section header: %v", wantTag, err)
+		}
+		if string(sh[:4]) != wantTag {
+			return corruptf("expected %s section, found %q", wantTag, sh[:4])
+		}
+		length := binary.LittleEndian.Uint64(sh[4:])
+		if length > uint64(maxLen) {
+			return corruptf("%s section declares %d bytes (cap %d)", wantTag, length, maxLen)
+		}
+		crc := crc32.NewIEEE()
+		crc.Write(sh[:])
+		lim := &io.LimitedReader{R: r, N: int64(length)}
+		tee := io.TeeReader(lim, crc)
+		if decode != nil {
+			if err := decode(tee, int64(length)); err != nil {
+				if errors.Is(err, ErrCorrupt) || errors.Is(err, ErrVersion) || errors.Is(err, ErrParamsMismatch) {
+					return err
+				}
+				return corruptf("%s section: %v", wantTag, err)
+			}
+		}
+		// A valid writer leaves nothing unread; push any remainder through
+		// the checksum so the report distinguishes garbage from corruption.
+		if n, err := io.Copy(io.Discard, tee); err != nil {
+			return corruptf("%s section: %v", wantTag, err)
+		} else if n > 0 {
+			return corruptf("%s section: %d trailing bytes after payload", wantTag, n)
+		}
+		var tail [4]byte
+		if _, err := io.ReadFull(r, tail[:]); err != nil {
+			return corruptf("%s section checksum: %v", wantTag, err)
+		}
+		if got, want := binary.LittleEndian.Uint32(tail[:]), crc.Sum32(); got != want {
+			return corruptf("%s section checksum mismatch (stored %08x, computed %08x)", wantTag, got, want)
+		}
+		return nil
+	}
+	if err := readSection(secParams, maxParamsSection, func(r io.Reader, length int64) error {
+		return c.readFingerprint(r, length)
+	}); err != nil {
+		return nil, err
+	}
+	if err := readSection(secSeqs, maxSeqsSection, func(r io.Reader, length int64) error {
+		db, err := dbase.ReadFromLimit(r, length)
+		if err != nil {
+			return err
+		}
+		if !db.IsSortedByLength() {
+			return fmt.Errorf("sequences not in ascending length order")
+		}
+		c.db = db
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	if err := readSection(secIndex, maxIndexSection, func(r io.Reader, length int64) error {
+		ix, err := dbindex.ReadFromLimit(r, c.db, length)
+		if err != nil {
+			return err
+		}
+		if ix.BlockResidues != c.fp.BlockResidues {
+			return fmt.Errorf("index block residues %d disagree with fingerprint %d", ix.BlockResidues, c.fp.BlockResidues)
+		}
+		c.ix = ix
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	if err := readSection(secOrigin, maxOriginSection, func(r io.Reader, length int64) error {
+		return c.readOrigins(r, length)
+	}); err != nil {
+		return nil, err
+	}
+	if err := readSection(secEnd, 0, nil); err != nil {
+		return nil, err
+	}
+	var one [1]byte
+	if _, err := io.ReadFull(r, one[:]); err == nil {
+		return nil, corruptf("trailing garbage after %s trailer", secEnd)
+	} else if err != io.EOF {
+		return nil, corruptf("after %s trailer: %v", secEnd, err)
+	}
+	return c, nil
+}
+
+func (c *container) readFingerprint(r io.Reader, length int64) error {
+	data := make([]byte, length)
+	if _, err := io.ReadFull(r, data); err != nil {
+		return err
+	}
+	rd := bytes.NewReader(data)
+	nameLen, err := binary.ReadUvarint(rd)
+	if err != nil {
+		return fmt.Errorf("matrix name length: %w", err)
+	}
+	if nameLen > 256 {
+		return fmt.Errorf("implausible matrix name length %d", nameLen)
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(rd, name); err != nil {
+		return fmt.Errorf("matrix name: %w", err)
+	}
+	c.fp.Matrix = string(name)
+	fields := []struct {
+		what string
+		dst  *int64
+		min  int64
+		max  int64
+	}{
+		{"word size", nil, 1, 8},
+		{"neighbor threshold", nil, -(1 << 16), 1 << 16},
+		{"block residues", &c.fp.BlockResidues, 1, 1 << 50},
+		{"split threshold", nil, 0, 1 << 31},
+		{"split overlap", nil, 0, 1 << 31},
+	}
+	ints := []*int{&c.fp.WordSize, &c.fp.NeighborThreshold, nil, &c.fp.SplitLongerThan, &c.fp.SplitOverlap}
+	for i, f := range fields {
+		v, err := binary.ReadVarint(rd)
+		if err != nil {
+			return fmt.Errorf("%s: %w", f.what, err)
+		}
+		if v < f.min || v > f.max {
+			return fmt.Errorf("%s %d out of range [%d,%d]", f.what, v, f.min, f.max)
+		}
+		if f.dst != nil {
+			*f.dst = v
+		}
+		if ints[i] != nil {
+			*ints[i] = int(v)
+		}
+	}
+	if rd.Len() != 0 {
+		return fmt.Errorf("%d trailing bytes in fingerprint", rd.Len())
+	}
+	if c.fp.WordSize != alphabet.W {
+		return fmt.Errorf("blast: %w: database indexed with word size %d, this build uses %d", ErrVersion, c.fp.WordSize, alphabet.W)
+	}
+	if c.fp.SplitLongerThan > 0 && c.fp.SplitOverlap >= c.fp.SplitLongerThan {
+		return fmt.Errorf("split overlap %d not below split threshold %d", c.fp.SplitOverlap, c.fp.SplitLongerThan)
+	}
+	return nil
+}
+
+func (c *container) readOrigins(r io.Reader, length int64) error {
+	data := make([]byte, length)
+	if _, err := io.ReadFull(r, data); err != nil {
+		return err
+	}
+	rd := bytes.NewReader(data)
+	n, err := binary.ReadUvarint(rd)
+	if err != nil {
+		return fmt.Errorf("origin count: %w", err)
+	}
+	if n > uint64(c.db.NumSeqs()) {
+		return fmt.Errorf("origin count %d exceeds %d sequences", n, c.db.NumSeqs())
+	}
+	for i := uint64(0); i < n; i++ {
+		seqIdx, err := binary.ReadUvarint(rd)
+		if err != nil {
+			return fmt.Errorf("origin %d sequence index: %w", i, err)
+		}
+		if seqIdx >= uint64(c.db.NumSeqs()) {
+			return fmt.Errorf("origin %d sequence index %d out of range", i, seqIdx)
+		}
+		off, err := binary.ReadUvarint(rd)
+		if err != nil {
+			return fmt.Errorf("origin %d offset: %w", i, err)
+		}
+		if off > 1<<31 {
+			return fmt.Errorf("origin %d implausible offset %d", i, off)
+		}
+		nameLen, err := binary.ReadUvarint(rd)
+		if err != nil {
+			return fmt.Errorf("origin %d name length: %w", i, err)
+		}
+		if nameLen > 1<<20 {
+			return fmt.Errorf("origin %d implausible name length %d", i, nameLen)
+		}
+		name := make([]byte, nameLen)
+		if _, err := io.ReadFull(rd, name); err != nil {
+			return fmt.Errorf("origin %d name: %w", i, err)
+		}
+		if c.origins == nil {
+			c.origins = make(map[string]chunkInfo, n)
+		}
+		c.origins[c.db.Seqs[seqIdx].Name] = chunkInfo{origName: string(name), offset: int(off)}
+	}
+	if rd.Len() != 0 {
+		return fmt.Errorf("%d trailing bytes in origin table", rd.Len())
+	}
+	return nil
+}
+
+// open wires a decoded container to the caller's Params, enforcing the
+// build fingerprint.
+func (c *container) open(p Params) (*Database, error) {
+	cfg, err := buildConfig(p)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := schedulerFor(p.Scheduler); err != nil {
+		return nil, err
+	}
+	// Matrix and neighbor threshold determine the neighbor table hit
+	// detection runs with; the index stores exact-word positions only, so a
+	// drifted table silently changes which alignments are found. Strict.
+	if cfg.Matrix.Name != c.fp.Matrix {
+		return nil, mismatchf("matrix %q requested, database built with %q", cfg.Matrix.Name, c.fp.Matrix)
+	}
+	if p.NeighborThreshold != c.fp.NeighborThreshold {
+		return nil, mismatchf("neighbor threshold %d requested, database built with %d", p.NeighborThreshold, c.fp.NeighborThreshold)
+	}
+	// Block size and split geometry are frozen at build time; an explicit
+	// conflicting request is an operator error, while the zero value means
+	// "whatever the database was built with" and adopts the stored values.
+	if p.BlockResidues > 0 && p.BlockResidues != c.fp.BlockResidues {
+		return nil, mismatchf("block residues %d requested, database built with %d", p.BlockResidues, c.fp.BlockResidues)
+	}
+	p.BlockResidues = c.fp.BlockResidues
+	if p.SplitLongerThan != 0 {
+		el, eo := effectiveSplit(p)
+		if el != c.fp.SplitLongerThan || eo != c.fp.SplitOverlap {
+			return nil, mismatchf("split parameters %d/%d requested, database built with %d/%d",
+				el, eo, c.fp.SplitLongerThan, c.fp.SplitOverlap)
+		}
+	}
+	if c.fp.SplitLongerThan > 0 {
+		p.SplitLongerThan, p.SplitOverlap = c.fp.SplitLongerThan, c.fp.SplitOverlap
+	} else {
+		p.SplitLongerThan, p.SplitOverlap = -1, 0
+	}
+	c.ix.Neighbors = cfg.Neighbors
+	d := &Database{
+		params: p, cfg: cfg, db: c.db, ix: c.ix,
+		chunkOrigin: c.origins,
+		splitLen:    c.fp.SplitLongerThan, splitOverlap: c.fp.SplitOverlap,
+	}
+	d.attachEngines()
+	return d, nil
+}
+
+// Load reads a database written by Save. The Params must be compatible with
+// the build fingerprint stored in the container: Matrix and
+// NeighborThreshold must equal what the index was built with, and
+// BlockResidues / SplitLongerThan / SplitOverlap must either be left at
+// their zero values (adopting the stored ones) or match them. Failures are
+// typed: errors.Is(err, ErrCorrupt) means the artifact is damaged and must
+// be rebuilt, ErrVersion means it was written by an incompatible version,
+// and ErrParamsMismatch means the request disagrees with the fingerprint.
+func Load(r io.Reader, p Params) (*Database, error) {
+	c, err := loadContainer(r)
+	if err != nil {
+		return nil, err
+	}
+	return c.open(p)
+}
+
+// Verify fully validates a container — header, version, every checksum,
+// complete decode of all sections, no trailing bytes — without constructing
+// a searchable database, and reports what it holds. This is what
+// `mublastp -verifydb` runs.
+func Verify(r io.Reader) (*ContainerInfo, error) {
+	c, err := loadContainer(r)
+	if err != nil {
+		return nil, err
+	}
+	return &ContainerInfo{
+		Version:       containerVersion,
+		Fingerprint:   c.fp,
+		NumSequences:  c.db.NumSeqs(),
+		TotalResidues: c.db.TotalResidues,
+		NumBlocks:     len(c.ix.Blocks),
+		NumChunks:     len(c.origins),
+	}, nil
+}
+
+// SaveFile, LoadFile, and VerifyFile are file-path conveniences.
+func (d *Database) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := d.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a database written by SaveFile.
+func LoadFile(path string, p Params) (*Database, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f, p)
+}
+
+// VerifyFile validates a database file written by SaveFile.
+func VerifyFile(path string) (*ContainerInfo, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Verify(f)
+}

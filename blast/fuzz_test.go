@@ -1,0 +1,51 @@
+package blast
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/alphabet"
+	"repro/internal/seqgen"
+)
+
+// FuzzLoad: arbitrary bytes must never panic Load or drive an OOM-scale
+// allocation, and anything that decodes as a valid container must be
+// searchable. The section CRCs mean mutated inputs should essentially
+// always be rejected with a typed error.
+func FuzzLoad(f *testing.F) {
+	g := seqgen.New(seqgen.UniprotProfile(), 3)
+	raw := g.Database(4)
+	seqs := make([]Sequence, len(raw))
+	for i, s := range raw {
+		seqs[i] = Sequence{Name: nameFor(i), Residues: alphabet.String(s)}
+	}
+	p := DefaultParams()
+	p.BlockResidues = 16384
+	db, err := NewDatabase(seqs, p)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(containerMagic)+2])
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte{})
+	f.Add([]byte(containerMagic))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		loaded, err := Load(bytes.NewReader(data), DefaultParams())
+		if err != nil {
+			if !isTyped(err) {
+				t.Fatalf("untyped load error: %v", err)
+			}
+			return
+		}
+		// Whatever loaded must be internally consistent enough to search.
+		if _, err := loaded.Search("MKTAYIAKQRQISFVK"); err != nil {
+			t.Fatalf("loaded database cannot search: %v", err)
+		}
+	})
+}

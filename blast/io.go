@@ -1,15 +1,9 @@
 package blast
 
 import (
-	"bytes"
-	"encoding/binary"
-	"fmt"
 	"io"
 	"os"
-	"strconv"
-	"strings"
 
-	"repro/internal/dbase"
 	"repro/internal/fasta"
 )
 
@@ -45,113 +39,4 @@ func WriteFASTA(w io.Writer, seqs []Sequence) error {
 		}
 	}
 	return fw.Flush()
-}
-
-// Save writes the database (sequences + index) so a later Load skips index
-// construction — the reuse the paper's database-index design is for. Each
-// section is length-prefixed so Load can delimit them on a plain stream.
-func (d *Database) Save(w io.Writer) error {
-	writeSection := func(fill func(io.Writer) error, what string) error {
-		var buf bytes.Buffer
-		if err := fill(&buf); err != nil {
-			return fmt.Errorf("blast: saving %s: %w", what, err)
-		}
-		var hdr [8]byte
-		binary.LittleEndian.PutUint64(hdr[:], uint64(buf.Len()))
-		if _, err := w.Write(hdr[:]); err != nil {
-			return fmt.Errorf("blast: saving %s: %w", what, err)
-		}
-		if _, err := w.Write(buf.Bytes()); err != nil {
-			return fmt.Errorf("blast: saving %s: %w", what, err)
-		}
-		return nil
-	}
-	if err := writeSection(func(w io.Writer) error { _, err := d.db.WriteTo(w); return err }, "sequences"); err != nil {
-		return err
-	}
-	return writeSection(func(w io.Writer) error { _, err := d.ix.WriteTo(w); return err }, "index")
-}
-
-// Load reads a database written by Save. The params must request the same
-// matrix and neighbor threshold the index was built with (the index itself
-// stores only exact-word positions, so scoring parameters may differ).
-func Load(r io.Reader, p Params) (*Database, error) {
-	readSection := func(what string) (io.Reader, error) {
-		var hdr [8]byte
-		if _, err := io.ReadFull(r, hdr[:]); err != nil {
-			return nil, fmt.Errorf("blast: loading %s: %w", what, err)
-		}
-		return io.LimitReader(r, int64(binary.LittleEndian.Uint64(hdr[:]))), nil
-	}
-	sec, err := readSection("sequences")
-	if err != nil {
-		return nil, err
-	}
-	db, err := dbase.ReadFrom(sec)
-	if err != nil {
-		return nil, fmt.Errorf("blast: loading sequences: %w", err)
-	}
-	cfg, err := buildConfig(p)
-	if err != nil {
-		return nil, err
-	}
-	if _, err := schedulerFor(p.Scheduler); err != nil {
-		return nil, err
-	}
-	if sec, err = readSection("index"); err != nil {
-		return nil, err
-	}
-	ix, err := readIndex(sec, db, cfg)
-	if err != nil {
-		return nil, err
-	}
-	d := &Database{params: p, cfg: cfg, db: db, ix: ix, chunkOrigin: recoverChunkOrigins(db)}
-	d.attachEngines()
-	return d, nil
-}
-
-// recoverChunkOrigins rebuilds the split-chunk mapping from the "#<offset>"
-// name suffixes dbase.SplitLong assigns, so databases saved after splitting
-// still report original-sequence coordinates after a Load.
-func recoverChunkOrigins(db *dbase.DB) map[string]chunkInfo {
-	var out map[string]chunkInfo
-	for i := range db.Seqs {
-		name := db.Seqs[i].Name
-		hash := strings.LastIndexByte(name, '#')
-		if hash < 0 {
-			continue
-		}
-		off, err := strconv.Atoi(name[hash+1:])
-		if err != nil || off < 0 {
-			continue
-		}
-		if out == nil {
-			out = make(map[string]chunkInfo)
-		}
-		out[name] = chunkInfo{origName: name[:hash], offset: off}
-	}
-	return out
-}
-
-// SaveFile and LoadFile are file-path conveniences.
-func (d *Database) SaveFile(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := d.Save(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
-}
-
-// LoadFile reads a database written by SaveFile.
-func LoadFile(path string, p Params) (*Database, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	return Load(f, p)
 }

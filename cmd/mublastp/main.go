@@ -6,6 +6,7 @@
 //
 //	mublastp -db db.mublastp -query queries.fasta
 //	mublastp -subjects db.fasta -query queries.fasta -engine ncbi -format full
+//	mublastp -verifydb db.mublastp
 package main
 
 import (
@@ -33,8 +34,28 @@ func main() {
 		scheduler = flag.String("scheduler", "block-major", "batch scheduler: block-major or barrier")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the search to this file")
 		memProf   = flag.String("memprofile", "", "write a heap profile after the search to this file")
+		verifyDB  = flag.String("verifydb", "", "verify a saved database container (checksums, fingerprint, full decode) and exit")
 	)
 	flag.Parse()
+	if *verifyDB != "" {
+		info, err := blast.VerifyFile(*verifyDB)
+		if err != nil {
+			fatalf("verify %s: %v", *verifyDB, err)
+		}
+		fp := info.Fingerprint
+		fmt.Printf("%s: OK (container version %d)\n", *verifyDB, info.Version)
+		fmt.Printf("  matrix %s, word size %d, neighbor threshold %d\n",
+			fp.Matrix, fp.WordSize, fp.NeighborThreshold)
+		fmt.Printf("  %d sequences, %d residues, %d index blocks (%d residues/block)\n",
+			info.NumSequences, info.TotalResidues, info.NumBlocks, fp.BlockResidues)
+		if fp.SplitLongerThan > 0 {
+			fmt.Printf("  long sequences split at %d residues (overlap %d): %d chunks\n",
+				fp.SplitLongerThan, fp.SplitOverlap, info.NumChunks)
+		} else {
+			fmt.Printf("  long-sequence splitting disabled\n")
+		}
+		return
+	}
 	if *queryPath == "" || (*dbPath == "") == (*subjects == "") {
 		fmt.Fprintln(os.Stderr, "mublastp: need -query and exactly one of -db / -subjects")
 		flag.Usage()

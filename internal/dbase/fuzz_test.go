@@ -24,7 +24,10 @@ func FuzzReadFrom(f *testing.F) {
 	f.Add([]byte("MUDB1\n"))
 	f.Add(valid[:len(valid)/2])
 	f.Fuzz(func(t *testing.T, data []byte) {
-		got, err := ReadFrom(bytes.NewReader(data))
+		// The budget-aware entry point is what the container loader uses;
+		// it bounds every claimed length by the input size, so a mutated
+		// count can never drive an allocation much larger than the input.
+		got, err := ReadFromLimit(bytes.NewReader(data), int64(len(data)))
 		if err != nil {
 			return
 		}

@@ -16,8 +16,8 @@ import (
 //	per sequence: uvarint nameLen, name bytes, uvarint seqLen, residue codes
 //
 // Residue codes are stored raw (one byte each, values < 24). The format is
-// deliberately simple: the on-disk artifact the pipelines actually reuse is
-// the database *index* (internal/dbindex has its own serializer).
+// deliberately simple: it is one section payload of the blast container,
+// which layers versioning and CRC32 checksums on top.
 
 const dbMagic = "MUDB1\n"
 
@@ -58,8 +58,20 @@ func (db *DB) WriteTo(w io.Writer) (int64, error) {
 	return n, bw.Flush()
 }
 
-// ReadFrom deserializes a database written by WriteTo.
+// ReadFrom deserializes a database written by WriteTo. The stream must
+// contain exactly one serialized database: trailing bytes are an error.
 func ReadFrom(r io.Reader) (*DB, error) {
+	return ReadFromLimit(r, 1<<62)
+}
+
+// ReadFromLimit is ReadFrom with an allocation budget: every length claimed
+// by the stream is validated against maxBytes (normally the section size the
+// caller knows from its framing) before anything is allocated, so a corrupt
+// or hostile stream cannot trigger an allocation much larger than itself.
+func ReadFromLimit(r io.Reader, maxBytes int64) (*DB, error) {
+	if maxBytes < 0 {
+		return nil, fmt.Errorf("dbase: negative read limit %d", maxBytes)
+	}
 	br := bufio.NewReader(r)
 	magic := make([]byte, len(dbMagic))
 	if _, err := io.ReadFull(br, magic); err != nil {
@@ -72,8 +84,9 @@ func ReadFrom(r io.Reader) (*DB, error) {
 	if err != nil {
 		return nil, fmt.Errorf("dbase: reading sequence count: %w", err)
 	}
-	const maxSeqs = 1 << 30
-	if numSeqs > maxSeqs {
+	// Each sequence costs at least two uvarint bytes, so the count can never
+	// exceed half the stream budget.
+	if numSeqs > 1<<30 || int64(numSeqs) > maxBytes/2+1 {
 		return nil, fmt.Errorf("dbase: implausible sequence count %d", numSeqs)
 	}
 	db := &DB{Seqs: make([]Sequence, numSeqs)}
@@ -82,7 +95,7 @@ func ReadFrom(r io.Reader) (*DB, error) {
 		if err != nil {
 			return nil, fmt.Errorf("dbase: seq %d name length: %w", i, err)
 		}
-		if nameLen > 1<<20 {
+		if nameLen > 1<<20 || int64(nameLen) > maxBytes {
 			return nil, fmt.Errorf("dbase: seq %d implausible name length %d", i, nameLen)
 		}
 		name := make([]byte, nameLen)
@@ -93,7 +106,7 @@ func ReadFrom(r io.Reader) (*DB, error) {
 		if err != nil {
 			return nil, fmt.Errorf("dbase: seq %d length: %w", i, err)
 		}
-		if seqLen > 1<<28 {
+		if seqLen > 1<<28 || int64(seqLen) > maxBytes {
 			return nil, fmt.Errorf("dbase: seq %d implausible length %d", i, seqLen)
 		}
 		data := make([]alphabet.Code, seqLen)
@@ -107,6 +120,12 @@ func ReadFrom(r io.Reader) (*DB, error) {
 		}
 		db.Seqs[i] = Sequence{ID: i, Name: string(name), Data: data}
 		db.TotalResidues += int64(seqLen)
+	}
+	if _, err := br.ReadByte(); err != io.EOF {
+		if err != nil {
+			return nil, fmt.Errorf("dbase: after last sequence: %w", err)
+		}
+		return nil, fmt.Errorf("dbase: trailing garbage after last sequence")
 	}
 	return db, nil
 }

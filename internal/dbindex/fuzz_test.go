@@ -1,0 +1,53 @@
+package dbindex
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/alphabet"
+	"repro/internal/dbase"
+	"repro/internal/seqgen"
+)
+
+// FuzzReadFrom: arbitrary bytes must never panic the index deserializer or
+// drive an allocation much larger than the input, and anything it accepts
+// must satisfy the invariants the unchecked search hot path depends on
+// (block ranges inside the database, every packed position decoding to a
+// real word start).
+func FuzzReadFrom(f *testing.F) {
+	g := seqgen.New(seqgen.UniprotProfile(), 5)
+	db := dbase.New(g.Database(6))
+	ix, err := Build(db, nbr(), 512)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := ix.WriteTo(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte(ixMagic))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := ReadFromLimit(bytes.NewReader(data), db, int64(len(data)))
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		for _, b := range got.Blocks {
+			if b.Block.Start < 0 || b.Block.End > db.NumSeqs() || b.Block.Start > b.Block.End {
+				t.Fatalf("accepted block range [%d,%d) for db with %d seqs", b.Block.Start, b.Block.End, db.NumSeqs())
+			}
+			for w := alphabet.Word(0); w < alphabet.NumWords; w++ {
+				for _, p := range b.Positions(w) {
+					local, off := b.Decode(p)
+					seq := b.Seq(db, local) // must not panic
+					if off+alphabet.W > seq.Len() {
+						t.Fatalf("accepted position %#x past end of %d-residue sequence", p, seq.Len())
+					}
+				}
+			}
+		}
+	})
+}

@@ -22,7 +22,9 @@ import (
 //
 // The database itself is serialized separately (dbase.WriteTo); on load the
 // caller re-attaches it. The neighbor table is always rebuilt from the
-// scoring matrix (cheap) rather than stored.
+// scoring matrix (cheap) rather than stored. Versioning and CRC32 checksums
+// are layered on top by the blast container, which carries this stream as
+// one section payload.
 
 const ixMagic = "MUIX1\n"
 
@@ -81,7 +83,22 @@ func (ix *Index) WriteTo(w io.Writer) (int64, error) {
 
 // ReadFrom deserializes an index written by WriteTo and attaches it to db
 // (which must be the same length-sorted database the index was built from).
+// The stream must contain exactly one serialized index: trailing bytes are
+// an error.
 func ReadFrom(r io.Reader, db *dbase.DB) (*Index, error) {
+	return ReadFromLimit(r, db, 1<<62)
+}
+
+// ReadFromLimit is ReadFrom with an allocation budget: lengths claimed by
+// the stream are checked against maxBytes (the section size the caller knows
+// from its framing) before allocation, and every decoded structure is bounds-
+// checked — block ranges against db, offsets for monotonicity, and, when db
+// is non-nil, every packed position against the sequence it points into — so
+// a corrupt stream yields an error, never a panic or an OOM-scale allocation.
+func ReadFromLimit(r io.Reader, db *dbase.DB, maxBytes int64) (*Index, error) {
+	if maxBytes < 0 {
+		return nil, fmt.Errorf("dbindex: negative read limit %d", maxBytes)
+	}
 	br := bufio.NewReaderSize(r, 1<<16)
 	magic := make([]byte, len(ixMagic))
 	if _, err := io.ReadFull(br, magic); err != nil {
@@ -99,7 +116,9 @@ func ReadFrom(r io.Reader, db *dbase.DB) (*Index, error) {
 	if err != nil {
 		return nil, fmt.Errorf("dbindex: block count: %w", err)
 	}
-	if numBlocks > 1<<24 {
+	// Every block carries NumWords+1 offset deltas of at least one byte, so
+	// the block count can never exceed the stream budget divided by that.
+	if numBlocks > 1<<24 || int64(numBlocks) > maxBytes/int64(alphabet.NumWords)+1 {
 		return nil, fmt.Errorf("dbindex: implausible block count %d", numBlocks)
 	}
 	readUvarint := func(what string) (uint64, error) {
@@ -109,11 +128,17 @@ func ReadFrom(r io.Reader, db *dbase.DB) (*Index, error) {
 		}
 		return v, nil
 	}
+	prevEnd := 0
 	for i := uint64(0); i < numBlocks; i++ {
 		var vals [5]uint64
 		for j, what := range []string{"start", "end", "residues", "maxLen", "offBits"} {
 			if vals[j], err = readUvarint(what); err != nil {
 				return nil, err
+			}
+		}
+		for j, v := range vals {
+			if v > 1<<62 {
+				return nil, fmt.Errorf("dbindex: block %d field %d out of range (%d)", i, j, v)
 			}
 		}
 		b := &BlockIndex{
@@ -124,27 +149,40 @@ func ReadFrom(r io.Reader, db *dbase.DB) (*Index, error) {
 			OffBits: uint32(vals[4]),
 			offsets: make([]int32, alphabet.NumWords+1),
 		}
-		if db != nil && (b.Block.End > db.NumSeqs() || b.Block.Start > b.Block.End) {
+		if b.Block.Start > b.Block.End || b.Block.Start < prevEnd {
+			return nil, fmt.Errorf("dbindex: block %d range [%d,%d) overlaps or is inverted (previous end %d)",
+				i, b.Block.Start, b.Block.End, prevEnd)
+		}
+		if db != nil && b.Block.End > db.NumSeqs() {
 			return nil, fmt.Errorf("dbindex: block %d range [%d,%d) invalid for db with %d seqs",
 				i, b.Block.Start, b.Block.End, db.NumSeqs())
 		}
-		prev := int32(0)
+		if b.OffBits < 1 || b.OffBits > 31 {
+			return nil, fmt.Errorf("dbindex: block %d invalid offset width %d bits", i, b.OffBits)
+		}
+		prevEnd = b.Block.End
+		prev := int64(0)
 		for w := range b.offsets {
 			d, err := readUvarint("offset delta")
 			if err != nil {
 				return nil, err
 			}
-			prev += int32(d)
-			b.offsets[w] = prev
+			prev += int64(d)
+			if prev > 1<<31-1 {
+				return nil, fmt.Errorf("dbindex: block %d offset overflow at word %d", i, w)
+			}
+			b.offsets[w] = int32(prev)
 		}
 		numPos, err := readUvarint("position count")
 		if err != nil {
 			return nil, err
 		}
-		if numPos > 1<<31 {
+		// Positions are stored raw at 4 bytes each; a claim past the stream
+		// budget cannot be honest.
+		if numPos > 1<<31 || int64(numPos) > maxBytes/4+1 {
 			return nil, fmt.Errorf("dbindex: implausible position count %d", numPos)
 		}
-		if int32(numPos) != b.offsets[alphabet.NumWords] {
+		if int64(numPos) != int64(b.offsets[alphabet.NumWords]) {
 			return nil, fmt.Errorf("dbindex: block %d position count %d does not match offsets (%d)",
 				i, numPos, b.offsets[alphabet.NumWords])
 		}
@@ -164,7 +202,38 @@ func ReadFrom(r io.Reader, db *dbase.DB) (*Index, error) {
 			}
 			read += chunk
 		}
+		if db != nil {
+			if err := b.validatePositions(db); err != nil {
+				return nil, fmt.Errorf("dbindex: block %d: %w", i, err)
+			}
+		}
 		ix.Blocks = append(ix.Blocks, b)
 	}
+	if _, err := br.ReadByte(); err != io.EOF {
+		if err != nil {
+			return nil, fmt.Errorf("dbindex: after last block: %w", err)
+		}
+		return nil, fmt.Errorf("dbindex: trailing garbage after last block")
+	}
 	return ix, nil
+}
+
+// validatePositions checks that every packed position decodes to a real word
+// start within the block: local sequence id in range, offset leaving room
+// for a full W-letter word. The search hot path indexes sequences with these
+// values unchecked, so a corrupt position that slipped past the container
+// checksum must be caught here rather than panic mid-search.
+func (b *BlockIndex) validatePositions(db *dbase.DB) error {
+	numSeqs := b.Block.NumSeqs()
+	for _, p := range b.flat {
+		local, off := b.Decode(p)
+		if local >= numSeqs {
+			return fmt.Errorf("position %#x: local seq %d out of range (%d seqs)", p, local, numSeqs)
+		}
+		if off+alphabet.W > len(db.Seqs[b.Block.Start+local].Data) {
+			return fmt.Errorf("position %#x: offset %d past end of %d-residue sequence",
+				p, off, len(db.Seqs[b.Block.Start+local].Data))
+		}
+	}
+	return nil
 }

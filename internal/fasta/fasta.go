@@ -107,11 +107,17 @@ func (r *Reader) readHeader() ([]byte, error) {
 
 func (r *Reader) readLine() ([]byte, error) {
 	line, err := r.br.ReadBytes('\n')
+	if err != nil && err != io.EOF {
+		// ReadBytes can return partial data alongside a real read error;
+		// treating that as a complete line would silently truncate the
+		// record if the underlying reader later recovers or reports EOF.
+		return nil, err
+	}
 	if len(line) > 0 {
 		r.line++
 		return line, nil
 	}
-	return nil, err
+	return nil, io.EOF
 }
 
 func parseHeader(h []byte) (*Record, error) {

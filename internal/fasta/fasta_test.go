@@ -2,6 +2,7 @@ package fasta
 
 import (
 	"bytes"
+	"errors"
 	"io"
 	"strings"
 	"testing"
@@ -159,5 +160,81 @@ func TestHeaderReconstruction(t *testing.T) {
 	r2 := &Record{ID: "q2"}
 	if r2.Header() != "q2" {
 		t.Errorf("Header() = %q", r2.Header())
+	}
+}
+
+// flakyReader returns some data, then a transient read error, then EOF —
+// the shape of a network or disk hiccup. The partial record must surface
+// the error, never a silently truncated sequence.
+type flakyReader struct {
+	step int
+	data string
+	err  error
+}
+
+func (f *flakyReader) Read(p []byte) (int, error) {
+	f.step++
+	switch f.step {
+	case 1:
+		return copy(p, f.data), nil
+	case 2:
+		return 0, f.err
+	default:
+		return 0, io.EOF
+	}
+}
+
+func TestReadErrorNotSwallowed(t *testing.T) {
+	readErr := errors.New("transient disk error")
+	_, err := ReadAll(&flakyReader{data: ">a\nARNDC", err: readErr})
+	if err == nil {
+		t.Fatal("truncated record returned with nil error")
+	}
+	if !errors.Is(err, readErr) {
+		t.Fatalf("got %v, want the underlying read error", err)
+	}
+	// The same failure mid-header must surface too.
+	if _, err := ReadAll(&flakyReader{data: ">onlyheader", err: readErr}); !errors.Is(err, readErr) {
+		t.Fatalf("header path: got %v, want the underlying read error", err)
+	}
+}
+
+// TestZeroLengthRecord pins the behavior for a header immediately followed
+// by another header: the empty record is returned with a zero-length
+// sequence, not skipped and not an error.
+func TestZeroLengthRecord(t *testing.T) {
+	recs, err := ReadAll(strings.NewReader(">empty\n>full desc\nARN\n>empty2\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("got %d records, want 3", len(recs))
+	}
+	if recs[0].ID != "empty" || len(recs[0].Seq) != 0 {
+		t.Errorf("record 0 = %q seq %q", recs[0].ID, recs[0].Seq)
+	}
+	if recs[1].ID != "full" || string(recs[1].Seq) != "ARN" {
+		t.Errorf("record 1 = %q seq %q", recs[1].ID, recs[1].Seq)
+	}
+	if recs[2].ID != "empty2" || len(recs[2].Seq) != 0 {
+		t.Errorf("record 2 = %q seq %q", recs[2].ID, recs[2].Seq)
+	}
+	// Empty records round-trip through the writer.
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, r := range recs {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	again, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again) != 3 || len(again[0].Seq) != 0 || string(again[1].Seq) != "ARN" {
+		t.Fatalf("round trip changed records: %+v", again)
 	}
 }
