@@ -1,8 +1,8 @@
 # Convenience targets; everything is plain `go` underneath (stdlib only).
 
-.PHONY: all build vet test race fuzz bench experiments examples golden clean
+.PHONY: all build vet test race fuzz bench bench-json obs-smoke experiments examples golden clean
 
-all: build vet test
+all: build vet test bench-json
 
 build:
 	go build ./...
@@ -10,7 +10,7 @@ build:
 vet:
 	go vet ./...
 
-test: vet race fuzz
+test: vet race fuzz obs-smoke
 	go test ./...
 
 # Race-detector pass over the packages with concurrent hot paths (the batch
@@ -36,6 +36,18 @@ record:
 
 bench:
 	go test -bench=. -benchmem ./...
+
+# Machine-readable stage budget: per-stage time shares, prefilter survival,
+# sort share, and scheduler utilization, written as BENCH_stage.json (schema
+# mublastp/bench-stage/v1, validated by internal/bench tests).
+bench-json:
+	go run ./cmd/experiments -exp stage -seqs 4000 -batch 16 -json BENCH_stage.json
+
+# End-to-end observability smoke test: runs a live batch search with
+# -debug-addr, scrapes /metrics, /debug/vars and /debug/pprof/, and asserts
+# the pipeline stage counters moved.
+obs-smoke:
+	./scripts/obs_smoke.sh
 
 # Regenerate every evaluation table (Section V). ~5 minutes at this scale.
 experiments:

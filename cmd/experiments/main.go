@@ -15,12 +15,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
-	"runtime/pprof"
 	"strings"
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/obs/prof"
 )
 
 type experiment struct {
@@ -37,8 +36,27 @@ var experiments = []experiment{
 	{"fig9", "single-node engine comparison", bench.Fig9},
 	{"fig10", "multi-node scaling vs mpiBLAST", bench.Fig10},
 	{"sched", "barrier vs barrier-free batch scheduling", bench.SchedulerAblation},
+	{"stage", "stage budget: per-stage time shares (+ -json emission)", runStage},
 	{"index-size", "two-level vs expanded index size", bench.IndexSize},
 	{"verify", "Section V-E output verification", bench.Verify},
+}
+
+// stageJSONPath is where the stage experiment writes its machine-readable
+// report (-json flag); empty means table output only.
+var stageJSONPath string
+
+func runStage(s bench.Scale) (*bench.Table, error) {
+	rep, err := bench.StageBudget(s)
+	if err != nil {
+		return nil, err
+	}
+	if stageJSONPath != "" {
+		if err := rep.WriteJSON(stageJSONPath); err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(os.Stderr, "  wrote %s\n", stageJSONPath)
+	}
+	return rep.Table(), nil
 }
 
 func main() {
@@ -51,40 +69,23 @@ func main() {
 		seed     = flag.Int64("seed", 0, "override generator seed")
 		blockKB  = flag.Int64("block-kb", 0, "override index block size (KB; 0 = scaled L3 rule)")
 		markdown = flag.Bool("markdown", false, "emit markdown tables")
+		jsonOut  = flag.String("json", "", "write the stage experiment's report as JSON to this file")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile after the experiments to this file")
 	)
 	flag.Parse()
+	stageJSONPath = *jsonOut
 
-	if *cpuProf != "" {
-		f, err := os.Create(*cpuProf)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: cpuprofile: %v\n", err)
-			os.Exit(1)
-		}
-		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: cpuprofile: %v\n", err)
-			os.Exit(1)
-		}
-		defer func() {
-			pprof.StopCPUProfile()
-			f.Close()
-		}()
+	stopProf, err := prof.Start(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(1)
 	}
-	if *memProf != "" {
-		defer func() {
-			f, err := os.Create(*memProf)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "experiments: memprofile: %v\n", err)
-				return
-			}
-			runtime.GC()
-			if err := pprof.WriteHeapProfile(f); err != nil {
-				fmt.Fprintf(os.Stderr, "experiments: memprofile: %v\n", err)
-			}
-			f.Close()
-		}()
-	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		}
+	}()
 
 	s := bench.DefaultScale()
 	if *scale == "small" {

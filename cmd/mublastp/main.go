@@ -14,29 +14,43 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
-	"runtime/pprof"
 	"time"
 
 	"repro/blast"
+	"repro/internal/obs"
+	"repro/internal/obs/prof"
 )
 
 func main() {
 	var (
-		dbPath    = flag.String("db", "", "prebuilt database index (from makedb)")
-		subjects  = flag.String("subjects", "", "FASTA database to index on the fly")
-		queryPath = flag.String("query", "", "FASTA queries (required)")
-		engine    = flag.String("engine", "mublastp", "engine: mublastp, ncbi, or ncbidb")
-		threads   = flag.Int("threads", 0, "threads for batch search (0 = all cores)")
-		evalue    = flag.Float64("evalue", 10, "E-value cutoff")
-		maxHits   = flag.Int("max-hits", 250, "maximum hits per query")
-		format    = flag.String("format", "summary", "output format: summary, full, or tabular")
-		scheduler = flag.String("scheduler", "block-major", "batch scheduler: block-major or barrier")
-		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the search to this file")
-		memProf   = flag.String("memprofile", "", "write a heap profile after the search to this file")
-		verifyDB  = flag.String("verifydb", "", "verify a saved database container (checksums, fingerprint, full decode) and exit")
+		dbPath      = flag.String("db", "", "prebuilt database index (from makedb)")
+		subjects    = flag.String("subjects", "", "FASTA database to index on the fly")
+		queryPath   = flag.String("query", "", "FASTA queries (required)")
+		engine      = flag.String("engine", "mublastp", "engine: mublastp, ncbi, or ncbidb")
+		threads     = flag.Int("threads", 0, "threads for batch search (0 = all cores)")
+		evalue      = flag.Float64("evalue", 10, "E-value cutoff")
+		maxHits     = flag.Int("max-hits", 250, "maximum hits per query")
+		format      = flag.String("format", "summary", "output format: summary, full, or tabular")
+		scheduler   = flag.String("scheduler", "block-major", "batch scheduler: block-major or barrier")
+		cpuProf     = flag.String("cpuprofile", "", "write a CPU profile of the search to this file")
+		memProf     = flag.String("memprofile", "", "write a heap profile after the search to this file")
+		tracePath   = flag.String("trace", "", "write per-query stage spans as JSONL to this file")
+		debugAddr   = flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof/ on this address (e.g. :6060)")
+		debugLinger = flag.Duration("debug-linger", 0, "keep the -debug-addr server up this long after the search finishes")
+		verifyDB    = flag.String("verifydb", "", "verify a saved database container (checksums, fingerprint, full decode) and exit")
 	)
 	flag.Parse()
+
+	// The debug server comes up before the database loads so the whole run —
+	// including index construction — is observable live.
+	if *debugAddr != "" {
+		srv, err := obs.Serve(*debugAddr, obs.Default)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "mublastp: debug server listening on %s\n", srv.Addr)
+	}
 	if *verifyDB != "" {
 		info, err := blast.VerifyFile(*verifyDB)
 		if err != nil {
@@ -104,31 +118,36 @@ func main() {
 
 	// The profile window covers only the search phase, not database
 	// construction or output formatting.
-	if *cpuProf != "" {
-		f, err := os.Create(*cpuProf)
+	stopProf, err := prof.Start(*cpuProf, *memProf)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fatalf("%v", err)
+		}
+	}()
+
+	var trace *obs.TraceWriter
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
 		if err != nil {
-			fatalf("cpuprofile: %v", err)
+			fatalf("trace: %v", err)
 		}
-		if err := pprof.StartCPUProfile(f); err != nil {
-			fatalf("cpuprofile: %v", err)
-		}
+		trace = obs.NewTraceWriter(f)
 		defer func() {
-			pprof.StopCPUProfile()
-			f.Close()
+			if err := trace.Close(); err != nil {
+				fatalf("trace: %v", err)
+			}
 		}()
 	}
-	if *memProf != "" {
-		defer func() {
-			f, err := os.Create(*memProf)
-			if err != nil {
-				fatalf("memprofile: %v", err)
+	emit := func(out *bufio.Writer, q blast.Sequence, res *blast.Result) {
+		if trace != nil {
+			if err := trace.Write(res.TraceRecord(q.Name)); err != nil {
+				fatalf("trace: %v", err)
 			}
-			runtime.GC() // flush dead objects so the profile shows live scratch
-			if err := pprof.WriteHeapProfile(f); err != nil {
-				fatalf("memprofile: %v", err)
-			}
-			f.Close()
-		}()
+		}
+		printResult(out, db, q, res, *format)
 	}
 
 	out := bufio.NewWriter(os.Stdout)
@@ -144,7 +163,7 @@ func main() {
 			fatalf("search: %v", err)
 		}
 		for i, res := range results {
-			printResult(out, db, queries[i], res, *format)
+			emit(out, queries[i], res)
 		}
 	} else {
 		for i := range queries {
@@ -152,11 +171,24 @@ func main() {
 			if err != nil {
 				fatalf("search: %v", err)
 			}
-			printResult(out, db, queries[i], res, *format)
+			emit(out, queries[i], res)
 		}
 	}
 	fmt.Fprintf(os.Stderr, "mublastp: %d queries searched in %v with %s\n",
 		len(queries), time.Since(start).Round(time.Millisecond), kind)
+
+	if *debugAddr != "" && *debugLinger > 0 {
+		// Drain the buffered sinks before sleeping so anything scraping the
+		// lingering process sees complete output.
+		out.Flush()
+		if trace != nil {
+			if err := trace.Flush(); err != nil {
+				fatalf("trace: %v", err)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "mublastp: debug server lingering for %v\n", *debugLinger)
+		time.Sleep(*debugLinger)
+	}
 }
 
 func printResult(out *bufio.Writer, db *blast.Database, q blast.Sequence, res *blast.Result, format string) {

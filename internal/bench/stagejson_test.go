@@ -1,0 +1,155 @@
+package bench
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestStageBudgetReport runs the stage-budget measurement at the small scale
+// and validates the report's internal consistency.
+func TestStageBudgetReport(t *testing.T) {
+	rep, err := StageBudget(SmallScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != StageSchemaVersion {
+		t.Errorf("schema = %q, want %q", rep.Schema, StageSchemaVersion)
+	}
+	names := obs.StageNames()
+	if len(rep.Stages) != len(names) {
+		t.Fatalf("report has %d stages, want %d", len(rep.Stages), len(names))
+	}
+	var shareSum float64
+	var nanosSum int64
+	for i, s := range rep.Stages {
+		if s.Stage != names[i] {
+			t.Errorf("stage %d = %q, want %q", i, s.Stage, names[i])
+		}
+		if s.Nanos < 0 || s.Share < 0 || s.Share > 1 {
+			t.Errorf("stage %s out of range: %+v", s.Stage, s)
+		}
+		shareSum += s.Share
+		nanosSum += s.Nanos
+	}
+	if math.Abs(shareSum-1) > 1e-9 {
+		t.Errorf("stage shares sum to %v, want 1", shareSum)
+	}
+	if nanosSum != rep.TotalPipelineNanos {
+		t.Errorf("stage nanos sum %d != total %d", nanosSum, rep.TotalPipelineNanos)
+	}
+	if rep.TotalPipelineNanos <= 0 || rep.WallNanos <= 0 {
+		t.Errorf("degenerate totals: pipeline %d, wall %d", rep.TotalPipelineNanos, rep.WallNanos)
+	}
+	if rep.Hits <= 0 || rep.Pairs <= 0 || rep.Pairs > rep.Hits {
+		t.Errorf("hit accounting wrong: hits %d, pairs %d", rep.Hits, rep.Pairs)
+	}
+	if rep.PrefilterSurvivalRatio <= 0 || rep.PrefilterSurvivalRatio > 1 {
+		t.Errorf("prefilter survival %v outside (0, 1]", rep.PrefilterSurvivalRatio)
+	}
+	if rep.SortShare != rep.Stages[obs.StageSort].Share {
+		t.Errorf("sort share %v != stage entry %v", rep.SortShare, rep.Stages[obs.StageSort].Share)
+	}
+	if rep.Scheduler != "block-major" {
+		t.Errorf("scheduler %q, want block-major", rep.Scheduler)
+	}
+	if rep.Tasks <= 0 || rep.Workers <= 0 {
+		t.Errorf("degenerate scheduler stats: %d tasks, %d workers", rep.Tasks, rep.Workers)
+	}
+	if rep.SchedulerUtilization <= 0 || rep.SchedulerUtilization > 1.05 {
+		t.Errorf("scheduler utilization %v outside (0, 1.05]", rep.SchedulerUtilization)
+	}
+	if rep.TaskNanos.Count != rep.Tasks {
+		t.Errorf("task histogram count %d != tasks %d", rep.TaskNanos.Count, rep.Tasks)
+	}
+	if rep.QueryNanos.Count != int64(rep.Workload.Queries) {
+		t.Errorf("query histogram count %d != queries %d", rep.QueryNanos.Count, rep.Workload.Queries)
+	}
+	if tbl := rep.Table(); len(tbl.Rows) != len(names) {
+		t.Errorf("table has %d rows, want %d", len(tbl.Rows), len(names))
+	}
+}
+
+// TestStageReportJSONSchema writes the report and validates the
+// BENCH_stage.json schema from the consumer side: required keys, stage list,
+// and numeric types, via a plain map (no Go struct assumptions).
+func TestStageReportJSONSchema(t *testing.T) {
+	rep, err := StageBudget(SmallScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_stage.json")
+	if err := rep.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data[len(data)-1] != '\n' {
+		t.Error("JSON file not newline-terminated")
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("BENCH_stage.json is not valid JSON: %v", err)
+	}
+	for _, key := range []string{
+		"schema", "workload", "stages", "total_pipeline_nanos", "wall_nanos",
+		"hits", "pairs", "prefilter_survival_ratio", "sorted_items", "sort_share",
+		"scheduler", "workers", "tasks", "scheduler_utilization",
+		"task_nanos", "query_nanos", "paper_claims",
+	} {
+		if _, ok := doc[key]; !ok {
+			t.Errorf("BENCH_stage.json missing key %q", key)
+		}
+	}
+	stages, ok := doc["stages"].([]any)
+	if !ok || len(stages) != int(obs.NumStages) {
+		t.Fatalf("stages is %T with %d entries, want array of %d", doc["stages"], len(stages), obs.NumStages)
+	}
+	for i, raw := range stages {
+		entry, ok := raw.(map[string]any)
+		if !ok {
+			t.Fatalf("stage %d is %T, want object", i, raw)
+		}
+		for _, key := range []string{"stage", "nanos", "share"} {
+			if _, ok := entry[key]; !ok {
+				t.Errorf("stage %d missing key %q", i, key)
+			}
+		}
+		if entry["stage"] != obs.StageNames()[i] {
+			t.Errorf("stage %d name %v, want %q", i, entry["stage"], obs.StageNames()[i])
+		}
+	}
+	wl, ok := doc["workload"].(map[string]any)
+	if !ok {
+		t.Fatalf("workload is %T, want object", doc["workload"])
+	}
+	for _, key := range []string{"database", "sequences", "residues", "blocks", "queries", "threads", "seed"} {
+		if _, ok := wl[key]; !ok {
+			t.Errorf("workload missing key %q", key)
+		}
+	}
+	claims, ok := doc["paper_claims"].(map[string]any)
+	if !ok {
+		t.Fatalf("paper_claims is %T, want object", doc["paper_claims"])
+	}
+	for _, key := range []string{"sort_share_under_5pct", "prefilter_survival_under_25pct", "detect_plus_prefilter_dominant"} {
+		if _, ok := claims[key].(bool); !ok {
+			t.Errorf("paper_claims missing boolean %q", key)
+		}
+	}
+	hist, ok := doc["task_nanos"].(map[string]any)
+	if !ok {
+		t.Fatalf("task_nanos is %T, want object", doc["task_nanos"])
+	}
+	for _, key := range []string{"count", "sum", "mean", "p50", "p95", "p99"} {
+		if _, ok := hist[key].(float64); !ok {
+			t.Errorf("task_nanos missing numeric %q", key)
+		}
+	}
+}

@@ -29,6 +29,7 @@ import (
 	"repro/internal/gapped"
 	"repro/internal/hit"
 	"repro/internal/hitsort"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/search"
 	"repro/internal/ungapped"
@@ -87,6 +88,12 @@ type Options struct {
 	// Scheduler selects the batch scheduling strategy (zero value:
 	// barrier-free block-major grid).
 	Scheduler Scheduler
+	// Metrics receives the engine's process-wide observability stamps
+	// (per-stage time, event counters, task/query latency histograms).
+	// nil selects obs.Pipe, the default registry's pipeline bundle served
+	// by the -debug-addr endpoint; obs.Discard routes the identical
+	// stamping code to an unexported registry ("observability off").
+	Metrics *obs.PipelineMetrics
 }
 
 // DefaultOptions enables every muBLASTP optimization as evaluated.
@@ -99,6 +106,10 @@ type Engine struct {
 	Cfg *search.Config
 	Ix  *dbindex.Index
 	Opt Options
+
+	// met is the resolved metric bundle (never nil): handles are bound at
+	// construction so hot-path stamping is pure atomic adds.
+	met *obs.PipelineMetrics
 
 	subjOff []int64
 	ixBase  []int64
@@ -116,7 +127,11 @@ func New(cfg *search.Config, ix *dbindex.Index) *Engine {
 
 // NewWithOptions creates a muBLASTP engine with explicit options.
 func NewWithOptions(cfg *search.Config, ix *dbindex.Index, opt Options) *Engine {
-	e := &Engine{Cfg: cfg, Ix: ix, Opt: opt, subjOff: make([]int64, ix.DB.NumSeqs()+1)}
+	met := opt.Metrics
+	if met == nil {
+		met = obs.Pipe
+	}
+	e := &Engine{Cfg: cfg, Ix: ix, Opt: opt, met: met, subjOff: make([]int64, ix.DB.NumSeqs()+1)}
 	var off int64
 	for i := range ix.DB.Seqs {
 		e.subjOff[i] = off
@@ -157,6 +172,49 @@ func (e *Engine) getScratch() *scratch { return e.scratches.Get().(*scratch) }
 // putScratch returns a scratch for reuse by later searches.
 func (e *Engine) putScratch(sc *scratch) { e.scratches.Put(sc) }
 
+// stampDelta folds the counter movement between two Stats snapshots of the
+// same query into the engine's metric bundle. Pure atomic adds: no locks,
+// no allocations, safe from any worker.
+func (e *Engine) stampDelta(pre, post *search.Stats) {
+	m := e.met
+	m.Hits.Add(post.Hits - pre.Hits)
+	m.Pairs.Add(post.Pairs - pre.Pairs)
+	m.SortedItems.Add(post.SortedItems - pre.SortedItems)
+	m.Extensions.Add(post.Extensions - pre.Extensions)
+	m.Kept.Add(post.Kept - pre.Kept)
+	m.GappedExts.Add(post.GappedExts - pre.GappedExts)
+	m.Tracebacks.Add(post.Tracebacks - pre.Tracebacks)
+	for i := range post.StageNanos {
+		m.StageNanos[i].Add(post.StageNanos[i] - pre.StageNanos[i])
+	}
+}
+
+// stampTask records one completed scheduler task: the counter deltas it
+// produced plus the task count. Task-grain latency is observed separately
+// by the parallel layer (ForTasksObserved feeding met.TaskNanos).
+func (e *Engine) stampTask(pre, post *search.Stats) {
+	e.stampDelta(pre, post)
+	e.met.Tasks.Add(1)
+}
+
+// stampQueryDone records a finalized query: the finalize-stage deltas (pre
+// is the query's Stats going into Finalize), the query count, and the
+// query's total pipeline time.
+func (e *Engine) stampQueryDone(pre *search.Stats, post *search.Stats) {
+	e.stampDelta(pre, post)
+	e.met.Queries.Add(1)
+	e.met.QueryNanos.Observe(post.TotalStageNanos())
+}
+
+// stampSched records one batch's scheduler summary.
+func (e *Engine) stampSched(ss search.SchedStats) {
+	m := e.met
+	m.Batches.Add(1)
+	m.SchedBusyNanos.Add(ss.BusyNanos)
+	m.SchedStallNanos.Add(ss.StallNanos)
+	m.SchedUtilizationPermille.Set(1000 * ss.Utilization())
+}
+
 // Search runs one query through all index blocks sequentially.
 func (e *Engine) Search(queryIdx int, q []alphabet.Code) search.QueryResult {
 	sc := e.getScratch()
@@ -169,7 +227,10 @@ func (e *Engine) Search(queryIdx int, q []alphabet.Code) search.QueryResult {
 			subjects = append(subjects, subs...)
 		}
 	}
-	return search.Finalize(e.Cfg, sc.aligner, queryIdx, q, e.Ix.DB, subjects, st)
+	res := search.Finalize(e.Cfg, sc.aligner, queryIdx, q, e.Ix.DB, subjects, st)
+	var zero search.Stats
+	e.stampQueryDone(&zero, &res.Stats)
+	return res
 }
 
 // SearchBatch runs a batch of queries across threads using the configured
@@ -182,10 +243,15 @@ func (e *Engine) SearchBatch(queries [][]alphabet.Code, threads int) []search.Qu
 // SearchBatchStats is SearchBatch plus the scheduler's utilization counters
 // for the hit-search phase.
 func (e *Engine) SearchBatchStats(queries [][]alphabet.Code, threads int) ([]search.QueryResult, search.SchedStats) {
+	var results []search.QueryResult
+	var ss search.SchedStats
 	if e.Opt.Scheduler == SchedBarrier {
-		return e.searchBatchBarrier(queries, threads)
+		results, ss = e.searchBatchBarrier(queries, threads)
+	} else {
+		results, ss = e.searchBatchGrid(queries, threads)
 	}
-	return e.searchBatchGrid(queries, threads)
+	e.stampSched(ss)
+	return results, ss
 }
 
 // searchBatchGrid is the barrier-free scheduler: the (block × query) grid is
@@ -212,7 +278,8 @@ func (e *Engine) searchBatchGrid(queries [][]alphabet.Code, threads int) ([]sear
 	}()
 	cells := make([][]search.SubjectAlignments, nTasks)
 	cellStats := make([]search.Stats, nTasks)
-	ts := parallel.ForTasks(nTasks, threads, func(w, t int) {
+	var zero search.Stats
+	ts := parallel.ForTasksObserved(nTasks, threads, func(w, t int) {
 		bi, qi := t/nq, t%nq
 		q := queries[qi]
 		if len(q) < alphabet.W {
@@ -223,7 +290,8 @@ func (e *Engine) searchBatchGrid(queries [][]alphabet.Code, threads int) ([]sear
 		cells[t] = e.searchBlock(scratches[w], q, bi, st)
 		st.SchedTasks = 1
 		st.SchedBusyNanos = int64(time.Since(start))
-	})
+		e.stampTask(&zero, st) // cell stats start zeroed, so post == delta
+	}, e.met.TaskNanos)
 
 	results := make([]search.QueryResult, nq)
 	parallel.ForWorkers(nq, workers, func(w, qi int) {
@@ -241,7 +309,9 @@ func (e *Engine) searchBatchGrid(queries [][]alphabet.Code, threads int) ([]sear
 			subjects = append(subjects, cells[t]...)
 			st.Add(cellStats[t])
 		}
+		pre := st // task work is already stamped; Finalize's delta is not
 		results[qi] = search.Finalize(e.Cfg, scratches[w].aligner, qi, queries[qi], e.Ix.DB, subjects, st)
+		e.stampQueryDone(&pre, &results[qi].Stats)
 	})
 	return results, schedStatsFrom(SchedBlockMajor, ts)
 }
@@ -268,22 +338,26 @@ func (e *Engine) searchBatchBarrier(queries [][]alphabet.Code, threads int) ([]s
 	stats := make([]search.Stats, len(queries))
 	var ts parallel.TaskStats
 	for bi := range e.Ix.Blocks {
-		blockTS := parallel.ForTasks(len(queries), threads, func(w, qi int) {
+		blockTS := parallel.ForTasksObserved(len(queries), threads, func(w, qi int) {
 			if len(queries[qi]) < alphabet.W {
 				return
 			}
 			st := &stats[qi]
+			pre := *st // per-query stats accumulate across blocks
 			start := time.Now()
 			subs := e.searchBlock(scratches[w], queries[qi], bi, st)
 			st.SchedTasks++
 			st.SchedBusyNanos += int64(time.Since(start))
 			subjects[qi] = append(subjects[qi], subs...)
-		})
+			e.stampTask(&pre, st)
+		}, e.met.TaskNanos)
 		ts.Merge(blockTS)
 	}
 	results := make([]search.QueryResult, len(queries))
 	parallel.ForWorkers(len(queries), threads, func(w, qi int) {
+		pre := stats[qi]
 		results[qi] = search.Finalize(e.Cfg, scratches[w].aligner, qi, queries[qi], e.Ix.DB, subjects[qi], stats[qi])
+		e.stampQueryDone(&pre, &results[qi].Stats)
 	})
 	return results, schedStatsFrom(SchedBarrier, ts)
 }
@@ -317,16 +391,32 @@ func (e *Engine) searchBlock(sc *scratch, q []alphabet.Code, bi int, st *search.
 		panic(fmt.Sprintf("core: block %d: %v (rebuild the index with smaller blocks)", bi, err))
 	}
 
+	// Stage boundaries are stamped into st.StageNanos as the task runs: two
+	// clock reads per stage, no allocations. The ungapped stage is measured
+	// as the extend call minus the gapped time GappedStage stamps from
+	// inside it (extension flushes subjects into the gapped stage inline).
 	if e.Opt.Prefilter {
 		e.detectPrefiltered(sc, q, bi, coder, st)
 		st.SortedItems += int64(len(sc.pairs))
+		stageStart := time.Now()
 		e.sortPairs(sc, coder)
-		return e.extendPairs(sc, q, bi, coder, diagBias, st)
+		st.StageNanos[obs.StageSort] += int64(time.Since(stageStart))
+		gappedBefore := st.StageNanos[obs.StageGapped]
+		stageStart = time.Now()
+		subs := e.extendPairs(sc, q, bi, coder, diagBias, st)
+		st.StageNanos[obs.StageUngapped] += int64(time.Since(stageStart)) - (st.StageNanos[obs.StageGapped] - gappedBefore)
+		return subs
 	}
 	e.detectAll(sc, q, bi, coder, st)
 	st.SortedItems += int64(len(sc.hits))
+	stageStart := time.Now()
 	e.sortHits(sc, coder)
-	return e.extendPostFiltered(sc, q, bi, coder, diagBias, st)
+	st.StageNanos[obs.StageSort] += int64(time.Since(stageStart))
+	gappedBefore := st.StageNanos[obs.StageGapped]
+	stageStart = time.Now()
+	subs := e.extendPostFiltered(sc, q, bi, coder, diagBias, st)
+	st.StageNanos[obs.StageUngapped] += int64(time.Since(stageStart)) - (st.StageNanos[obs.StageGapped] - gappedBefore)
+	return subs
 }
 
 // detectPrefiltered is hit detection with the Algorithm 2 pre-filter: the
@@ -339,7 +429,11 @@ func (e *Engine) detectPrefiltered(sc *scratch, q []alphabet.Code, bi int, coder
 	window := int32(e.Cfg.TwoHit.Window)
 	trace := e.Cfg.Trace
 
-	// Per-sequence diagonal offsets for the flat last-hit array.
+	// The prefilter's separable cost is its state setup: sizing the
+	// per-sequence diagonal offsets and resetting the flat last-hit array.
+	// The per-hit Check calls are inlined into the detection scan below, so
+	// their time lands in StageHitDetect (DESIGN.md, observability layer).
+	stageStart := time.Now()
 	if cap(sc.diagOff) < numSeqs+1 {
 		sc.diagOff = make([]int32, numSeqs+1)
 	}
@@ -355,7 +449,9 @@ func (e *Engine) detectPrefiltered(sc *scratch, q []alphabet.Code, bi int, coder
 	sc.diagOff[numSeqs] = total
 	sc.lastPos.Reset(int(total))
 	sc.pairs = sc.pairs[:0]
+	st.StageNanos[obs.StagePrefilter] += int64(time.Since(stageStart))
 
+	stageStart = time.Now()
 	for qOff := 0; qOff+alphabet.W <= len(q); qOff++ {
 		w := alphabet.WordAt(q, qOff)
 		for _, v := range e.Cfg.Neighbors.Neighbors(w) {
@@ -394,6 +490,7 @@ func (e *Engine) detectPrefiltered(sc *scratch, q []alphabet.Code, bi int, coder
 			}
 		}
 	}
+	st.StageNanos[obs.StageHitDetect] += int64(time.Since(stageStart))
 }
 
 // detectAll is hit detection without the pre-filter: every hit is buffered
@@ -402,6 +499,7 @@ func (e *Engine) detectAll(sc *scratch, q []alphabet.Code, bi int, coder hit.Key
 	b := e.Ix.Blocks[bi]
 	diagBias := len(q) - alphabet.W
 	trace := e.Cfg.Trace
+	stageStart := time.Now()
 	sc.hits = sc.hits[:0]
 	for qOff := 0; qOff+alphabet.W <= len(q); qOff++ {
 		w := alphabet.WordAt(q, qOff)
@@ -423,6 +521,7 @@ func (e *Engine) detectAll(sc *scratch, q []alphabet.Code, bi int, coder hit.Key
 			}
 		}
 	}
+	st.StageNanos[obs.StageHitDetect] += int64(time.Since(stageStart))
 }
 
 func (e *Engine) sortPairs(sc *scratch, coder hit.KeyCoder) {

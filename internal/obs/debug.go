@@ -1,0 +1,75 @@
+// The live debug endpoint: an HTTP listener exposing the metrics registry
+// as plaintext (/metrics), the expvar JSON dump (/debug/vars, including an
+// "obs" tree mirroring the registry), and the standard pprof handlers
+// (/debug/pprof/...), so a long batch search can be inspected while it runs:
+//
+//	mublastp -db db.mublastp -query big.fasta -debug-addr :6060 &
+//	curl localhost:6060/metrics
+//	go tool pprof localhost:6060/debug/pprof/profile?seconds=5
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// publishOnce guards the expvar registration of the default registry:
+// expvar panics on duplicate names, and Serve/Handler may be called more
+// than once per process (tests, repeated searches).
+var publishOnce sync.Once
+
+// Handler returns the debug mux for a registry: /metrics, /debug/vars,
+// /debug/pprof/ and friends, plus a tiny index at /.
+func Handler(r *Registry) http.Handler {
+	if r == Default {
+		publishOnce.Do(func() {
+			expvar.Publish("obs", expvar.Func(func() any { return Default.Snapshot() }))
+		})
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		r.WriteText(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		fmt.Fprintln(w, "mublastp debug endpoint: /metrics /debug/vars /debug/pprof/")
+	})
+	return mux
+}
+
+// Server is a running debug listener.
+type Server struct {
+	Addr string // actual bound address (useful with ":0")
+	srv  *http.Server
+	ln   net.Listener
+}
+
+// Serve binds addr (e.g. ":6060" or "127.0.0.1:0") and serves Handler(r)
+// in a background goroutine. The returned Server reports the bound address
+// and can be Closed when the search is done.
+func Serve(addr string, r *Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: debug listener on %s: %w", addr, err)
+	}
+	s := &Server{Addr: ln.Addr().String(), ln: ln, srv: &http.Server{Handler: Handler(r)}}
+	go s.srv.Serve(ln) // Serve returns ErrServerClosed on Close; nothing to do with it
+	return s, nil
+}
+
+// Close shuts the listener down.
+func (s *Server) Close() error { return s.srv.Close() }

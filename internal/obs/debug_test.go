@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: reading body: %v", url, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestDebugServerEndpoints(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("pipeline_hits_total").Add(123)
+	r.Histogram("sched_task_nanos").Observe(5000)
+
+	srv, err := Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr
+
+	code, body := get(t, base+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	if !strings.Contains(body, "pipeline_hits_total 123") {
+		t.Errorf("/metrics missing counter line:\n%s", body)
+	}
+	if !strings.Contains(body, "sched_task_nanos_count 1") {
+		t.Errorf("/metrics missing histogram lines:\n%s", body)
+	}
+
+	code, body = get(t, base+"/debug/vars")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/vars status %d", code)
+	}
+	var vars map[string]any
+	if err := json.Unmarshal([]byte(body), &vars); err != nil {
+		t.Errorf("/debug/vars is not JSON: %v", err)
+	}
+
+	code, body = get(t, base+"/debug/pprof/")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/pprof/ status %d", code)
+	}
+	if !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/ index looks wrong:\n%.200s", body)
+	}
+
+	code, _ = get(t, base+"/debug/pprof/cmdline")
+	if code != http.StatusOK {
+		t.Errorf("/debug/pprof/cmdline status %d", code)
+	}
+
+	code, body = get(t, base+"/")
+	if code != http.StatusOK || !strings.Contains(body, "/metrics") {
+		t.Errorf("index: status %d body %q", code, body)
+	}
+	if code, _ := get(t, base+"/nope"); code != http.StatusNotFound {
+		t.Errorf("unknown path returned %d, want 404", code)
+	}
+}
+
+// TestDebugVarsPublishesDefaultRegistry checks the expvar "obs" tree mirrors
+// the Default registry when serving it, and that serving twice does not
+// panic on duplicate expvar registration.
+func TestDebugVarsPublishesDefaultRegistry(t *testing.T) {
+	Pipe.Batches.Add(1) // ensure at least one default-registry metric is non-zero
+
+	srv, err := Serve("127.0.0.1:0", Default)
+	if err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	defer srv.Close()
+	srv2, err := Serve("127.0.0.1:0", Default) // second Serve must not panic
+	if err != nil {
+		t.Fatalf("second Serve: %v", err)
+	}
+	defer srv2.Close()
+
+	_, body := get(t, "http://"+srv.Addr+"/debug/vars")
+	var vars struct {
+		Obs map[string]any `json:"obs"`
+	}
+	if err := json.Unmarshal([]byte(body), &vars); err != nil {
+		t.Fatalf("/debug/vars not JSON: %v", err)
+	}
+	if _, ok := vars.Obs["sched_batches_total"]; !ok {
+		t.Errorf("expvar obs tree missing sched_batches_total: %v", vars.Obs)
+	}
+}

@@ -1,0 +1,246 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestStageNames(t *testing.T) {
+	names := StageNames()
+	want := []string{"hit_detect", "prefilter", "sort", "ungapped", "gapped", "traceback"}
+	if len(names) != int(NumStages) {
+		t.Fatalf("StageNames returned %d names, want %d", len(names), NumStages)
+	}
+	for i, w := range want {
+		if names[i] != w {
+			t.Errorf("stage %d = %q, want %q", i, names[i], w)
+		}
+		if Stage(i).String() != w {
+			t.Errorf("Stage(%d).String() = %q, want %q", i, Stage(i).String(), w)
+		}
+	}
+	if s := Stage(99).String(); !strings.Contains(s, "99") {
+		t.Errorf("out-of-range stage stringified as %q", s)
+	}
+}
+
+func TestCounterAndGauge(t *testing.T) {
+	var c Counter
+	c.Add(3)
+	c.Add(4)
+	if c.Value() != 7 {
+		t.Errorf("counter = %d, want 7", c.Value())
+	}
+	var g Gauge
+	if g.Value() != 0 {
+		t.Errorf("zero gauge = %v, want 0", g.Value())
+	}
+	g.Set(0.25)
+	g.Set(1.5)
+	if g.Value() != 1.5 {
+		t.Errorf("gauge = %v, want 1.5", g.Value())
+	}
+}
+
+func TestHistogramBucketOf(t *testing.T) {
+	cases := []struct {
+		v    int64
+		want int
+	}{
+		{-5, 0}, {0, 0}, {1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {8, 3},
+		{9, 4}, {1 << 20, 20}, {1<<20 + 1, 21}, {math.MaxInt64, 63},
+	}
+	for _, tc := range cases {
+		v := tc.v
+		if v < 0 {
+			v = 0 // Observe clamps before mapping
+		}
+		if got := bucketOf(v); got != tc.want {
+			t.Errorf("bucketOf(%d) = %d, want %d", tc.v, got, tc.want)
+		}
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 {
+		t.Errorf("empty histogram: q50=%d mean=%v, want 0,0", h.Quantile(0.5), h.Mean())
+	}
+	// 90 observations of ~1us, 10 of ~1ms: p50 in the 1us bucket, p99 in
+	// the 1ms bucket. Bucket upper bounds are powers of two.
+	for i := 0; i < 90; i++ {
+		h.Observe(1000)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(1_000_000)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d, want 100", h.Count())
+	}
+	if want := int64(90*1000 + 10*1_000_000); h.Sum() != want {
+		t.Errorf("sum = %d, want %d", h.Sum(), want)
+	}
+	if p50 := h.Quantile(0.50); p50 != 1024 {
+		t.Errorf("p50 = %d, want 1024 (upper bound of the 1000ns bucket)", p50)
+	}
+	if p99 := h.Quantile(0.99); p99 != 1<<20 {
+		t.Errorf("p99 = %d, want %d (upper bound of the 1ms bucket)", p99, 1<<20)
+	}
+	// Quantile inputs outside [0,1] clamp rather than misbehave.
+	if h.Quantile(-1) != h.Quantile(0) || h.Quantile(2) != h.Quantile(1) {
+		t.Errorf("quantile clamping broken")
+	}
+	bounds, counts := h.Buckets()
+	if len(bounds) != 2 || bounds[0] != 1024 || counts[0] != 90 || bounds[1] != 1<<20 || counts[1] != 10 {
+		t.Errorf("Buckets() = %v %v, want [1024 1048576] [90 10]", bounds, counts)
+	}
+	snap := h.Snapshot()
+	if snap.Count != 100 || snap.P50 != 1024 || snap.P99 != 1<<20 {
+		t.Errorf("snapshot = %+v", snap)
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	var h Histogram
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(int64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != workers*per {
+		t.Errorf("count = %d, want %d", h.Count(), workers*per)
+	}
+	var bucketTotal int64
+	_, counts := h.Buckets()
+	for _, c := range counts {
+		bucketTotal += c
+	}
+	if bucketTotal != workers*per {
+		t.Errorf("bucket total = %d, want %d", bucketTotal, workers*per)
+	}
+}
+
+func TestRegistrySameHandleAndKindCollision(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("x") != r.Counter("x") {
+		t.Error("same name returned different counter handles")
+	}
+	if r.Histogram("h") != r.Histogram("h") {
+		t.Error("same name returned different histogram handles")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("registering a counter name as a gauge did not panic")
+		}
+	}()
+	r.Gauge("x")
+}
+
+func TestRegistrySnapshotAndWriteText(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("requests_total").Add(5)
+	r.Gauge("util").Set(0.75)
+	h := r.Histogram("lat_nanos")
+	h.Observe(100)
+	h.Observe(200)
+
+	snap := r.Snapshot()
+	if snap["requests_total"] != int64(5) {
+		t.Errorf("snapshot counter = %v", snap["requests_total"])
+	}
+	if snap["util"] != 0.75 {
+		t.Errorf("snapshot gauge = %v", snap["util"])
+	}
+	hs, ok := snap["lat_nanos"].(HistogramSnapshot)
+	if !ok || hs.Count != 2 {
+		t.Errorf("snapshot histogram = %#v", snap["lat_nanos"])
+	}
+	if _, err := json.Marshal(snap); err != nil {
+		t.Errorf("snapshot not JSON-encodable: %v", err)
+	}
+
+	var b bytes.Buffer
+	if err := r.WriteText(&b); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	text := b.String()
+	for _, want := range []string{"requests_total 5", "util 0.75", "lat_nanos_count 2", "lat_nanos_sum 300", "lat_nanos_p50 "} {
+		if !strings.Contains(text, want) {
+			t.Errorf("WriteText output missing %q:\n%s", want, text)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(text), "\n")
+	if !sortedLines(lines) {
+		t.Errorf("WriteText lines not sorted:\n%s", text)
+	}
+}
+
+func sortedLines(lines []string) bool {
+	for i := 1; i < len(lines); i++ {
+		if lines[i] < lines[i-1] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestNewPipelineMetricsRegistersStableNames(t *testing.T) {
+	r := NewRegistry()
+	p := NewPipelineMetrics(r)
+	p.Hits.Add(1)
+	for s := Stage(0); s < NumStages; s++ {
+		p.StageNanos[s].Add(int64(s) + 1)
+	}
+	snap := r.Snapshot()
+	for _, name := range []string{
+		"pipeline_hits_total", "pipeline_pairs_total", "pipeline_sorted_items_total",
+		"pipeline_ungapped_extensions_total", "pipeline_kept_extensions_total",
+		"pipeline_gapped_extensions_total", "pipeline_tracebacks_total",
+		"pipeline_queries_total", "sched_tasks_total", "sched_batches_total",
+		"sched_task_nanos", "pipeline_query_nanos", "sched_utilization_permille",
+		"sched_busy_nanos_total", "sched_stall_nanos_total",
+	} {
+		if _, ok := snap[name]; !ok {
+			t.Errorf("pipeline bundle did not register %q", name)
+		}
+	}
+	for _, stage := range StageNames() {
+		if _, ok := snap["pipeline_stage_"+stage+"_nanos_total"]; !ok {
+			t.Errorf("pipeline bundle did not register stage counter for %q", stage)
+		}
+	}
+	// Pipe and Discard exist and are distinct bundles: stamping Discard must
+	// not leak into the default registry.
+	if Pipe == Discard {
+		t.Error("Pipe and Discard are the same bundle")
+	}
+	before := Pipe.Hits.Value()
+	Discard.Hits.Add(100)
+	if Pipe.Hits.Value() != before {
+		t.Error("stamping Discard leaked into Pipe")
+	}
+}
+
+func TestMetricStampingAllocs(t *testing.T) {
+	p := NewPipelineMetrics(NewRegistry())
+	allocs := testing.AllocsPerRun(100, func() {
+		p.Hits.Add(7)
+		p.StageNanos[StageSort].Add(42)
+		p.TaskNanos.Observe(1234)
+		p.SchedUtilizationPermille.Set(998)
+	})
+	if allocs != 0 {
+		t.Errorf("metric stamping allocated %.1f times per op, want 0", allocs)
+	}
+}

@@ -1,0 +1,73 @@
+// Package prof is the shared -cpuprofile/-memprofile plumbing of the
+// command-line tools (cmd/mublastp, cmd/experiments), replacing the
+// copy-pasted setup each main used to carry. Start begins CPU profiling
+// immediately; the returned stop function ends it and writes the heap
+// profile, so the profile window is exactly the caller's start..stop span
+// (the search phase, not database construction or output formatting).
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start enables the profiles selected by non-empty paths. It returns a stop
+// function that must be called (once) when the measured phase ends: it stops
+// the CPU profile, closes its file, and writes the heap profile after a GC
+// so the dump shows live steady-state memory rather than dead garbage.
+//
+// On any setup error the partially opened state is torn down — the CPU
+// profile file is closed (and profiling stopped) before the error returns —
+// so a failed Start never leaks an open file or a running profiler.
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("prof: cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("prof: cpuprofile: %w", err)
+		}
+	}
+	stopped := false
+	return func() error {
+		if stopped {
+			return nil
+		}
+		stopped = true
+		var firstErr error
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				firstErr = fmt.Errorf("prof: cpuprofile: %w", err)
+			}
+		}
+		if memPath != "" {
+			if err := writeHeap(memPath); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		return firstErr
+	}, nil
+}
+
+// writeHeap dumps the heap profile to path after flushing dead objects.
+func writeHeap(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("prof: memprofile: %w", err)
+	}
+	runtime.GC() // flush dead objects so the profile shows live scratch
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		f.Close()
+		return fmt.Errorf("prof: memprofile: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("prof: memprofile: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,93 @@
+package prof
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestStartNoOpWhenPathsEmpty(t *testing.T) {
+	stop, err := Start("", "")
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	if err := stop(); err != nil {
+		t.Fatalf("stop: %v", err)
+	}
+	if err := stop(); err != nil { // idempotent
+		t.Fatalf("second stop: %v", err)
+	}
+}
+
+func TestStartWritesBothProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.prof")
+	mem := filepath.Join(dir, "mem.prof")
+	stop, err := Start(cpu, mem)
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	// Burn a little CPU so the profile has something to sample.
+	x := 0
+	for i := 0; i < 1_000_000; i++ {
+		x += i * i
+	}
+	_ = x
+	if err := stop(); err != nil {
+		t.Fatalf("stop: %v", err)
+	}
+	for _, p := range []string{cpu, mem} {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Errorf("profile %s not written: %v", p, err)
+			continue
+		}
+		if fi.Size() == 0 {
+			t.Errorf("profile %s is empty", p)
+		}
+	}
+}
+
+func TestStartBadCPUPath(t *testing.T) {
+	if _, err := Start(filepath.Join(t.TempDir(), "no", "such", "dir", "cpu.prof"), ""); err == nil {
+		t.Fatal("Start with uncreatable cpuprofile path did not error")
+	}
+}
+
+// TestStartFailureClosesFile starts one CPU profile, then a second: the
+// second StartCPUProfile fails (one profiler per process), and Start must
+// tear down its already-created file so the caller leaks nothing.
+func TestStartFailureClosesFile(t *testing.T) {
+	dir := t.TempDir()
+	stop, err := Start(filepath.Join(dir, "cpu1.prof"), "")
+	if err != nil {
+		t.Fatalf("first Start: %v", err)
+	}
+	defer stop()
+
+	second := filepath.Join(dir, "cpu2.prof")
+	if _, err := Start(second, ""); err == nil {
+		t.Fatal("second concurrent CPU profile start did not error")
+	}
+	// The failed Start closed its file; removing it must succeed, proving no
+	// open handle semantics surprises and that the path isn't held.
+	if err := os.Remove(second); err != nil {
+		t.Errorf("failed Start left %s in a bad state: %v", second, err)
+	}
+	if err := stop(); err != nil {
+		t.Fatalf("stop: %v", err)
+	}
+	if fi, err := os.Stat(filepath.Join(dir, "cpu1.prof")); err != nil || fi.Size() == 0 {
+		t.Errorf("first profile not written after failed second Start (err=%v)", err)
+	}
+}
+
+func TestStartBadMemPathSurfacesOnStop(t *testing.T) {
+	stop, err := Start("", filepath.Join(t.TempDir(), "no", "such", "dir", "mem.prof"))
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	if err := stop(); err == nil {
+		t.Fatal("stop with uncreatable memprofile path did not error")
+	}
+}

@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func TestQueryTraceTotalNanos(t *testing.T) {
+	tr := QueryTrace{Stages: []Span{{"hit_detect", 5}, {"sort", 7}}}
+	if tr.TotalNanos() != 12 {
+		t.Errorf("TotalNanos = %d, want 12", tr.TotalNanos())
+	}
+}
+
+func TestTraceWriterJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewTraceWriter(&buf)
+	recs := []*QueryTrace{
+		{Query: "q1", QueryLen: 128, Hits: 3,
+			Stages:   []Span{{"hit_detect", 100}, {"prefilter", 10}},
+			Counters: map[string]int64{"hits": 42}},
+		{Query: "q2", QueryLen: 256, Hits: 0, Stages: []Span{{"sort", 5}}},
+	}
+	for _, r := range recs {
+		if err := w.Write(r); err != nil {
+			t.Fatalf("Write: %v", err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	sc := bufio.NewScanner(bytes.NewReader(buf.Bytes()))
+	var got []QueryTrace
+	for sc.Scan() {
+		var tr QueryTrace
+		if err := json.Unmarshal(sc.Bytes(), &tr); err != nil {
+			t.Fatalf("line %d is not valid JSON: %v\n%s", len(got)+1, err, sc.Text())
+		}
+		got = append(got, tr)
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %d JSONL records, want 2", len(got))
+	}
+	if got[0].Query != "q1" || got[0].Counters["hits"] != 42 || got[0].Stages[1].Stage != "prefilter" {
+		t.Errorf("record 0 round-tripped wrong: %+v", got[0])
+	}
+	if got[1].Query != "q2" || got[1].Hits != 0 {
+		t.Errorf("record 1 round-tripped wrong: %+v", got[1])
+	}
+}
+
+func TestTraceWriterClosesOwnedFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewTraceWriter(f)
+	if err := w.Write(&QueryTrace{Query: "q"}); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := f.Close(); err == nil {
+		t.Error("TraceWriter.Close did not close the underlying file")
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 || data[len(data)-1] != '\n' {
+		t.Errorf("trace file not flushed as newline-terminated JSONL: %q", data)
+	}
+}
+
+func TestTraceWriterConcurrent(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewTraceWriter(&buf)
+	var wg sync.WaitGroup
+	const n = 50
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func() {
+			defer wg.Done()
+			w.Write(&QueryTrace{Query: "q", Stages: []Span{{"sort", 1}}})
+		}()
+	}
+	wg.Wait()
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Count(buf.Bytes(), []byte{'\n'})
+	if lines != n {
+		t.Errorf("concurrent writes produced %d lines, want %d (torn writes?)", lines, n)
+	}
+}

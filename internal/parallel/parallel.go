@@ -161,6 +161,14 @@ func (ts *TaskStats) Merge(o TaskStats) {
 	}
 }
 
+// TaskObserver receives the wall-clock duration of each completed task.
+// Implementations must be safe for concurrent use from every worker and
+// should be wait-free (e.g. an atomic histogram) — the scheduler calls it
+// inline between tasks.
+type TaskObserver interface {
+	Observe(nanos int64)
+}
+
 // ForTasks is ForWorkers plus scheduler instrumentation: it runs fn(worker,
 // task) for task in [0, n) with dynamic scheduling from a single atomic
 // counter and returns per-worker utilization counters. There is exactly one
@@ -169,6 +177,15 @@ func (ts *TaskStats) Merge(o TaskStats) {
 // intermediate barriers. The timing overhead is two clock reads per task;
 // callers with sub-microsecond tasks should use ForWorkers instead.
 func ForTasks(n, workers int, fn func(worker, task int)) TaskStats {
+	return ForTasksObserved(n, workers, fn, nil)
+}
+
+// ForTasksObserved is ForTasks with an optional per-task-grain observer:
+// after each task completes, its duration is fed to obs (when non-nil) in
+// addition to the per-worker busy counters. The observation reuses the
+// clock reads ForTasks already performs, so the marginal cost is one
+// interface call per task and zero allocations.
+func ForTasksObserved(n, workers int, fn func(worker, task int), obs TaskObserver) TaskStats {
 	if n <= 0 {
 		return TaskStats{Workers: 0, Tasks: 0}
 	}
@@ -189,7 +206,11 @@ func ForTasks(n, workers int, fn func(worker, task int)) TaskStats {
 		for i := 0; i < n; i++ {
 			taskStart := time.Now()
 			fn(0, i)
-			ts.WorkerBusy[0] += int64(time.Since(taskStart))
+			nanos := int64(time.Since(taskStart))
+			ts.WorkerBusy[0] += nanos
+			if obs != nil {
+				obs.Observe(nanos)
+			}
 		}
 		ts.WorkerTasks[0] = int64(n)
 		ts.ElapsedNanos = int64(time.Since(runStart))
@@ -208,8 +229,12 @@ func ForTasks(n, workers int, fn func(worker, task int)) TaskStats {
 				}
 				taskStart := time.Now()
 				fn(worker, i)
-				ts.WorkerBusy[worker] += int64(time.Since(taskStart))
+				nanos := int64(time.Since(taskStart))
+				ts.WorkerBusy[worker] += nanos
 				ts.WorkerTasks[worker]++
+				if obs != nil {
+					obs.Observe(nanos)
+				}
 			}
 		}(w)
 	}

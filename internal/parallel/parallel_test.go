@@ -188,3 +188,41 @@ func TestSingleWorkerIsSequential(t *testing.T) {
 		}
 	}
 }
+
+// countingObserver is a TaskObserver accumulating count and sum atomically.
+type countingObserver struct {
+	count atomic.Int64
+	sum   atomic.Int64
+}
+
+func (o *countingObserver) Observe(nanos int64) {
+	o.count.Add(1)
+	o.sum.Add(nanos)
+}
+
+func TestForTasksObserved(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		var obs countingObserver
+		const n = 32
+		ts := ForTasksObserved(n, workers, func(_, _ int) {
+			time.Sleep(100 * time.Microsecond)
+		}, &obs)
+		if got := obs.count.Load(); got != n {
+			t.Errorf("workers=%d: observer saw %d tasks, want %d", workers, got, n)
+		}
+		// The observer receives the exact durations the busy counters use.
+		if got, want := obs.sum.Load(), ts.TotalBusyNanos(); got != want {
+			t.Errorf("workers=%d: observed sum %d != total busy %d", workers, got, want)
+		}
+		if obs.sum.Load() <= 0 {
+			t.Errorf("workers=%d: observed durations sum to %d, want > 0", workers, obs.sum.Load())
+		}
+	}
+	// Nil observer and n<=0 must both be safe.
+	ForTasksObserved(8, 2, func(_, _ int) {}, nil)
+	var obs countingObserver
+	ForTasksObserved(0, 2, func(_, _ int) { t.Error("fn called for n=0") }, &obs)
+	if obs.count.Load() != 0 {
+		t.Errorf("observer called %d times for n=0", obs.count.Load())
+	}
+}

@@ -17,12 +17,14 @@ package search
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"repro/internal/alphabet"
 	"repro/internal/dbase"
 	"repro/internal/gapped"
 	"repro/internal/matrix"
 	"repro/internal/neighbor"
+	"repro/internal/obs"
 	"repro/internal/stats"
 	"repro/internal/ungapped"
 )
@@ -112,6 +114,12 @@ type Stats struct {
 	// how long workers spent inside them. Zero for single-query searches.
 	SchedTasks     int64
 	SchedBusyNanos int64
+
+	// StageNanos[s] is the wall time this query spent in pipeline stage s
+	// (obs.StageHitDetect..obs.StageTraceback). The decoupled muBLASTP
+	// engine stamps every stage; the interleaved baselines stamp only the
+	// shared stages (gapped, traceback), leaving the rest zero.
+	StageNanos [obs.NumStages]int64
 }
 
 // Add accumulates o into s.
@@ -125,6 +133,44 @@ func (s *Stats) Add(o Stats) {
 	s.Tracebacks += o.Tracebacks
 	s.SchedTasks += o.SchedTasks
 	s.SchedBusyNanos += o.SchedBusyNanos
+	for i := range s.StageNanos {
+		s.StageNanos[i] += o.StageNanos[i]
+	}
+}
+
+// TotalStageNanos sums the per-stage times: the query's total pipeline time.
+func (s *Stats) TotalStageNanos() int64 {
+	var n int64
+	for _, v := range s.StageNanos {
+		n += v
+	}
+	return n
+}
+
+// Spans materializes the per-stage timing as span records, one per pipeline
+// stage in order (including zero-time stages, so all six are always
+// present). Allocates; meant for trace sinks, not the hot path.
+func (s *Stats) Spans() []obs.Span {
+	out := make([]obs.Span, obs.NumStages)
+	for i := range out {
+		out[i] = obs.Span{Stage: obs.Stage(i).String(), Nanos: s.StageNanos[i]}
+	}
+	return out
+}
+
+// CounterMap returns the event counters by name — the counter-delta half of
+// a per-query span record. Allocates; trace-sink use only.
+func (s *Stats) CounterMap() map[string]int64 {
+	return map[string]int64{
+		"hits":         s.Hits,
+		"pairs":        s.Pairs,
+		"sorted_items": s.SortedItems,
+		"extensions":   s.Extensions,
+		"kept":         s.Kept,
+		"gapped_exts":  s.GappedExts,
+		"tracebacks":   s.Tracebacks,
+		"sched_tasks":  s.SchedTasks,
+	}
 }
 
 // SchedStats summarizes the batch scheduler's behaviour over one SearchBatch
@@ -190,6 +236,7 @@ type SubjectAlignments struct {
 // coordinates), so engines that discover the same extension set in
 // different orders produce identical output.
 func GappedStage(cfg *Config, al *gapped.Aligner, q, s []alphabet.Code, exts []ungapped.Ext, st *Stats) []ScoredAlignment {
+	stageStart := time.Now()
 	if len(exts) > 1 {
 		sort.SliceStable(exts, func(i, j int) bool {
 			a, b := exts[i], exts[j]
@@ -238,6 +285,7 @@ func GappedStage(cfg *Config, al *gapped.Aligner, q, s []alphabet.Code, exts []u
 			out = append(out, ScoredAlignment{Aln: aln, QSeed: qSeed, SSeed: sSeed})
 		}
 	}
+	st.StageNanos[obs.StageGapped] += int64(time.Since(stageStart))
 	return out
 }
 
@@ -298,6 +346,7 @@ func Finalize(cfg *Config, al *gapped.Aligner, queryIdx int, q []alphabet.Code, 
 	// correction (see gapped.Aligner.Extend), so statistics are refreshed
 	// and the final list re-ranked — mirroring BLAST, whose traceback stage
 	// also re-scores the preliminary gapped alignments.
+	stageStart := time.Now()
 	for i := range hsps {
 		seed := pendings[order[i]].seed
 		full := al.Extend(q, db.Seqs[hsps[i].Subject].Data, seed.QSeed, seed.SSeed)
@@ -307,6 +356,7 @@ func Finalize(cfg *Config, al *gapped.Aligner, queryIdx int, q []alphabet.Code, 
 		hsps[i].EValue = cfg.GappedKA.EValue(full.Score, effQ, effDB)
 	}
 	SortHSPs(hsps)
+	st.StageNanos[obs.StageTraceback] += int64(time.Since(stageStart))
 	return QueryResult{Query: queryIdx, HSPs: hsps, Stats: st}
 }
 

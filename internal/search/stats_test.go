@@ -1,0 +1,81 @@
+package search
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestStatsAddCoversEveryField fills a Stats value with distinct non-zero
+// values via reflection and checks Add folds every field. This pins Add
+// against the classic drift bug: a new counter added to the struct but not
+// to Add silently vanishes from batch totals.
+func TestStatsAddCoversEveryField(t *testing.T) {
+	fill := func(mult int64) Stats {
+		var s Stats
+		v := reflect.ValueOf(&s).Elem()
+		n := int64(1)
+		var fillValue func(v reflect.Value)
+		fillValue = func(v reflect.Value) {
+			switch v.Kind() {
+			case reflect.Int64:
+				v.SetInt(n * mult)
+				n++
+			case reflect.Array:
+				for i := 0; i < v.Len(); i++ {
+					fillValue(v.Index(i))
+				}
+			case reflect.Struct:
+				for i := 0; i < v.NumField(); i++ {
+					fillValue(v.Field(i))
+				}
+			default:
+				t.Fatalf("Stats contains a %v field; teach this test (and Add) about it", v.Kind())
+			}
+		}
+		fillValue(v)
+		return s
+	}
+
+	a, b := fill(1), fill(10)
+	got := a
+	got.Add(b)
+	want := fill(11) // field-wise a+b, since fill is linear in mult
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Stats.Add missed a field:\n got  %+v\n want %+v", got, want)
+	}
+}
+
+// TestStatsTotalStageNanos checks the span-total helper sums exactly the
+// stage array.
+func TestStatsTotalStageNanos(t *testing.T) {
+	var s Stats
+	var want int64
+	for i := range s.StageNanos {
+		s.StageNanos[i] = int64(i + 1)
+		want += int64(i + 1)
+	}
+	if got := s.TotalStageNanos(); got != want {
+		t.Errorf("TotalStageNanos = %d, want %d", got, want)
+	}
+}
+
+func TestSchedStatsUtilization(t *testing.T) {
+	cases := []struct {
+		name string
+		s    SchedStats
+		want float64
+	}{
+		{"zero value", SchedStats{}, 0},
+		{"zero workers", SchedStats{BusyNanos: 100, ElapsedNanos: 100}, 0},
+		{"zero elapsed", SchedStats{Workers: 4, BusyNanos: 100}, 0},
+		{"negative elapsed", SchedStats{Workers: 4, BusyNanos: 100, ElapsedNanos: -5}, 0},
+		{"fully busy", SchedStats{Workers: 2, BusyNanos: 200, ElapsedNanos: 100}, 1},
+		{"half busy", SchedStats{Workers: 2, BusyNanos: 100, ElapsedNanos: 100}, 0.5},
+		{"stall dominated", SchedStats{Workers: 8, BusyNanos: 8, ElapsedNanos: 1000, StallNanos: 7992}, 0.001},
+	}
+	for _, tc := range cases {
+		if got := tc.s.Utilization(); got != tc.want {
+			t.Errorf("%s: Utilization() = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,88 @@
+#!/bin/sh
+# End-to-end observability smoke test (the `make obs-smoke` target).
+#
+# Builds mublastp + genseq, runs a real batch search with -debug-addr and
+# -trace, scrapes the live debug endpoint while the server lingers, and
+# asserts: /metrics serves non-zero pipeline stage counters, /debug/vars and
+# /debug/pprof/ respond, and the trace JSONL contains all six stages.
+set -eu
+
+workdir=$(mktemp -d "${TMPDIR:-/tmp}/obs-smoke.XXXXXX")
+pid=""
+cleanup() {
+    [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+    rm -rf "$workdir"
+}
+trap cleanup EXIT INT TERM
+
+echo "obs-smoke: building binaries..."
+go build -o "$workdir/mublastp" ./cmd/mublastp
+go build -o "$workdir/genseq" ./cmd/genseq
+
+echo "obs-smoke: generating workload..."
+"$workdir/genseq" -n 800 -seed 7 -out "$workdir/db.fasta" \
+    -queries 12 -qlen 256 -qout "$workdir/queries.fasta"
+
+echo "obs-smoke: starting mublastp with -debug-addr..."
+"$workdir/mublastp" -subjects "$workdir/db.fasta" -query "$workdir/queries.fasta" \
+    -debug-addr 127.0.0.1:0 -debug-linger 30s -trace "$workdir/trace.jsonl" \
+    >"$workdir/stdout.txt" 2>"$workdir/stderr.txt" &
+pid=$!
+
+# The bound address is announced on stderr before the database loads.
+addr=""
+for _ in $(seq 1 100); do
+    addr=$(sed -n 's/^mublastp: debug server listening on //p' "$workdir/stderr.txt" | head -n 1)
+    [ -n "$addr" ] && break
+    kill -0 "$pid" 2>/dev/null || { echo "obs-smoke: FAIL: mublastp exited early"; cat "$workdir/stderr.txt"; exit 1; }
+    sleep 0.1
+done
+if [ -z "$addr" ]; then
+    echo "obs-smoke: FAIL: debug server address never announced"
+    cat "$workdir/stderr.txt"
+    exit 1
+fi
+echo "obs-smoke: debug server at $addr"
+
+# Wait until the search has finished (the server is now lingering) so the
+# stage counters reflect a completed batch.
+for _ in $(seq 1 300); do
+    grep -q "queries searched in" "$workdir/stderr.txt" && break
+    kill -0 "$pid" 2>/dev/null || { echo "obs-smoke: FAIL: mublastp exited before finishing"; cat "$workdir/stderr.txt"; exit 1; }
+    sleep 0.1
+done
+
+curl -fsS "http://$addr/metrics" >"$workdir/metrics.txt"
+curl -fsS "http://$addr/debug/vars" >"$workdir/vars.json"
+curl -fsS "http://$addr/debug/pprof/" >/dev/null
+
+fail=0
+for metric in pipeline_stage_hit_detect_nanos_total pipeline_stage_sort_nanos_total \
+              pipeline_hits_total sched_tasks_total pipeline_queries_total; do
+    value=$(sed -n "s/^$metric //p" "$workdir/metrics.txt")
+    if [ -z "$value" ] || [ "$value" -le 0 ]; then
+        echo "obs-smoke: FAIL: $metric is '${value:-missing}', want > 0"
+        fail=1
+    else
+        echo "obs-smoke: $metric = $value"
+    fi
+done
+
+grep -q '"obs"' "$workdir/vars.json" || { echo "obs-smoke: FAIL: /debug/vars has no obs tree"; fail=1; }
+
+for stage in hit_detect prefilter sort ungapped gapped traceback; do
+    grep -q "\"stage\":\"$stage\"" "$workdir/trace.jsonl" || {
+        echo "obs-smoke: FAIL: trace JSONL missing stage $stage"; fail=1; }
+done
+lines=$(wc -l <"$workdir/trace.jsonl")
+[ "$lines" -eq 12 ] || { echo "obs-smoke: FAIL: trace has $lines records, want 12"; fail=1; }
+
+kill "$pid" 2>/dev/null || true
+wait "$pid" 2>/dev/null || true
+pid=""
+
+if [ "$fail" -ne 0 ]; then
+    echo "obs-smoke: FAILED"
+    exit 1
+fi
+echo "obs-smoke: OK"
