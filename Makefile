@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath (stdlib only).
 
-.PHONY: all build vet test race fuzz bench bench-json obs-smoke experiments examples golden clean
+.PHONY: all build vet test race fuzz chaos bench bench-json obs-smoke obs-smoke-fault experiments examples golden clean
 
 all: build vet test bench-json
 
@@ -10,13 +10,21 @@ build:
 vet:
 	go vet ./...
 
-test: vet race fuzz obs-smoke
+test: vet race fuzz chaos obs-smoke obs-smoke-fault
 	go test ./...
 
 # Race-detector pass over the packages with concurrent hot paths (the batch
 # scheduler, the task-grid runtime, and the engines it drives).
 race:
-	go test -race ./internal/core ./internal/parallel ./internal/search
+	go test -race ./internal/core ./internal/parallel ./internal/search ./internal/mpi ./internal/cluster
+
+# Chaos harness: randomized fault schedules (injected panics, delays, errors,
+# rank deaths, op timeouts) against both batch schedulers and the distributed
+# failover path, under the race detector. Each round logs its seed and fault
+# schedule; on failure the log ends with a CHAOS_SEED=... replay line.
+# CHAOS_ROUNDS widens the sweep, CHAOS_SEED pins one schedule.
+chaos:
+	go test -race -run 'TestChaos' -v ./internal/core ./internal/cluster
 
 # Short-budget fuzz pass over every decoder at the I/O boundary: the FASTA
 # parser, the database and index deserializers, and the container loader.
@@ -48,6 +56,12 @@ bench-json:
 # the pipeline stage counters moved.
 obs-smoke:
 	./scripts/obs_smoke.sh
+
+# Fault-injected observability smoke test: runs mublastp with -faultspec and
+# asserts the failure counters (tasks_panicked, deadline_exceeded,
+# queries_cancelled) move on /metrics and the run degrades as documented.
+obs-smoke-fault:
+	./scripts/obs_smoke_fault.sh
 
 # Regenerate every evaluation table (Section V). ~5 minutes at this scale.
 experiments:

@@ -1,0 +1,152 @@
+package blast
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/search"
+)
+
+func batchQueries(seqs []Sequence, n int) []string {
+	out := make([]string, 0, n)
+	for _, s := range seqs {
+		if len(s.Residues) >= 120 {
+			out = append(out, s.Residues[3:117])
+			if len(out) == n {
+				break
+			}
+		}
+	}
+	return out
+}
+
+func renderHits(r *Result) string {
+	s := fmt.Sprintf("%d hits\n", len(r.Hits))
+	for _, h := range r.Hits {
+		s += fmt.Sprintf("%s %d %v %v %d-%d %d-%d %s\n",
+			h.SubjectName, h.Score, h.BitScore, h.EValue,
+			h.QueryStart, h.QueryEnd, h.SubjectStart, h.SubjectEnd, h.Ops)
+	}
+	return s
+}
+
+func TestSearchBatchCtxMatchesSearchBatch(t *testing.T) {
+	db, seqs := testDatabase(t)
+	queries := batchQueries(seqs, 4)
+	want, err := db.SearchBatch(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	br, err := db.SearchBatchCtx(context.Background(), queries)
+	if err != nil || br.Err != nil {
+		t.Fatalf("clean ctx batch: err=%v batchErr=%v", err, br.Err)
+	}
+	if br.CompletedCount() != len(queries) {
+		t.Fatalf("completed %d of %d", br.CompletedCount(), len(queries))
+	}
+	for i := range queries {
+		if got, exp := renderHits(br.Results[i]), renderHits(want[i]); got != exp {
+			t.Errorf("query %d differs:\n%s\nvs\n%s", i, got, exp)
+		}
+	}
+}
+
+func TestSearchBatchCtxTimeoutPartial(t *testing.T) {
+	_, seqs := testDatabase(t)
+	p := DefaultParams()
+	p.BlockResidues = 4096
+	p.Threads = 2
+	p.Timeout = 25 * time.Millisecond
+	db, err := NewDatabase(seqs, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := batchQueries(seqs, 6)
+	if err := faultinject.Enable("core.hitdetect=delay:10ms", 1); err != nil {
+		t.Fatal(err)
+	}
+	defer faultinject.Disable()
+	br, err := db.SearchBatchCtx(context.Background(), queries)
+	faultinject.Disable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(br.Err, ErrDeadline) {
+		t.Fatalf("batch err = %v, want ErrDeadline", br.Err)
+	}
+	if !br.Sched.DeadlineExceeded {
+		t.Error("SchedStats.DeadlineExceeded not set")
+	}
+	if br.CompletedCount() == len(queries) {
+		t.Error("deadline batch completed everything; no partial case exercised")
+	}
+	for i, done := range br.Completed {
+		if done && br.QueryErrs[i] != nil {
+			t.Errorf("completed query %d has error %v", i, br.QueryErrs[i])
+		}
+		if !done {
+			var qc *search.QueryCancelledError
+			if !errors.As(br.QueryErrs[i], &qc) {
+				t.Errorf("incomplete query %d: err=%v, want QueryCancelledError", i, br.QueryErrs[i])
+			}
+		}
+	}
+}
+
+func TestSearchBatchCtxCancellation(t *testing.T) {
+	db, seqs := testDatabase(t)
+	queries := batchQueries(seqs, 3)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	br, err := db.SearchBatchCtx(ctx, queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(br.Err, context.Canceled) {
+		t.Fatalf("batch err = %v, want context.Canceled", br.Err)
+	}
+	if br.CompletedCount() != 0 {
+		t.Errorf("pre-cancelled batch completed %d queries", br.CompletedCount())
+	}
+}
+
+func TestSearchBatchCtxRejectsBadQuery(t *testing.T) {
+	db, seqs := testDatabase(t)
+	if _, err := db.SearchBatchCtx(context.Background(), []string{seqs[0].Residues, "B@D"}); err == nil {
+		t.Fatal("invalid residues accepted")
+	}
+}
+
+func TestLoadShortReadIsTypedCorruption(t *testing.T) {
+	db, _ := testDatabase(t)
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// Sanity: the intact container loads.
+	if _, err := Load(bytes.NewReader(full), DefaultParams()); err != nil {
+		t.Fatalf("intact container rejected: %v", err)
+	}
+	// A stream cut short at several depths must always produce a typed
+	// error — never a panic or a silently truncated database.
+	for _, limit := range []int{0, 4, 64, len(full) / 2, len(full) - 1} {
+		spec := fmt.Sprintf("db.read=shortread:%d", limit)
+		if err := faultinject.Enable(spec, 1); err != nil {
+			t.Fatal(err)
+		}
+		_, err := Load(bytes.NewReader(full), DefaultParams())
+		faultinject.Disable()
+		if err == nil {
+			t.Fatalf("limit %d: truncated container loaded", limit)
+		}
+		if !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrVersion) {
+			t.Errorf("limit %d: error %v not typed as corruption", limit, err)
+		}
+	}
+}

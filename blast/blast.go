@@ -19,6 +19,7 @@ package blast
 import (
 	"fmt"
 	"runtime"
+	"time"
 
 	"repro/internal/alphabet"
 	"repro/internal/core"
@@ -78,6 +79,12 @@ type Params struct {
 	// printed, with a worker barrier at every index-block boundary; kept
 	// for ablation). Both produce identical results.
 	Scheduler string
+	// Timeout bounds each batch search: past it the batch stops between
+	// tasks and returns partial results, with BatchResult.Err wrapping
+	// ErrDeadline and per-query completion flags telling the completed
+	// queries (byte-identical to an unbounded run) from the abandoned
+	// ones. 0 means no deadline.
+	Timeout time.Duration
 }
 
 // DefaultParams returns the BLASTP defaults the paper evaluates with.

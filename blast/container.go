@@ -12,7 +12,13 @@ import (
 	"repro/internal/alphabet"
 	"repro/internal/dbase"
 	"repro/internal/dbindex"
+	"repro/internal/faultinject"
 )
+
+// fiDBRead injects short reads into container loading (site "db.read"): a
+// truncated stream must surface as a typed ErrCorrupt, never a panic or a
+// partially populated database.
+var fiDBRead = faultinject.NewSite("db.read")
 
 // This file implements the on-disk database container (format version 2).
 //
@@ -228,6 +234,7 @@ type container struct {
 // section, structural bounds of the decoded database and index, and no
 // trailing bytes after the FEND trailer.
 func loadContainer(r io.Reader) (*container, error) {
+	r = fiDBRead.Reader(r)
 	head := make([]byte, len(containerMagic)+2)
 	if _, err := io.ReadFull(r, head); err != nil {
 		return nil, corruptf("reading container header: %v", err)

@@ -6,22 +6,42 @@
 //
 //	mublastp -db db.mublastp -query queries.fasta
 //	mublastp -subjects db.fasta -query queries.fasta -engine ncbi -format full
+//	mublastp -db db.mublastp -query queries.fasta -timeout 30s
 //	mublastp -verifydb db.mublastp
+//
+// SIGINT/SIGTERM cancel the running batch between tasks: completed queries
+// are printed (identical to an uninterrupted run), the trace file and debug
+// server shut down cleanly, and the exit status is non-zero.
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/blast"
+	"repro/internal/faultinject"
 	"repro/internal/obs"
 	"repro/internal/obs/prof"
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "mublastp: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run owns the whole lifecycle so every cleanup is a defer: interrupted or
+// failed runs still flush the trace sink, stop profiles, and close the
+// debug server. Cleanup failures surface through the named return so a
+// broken trace flush is never silently swallowed.
+func run() (retErr error) {
 	var (
 		dbPath      = flag.String("db", "", "prebuilt database index (from makedb)")
 		subjects    = flag.String("subjects", "", "FASTA database to index on the fly")
@@ -32,6 +52,9 @@ func main() {
 		maxHits     = flag.Int("max-hits", 250, "maximum hits per query")
 		format      = flag.String("format", "summary", "output format: summary, full, or tabular")
 		scheduler   = flag.String("scheduler", "block-major", "batch scheduler: block-major or barrier")
+		timeout     = flag.Duration("timeout", 0, "abort the batch search after this long, keeping completed queries (0 = no deadline)")
+		faultSpec   = flag.String("faultspec", "", "arm fault-injection sites, e.g. 'sched.task=panic#3,core.hitdetect=delay:5ms' (testing aid)")
+		faultSeed   = flag.Uint64("faultseed", 1, "seed for probabilistic -faultspec clauses")
 		cpuProf     = flag.String("cpuprofile", "", "write a CPU profile of the search to this file")
 		memProf     = flag.String("memprofile", "", "write a heap profile after the search to this file")
 		tracePath   = flag.String("trace", "", "write per-query stage spans as JSONL to this file")
@@ -41,34 +64,32 @@ func main() {
 	)
 	flag.Parse()
 
+	// SIGINT/SIGTERM cancel the batch; a second signal kills the process
+	// immediately (signal.NotifyContext restores default handling once the
+	// context is cancelled).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *faultSpec != "" {
+		if err := faultinject.Enable(*faultSpec, *faultSeed); err != nil {
+			return err
+		}
+		defer faultinject.Disable()
+		fmt.Fprintf(os.Stderr, "mublastp: fault injection armed: %s (seed %d)\n", *faultSpec, *faultSeed)
+	}
+
 	// The debug server comes up before the database loads so the whole run —
 	// including index construction — is observable live.
 	if *debugAddr != "" {
 		srv, err := obs.Serve(*debugAddr, obs.Default)
 		if err != nil {
-			fatalf("%v", err)
+			return err
 		}
 		defer srv.Close()
 		fmt.Fprintf(os.Stderr, "mublastp: debug server listening on %s\n", srv.Addr)
 	}
 	if *verifyDB != "" {
-		info, err := blast.VerifyFile(*verifyDB)
-		if err != nil {
-			fatalf("verify %s: %v", *verifyDB, err)
-		}
-		fp := info.Fingerprint
-		fmt.Printf("%s: OK (container version %d)\n", *verifyDB, info.Version)
-		fmt.Printf("  matrix %s, word size %d, neighbor threshold %d\n",
-			fp.Matrix, fp.WordSize, fp.NeighborThreshold)
-		fmt.Printf("  %d sequences, %d residues, %d index blocks (%d residues/block)\n",
-			info.NumSequences, info.TotalResidues, info.NumBlocks, fp.BlockResidues)
-		if fp.SplitLongerThan > 0 {
-			fmt.Printf("  long sequences split at %d residues (overlap %d): %d chunks\n",
-				fp.SplitLongerThan, fp.SplitOverlap, info.NumChunks)
-		} else {
-			fmt.Printf("  long-sequence splitting disabled\n")
-		}
-		return
+		return runVerify(*verifyDB)
 	}
 	if *queryPath == "" || (*dbPath == "") == (*subjects == "") {
 		fmt.Fprintln(os.Stderr, "mublastp: need -query and exactly one of -db / -subjects")
@@ -85,7 +106,7 @@ func main() {
 	case "ncbidb":
 		kind = blast.EngineNCBIdb
 	default:
-		fatalf("unknown engine %q", *engine)
+		return fmt.Errorf("unknown engine %q", *engine)
 	}
 
 	p := blast.DefaultParams()
@@ -93,6 +114,7 @@ func main() {
 	p.MaxResults = *maxHits
 	p.Threads = *threads
 	p.Scheduler = *scheduler
+	p.Timeout = *timeout
 
 	var db *blast.Database
 	var err error
@@ -106,25 +128,25 @@ func main() {
 		}
 	}
 	if err != nil {
-		fatalf("loading database: %v", err)
+		return fmt.Errorf("loading database: %w", err)
 	}
 	fmt.Fprintf(os.Stderr, "mublastp: database ready in %v (%d sequences, %d blocks)\n",
 		time.Since(start).Round(time.Millisecond), db.NumSequences(), db.NumBlocks())
 
 	queries, err := blast.ReadFASTAFile(*queryPath)
 	if err != nil {
-		fatalf("reading queries: %v", err)
+		return fmt.Errorf("reading queries: %w", err)
 	}
 
 	// The profile window covers only the search phase, not database
 	// construction or output formatting.
 	stopProf, err := prof.Start(*cpuProf, *memProf)
 	if err != nil {
-		fatalf("%v", err)
+		return err
 	}
 	defer func() {
-		if err := stopProf(); err != nil {
-			fatalf("%v", err)
+		if err := stopProf(); err != nil && retErr == nil {
+			retErr = err
 		}
 	}()
 
@@ -132,22 +154,23 @@ func main() {
 	if *tracePath != "" {
 		f, err := os.Create(*tracePath)
 		if err != nil {
-			fatalf("trace: %v", err)
+			return fmt.Errorf("trace: %w", err)
 		}
 		trace = obs.NewTraceWriter(f)
 		defer func() {
-			if err := trace.Close(); err != nil {
-				fatalf("trace: %v", err)
+			if err := trace.Close(); err != nil && retErr == nil {
+				retErr = fmt.Errorf("trace: %w", err)
 			}
 		}()
 	}
-	emit := func(out *bufio.Writer, q blast.Sequence, res *blast.Result) {
+	emit := func(out *bufio.Writer, q blast.Sequence, res *blast.Result) error {
 		if trace != nil {
 			if err := trace.Write(res.TraceRecord(q.Name)); err != nil {
-				fatalf("trace: %v", err)
+				return fmt.Errorf("trace: %w", err)
 			}
 		}
 		printResult(out, db, q, res, *format)
+		return nil
 	}
 
 	out := bufio.NewWriter(os.Stdout)
@@ -158,24 +181,51 @@ func main() {
 		for i := range queries {
 			texts[i] = queries[i].Residues
 		}
-		results, err := db.SearchBatch(texts)
+		br, err := db.SearchBatchCtx(ctx, texts)
 		if err != nil {
-			fatalf("search: %v", err)
+			return fmt.Errorf("search: %w", err)
 		}
-		for i, res := range results {
-			emit(out, queries[i], res)
+		for i := range br.Results {
+			if !br.Completed[i] {
+				continue
+			}
+			if err := emit(out, queries[i], br.Results[i]); err != nil {
+				return err
+			}
+		}
+		done := br.CompletedCount()
+		for i, qerr := range br.QueryErrs {
+			if qerr != nil {
+				fmt.Fprintf(os.Stderr, "mublastp: query %s not completed: %v\n", queries[i].Name, qerr)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "mublastp: %d/%d queries searched in %v with %s\n",
+			done, len(queries), time.Since(start).Round(time.Millisecond), kind)
+		// A degraded batch still falls through to the linger window below,
+		// so a scraper can read the failure counters before the process
+		// exits non-zero.
+		if br.Err != nil {
+			retErr = fmt.Errorf("search incomplete: %w", br.Err)
+		} else if done != len(queries) {
+			retErr = fmt.Errorf("search: %d queries failed", len(queries)-done)
 		}
 	} else {
 		for i := range queries {
+			if ctx.Err() != nil {
+				retErr = fmt.Errorf("search interrupted after %d/%d queries: %w", i, len(queries), ctx.Err())
+				return retErr
+			}
 			res, err := db.SearchWithEngine(kind, queries[i].Residues)
 			if err != nil {
-				fatalf("search: %v", err)
+				return fmt.Errorf("search: %w", err)
 			}
-			emit(out, queries[i], res)
+			if err := emit(out, queries[i], res); err != nil {
+				return err
+			}
 		}
+		fmt.Fprintf(os.Stderr, "mublastp: %d queries searched in %v with %s\n",
+			len(queries), time.Since(start).Round(time.Millisecond), kind)
 	}
-	fmt.Fprintf(os.Stderr, "mublastp: %d queries searched in %v with %s\n",
-		len(queries), time.Since(start).Round(time.Millisecond), kind)
 
 	if *debugAddr != "" && *debugLinger > 0 {
 		// Drain the buffered sinks before sleeping so anything scraping the
@@ -183,12 +233,36 @@ func main() {
 		out.Flush()
 		if trace != nil {
 			if err := trace.Flush(); err != nil {
-				fatalf("trace: %v", err)
+				return fmt.Errorf("trace: %w", err)
 			}
 		}
 		fmt.Fprintf(os.Stderr, "mublastp: debug server lingering for %v\n", *debugLinger)
-		time.Sleep(*debugLinger)
+		select {
+		case <-time.After(*debugLinger):
+		case <-ctx.Done():
+		}
 	}
+	return retErr
+}
+
+func runVerify(path string) error {
+	info, err := blast.VerifyFile(path)
+	if err != nil {
+		return fmt.Errorf("verify %s: %w", path, err)
+	}
+	fp := info.Fingerprint
+	fmt.Printf("%s: OK (container version %d)\n", path, info.Version)
+	fmt.Printf("  matrix %s, word size %d, neighbor threshold %d\n",
+		fp.Matrix, fp.WordSize, fp.NeighborThreshold)
+	fmt.Printf("  %d sequences, %d residues, %d index blocks (%d residues/block)\n",
+		info.NumSequences, info.TotalResidues, info.NumBlocks, fp.BlockResidues)
+	if fp.SplitLongerThan > 0 {
+		fmt.Printf("  long sequences split at %d residues (overlap %d): %d chunks\n",
+			fp.SplitLongerThan, fp.SplitOverlap, info.NumChunks)
+	} else {
+		fmt.Printf("  long-sequence splitting disabled\n")
+	}
+	return nil
 }
 
 func printResult(out *bufio.Writer, db *blast.Database, q blast.Sequence, res *blast.Result, format string) {
@@ -209,9 +283,4 @@ func printResult(out *bufio.Writer, db *blast.Database, q blast.Sequence, res *b
 		}
 	}
 	fmt.Fprintln(out)
-}
-
-func fatalf(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "mublastp: "+format+"\n", args...)
-	os.Exit(1)
 }

@@ -1,0 +1,249 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"strconv"
+	"testing"
+	"time"
+
+	"repro/internal/alphabet"
+	"repro/internal/dbase"
+	"repro/internal/faultinject"
+	"repro/internal/obs"
+	"repro/internal/search"
+	"repro/internal/seqgen"
+)
+
+func failoverWorkload(t *testing.T, seed int64, nSeqs, nQueries int) (*search.Config, *dbase.DB, [][]alphabet.Code) {
+	t.Helper()
+	c := cfg(t)
+	g := seqgen.New(seqgen.EnvNRProfile(), seed)
+	db := dbase.New(g.Database(nSeqs))
+	seqs := make([][]alphabet.Code, db.NumSeqs())
+	for i := range db.Seqs {
+		seqs[i] = db.Seqs[i].Data
+	}
+	return c, db, g.Queries(seqs, nQueries, 128)
+}
+
+func requireSameHSPSets(t *testing.T, label string, want, got []search.QueryResult) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: %d vs %d query results", label, len(want), len(got))
+	}
+	for qi := range want {
+		a, b := keySet(want[qi].HSPs), keySet(got[qi].HSPs)
+		if len(a) != len(b) {
+			t.Fatalf("%s query %d: %d vs %d HSPs", label, qi, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s query %d: HSP sets differ:\n  %s\n  %s", label, qi, a[i], b[i])
+			}
+		}
+	}
+}
+
+func TestFailoverRequeuesDeadRankPartition(t *testing.T) {
+	c, db, queries := failoverWorkload(t, 77, 240, 3)
+	opts := DistOptions{Ranks: 4, ThreadsPerRank: 2, BlockResidues: 16384, Metrics: obs.Discard}
+	ref, _, stats, err := RunDistributedCtx(context.Background(), c, db, queries, opts)
+	if err != nil || stats.RankFailures != 0 {
+		t.Fatalf("fault-free run: err=%v stats=%+v", err, stats)
+	}
+
+	// Kill a rank at the "cluster.rank" site. The ranks race to the site's
+	// hit counter, so which rank dies varies run to run: a non-root death
+	// exercises the requeue path we're after, a root death surfaces as an
+	// error (also correct). Retry seeds until a non-root death happens.
+	reg := obs.NewRegistry()
+	met := obs.NewPipelineMetrics(reg)
+	opts.Metrics = met
+	defer faultinject.Disable()
+	for seed := uint64(1); ; seed++ {
+		if seed > 50 {
+			t.Fatal("no seed produced a surviving root in 50 tries")
+		}
+		if err := faultinject.Enable("cluster.rank=panic@0.4", seed); err != nil {
+			t.Fatal(err)
+		}
+		got, _, stats, err := RunDistributedCtx(context.Background(), c, db, queries, opts)
+		faultinject.Disable()
+		if err != nil || stats.RankFailures == 0 {
+			continue // root died or nobody died; try another seed
+		}
+		if stats.RequeuedSeqs == 0 {
+			t.Fatalf("rank died but nothing requeued: %+v", stats)
+		}
+		if met.RankFailovers.Value() == 0 {
+			t.Error("rank_failovers counter did not move")
+		}
+		requireSameHSPSets(t, "failover", ref, got)
+		return
+	}
+}
+
+func TestFailoverMultipleDeadRanks(t *testing.T) {
+	c, db, queries := failoverWorkload(t, 78, 200, 2)
+	opts := DistOptions{Ranks: 6, ThreadsPerRank: 1, BlockResidues: 16384, Metrics: obs.Discard}
+	ref, _, _, err := RunDistributedCtx(context.Background(), c, db, queries, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Roughly half the hits on the rank site panic; with 6 ranks this kills
+	// several. Root (hit order is racy) may die too — then the run reports
+	// an error, which is the correct surfacing, and we retry another seed.
+	for seed := uint64(1); ; seed++ {
+		if seed > 50 {
+			t.Fatal("no seed produced a surviving root in 50 tries")
+		}
+		if err := faultinject.Enable("cluster.rank=panic@0.5", seed); err != nil {
+			t.Fatal(err)
+		}
+		got, _, stats, err := RunDistributedCtx(context.Background(), c, db, queries, opts)
+		faultinject.Disable()
+		if err != nil {
+			continue // root died; surfaced as error, try another seed
+		}
+		if stats.RankFailures == 0 {
+			continue // nobody died this seed; try another
+		}
+		requireSameHSPSets(t, fmt.Sprintf("multi-failover seed %d", seed), ref, got)
+		return
+	}
+}
+
+func TestDistributedCancellation(t *testing.T) {
+	c, db, queries := failoverWorkload(t, 79, 200, 3)
+	base := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, _, err := RunDistributedCtx(ctx, c, db, queries, DistOptions{
+		Ranks: 3, ThreadsPerRank: 2, BlockResidues: 16384, Metrics: obs.Discard,
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled run: err=%v, want context.Canceled", err)
+	}
+	waitForGoroutines(t, base)
+}
+
+func TestDistributedDeadline(t *testing.T) {
+	c, db, queries := failoverWorkload(t, 80, 260, 3)
+	if err := faultinject.Enable("core.hitdetect=delay:10ms", 1); err != nil {
+		t.Fatal(err)
+	}
+	defer faultinject.Disable()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	_, _, _, err := RunDistributedCtx(ctx, c, db, queries, DistOptions{
+		Ranks: 2, ThreadsPerRank: 2, BlockResidues: 16384, Metrics: obs.Discard,
+	})
+	if !errors.Is(err, search.ErrDeadline) {
+		t.Fatalf("deadline run: err=%v, want ErrDeadline", err)
+	}
+}
+
+// TestChaosCluster randomizes rank deaths, pipeline faults, and op timeouts,
+// asserting the run either completes with the exact fault-free HSP sets or
+// reports a typed error — and never hangs or leaks goroutines. Part of
+// `make chaos`.
+func TestChaosCluster(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos sweep skipped in -short mode")
+	}
+	rounds := 5
+	if s := os.Getenv("CHAOS_ROUNDS"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil {
+			t.Fatalf("bad CHAOS_ROUNDS %q: %v", s, err)
+		}
+		rounds = n
+	}
+	seeds := make([]int64, rounds)
+	for i := range seeds {
+		seeds[i] = int64(9000 + 31*i)
+	}
+	if s := os.Getenv("CHAOS_SEED"); s != "" {
+		n, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			t.Fatalf("bad CHAOS_SEED %q: %v", s, err)
+		}
+		seeds = []int64{n}
+	}
+
+	c, db, queries := failoverWorkload(t, 81, 200, 2)
+	opts := DistOptions{Ranks: 4, ThreadsPerRank: 1, BlockResidues: 16384, Metrics: obs.Discard}
+	ref, _, _, err := RunDistributedCtx(context.Background(), c, db, queries, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	base := runtime.NumGoroutine()
+	for _, seed := range seeds {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			defer func() {
+				if t.Failed() {
+					t.Logf("replay with: CHAOS_SEED=%d go test -race -run TestChaosCluster ./internal/cluster", seed)
+				}
+			}()
+			rng := rand.New(rand.NewSource(seed))
+			clauses := []string{
+				"cluster.rank=panic@0.3",
+				"cluster.rank=panic#2",
+				"mpi.send=error@0.1",
+				"sched.task=panic#5",
+				"core.extend=delay:1ms@0.05",
+			}
+			spec := clauses[rng.Intn(len(clauses))]
+			if rng.Intn(2) == 1 {
+				spec += "," + clauses[rng.Intn(len(clauses))]
+			}
+			runOpts := opts
+			runOpts.OpTimeout = time.Duration(200+rng.Intn(300)) * time.Millisecond
+			t.Logf("schedule %q opTimeout=%v", spec, runOpts.OpTimeout)
+
+			if err := faultinject.Enable(spec, uint64(seed)); err != nil {
+				t.Fatal(err)
+			}
+			defer faultinject.Disable()
+			done := make(chan struct{})
+			var got []search.QueryResult
+			var runErr error
+			go func() {
+				defer close(done)
+				got, _, _, runErr = RunDistributedCtx(context.Background(), c, db, queries, runOpts)
+			}()
+			select {
+			case <-done:
+			case <-time.After(30 * time.Second):
+				t.Fatal("distributed chaos run hung")
+			}
+			faultinject.Disable()
+			if runErr != nil {
+				t.Logf("run surfaced error (acceptable): %v", runErr)
+				return
+			}
+			requireSameHSPSets(t, "chaos", ref, got)
+		})
+	}
+	waitForGoroutines(t, base)
+}
+
+func waitForGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > base {
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked: %d > %d\n%s", runtime.NumGoroutine(), base, buf[:n])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -1,0 +1,388 @@
+// Fault-tolerant batch scheduling: SearchBatchCtx threads a context through
+// both schedulers (cooperative cancellation between tasks, per-batch
+// deadlines with typed ErrDeadline), isolates per-task panics into
+// (block, query)-attributed TaskPanicErrors so one poisoned query fails
+// alone, and returns partial results whose completed queries are
+// byte-identical to a full run. The (block, query) task — the paper's unit
+// of decoupled work — is the abort and failure granularity throughout.
+package core
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"repro/internal/alphabet"
+	"repro/internal/faultinject"
+	"repro/internal/parallel"
+	"repro/internal/search"
+)
+
+// Fault sites of the engine's hot path. Disarmed they cost one atomic load
+// per task; the chaos harness arms them by name (see internal/faultinject).
+var (
+	fiSchedTask = faultinject.NewSite("sched.task")
+	fiHitDetect = faultinject.NewSite("core.hitdetect")
+	fiExtend    = faultinject.NewSite("core.extend")
+	fiFinalize  = faultinject.NewSite("core.finalize")
+)
+
+// BatchResult is the outcome of a fault-tolerant batch search. Results has
+// one entry per query; entry qi is meaningful only when Completed[qi] is
+// true, in which case it is byte-identical to the result a fault-free run
+// produces for that query. QueryErrs[qi] explains an incomplete query (a
+// *search.TaskPanicError for a poisoned query, a *search.QueryCancelledError
+// for one cut off by cancellation or deadline); it is nil for completed
+// queries. Err is the batch-level error: nil when every task ran,
+// search.ErrDeadline (wrapped) when the per-batch deadline expired, or the
+// context's cancellation error.
+type BatchResult struct {
+	Results   []search.QueryResult
+	Completed []bool
+	QueryErrs []error
+	Sched     search.SchedStats
+	Err       error
+}
+
+// CompletedCount returns how many queries finished.
+func (b *BatchResult) CompletedCount() int {
+	n := 0
+	for _, c := range b.Completed {
+		if c {
+			n++
+		}
+	}
+	return n
+}
+
+// SearchBatchCtx is SearchBatch with cooperative cancellation, deadline
+// support, and panic isolation. The context is observed between tasks: once
+// it is cancelled no new (block, query) task starts, in-flight tasks finish,
+// and queries whose tasks all completed are still finalized and returned.
+func (e *Engine) SearchBatchCtx(ctx context.Context, queries [][]alphabet.Code, threads int) BatchResult {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	var br BatchResult
+	if e.Opt.Scheduler == SchedBarrier {
+		br = e.searchBatchBarrierCtx(ctx, queries, threads)
+	} else {
+		br = e.searchBatchGridCtx(ctx, queries, threads)
+	}
+	e.stampSched(br.Sched)
+	e.stampBatchFaults(&br)
+	return br
+}
+
+// stampBatchFaults folds a batch's failure counters into the metric bundle.
+// (Task panics are stamped as they happen; this covers the batch-scoped
+// outcomes.)
+func (e *Engine) stampBatchFaults(br *BatchResult) {
+	if br.Sched.DeadlineExceeded {
+		e.met.DeadlineExceeded.Add(1)
+	}
+	var cancelled int64
+	for _, err := range br.QueryErrs {
+		var qc *search.QueryCancelledError
+		if errors.As(err, &qc) {
+			cancelled++
+		}
+	}
+	if cancelled > 0 {
+		e.met.QueriesCancelled.Add(cancelled)
+	}
+}
+
+// batchFailures collects per-query failure state during a batch run. The
+// panic path is cold, so a mutex (not atomics) guards it.
+type batchFailures struct {
+	mu      sync.Mutex
+	panics  map[int]*search.TaskPanicError // first panic per query
+	failed  []bool                         // failed[qi]: query is poisoned
+	nPanics int64                          // total panicked tasks (not unique queries)
+}
+
+func newBatchFailures(nq int) *batchFailures {
+	return &batchFailures{failed: make([]bool, nq)}
+}
+
+// record stores the first panic attributed to query qi and poisons it.
+func (f *batchFailures) record(perr *search.TaskPanicError) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.panics == nil {
+		f.panics = make(map[int]*search.TaskPanicError)
+	}
+	if _, ok := f.panics[perr.Query]; !ok {
+		f.panics[perr.Query] = perr
+	}
+	f.failed[perr.Query] = true
+	f.nPanics++
+}
+
+// poisoned reports whether query qi has failed. Racy reads are acceptable:
+// a stale false only means one more task runs for a doomed query.
+func (f *batchFailures) poisoned(qi int) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.failed[qi]
+}
+
+func (f *batchFailures) panicFor(qi int) *search.TaskPanicError {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if p, ok := f.panics[qi]; ok {
+		return p
+	}
+	return nil
+}
+
+// searchBatchGridCtx is the barrier-free grid scheduler (see the package
+// comment on searchBatchGrid ordering and identity) extended with the
+// robustness layer: per-task completion tracking, panic isolation, and
+// cancellation between tasks.
+func (e *Engine) searchBatchGridCtx(ctx context.Context, queries [][]alphabet.Code, threads int) BatchResult {
+	nq := len(queries)
+	nb := len(e.Ix.Blocks)
+	nTasks := nb * nq
+	workers := parallel.NumWorkers(nTasks, threads)
+	scratches := make([]*scratch, workers)
+	for i := range scratches {
+		scratches[i] = e.getScratch()
+	}
+	defer func() {
+		for _, sc := range scratches {
+			e.putScratch(sc)
+		}
+	}()
+	cells := make([][]search.SubjectAlignments, nTasks)
+	cellStats := make([]search.Stats, nTasks)
+	taskOK := make([]bool, nTasks) // written only by task t's owner
+	fails := newBatchFailures(nq)
+	var zero search.Stats
+	ts, ctxErr := parallel.ForTasksOpts(nTasks, threads, func(w, t int) {
+		bi, qi := t/nq, t%nq
+		q := queries[qi]
+		if len(q) < alphabet.W {
+			taskOK[t] = true
+			return
+		}
+		if fails.poisoned(qi) {
+			// The query already failed on another block; skip its remaining
+			// cells (they could not be reported anyway).
+			return
+		}
+		fiSchedTask.Fire()
+		st := &cellStats[t]
+		start := time.Now()
+		cells[t] = e.searchBlock(scratches[w], q, bi, st)
+		st.SchedTasks = 1
+		st.SchedBusyNanos = int64(time.Since(start))
+		e.stampTask(&zero, st) // cell stats start zeroed, so post == delta
+		taskOK[t] = true
+	}, parallel.RunOptions{
+		Context:  ctx,
+		Observer: e.met.TaskNanos,
+		OnPanic: func(_, t int, v any, stack []byte) {
+			fails.record(&search.TaskPanicError{Block: t / nq, Query: t % nq, Value: v, Stack: stack})
+			e.met.TasksPanicked.Add(1)
+		},
+	})
+
+	complete := func(qi int) bool {
+		for bi := 0; bi < nb; bi++ {
+			if !taskOK[bi*nq+qi] {
+				return false
+			}
+		}
+		return true
+	}
+	finalize := func(w, qi int) (search.QueryResult, search.Stats) {
+		total := 0
+		for bi := 0; bi < nb; bi++ {
+			total += len(cells[bi*nq+qi])
+		}
+		var subjects []search.SubjectAlignments
+		if total > 0 {
+			subjects = make([]search.SubjectAlignments, 0, total)
+		}
+		var st search.Stats
+		for bi := 0; bi < nb; bi++ {
+			t := bi*nq + qi
+			subjects = append(subjects, cells[t]...)
+			st.Add(cellStats[t])
+		}
+		return search.Finalize(e.Cfg, scratches[w].aligner, qi, queries[qi], e.Ix.DB, subjects, st), st
+	}
+	return e.finishBatch(ctx, queries, workers, fails, complete, finalize,
+		schedStatsFrom(SchedBlockMajor, ts), nTasks, int64(ts.Tasks), ctxErr)
+}
+
+// searchBatchBarrierCtx is the Algorithm 3 barrier scheduler with the same
+// robustness layer: the context is additionally observed at every block
+// boundary, and a poisoned query is skipped in all later blocks.
+func (e *Engine) searchBatchBarrierCtx(ctx context.Context, queries [][]alphabet.Code, threads int) BatchResult {
+	nq := len(queries)
+	nb := len(e.Ix.Blocks)
+	workers := parallel.NumWorkers(nq, threads)
+	scratches := make([]*scratch, workers)
+	for i := range scratches {
+		scratches[i] = e.getScratch()
+	}
+	defer func() {
+		for _, sc := range scratches {
+			e.putScratch(sc)
+		}
+	}()
+	subjects := make([][]search.SubjectAlignments, nq)
+	stats := make([]search.Stats, nq)
+	blocksDone := make([]int, nq) // written only by query qi's task owner
+	fails := newBatchFailures(nq)
+	var ts parallel.TaskStats
+	var ctxErr error
+	var started int64
+	for bi := 0; bi < nb && ctxErr == nil; bi++ {
+		block := bi
+		blockTS, err := parallel.ForTasksOpts(nq, threads, func(w, qi int) {
+			if len(queries[qi]) < alphabet.W {
+				blocksDone[qi]++
+				return
+			}
+			if fails.poisoned(qi) {
+				return
+			}
+			fiSchedTask.Fire()
+			st := &stats[qi]
+			pre := *st // per-query stats accumulate across blocks
+			start := time.Now()
+			subs := e.searchBlock(scratches[w], queries[qi], block, st)
+			st.SchedTasks++
+			st.SchedBusyNanos += int64(time.Since(start))
+			subjects[qi] = append(subjects[qi], subs...)
+			e.stampTask(&pre, st)
+			blocksDone[qi]++
+		}, parallel.RunOptions{
+			Context:  ctx,
+			Observer: e.met.TaskNanos,
+			OnPanic: func(_, qi int, v any, stack []byte) {
+				fails.record(&search.TaskPanicError{Block: block, Query: qi, Value: v, Stack: stack})
+				e.met.TasksPanicked.Add(1)
+			},
+		})
+		ts.Merge(blockTS)
+		started += int64(blockTS.Tasks)
+		ctxErr = err
+	}
+	complete := func(qi int) bool { return blocksDone[qi] == nb }
+	finalize := func(w, qi int) (search.QueryResult, search.Stats) {
+		st := stats[qi]
+		return search.Finalize(e.Cfg, scratches[w].aligner, qi, queries[qi], e.Ix.DB, subjects[qi], st), st
+	}
+	return e.finishBatch(ctx, queries, workers, fails, complete, finalize,
+		schedStatsFrom(SchedBarrier, ts), nb*nq, started, ctxErr)
+}
+
+// finishBatch runs the finalize phase (stage four, parallel over queries,
+// itself cancellable and panic-isolated) and assembles the BatchResult. A
+// query is completed only when all its search tasks ran AND its finalize
+// ran; completed queries are byte-identical to a fault-free run because
+// their inputs — the per-(block, query) cells — are independent of every
+// other task's fate.
+func (e *Engine) finishBatch(
+	ctx context.Context,
+	queries [][]alphabet.Code,
+	workers int,
+	fails *batchFailures,
+	complete func(qi int) bool,
+	finalize func(w, qi int) (search.QueryResult, search.Stats),
+	ss search.SchedStats,
+	nTasks int,
+	tasksStarted int64,
+	ctxErr error,
+) BatchResult {
+	nq := len(queries)
+	results := make([]search.QueryResult, nq)
+	finOK := make([]bool, nq) // written only by query qi's finalizer
+	finErr := parallel.ForWorkersCtx(ctx, nq, workers, func(w, qi int) {
+		if fails.poisoned(qi) || !complete(qi) {
+			return
+		}
+		defer func() {
+			if r := recover(); r != nil {
+				fails.record(&search.TaskPanicError{Block: -1, Query: qi, Value: r, Stack: nil})
+				e.met.TasksPanicked.Add(1)
+			}
+		}()
+		fiFinalize.Fire()
+		res, pre := finalize(w, qi)
+		results[qi] = res
+		e.stampQueryDone(&pre, &results[qi].Stats)
+		finOK[qi] = true
+	})
+	if ctxErr == nil {
+		ctxErr = finErr
+	}
+
+	completed := make([]bool, nq)
+	qerrs := make([]error, nq)
+	for qi := 0; qi < nq; qi++ {
+		if finOK[qi] {
+			completed[qi] = true
+			continue
+		}
+		results[qi] = search.QueryResult{Query: qi} // zero result, flagged below
+		if perr := fails.panicFor(qi); perr != nil {
+			qerrs[qi] = perr
+			ss.QueriesAborted++
+			continue
+		}
+		cause := ctxErr
+		if cause == nil {
+			cause = context.Canceled // unreachable today; defensive attribution
+		}
+		qerrs[qi] = &search.QueryCancelledError{Query: qi, Cause: cause}
+		ss.QueriesAborted++
+	}
+	ss.TasksPanicked = tasksPanickedCount(fails)
+	ss.TasksCancelled = int64(nTasks) - tasksStarted
+	ss.DeadlineExceeded = errors.Is(ctxErr, context.DeadlineExceeded)
+	return BatchResult{
+		Results:   results,
+		Completed: completed,
+		QueryErrs: qerrs,
+		Sched:     ss,
+		Err:       search.BatchErr(ctxErr),
+	}
+}
+
+func tasksPanickedCount(f *batchFailures) int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.nPanics
+}
+
+// SearchCtx is Search with cooperative cancellation between index blocks.
+// On cancellation it returns the context's error and a zero result.
+func (e *Engine) SearchCtx(ctx context.Context, queryIdx int, q []alphabet.Code) (search.QueryResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	sc := e.getScratch()
+	defer e.putScratch(sc)
+	var st search.Stats
+	var subjects []search.SubjectAlignments
+	if len(q) >= alphabet.W {
+		for bi := range e.Ix.Blocks {
+			if err := ctx.Err(); err != nil {
+				return search.QueryResult{Query: queryIdx}, search.BatchErr(err)
+			}
+			subs := e.searchBlock(sc, q, bi, &st)
+			subjects = append(subjects, subs...)
+		}
+	}
+	res := search.Finalize(e.Cfg, sc.aligner, queryIdx, q, e.Ix.DB, subjects, st)
+	var zero search.Stats
+	e.stampQueryDone(&zero, &res.Stats)
+	return res, nil
+}

@@ -20,6 +20,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -241,125 +242,13 @@ func (e *Engine) SearchBatch(queries [][]alphabet.Code, threads int) []search.Qu
 }
 
 // SearchBatchStats is SearchBatch plus the scheduler's utilization counters
-// for the hit-search phase.
+// for the hit-search phase. Both are the no-context form of SearchBatchCtx:
+// they never cancel, and a panicking task poisons only its own query (the
+// query comes back with zero HSPs; use SearchBatchCtx to observe the typed
+// per-query error).
 func (e *Engine) SearchBatchStats(queries [][]alphabet.Code, threads int) ([]search.QueryResult, search.SchedStats) {
-	var results []search.QueryResult
-	var ss search.SchedStats
-	if e.Opt.Scheduler == SchedBarrier {
-		results, ss = e.searchBatchBarrier(queries, threads)
-	} else {
-		results, ss = e.searchBatchGrid(queries, threads)
-	}
-	e.stampSched(ss)
-	return results, ss
-}
-
-// searchBatchGrid is the barrier-free scheduler: the (block × query) grid is
-// flattened into one task list ordered block-major — consecutive tasks share
-// a hot index block, preserving the cache-locality argument of Algorithm 3 —
-// and workers pull tasks from a single atomic counter with no synchronization
-// until the whole grid drains. Task (bi, qi) writes its alignments and stats
-// into the preallocated cell bi*nq+qi, so there are no locks and no append
-// races; finalize concatenates each query's cells in block order, which is
-// exactly the order sequential Search visits blocks — output is identical.
-func (e *Engine) searchBatchGrid(queries [][]alphabet.Code, threads int) ([]search.QueryResult, search.SchedStats) {
-	nq := len(queries)
-	nb := len(e.Ix.Blocks)
-	nTasks := nb * nq
-	workers := parallel.NumWorkers(nTasks, threads)
-	scratches := make([]*scratch, workers)
-	for i := range scratches {
-		scratches[i] = e.getScratch()
-	}
-	defer func() {
-		for _, sc := range scratches {
-			e.putScratch(sc)
-		}
-	}()
-	cells := make([][]search.SubjectAlignments, nTasks)
-	cellStats := make([]search.Stats, nTasks)
-	var zero search.Stats
-	ts := parallel.ForTasksObserved(nTasks, threads, func(w, t int) {
-		bi, qi := t/nq, t%nq
-		q := queries[qi]
-		if len(q) < alphabet.W {
-			return
-		}
-		st := &cellStats[t]
-		start := time.Now()
-		cells[t] = e.searchBlock(scratches[w], q, bi, st)
-		st.SchedTasks = 1
-		st.SchedBusyNanos = int64(time.Since(start))
-		e.stampTask(&zero, st) // cell stats start zeroed, so post == delta
-	}, e.met.TaskNanos)
-
-	results := make([]search.QueryResult, nq)
-	parallel.ForWorkers(nq, workers, func(w, qi int) {
-		total := 0
-		for bi := 0; bi < nb; bi++ {
-			total += len(cells[bi*nq+qi])
-		}
-		var subjects []search.SubjectAlignments
-		if total > 0 {
-			subjects = make([]search.SubjectAlignments, 0, total)
-		}
-		var st search.Stats
-		for bi := 0; bi < nb; bi++ {
-			t := bi*nq + qi
-			subjects = append(subjects, cells[t]...)
-			st.Add(cellStats[t])
-		}
-		pre := st // task work is already stamped; Finalize's delta is not
-		results[qi] = search.Finalize(e.Cfg, scratches[w].aligner, qi, queries[qi], e.Ix.DB, subjects, st)
-		e.stampQueryDone(&pre, &results[qi].Stats)
-	})
-	return results, schedStatsFrom(SchedBlockMajor, ts)
-}
-
-// searchBatchBarrier implements the multithreaded loop structure of
-// Algorithm 3 as printed: index blocks are processed one at a time (every
-// thread works on the same block and shares it in cache), queries are
-// distributed dynamically across threads within each block — with a full
-// worker barrier at every block boundary — and per-query finalization runs
-// as a second parallel loop. Kept as the ablation baseline for the
-// barrier-free grid scheduler.
-func (e *Engine) searchBatchBarrier(queries [][]alphabet.Code, threads int) ([]search.QueryResult, search.SchedStats) {
-	workers := parallel.NumWorkers(len(queries), threads)
-	scratches := make([]*scratch, workers)
-	for i := range scratches {
-		scratches[i] = e.getScratch()
-	}
-	defer func() {
-		for _, sc := range scratches {
-			e.putScratch(sc)
-		}
-	}()
-	subjects := make([][]search.SubjectAlignments, len(queries))
-	stats := make([]search.Stats, len(queries))
-	var ts parallel.TaskStats
-	for bi := range e.Ix.Blocks {
-		blockTS := parallel.ForTasksObserved(len(queries), threads, func(w, qi int) {
-			if len(queries[qi]) < alphabet.W {
-				return
-			}
-			st := &stats[qi]
-			pre := *st // per-query stats accumulate across blocks
-			start := time.Now()
-			subs := e.searchBlock(scratches[w], queries[qi], bi, st)
-			st.SchedTasks++
-			st.SchedBusyNanos += int64(time.Since(start))
-			subjects[qi] = append(subjects[qi], subs...)
-			e.stampTask(&pre, st)
-		}, e.met.TaskNanos)
-		ts.Merge(blockTS)
-	}
-	results := make([]search.QueryResult, len(queries))
-	parallel.ForWorkers(len(queries), threads, func(w, qi int) {
-		pre := stats[qi]
-		results[qi] = search.Finalize(e.Cfg, scratches[w].aligner, qi, queries[qi], e.Ix.DB, subjects[qi], stats[qi])
-		e.stampQueryDone(&pre, &results[qi].Stats)
-	})
-	return results, schedStatsFrom(SchedBarrier, ts)
+	br := e.SearchBatchCtx(context.Background(), queries, threads)
+	return br.Results, br.Sched
 }
 
 // schedStatsFrom folds one scheduler run's counters into the search-level
@@ -396,6 +285,7 @@ func (e *Engine) searchBlock(sc *scratch, q []alphabet.Code, bi int, st *search.
 	// as the extend call minus the gapped time GappedStage stamps from
 	// inside it (extension flushes subjects into the gapped stage inline).
 	if e.Opt.Prefilter {
+		fiHitDetect.Fire()
 		e.detectPrefiltered(sc, q, bi, coder, st)
 		st.SortedItems += int64(len(sc.pairs))
 		stageStart := time.Now()
@@ -403,10 +293,12 @@ func (e *Engine) searchBlock(sc *scratch, q []alphabet.Code, bi int, st *search.
 		st.StageNanos[obs.StageSort] += int64(time.Since(stageStart))
 		gappedBefore := st.StageNanos[obs.StageGapped]
 		stageStart = time.Now()
+		fiExtend.Fire()
 		subs := e.extendPairs(sc, q, bi, coder, diagBias, st)
 		st.StageNanos[obs.StageUngapped] += int64(time.Since(stageStart)) - (st.StageNanos[obs.StageGapped] - gappedBefore)
 		return subs
 	}
+	fiHitDetect.Fire()
 	e.detectAll(sc, q, bi, coder, st)
 	st.SortedItems += int64(len(sc.hits))
 	stageStart := time.Now()
@@ -414,6 +306,7 @@ func (e *Engine) searchBlock(sc *scratch, q []alphabet.Code, bi int, st *search.
 	st.StageNanos[obs.StageSort] += int64(time.Since(stageStart))
 	gappedBefore := st.StageNanos[obs.StageGapped]
 	stageStart = time.Now()
+	fiExtend.Fire()
 	subs := e.extendPostFiltered(sc, q, bi, coder, diagBias, st)
 	st.StageNanos[obs.StageUngapped] += int64(time.Since(stageStart)) - (st.StageNanos[obs.StageGapped] - gappedBefore)
 	return subs

@@ -73,6 +73,12 @@ func (r *Reader) Read() (*Record, error) {
 			if b == ' ' || b == '\t' {
 				continue
 			}
+			if b == '>' {
+				// '>' is never a residue; embedded in sequence data it
+				// would be re-parsed as a header once the writer wraps
+				// it onto its own line.
+				return nil, fmt.Errorf("fasta: line %d: stray '>' in sequence data", r.line)
+			}
 			seq = append(seq, b)
 		}
 	}

@@ -69,6 +69,17 @@ func TestReadRejectsEmptyHeader(t *testing.T) {
 	}
 }
 
+func TestReadRejectsStrayHeaderChar(t *testing.T) {
+	// A mid-line '>' is not a residue; accepting it breaks round-tripping
+	// because the writer can wrap it onto its own line, where it parses as
+	// a header (fuzz regression: testdata/fuzz/FuzzReader/c6ffc7836b4e7a13).
+	for _, in := range []string{">a\nARN>DC\n", ">a\nARNDC>", ">a\nAR\n>b\nC>D\n"} {
+		if _, err := ReadAll(strings.NewReader(in)); err == nil {
+			t.Errorf("accepted stray '>' in sequence data: %q", in)
+		}
+	}
+}
+
 func TestEmptySequenceRecordAllowed(t *testing.T) {
 	recs, err := ReadAll(strings.NewReader(">a\n>b\nARN\n"))
 	if err != nil {

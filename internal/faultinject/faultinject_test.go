@@ -1,0 +1,205 @@
+package faultinject
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestDisarmedSiteIsInert(t *testing.T) {
+	s := NewSite("test.inert")
+	for i := 0; i < 100; i++ {
+		if err := s.Err(); err != nil {
+			t.Fatalf("disarmed site returned error: %v", err)
+		}
+	}
+	if s.Fired() != 0 {
+		t.Errorf("disarmed site fired %d times", s.Fired())
+	}
+}
+
+func TestNthHitPanics(t *testing.T) {
+	s := NewSite("test.nth")
+	if err := Enable("test.nth=panic#3", 1); err != nil {
+		t.Fatal(err)
+	}
+	defer Disable()
+	for i := 1; i <= 5; i++ {
+		panicked := func() (p bool) {
+			defer func() {
+				if r := recover(); r != nil {
+					pv, ok := r.(PanicValue)
+					if !ok || pv.Site != "test.nth" {
+						t.Errorf("panic payload %v, want PanicValue for test.nth", r)
+					}
+					p = true
+				}
+			}()
+			s.Fire()
+			return false
+		}()
+		if panicked != (i == 3) {
+			t.Fatalf("hit %d: panicked=%v", i, panicked)
+		}
+	}
+	if s.Fired() != 1 {
+		t.Errorf("fired %d, want 1", s.Fired())
+	}
+}
+
+func TestErrorFaultWrapsSentinel(t *testing.T) {
+	s := NewSite("test.err")
+	if err := Enable("test.err=error:disk on fire", 1); err != nil {
+		t.Fatal(err)
+	}
+	defer Disable()
+	err := s.Err()
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("injected error %v does not wrap ErrInjected", err)
+	}
+	if !strings.Contains(err.Error(), "disk on fire") || !strings.Contains(err.Error(), "test.err") {
+		t.Errorf("error %q missing message or site name", err)
+	}
+}
+
+func TestDelayFaultSleeps(t *testing.T) {
+	s := NewSite("test.delay")
+	if err := Enable("test.delay=delay:20ms", 1); err != nil {
+		t.Fatal(err)
+	}
+	defer Disable()
+	start := time.Now()
+	if err := s.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 15*time.Millisecond {
+		t.Errorf("delay fault slept only %v", d)
+	}
+}
+
+func TestProbabilisticDeterminism(t *testing.T) {
+	s := NewSite("test.prob")
+	run := func(seed uint64) []int {
+		if err := Enable("test.prob=error@0.3", seed); err != nil {
+			t.Fatal(err)
+		}
+		var fired []int
+		for i := 0; i < 200; i++ {
+			if s.Err() != nil {
+				fired = append(fired, i)
+			}
+		}
+		Disable()
+		return fired
+	}
+	a, b := run(42), run(42)
+	if len(a) == 0 || len(a) == 200 {
+		t.Fatalf("prob 0.3 fired %d/200 times", len(a))
+	}
+	if len(a) != len(b) {
+		t.Fatalf("same seed fired %d vs %d times", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at firing %d: hit %d vs %d", i, a[i], b[i])
+		}
+	}
+	c := run(43)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical firing patterns")
+	}
+}
+
+func TestShortReadTruncates(t *testing.T) {
+	s := NewSite("test.shortread")
+	if err := Enable("test.shortread=shortread:5", 1); err != nil {
+		t.Fatal(err)
+	}
+	defer Disable()
+	got, err := io.ReadAll(s.Reader(bytes.NewReader(make([]byte, 100))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 5 {
+		t.Errorf("short read yielded %d bytes, want 5", len(got))
+	}
+	Disable()
+	got, err = io.ReadAll(s.Reader(bytes.NewReader(make([]byte, 100))))
+	if err != nil || len(got) != 100 {
+		t.Errorf("disarmed reader yielded %d bytes (err %v), want 100", len(got), err)
+	}
+}
+
+func TestEnableRejectsUnknownSiteAndBadSpecs(t *testing.T) {
+	for _, spec := range []string{
+		"no.such.site=panic",
+		"test.badspec",
+		"test.badspec=frobnicate",
+		"test.badspec=panic@2",
+		"test.badspec=panic#0",
+		"test.badspec=delay:backwards",
+		"test.badspec=panic:arg",
+	} {
+		NewSite("test.badspec")
+		if err := Enable(spec, 1); err == nil {
+			t.Errorf("Enable(%q) accepted", spec)
+			Disable()
+		}
+	}
+}
+
+func TestEnableReplacesSchedule(t *testing.T) {
+	a := NewSite("test.replace.a")
+	b := NewSite("test.replace.b")
+	if err := Enable("test.replace.a=error", 1); err != nil {
+		t.Fatal(err)
+	}
+	if a.Err() == nil {
+		t.Error("armed site a did not fire")
+	}
+	if err := Enable("test.replace.b=error", 1); err != nil {
+		t.Fatal(err)
+	}
+	if a.Err() != nil {
+		t.Error("site a still armed after schedule replacement")
+	}
+	if b.Err() == nil {
+		t.Error("site b not armed by replacement schedule")
+	}
+	Disable()
+}
+
+func TestSitesSortedAndDeduplicated(t *testing.T) {
+	s1 := NewSite("test.dup")
+	s2 := NewSite("test.dup")
+	if s1 != s2 {
+		t.Error("NewSite returned distinct sites for one name")
+	}
+	names := Sites()
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("Sites() not sorted/unique at %d: %q >= %q", i, names[i-1], names[i])
+		}
+	}
+}
+
+// BenchmarkDisarmedFire pins the disarmed cost: one atomic pointer load.
+func BenchmarkDisarmedFire(b *testing.B) {
+	s := NewSite("bench.disarmed")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Fire()
+	}
+}

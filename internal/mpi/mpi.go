@@ -4,54 +4,192 @@
 // stands in for MVAPICH on Stampede (Section V-A): the inter-node muBLASTP
 // of Section IV-D runs unchanged on top of it, with every rank owning a
 // database partition (see internal/cluster).
+//
+// Unlike a first-cut in-process substrate, the world models partial failure:
+// a rank whose function panics is marked down (its panic is recovered and
+// reported by Run, not propagated), peers talking to a down rank get a typed
+// RankDownError instead of blocking forever, Send/Recv can be bounded by a
+// per-operation timeout, and Shutdown releases every blocked rank so Run
+// always returns. Barrier synchronizes the *live* ranks, so survivors are
+// never hostage to a dead one.
 package mpi
 
 import (
+	"errors"
 	"fmt"
+	"runtime/debug"
 	"sync"
+	"time"
+
+	"repro/internal/faultinject"
 )
+
+var (
+	// ErrInvalidRank reports a Send/Recv aimed outside [0, Size).
+	ErrInvalidRank = errors.New("mpi: invalid rank")
+	// ErrWorldShutdown reports an operation cut short by World.Shutdown.
+	ErrWorldShutdown = errors.New("mpi: world shut down")
+	// ErrOpTimeout reports a Send/Recv that exceeded the world's
+	// per-operation timeout (see WithOpTimeout).
+	ErrOpTimeout = errors.New("mpi: operation timed out")
+)
+
+// RankDownError reports a peer rank that panicked and was marked down.
+type RankDownError struct{ Rank int }
+
+func (e *RankDownError) Error() string { return fmt.Sprintf("mpi: rank %d is down", e.Rank) }
+
+// RankPanicError carries the recovered panic of one rank out of Run.
+type RankPanicError struct {
+	Rank  int
+	Value any
+	Stack []byte
+}
+
+func (e *RankPanicError) Error() string {
+	return fmt.Sprintf("mpi: rank %d panicked: %v", e.Rank, e.Value)
+}
+
+// fiSend injects faults into the point-to-point send path (site "mpi.send"):
+// error kind surfaces as a Send error, panic kind kills the sending rank.
+var fiSend = faultinject.NewSite("mpi.send")
 
 // World is a fixed-size group of ranks.
 type World struct {
-	n     int
-	chans [][]chan any // chans[from][to]
+	n         int
+	opTimeout time.Duration
+	chans     [][]chan any // chans[from][to]
 
-	barrierMu  sync.Mutex
+	done      chan struct{}
+	closeOnce sync.Once
+
+	mu         sync.Mutex
+	cond       *sync.Cond
+	shutdown   bool
+	down       []bool
+	downCh     []chan struct{} // closed when the rank is marked down
+	panics     []*RankPanicError
+	nDown      int
 	barrierCnt int
 	barrierGen int
-	barrierC   *sync.Cond
 }
 
-// NewWorld creates a world with n ranks.
-func NewWorld(n int) *World {
+// Option configures a World at construction.
+type Option func(*World)
+
+// WithOpTimeout bounds every Send and Recv: an operation still blocked after
+// d returns ErrOpTimeout. d <= 0 (the default) means operations block until
+// delivery, peer death, or shutdown.
+func WithOpTimeout(d time.Duration) Option {
+	return func(w *World) { w.opTimeout = d }
+}
+
+// NewWorld creates a world with n ranks. n must be positive.
+func NewWorld(n int, opts ...Option) (*World, error) {
 	if n <= 0 {
-		panic("mpi: world size must be positive")
+		return nil, fmt.Errorf("mpi: world size %d must be positive", n)
 	}
-	w := &World{n: n, chans: make([][]chan any, n)}
+	w := &World{
+		n:      n,
+		chans:  make([][]chan any, n),
+		done:   make(chan struct{}),
+		down:   make([]bool, n),
+		downCh: make([]chan struct{}, n),
+		panics: make([]*RankPanicError, n),
+	}
 	for i := range w.chans {
 		w.chans[i] = make([]chan any, n)
 		for j := range w.chans[i] {
 			w.chans[i][j] = make(chan any, 16)
 		}
+		w.downCh[i] = make(chan struct{})
 	}
-	w.barrierC = sync.NewCond(&w.barrierMu)
-	return w
+	w.cond = sync.NewCond(&w.mu)
+	for _, o := range opts {
+		o(w)
+	}
+	return w, nil
 }
 
 // Size returns the number of ranks.
 func (w *World) Size() int { return w.n }
 
+// Shutdown releases every rank blocked in Send, Recv, or Barrier with
+// ErrWorldShutdown. It is idempotent and safe to call from any goroutine —
+// typically a root rank's defer, so a wedged peer can never keep Run from
+// returning.
+func (w *World) Shutdown() {
+	w.closeOnce.Do(func() {
+		w.mu.Lock()
+		w.shutdown = true
+		w.cond.Broadcast()
+		w.mu.Unlock()
+		close(w.done)
+	})
+}
+
+// Down reports whether rank id has been marked down.
+func (w *World) Down(id int) bool {
+	if id < 0 || id >= w.n {
+		return false
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.down[id]
+}
+
+// markDown flags a rank as dead: its down channel closes (waking peers
+// blocked on it) and the live-rank barrier recounts.
+func (w *World) markDown(id int, perr *RankPanicError) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.down[id] {
+		return
+	}
+	w.down[id] = true
+	w.panics[id] = perr
+	w.nDown++
+	close(w.downCh[id])
+	w.maybeCompleteBarrierLocked()
+	w.cond.Broadcast()
+}
+
+func (w *World) maybeCompleteBarrierLocked() {
+	if w.barrierCnt > 0 && w.barrierCnt >= w.n-w.nDown {
+		w.barrierCnt = 0
+		w.barrierGen++
+		w.cond.Broadcast()
+	}
+}
+
 // Run spawns one goroutine per rank executing fn and waits for all of them.
-func (w *World) Run(fn func(r *Rank)) {
+// A rank whose fn panics does not crash the process: the panic is recovered,
+// the rank is marked down (peers see RankDownError), and Run returns the
+// recovered panics joined as RankPanicErrors. A clean run returns nil.
+func (w *World) Run(fn func(r *Rank)) error {
 	var wg sync.WaitGroup
 	wg.Add(w.n)
 	for id := 0; id < w.n; id++ {
 		go func(id int) {
 			defer wg.Done()
+			defer func() {
+				if v := recover(); v != nil {
+					w.markDown(id, &RankPanicError{Rank: id, Value: v, Stack: debug.Stack()})
+				}
+			}()
 			fn(&Rank{id: id, w: w})
 		}(id)
 	}
 	wg.Wait()
+	var errs []error
+	w.mu.Lock()
+	for _, p := range w.panics {
+		if p != nil {
+			errs = append(errs, p)
+		}
+	}
+	w.mu.Unlock()
+	return errors.Join(errs...)
 }
 
 // Rank is one process's view of the world.
@@ -66,84 +204,181 @@ func (r *Rank) ID() int { return r.id }
 // Size returns the world size.
 func (r *Rank) Size() int { return r.w.n }
 
-// Send delivers payload to rank `to` (blocking only when the channel buffer
-// between the pair is full).
-func (r *Rank) Send(to int, payload any) {
-	if to < 0 || to >= r.w.n {
-		panic(fmt.Sprintf("mpi: send to invalid rank %d", to))
+// opTimer returns a timeout channel for one operation (nil when the world
+// has no per-op timeout, so the select case never fires).
+func (w *World) opTimer() (<-chan time.Time, *time.Timer) {
+	if w.opTimeout <= 0 {
+		return nil, nil
 	}
-	r.w.chans[r.id][to] <- payload
+	t := time.NewTimer(w.opTimeout)
+	return t.C, t
+}
+
+// Send delivers payload to rank `to`. It blocks only while the channel
+// buffer between the pair is full, and returns early with a typed error when
+// the receiver is down (RankDownError), the world shuts down
+// (ErrWorldShutdown), or the per-op timeout expires (ErrOpTimeout).
+func (r *Rank) Send(to int, payload any) error {
+	w := r.w
+	if to < 0 || to >= w.n {
+		return fmt.Errorf("%w: send to rank %d of %d", ErrInvalidRank, to, w.n)
+	}
+	if err := fiSend.Err(); err != nil {
+		return fmt.Errorf("mpi: send %d->%d: %w", r.id, to, err)
+	}
+	// A message queued for a dead rank is never consumed: fail fast.
+	select {
+	case <-w.downCh[to]:
+		return &RankDownError{Rank: to}
+	default:
+	}
+	timeout, timer := w.opTimer()
+	if timer != nil {
+		defer timer.Stop()
+	}
+	select {
+	case w.chans[r.id][to] <- payload:
+		return nil
+	case <-w.downCh[to]:
+		return &RankDownError{Rank: to}
+	case <-w.done:
+		return ErrWorldShutdown
+	case <-timeout:
+		return fmt.Errorf("send %d->%d: %w", r.id, to, ErrOpTimeout)
+	}
 }
 
 // Recv blocks until a message from rank `from` arrives and returns it.
-// Messages between a pair of ranks arrive in send order.
-func (r *Rank) Recv(from int) any {
-	if from < 0 || from >= r.w.n {
-		panic(fmt.Sprintf("mpi: recv from invalid rank %d", from))
+// Messages between a pair of ranks arrive in send order. Messages the peer
+// sent before dying are still delivered: the buffer drains before Recv
+// reports RankDownError. Shutdown and the per-op timeout cut the wait short
+// with ErrWorldShutdown / ErrOpTimeout.
+func (r *Rank) Recv(from int) (any, error) {
+	w := r.w
+	if from < 0 || from >= w.n {
+		return nil, fmt.Errorf("%w: recv from rank %d of %d", ErrInvalidRank, from, w.n)
 	}
-	return <-r.w.chans[from][r.id]
+	ch := w.chans[from][r.id]
+	// Buffered messages win over every failure signal.
+	select {
+	case v := <-ch:
+		return v, nil
+	default:
+	}
+	timeout, timer := w.opTimer()
+	if timer != nil {
+		defer timer.Stop()
+	}
+	select {
+	case v := <-ch:
+		return v, nil
+	case <-w.downCh[from]:
+		// The down signal may race a final in-flight send: drain once more.
+		select {
+		case v := <-ch:
+			return v, nil
+		default:
+		}
+		return nil, &RankDownError{Rank: from}
+	case <-w.done:
+		return nil, ErrWorldShutdown
+	case <-timeout:
+		return nil, fmt.Errorf("recv %d<-%d: %w", r.id, from, ErrOpTimeout)
+	}
 }
 
 // Bcast distributes v from root to every rank; every rank returns the
-// broadcast value (v itself at the root).
-func (r *Rank) Bcast(root int, v any) any {
+// broadcast value (v itself at the root). At the root, down receivers are
+// skipped; a non-root rank returns the first delivery error.
+func (r *Rank) Bcast(root int, v any) (any, error) {
 	if r.id == root {
 		for to := 0; to < r.w.n; to++ {
-			if to != root {
-				r.Send(to, v)
+			if to == root {
+				continue
+			}
+			if err := r.Send(to, v); err != nil {
+				var down *RankDownError
+				if errors.As(err, &down) {
+					continue // a dead receiver does not fail the broadcast
+				}
+				return nil, err
 			}
 		}
-		return v
+		return v, nil
 	}
 	return r.Recv(root)
 }
 
-// Gather collects one value from every rank at root, in rank order. Only
-// the root receives the slice; other ranks return nil.
-func (r *Rank) Gather(root int, v any) []any {
+// Gather collects one value from every rank at root, in rank order. Only the
+// root receives the slice; other ranks return nil. A down contributor leaves
+// a nil slot and its RankDownError joined into the returned error; timeouts
+// and shutdown abort the gather.
+func (r *Rank) Gather(root int, v any) ([]any, error) {
 	if r.id != root {
-		r.Send(root, v)
-		return nil
+		return nil, r.Send(root, v)
 	}
 	out := make([]any, r.w.n)
+	var downs []error
 	for from := 0; from < r.w.n; from++ {
 		if from == root {
 			out[from] = v
 			continue
 		}
-		out[from] = r.Recv(from)
+		got, err := r.Recv(from)
+		if err != nil {
+			var down *RankDownError
+			if errors.As(err, &down) {
+				downs = append(downs, err)
+				continue
+			}
+			return out, err
+		}
+		out[from] = got
 	}
-	return out
+	return out, errors.Join(downs...)
 }
 
 // ReduceFloat64 combines one float64 per rank at root with op; other ranks
-// return 0 and false.
-func (r *Rank) ReduceFloat64(root int, v float64, op func(a, b float64) float64) (float64, bool) {
-	vals := r.Gather(root, v)
-	if vals == nil {
-		return 0, false
+// return 0 and false. Down contributors are skipped (their slots do not
+// enter the reduction).
+func (r *Rank) ReduceFloat64(root int, v float64, op func(a, b float64) float64) (float64, bool, error) {
+	vals, err := r.Gather(root, v)
+	if r.id != root {
+		return 0, false, err
 	}
-	acc := vals[0].(float64)
-	for _, x := range vals[1:] {
+	var down *RankDownError
+	if err != nil && !errors.As(err, &down) {
+		return 0, true, err
+	}
+	acc, seeded := 0.0, false
+	for _, x := range vals {
+		if x == nil {
+			continue
+		}
+		if !seeded {
+			acc, seeded = x.(float64), true
+			continue
+		}
 		acc = op(acc, x.(float64))
 	}
-	return acc, true
+	return acc, true, nil
 }
 
-// Barrier blocks until every rank has entered it.
-func (r *Rank) Barrier() {
+// Barrier blocks until every *live* rank has entered it. Ranks that died
+// before arriving are not waited for; a rank dying while others wait
+// re-counts and releases them. Shutdown aborts with ErrWorldShutdown.
+func (r *Rank) Barrier() error {
 	w := r.w
-	w.barrierMu.Lock()
+	w.mu.Lock()
+	defer w.mu.Unlock()
 	gen := w.barrierGen
 	w.barrierCnt++
-	if w.barrierCnt == w.n {
-		w.barrierCnt = 0
-		w.barrierGen++
-		w.barrierC.Broadcast()
-	} else {
-		for gen == w.barrierGen {
-			w.barrierC.Wait()
+	w.maybeCompleteBarrierLocked()
+	for gen == w.barrierGen {
+		if w.shutdown {
+			return ErrWorldShutdown
 		}
+		w.cond.Wait()
 	}
-	w.barrierMu.Unlock()
+	return nil
 }

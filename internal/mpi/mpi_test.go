@@ -1,20 +1,48 @@
 package mpi
 
 import (
+	"errors"
+	"runtime"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
+func newWorld(t *testing.T, n int, opts ...Option) *World {
+	t.Helper()
+	w, err := NewWorld(n, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestNewWorldRejectsBadSize(t *testing.T) {
+	for _, n := range []int{0, -1} {
+		if w, err := NewWorld(n); err == nil || w != nil {
+			t.Errorf("NewWorld(%d) = %v, %v; want nil, error", n, w, err)
+		}
+	}
+}
+
 func TestSendRecvOrdering(t *testing.T) {
-	w := NewWorld(2)
+	w := newWorld(t, 2)
 	w.Run(func(r *Rank) {
 		if r.ID() == 0 {
 			for i := 0; i < 100; i++ {
-				r.Send(1, i)
+				if err := r.Send(1, i); err != nil {
+					t.Errorf("send %d: %v", i, err)
+					return
+				}
 			}
 		} else {
 			for i := 0; i < 100; i++ {
-				if got := r.Recv(0).(int); got != i {
+				got, err := r.Recv(0)
+				if err != nil {
+					t.Errorf("recv %d: %v", i, err)
+					return
+				}
+				if got.(int) != i {
 					t.Errorf("message %d arrived as %d", i, got)
 					return
 				}
@@ -24,15 +52,19 @@ func TestSendRecvOrdering(t *testing.T) {
 }
 
 func TestBcast(t *testing.T) {
-	w := NewWorld(8)
+	w := newWorld(t, 8)
 	var sum atomic.Int64
 	w.Run(func(r *Rank) {
 		v := -1
 		if r.ID() == 3 {
 			v = 42
 		}
-		got := r.Bcast(3, v).(int)
-		sum.Add(int64(got))
+		got, err := r.Bcast(3, v)
+		if err != nil {
+			t.Errorf("rank %d bcast: %v", r.ID(), err)
+			return
+		}
+		sum.Add(int64(got.(int)))
 	})
 	if sum.Load() != 42*8 {
 		t.Errorf("broadcast sum %d, want %d", sum.Load(), 42*8)
@@ -40,9 +72,13 @@ func TestBcast(t *testing.T) {
 }
 
 func TestGatherInRankOrder(t *testing.T) {
-	w := NewWorld(6)
+	w := newWorld(t, 6)
 	w.Run(func(r *Rank) {
-		vals := r.Gather(0, r.ID()*10)
+		vals, err := r.Gather(0, r.ID()*10)
+		if err != nil {
+			t.Errorf("rank %d gather: %v", r.ID(), err)
+			return
+		}
 		if r.ID() == 0 {
 			if len(vals) != 6 {
 				t.Errorf("gathered %d values", len(vals))
@@ -60,9 +96,13 @@ func TestGatherInRankOrder(t *testing.T) {
 }
 
 func TestReduce(t *testing.T) {
-	w := NewWorld(5)
+	w := newWorld(t, 5)
 	w.Run(func(r *Rank) {
-		got, isRoot := r.ReduceFloat64(2, float64(r.ID()), func(a, b float64) float64 { return a + b })
+		got, isRoot, err := r.ReduceFloat64(2, float64(r.ID()), func(a, b float64) float64 { return a + b })
+		if err != nil {
+			t.Errorf("rank %d reduce: %v", r.ID(), err)
+			return
+		}
 		if r.ID() == 2 {
 			if !isRoot || got != 10 {
 				t.Errorf("reduce = %v (root %v), want 10", got, isRoot)
@@ -74,7 +114,7 @@ func TestReduce(t *testing.T) {
 }
 
 func TestBarrierSynchronizes(t *testing.T) {
-	w := NewWorld(8)
+	w := newWorld(t, 8)
 	var phase1 atomic.Int32
 	fail := atomic.Bool{}
 	w.Run(func(r *Rank) {
@@ -91,7 +131,7 @@ func TestBarrierSynchronizes(t *testing.T) {
 }
 
 func TestRepeatedBarriers(t *testing.T) {
-	w := NewWorld(4)
+	w := newWorld(t, 4)
 	var counter atomic.Int32
 	fail := atomic.Bool{}
 	w.Run(func(r *Rank) {
@@ -113,14 +153,21 @@ func TestPipelinePattern(t *testing.T) {
 	// Ring: each rank sends its id to the next; verifies point-to-point
 	// channels are fully connected.
 	const n = 7
-	w := NewWorld(n)
+	w := newWorld(t, n)
 	var received [n]int32
 	w.Run(func(r *Rank) {
 		next := (r.ID() + 1) % n
 		prev := (r.ID() + n - 1) % n
-		r.Send(next, r.ID())
-		got := r.Recv(prev).(int)
-		atomic.StoreInt32(&received[r.ID()], int32(got))
+		if err := r.Send(next, r.ID()); err != nil {
+			t.Errorf("rank %d send: %v", r.ID(), err)
+			return
+		}
+		got, err := r.Recv(prev)
+		if err != nil {
+			t.Errorf("rank %d recv: %v", r.ID(), err)
+			return
+		}
+		atomic.StoreInt32(&received[r.ID()], int32(got.(int)))
 	})
 	for i := 0; i < n; i++ {
 		want := (i + n - 1) % n
@@ -130,19 +177,190 @@ func TestPipelinePattern(t *testing.T) {
 	}
 }
 
-func TestInvalidRankPanics(t *testing.T) {
-	w := NewWorld(2)
+func TestInvalidRankErrors(t *testing.T) {
+	w := newWorld(t, 2)
 	w.Run(func(r *Rank) {
 		if r.ID() != 0 {
-			r.Recv(0) // consume the valid send below
 			return
 		}
-		defer func() {
-			if recover() == nil {
-				t.Error("Send to invalid rank did not panic")
-			}
-			r.Send(1, "ok")
-		}()
-		r.Send(5, "boom")
+		if err := r.Send(5, "boom"); !errors.Is(err, ErrInvalidRank) {
+			t.Errorf("Send(5) = %v, want ErrInvalidRank", err)
+		}
+		if _, err := r.Recv(-1); !errors.Is(err, ErrInvalidRank) {
+			t.Errorf("Recv(-1) = %v, want ErrInvalidRank", err)
+		}
 	})
+}
+
+func TestRankPanicIsRecoveredAndReported(t *testing.T) {
+	w := newWorld(t, 4)
+	err := w.Run(func(r *Rank) {
+		if r.ID() == 2 {
+			panic("rank 2 dies")
+		}
+	})
+	var perr *RankPanicError
+	if !errors.As(err, &perr) {
+		t.Fatalf("Run = %v, want RankPanicError", err)
+	}
+	if perr.Rank != 2 || perr.Value != "rank 2 dies" || len(perr.Stack) == 0 {
+		t.Errorf("panic misreported: %+v", perr)
+	}
+	if !w.Down(2) || w.Down(0) {
+		t.Error("down flags wrong after rank 2 panic")
+	}
+}
+
+func TestRecvFromDeadRankDrainsBufferFirst(t *testing.T) {
+	w := newWorld(t, 2)
+	w.Run(func(r *Rank) {
+		if r.ID() == 0 {
+			r.Send(1, "last words")
+			panic("rank 0 dies after sending")
+		}
+		// Wait for the peer to be marked down so both the buffered message
+		// and the down signal are observable together.
+		for !w.Down(0) {
+			time.Sleep(time.Millisecond)
+		}
+		got, err := r.Recv(0)
+		if err != nil || got != "last words" {
+			t.Errorf("first recv = %v, %v; buffered message lost", got, err)
+			return
+		}
+		var down *RankDownError
+		if _, err := r.Recv(0); !errors.As(err, &down) || down.Rank != 0 {
+			t.Errorf("second recv = %v, want RankDownError{0}", err)
+		}
+	})
+}
+
+func TestSendToDeadRankFailsFast(t *testing.T) {
+	w := newWorld(t, 2)
+	w.Run(func(r *Rank) {
+		if r.ID() == 0 {
+			panic("dead on arrival")
+		}
+		for !w.Down(0) {
+			time.Sleep(time.Millisecond)
+		}
+		// Even with buffer space free, sending to a corpse errors.
+		var down *RankDownError
+		if err := r.Send(0, "hello?"); !errors.As(err, &down) {
+			t.Errorf("send to dead rank = %v, want RankDownError", err)
+		}
+	})
+}
+
+func TestOpTimeout(t *testing.T) {
+	w := newWorld(t, 2, WithOpTimeout(20*time.Millisecond))
+	w.Run(func(r *Rank) {
+		if r.ID() != 0 {
+			return // never sends: rank 0's recv must time out
+		}
+		start := time.Now()
+		if _, err := r.Recv(1); !errors.Is(err, ErrOpTimeout) {
+			t.Errorf("recv = %v, want ErrOpTimeout", err)
+		}
+		if time.Since(start) > 2*time.Second {
+			t.Error("timeout fired far too late")
+		}
+	})
+}
+
+func TestBarrierSkipsDeadRanks(t *testing.T) {
+	// Rank 1 dies before the barrier; the remaining 3 must still pass.
+	w := newWorld(t, 4)
+	var passed atomic.Int32
+	err := w.Run(func(r *Rank) {
+		if r.ID() == 1 {
+			panic("no-show")
+		}
+		// Ensure the barrier count requirement has dropped before entering.
+		for !w.Down(1) {
+			time.Sleep(time.Millisecond)
+		}
+		if err := r.Barrier(); err != nil {
+			t.Errorf("rank %d barrier: %v", r.ID(), err)
+			return
+		}
+		passed.Add(1)
+	})
+	if passed.Load() != 3 {
+		t.Errorf("%d ranks passed the live barrier, want 3", passed.Load())
+	}
+	var perr *RankPanicError
+	if !errors.As(err, &perr) {
+		t.Errorf("Run = %v", err)
+	}
+}
+
+func TestBarrierReleasedByMidWaitDeath(t *testing.T) {
+	// Ranks 0 and 2 enter the barrier first; rank 1 dies afterwards. The
+	// waiters must be released by the death, not hang forever.
+	w := newWorld(t, 3)
+	entered := make(chan struct{}, 2)
+	done := make(chan error, 2)
+	go w.Run(func(r *Rank) {
+		if r.ID() == 1 {
+			entered <- struct{}{}
+			entered <- struct{}{}
+			<-entered // reuse: wait until both peers signalled entry intent
+			panic("dies mid-round")
+		}
+		<-entered
+		done <- r.Barrier()
+	})
+	// Give waiters time to block, then release the killer.
+	time.Sleep(20 * time.Millisecond)
+	entered <- struct{}{}
+	for i := 0; i < 2; i++ {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Errorf("barrier: %v", err)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatal("barrier waiter hung after peer death")
+		}
+	}
+}
+
+func TestShutdownReleasesBlockedRanks(t *testing.T) {
+	base := runtime.NumGoroutine()
+	w := newWorld(t, 3)
+	err := w.Run(func(r *Rank) {
+		if r.ID() == 0 {
+			time.Sleep(10 * time.Millisecond)
+			w.Shutdown()
+			return
+		}
+		if r.ID() == 1 {
+			if _, err := r.Recv(2); !errors.Is(err, ErrWorldShutdown) {
+				t.Errorf("recv after shutdown = %v", err)
+			}
+			return
+		}
+		if err := r.Barrier(); !errors.Is(err, ErrWorldShutdown) {
+			t.Errorf("barrier after shutdown = %v", err)
+		}
+	})
+	if err != nil {
+		t.Errorf("Run = %v", err)
+	}
+	w.Shutdown() // idempotent
+	waitForGoroutines(t, base)
+}
+
+func waitForGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > base {
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked: %d > %d\n%s", runtime.NumGoroutine(), base, buf[:n])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
 }

@@ -385,6 +385,15 @@ type PipelineMetrics struct {
 	SchedUtilizationPermille *Gauge
 	SchedBusyNanos           *Counter
 	SchedStallNanos          *Counter
+
+	// Fault-tolerance counters: scheduler tasks whose panic was isolated,
+	// queries abandoned by cancellation/deadline/poisoning, batches whose
+	// deadline expired, and dead-rank partitions requeued onto surviving
+	// ranks by the distributed layer.
+	TasksPanicked    *Counter
+	QueriesCancelled *Counter
+	DeadlineExceeded *Counter
+	RankFailovers    *Counter
 }
 
 // NewPipelineMetrics registers the pipeline metric set in r under the
@@ -409,6 +418,11 @@ func NewPipelineMetrics(r *Registry) *PipelineMetrics {
 		SchedUtilizationPermille: r.Gauge("sched_utilization_permille"),
 		SchedBusyNanos:           r.Counter("sched_busy_nanos_total"),
 		SchedStallNanos:          r.Counter("sched_stall_nanos_total"),
+
+		TasksPanicked:    r.Counter("tasks_panicked"),
+		QueriesCancelled: r.Counter("queries_cancelled"),
+		DeadlineExceeded: r.Counter("deadline_exceeded"),
+		RankFailovers:    r.Counter("rank_failovers"),
 	}
 	for s := Stage(0); s < NumStages; s++ {
 		p.StageNanos[s] = r.Counter("pipeline_stage_" + s.String() + "_nanos_total")

@@ -94,18 +94,25 @@ func ExecuteMPI(r *mpi.Rank, p *Plan, records []Record) ([]Record, error) {
 			err = fmt.Errorf("papar: plan produced %d partitions for %d ranks", len(parts), r.Size())
 		}
 		if err != nil {
-			// Deliver the error to every rank.
+			// Deliver the error to every reachable rank; a dead receiver
+			// cannot make the scatter worse than the error being delivered.
 			for to := 1; to < r.Size(); to++ {
-				r.Send(to, err)
+				_ = r.Send(to, err)
 			}
 			return nil, err
 		}
 		for to := 1; to < r.Size(); to++ {
-			r.Send(to, parts[to])
+			if serr := r.Send(to, parts[to]); serr != nil {
+				return nil, fmt.Errorf("papar: scatter to rank %d: %w", to, serr)
+			}
 		}
 		return parts[0], nil
 	}
-	switch v := r.Recv(0).(type) {
+	msg, err := r.Recv(0)
+	if err != nil {
+		return nil, fmt.Errorf("papar: await partition: %w", err)
+	}
+	switch v := msg.(type) {
 	case error:
 		return nil, v
 	case []Record:

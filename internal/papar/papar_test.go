@@ -155,7 +155,10 @@ func TestBadPartitionCounts(t *testing.T) {
 func TestExecuteMPI(t *testing.T) {
 	lengths := lengthsFromProfile(40, 9)
 	const ranks = 4
-	world := mpi.NewWorld(ranks)
+	world, werr := mpi.NewWorld(ranks)
+	if werr != nil {
+		t.Fatal(werr)
+	}
 	var mu sync.Mutex
 	got := make([][]Record, ranks)
 	world.Run(func(r *mpi.Rank) {
@@ -189,7 +192,10 @@ func TestExecuteMPI(t *testing.T) {
 }
 
 func TestExecuteMPIPlanSizeMismatch(t *testing.T) {
-	world := mpi.NewWorld(3)
+	world, werr := mpi.NewWorld(3)
+	if werr != nil {
+		t.Fatal(werr)
+	}
 	world.Run(func(r *mpi.Rank) {
 		var recs []Record
 		if r.ID() == 0 {

@@ -6,7 +6,9 @@
 package parallel
 
 import (
+	"context"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -16,6 +18,11 @@ import (
 // n iterations and the requested worker count, so callers can pre-allocate
 // per-worker scratch state.
 func NumWorkers(n, workers int) int {
+	if n < 1 {
+		// Zero (or negative) iterations still reports one worker, so callers
+		// sizing per-worker scratch arrays always get a non-empty slice.
+		return 1
+	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -186,8 +193,36 @@ func ForTasks(n, workers int, fn func(worker, task int)) TaskStats {
 // clock reads ForTasks already performs, so the marginal cost is one
 // interface call per task and zero allocations.
 func ForTasksObserved(n, workers int, fn func(worker, task int), obs TaskObserver) TaskStats {
+	ts, _ := ForTasksOpts(n, workers, fn, RunOptions{Observer: obs})
+	return ts
+}
+
+// RunOptions extends ForTasks with the robustness hooks of the fault-tolerant
+// batch pipeline. The zero value reproduces plain ForTasks behaviour.
+type RunOptions struct {
+	// Context, when non-nil, is checked before every task pull: once it is
+	// cancelled no new task starts (in-flight tasks run to completion — the
+	// task is the abort granularity), and the run returns ctx.Err(). The
+	// per-task cost is one non-blocking channel poll.
+	Context context.Context
+	// Observer receives each completed task's duration (see TaskObserver).
+	Observer TaskObserver
+	// OnPanic, when non-nil, isolates task panics: a panicking task is
+	// recovered, reported as (worker, task, recovered value, stack), counted
+	// as executed, and the scheduler moves on to the next task. When nil,
+	// panics propagate and tear down the run (pre-robustness behaviour).
+	// Must be safe for concurrent calls from every worker.
+	OnPanic func(worker, task int, recovered any, stack []byte)
+}
+
+// ForTasksOpts is the full-control scheduler entry point: ForTasksObserved
+// plus cooperative cancellation and per-task panic isolation. It returns the
+// utilization counters for the tasks that actually ran (Tasks reflects
+// executed tasks, not n, when the run is cut short) and the context error if
+// cancellation stopped the run before all n tasks executed.
+func ForTasksOpts(n, workers int, fn func(worker, task int), opt RunOptions) (TaskStats, error) {
 	if n <= 0 {
-		return TaskStats{Workers: 0, Tasks: 0}
+		return TaskStats{Workers: 0, Tasks: 0}, nil
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -197,48 +232,138 @@ func ForTasksObserved(n, workers int, fn func(worker, task int), obs TaskObserve
 	}
 	ts := TaskStats{
 		Workers:     workers,
-		Tasks:       n,
 		WorkerTasks: make([]int64, workers),
 		WorkerBusy:  make([]int64, workers),
+	}
+	var done <-chan struct{}
+	if opt.Context != nil {
+		done = opt.Context.Done()
 	}
 	runStart := time.Now()
 	if workers == 1 {
 		for i := 0; i < n; i++ {
-			taskStart := time.Now()
-			fn(0, i)
-			nanos := int64(time.Since(taskStart))
-			ts.WorkerBusy[0] += nanos
-			if obs != nil {
-				obs.Observe(nanos)
+			if cancelled(done) {
+				break
 			}
+			runTask(0, i, fn, &opt, &ts)
 		}
-		ts.WorkerTasks[0] = int64(n)
-		ts.ElapsedNanos = int64(time.Since(runStart))
-		return ts
-	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func(worker int) {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func(worker int) {
+				defer wg.Done()
+				for {
+					if cancelled(done) {
+						return
+					}
+					i := int(next.Add(1)) - 1
+					if i >= n {
+						return
+					}
+					runTask(worker, i, fn, &opt, &ts)
 				}
-				taskStart := time.Now()
-				fn(worker, i)
-				nanos := int64(time.Since(taskStart))
-				ts.WorkerBusy[worker] += nanos
-				ts.WorkerTasks[worker]++
-				if obs != nil {
-					obs.Observe(nanos)
-				}
-			}
-		}(w)
+			}(w)
+		}
+		wg.Wait()
 	}
-	wg.Wait()
 	ts.ElapsedNanos = int64(time.Since(runStart))
-	return ts
+	for _, c := range ts.WorkerTasks {
+		ts.Tasks += int(c)
+	}
+	if ts.Tasks < n && opt.Context != nil {
+		return ts, opt.Context.Err()
+	}
+	return ts, nil
+}
+
+// cancelled is the per-task cancellation poll: nil channel (no context)
+// costs one comparison; otherwise one non-blocking select.
+func cancelled(done <-chan struct{}) bool {
+	if done == nil {
+		return false
+	}
+	select {
+	case <-done:
+		return true
+	default:
+		return false
+	}
+}
+
+// runTask executes one task with timing and, when requested, panic
+// isolation. A panicked task still counts toward the worker's task and busy
+// counters — it consumed a scheduling slot and wall-clock time.
+func runTask(worker, i int, fn func(worker, task int), opt *RunOptions, ts *TaskStats) {
+	taskStart := time.Now()
+	defer func() {
+		nanos := int64(time.Since(taskStart))
+		ts.WorkerBusy[worker] += nanos
+		ts.WorkerTasks[worker]++
+		if opt.Observer != nil {
+			opt.Observer.Observe(nanos)
+		}
+		if r := recover(); r != nil {
+			if opt.OnPanic == nil {
+				panic(r)
+			}
+			opt.OnPanic(worker, i, r, debug.Stack())
+		}
+	}()
+	fn(worker, i)
+}
+
+// ForWorkersCtx is ForWorkers with cooperative cancellation: once ctx is
+// cancelled no new iteration starts, and the call returns ctx.Err() if any
+// iterations were skipped. A nil ctx is allowed and never cancels.
+func ForWorkersCtx(ctx context.Context, n, workers int, fn func(worker, i int)) error {
+	if n <= 0 {
+		return nil
+	}
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	var ran atomic.Int64
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if cancelled(done) {
+				break
+			}
+			fn(0, i)
+			ran.Add(1)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func(worker int) {
+				defer wg.Done()
+				for {
+					if cancelled(done) {
+						return
+					}
+					i := int(next.Add(1)) - 1
+					if i >= n {
+						return
+					}
+					fn(worker, i)
+					ran.Add(1)
+				}
+			}(w)
+		}
+		wg.Wait()
+	}
+	if int(ran.Load()) < n && ctx != nil {
+		return ctx.Err()
+	}
+	return nil
 }

@@ -1,0 +1,185 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestForTasksOptsCancellationStopsNewTasks(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	const n = 10000
+	var ran atomic.Int64
+	ts, err := ForTasksOpts(n, 4, func(_, task int) {
+		if ran.Add(1) == 5 {
+			cancel()
+		}
+	}, RunOptions{Context: ctx})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// Abort granularity is one task per worker: after cancel, each of the 4
+	// workers may finish its in-flight task but must not start another.
+	if got := ran.Load(); got > 5+4 {
+		t.Errorf("%d tasks ran after cancellation at task 5 with 4 workers", got)
+	}
+	if int64(ts.Tasks) != ran.Load() {
+		t.Errorf("ts.Tasks = %d, executed %d", ts.Tasks, ran.Load())
+	}
+}
+
+func TestForTasksOptsDeadline(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	const n = 1000
+	_, err := ForTasksOpts(n, 2, func(_, _ int) {
+		time.Sleep(time.Millisecond)
+	}, RunOptions{Context: ctx})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+func TestForTasksOptsCompleteRunReturnsNil(t *testing.T) {
+	ctx := context.Background()
+	var ran atomic.Int64
+	ts, err := ForTasksOpts(100, 4, func(_, _ int) { ran.Add(1) }, RunOptions{Context: ctx})
+	if err != nil || ran.Load() != 100 || ts.Tasks != 100 {
+		t.Fatalf("complete run: err=%v ran=%d tasks=%d", err, ran.Load(), ts.Tasks)
+	}
+}
+
+func TestForTasksOptsPanicIsolation(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		var mu sync.Mutex
+		var panicked []int
+		var ran atomic.Int64
+		ts, err := ForTasksOpts(50, workers, func(_, task int) {
+			ran.Add(1)
+			if task%10 == 3 {
+				panic("poisoned")
+			}
+		}, RunOptions{OnPanic: func(_, task int, v any, stack []byte) {
+			mu.Lock()
+			defer mu.Unlock()
+			panicked = append(panicked, task)
+			if v != "poisoned" {
+				t.Errorf("recovered %v", v)
+			}
+			if len(stack) == 0 {
+				t.Error("empty stack")
+			}
+		}})
+		if err != nil {
+			t.Fatalf("workers=%d: err=%v", workers, err)
+		}
+		if ran.Load() != 50 || ts.Tasks != 50 {
+			t.Errorf("workers=%d: batch did not continue past panics: ran=%d tasks=%d", workers, ran.Load(), ts.Tasks)
+		}
+		if len(panicked) != 5 {
+			t.Errorf("workers=%d: %d panics reported, want 5", workers, len(panicked))
+		}
+	}
+}
+
+func TestForTasksOptsPanicPropagatesWithoutHandler(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("panic did not propagate with nil OnPanic")
+		}
+	}()
+	ForTasksOpts(1, 1, func(_, _ int) { panic("boom") }, RunOptions{})
+}
+
+func TestForWorkersCtxCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	err := ForWorkersCtx(ctx, 10000, 2, func(_, _ int) {
+		if ran.Add(1) == 3 {
+			cancel()
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	if got := ran.Load(); got > 3+2 {
+		t.Errorf("%d iterations ran after cancel", got)
+	}
+	if err := ForWorkersCtx(nil, 10, 2, func(_, _ int) {}); err != nil {
+		t.Errorf("nil ctx: %v", err)
+	}
+}
+
+func TestNumWorkersClamping(t *testing.T) {
+	cases := []struct{ n, workers, want int }{
+		{0, 0, 1},
+		{0, 8, 1},
+		{-3, 8, 1},
+		{1, 8, 1},
+		{5, 8, 5},
+		{8, 5, 5},
+		{100, 0, runtime.GOMAXPROCS(0)},
+	}
+	for _, c := range cases {
+		if got := NumWorkers(c.n, c.workers); got != c.want {
+			t.Errorf("NumWorkers(%d, %d) = %d, want %d", c.n, c.workers, got, c.want)
+		}
+	}
+}
+
+func TestZeroAndNegativeIterationEdges(t *testing.T) {
+	// None of these may invoke fn or spin up workers.
+	fn := func(_, _ int) { t.Error("fn called for empty range") }
+	ForWorkers(0, 4, fn)
+	ForWorkers(-1, 4, fn)
+	if ts := ForTasks(0, 4, fn); ts.Tasks != 0 || ts.Workers != 0 {
+		t.Errorf("ForTasks(0) = %+v", ts)
+	}
+	if ts, err := ForTasksOpts(-5, 4, fn, RunOptions{}); err != nil || ts.Tasks != 0 {
+		t.Errorf("ForTasksOpts(-5) = %+v, %v", ts, err)
+	}
+	if err := ForWorkersCtx(context.Background(), 0, 4, fn); err != nil {
+		t.Errorf("ForWorkersCtx(0): %v", err)
+	}
+	// Workers far beyond n must still cover every iteration exactly once.
+	var ran atomic.Int64
+	ForWorkers(3, 1000, func(_, _ int) { ran.Add(1) })
+	if ran.Load() != 3 {
+		t.Errorf("workers>n: ran %d of 3", ran.Load())
+	}
+}
+
+// TestCancelledBatchLeavesNoGoroutines is the scheduler-level goroutine
+// hygiene check: a cancelled ForTasksOpts run must join every worker before
+// returning.
+func TestCancelledBatchLeavesNoGoroutines(t *testing.T) {
+	base := runtime.NumGoroutine()
+	for i := 0; i < 20; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		ForTasksOpts(1000, 8, func(_, _ int) {}, RunOptions{Context: ctx})
+	}
+	waitForGoroutines(t, base)
+}
+
+// waitForGoroutines waits (up to ~2s) for the goroutine count to drop back
+// to the baseline, then fails the test if it has not.
+func waitForGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= base {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked: %d > baseline %d\n%s", runtime.NumGoroutine(), base, buf[:n])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

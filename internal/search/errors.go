@@ -1,0 +1,57 @@
+package search
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// ErrDeadline is returned (possibly wrapped) by batch searches whose
+// per-batch deadline expired before every task ran. The batch still returns
+// partial results: queries whose tasks all completed are finalized and
+// byte-identical to a full run; the rest are flagged incomplete.
+var ErrDeadline = errors.New("search: batch deadline exceeded")
+
+// BatchErr maps a context error observed by the scheduler to the batch-level
+// typed error: deadline expiry becomes ErrDeadline (wrapping
+// context.DeadlineExceeded so both errors.Is forms work); plain cancellation
+// is passed through.
+func BatchErr(ctxErr error) error {
+	if ctxErr == nil {
+		return nil
+	}
+	if errors.Is(ctxErr, context.DeadlineExceeded) {
+		return fmt.Errorf("%w: %w", ErrDeadline, ctxErr)
+	}
+	return ctxErr
+}
+
+// TaskPanicError reports a panic recovered inside one scheduler task, with
+// the (block, query) attribution that lets a single poisoned query fail
+// alone while the rest of the batch completes. Value is the recovered panic
+// payload; Stack is the goroutine stack captured at recovery.
+type TaskPanicError struct {
+	Block int // index block of the failed task (-1 when not block-scoped)
+	Query int // query index of the failed task
+	Value any
+	Stack []byte
+}
+
+func (e *TaskPanicError) Error() string {
+	return fmt.Sprintf("search: task (block %d, query %d) panicked: %v", e.Block, e.Query, e.Value)
+}
+
+// QueryCancelledError flags a query whose tasks were not all executed
+// because the batch context was cancelled or its deadline expired.
+type QueryCancelledError struct {
+	Query int
+	Cause error // the context error that stopped the batch
+}
+
+func (e *QueryCancelledError) Error() string {
+	return fmt.Sprintf("search: query %d cancelled: %v", e.Query, e.Cause)
+}
+
+// Unwrap exposes the context cause, so errors.Is(err, context.Canceled) and
+// errors.Is(err, ErrDeadline) work on per-query errors too.
+func (e *QueryCancelledError) Unwrap() error { return e.Cause }

@@ -185,6 +185,15 @@ type SchedStats struct {
 	BusyNanos      int64  // total worker-time inside tasks
 	StallNanos     int64  // total worker-time outside tasks (barriers, idle)
 	ElapsedNanos   int64  // wall-clock time of the search phase
+
+	// Robustness counters (zero on a clean run): tasks whose panic was
+	// isolated by the scheduler, tasks never started because the batch
+	// context was cancelled or timed out, and queries that consequently
+	// finished incomplete (cancelled or poisoned by a panic).
+	TasksPanicked    int64
+	TasksCancelled   int64
+	QueriesAborted   int64
+	DeadlineExceeded bool
 }
 
 // Utilization is the fraction of total worker-time spent inside tasks,
