@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath (stdlib only).
 
-.PHONY: all build vet test race fuzz chaos bench bench-json obs-smoke obs-smoke-fault experiments examples golden clean
+.PHONY: all build vet test race fuzz chaos bench bench-json obs-smoke obs-smoke-fault serve-smoke experiments examples golden clean
 
 all: build vet test bench-json
 
@@ -10,21 +10,23 @@ build:
 vet:
 	go vet ./...
 
-test: vet race fuzz chaos obs-smoke obs-smoke-fault
+test: vet race fuzz chaos obs-smoke obs-smoke-fault serve-smoke
 	go test ./...
 
 # Race-detector pass over the packages with concurrent hot paths (the batch
-# scheduler, the task-grid runtime, and the engines it drives).
+# scheduler, the task-grid runtime, the engines it drives, the hot-reload
+# session, and the serving layer's admission machinery).
 race:
-	go test -race ./internal/core ./internal/parallel ./internal/search ./internal/mpi ./internal/cluster
+	go test -race ./internal/core ./internal/parallel ./internal/search ./internal/mpi ./internal/cluster ./internal/server ./blast
 
 # Chaos harness: randomized fault schedules (injected panics, delays, errors,
-# rank deaths, op timeouts) against both batch schedulers and the distributed
-# failover path, under the race detector. Each round logs its seed and fault
-# schedule; on failure the log ends with a CHAOS_SEED=... replay line.
-# CHAOS_ROUNDS widens the sweep, CHAOS_SEED pins one schedule.
+# rank deaths, op timeouts) against both batch schedulers, the distributed
+# failover path, and the serving layer under concurrent load, under the race
+# detector. Each round logs its seed and fault schedule; on failure the log
+# ends with a CHAOS_SEED=... replay line. CHAOS_ROUNDS widens the sweep,
+# CHAOS_SEED pins one schedule.
 chaos:
-	go test -race -run 'TestChaos' -v ./internal/core ./internal/cluster
+	go test -race -run 'TestChaos' -v ./internal/core ./internal/cluster ./internal/server
 
 # Short-budget fuzz pass over every decoder at the I/O boundary: the FASTA
 # parser, the database and index deserializers, and the container loader.
@@ -62,6 +64,13 @@ obs-smoke:
 # queries_cancelled) move on /metrics and the run degrades as documented.
 obs-smoke-fault:
 	./scripts/obs_smoke_fault.sh
+
+# Daemon lifecycle smoke test: starts mublastpd on a prebuilt container and
+# drives concurrent searches, a hot reload mid-flight, a corrupt-container
+# reload (must be rejected with the old database still serving), the serving
+# counters on /metrics, and a clean SIGTERM drain.
+serve-smoke:
+	./scripts/serve_smoke.sh
 
 # Regenerate every evaluation table (Section V). ~5 minutes at this scale.
 experiments:

@@ -1,0 +1,139 @@
+package blast
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Session is a long-lived handle on a resident, searchable database that can
+// be hot-swapped while searches are running — the serving-side complement of
+// the container format's build-once/search-many design. A daemon opens one
+// Session at startup and routes every request through Acquire, so the index
+// is built (or loaded) exactly once and never rebuilt per request.
+//
+// Reload replaces the database atomically: the candidate container is fully
+// validated (Verify) and opened before the swap, so a corrupt or mismatched
+// replacement is rejected with the old database still serving; searches that
+// acquired the old generation keep it alive until they release it, and their
+// results are byte-identical to a run with no reload at all. Reload returns
+// only after the displaced generation has fully drained.
+type Session struct {
+	params Params // build/load parameters applied to every Reload
+
+	// reloadMu serializes Reload calls; searches never take it.
+	reloadMu sync.Mutex
+	cur      atomic.Pointer[sessionGen]
+	gen      atomic.Int64 // generation counter, 1-based
+	reloads  atomic.Int64 // successful reloads
+}
+
+// sessionGen is one database generation. refs starts at 1 (the Session's own
+// reference); every Acquire adds one. When the Session drops its reference at
+// swap time and the last search releases, drained closes and Reload's wait
+// completes. The count never revives from zero: acquire fails on a retired
+// generation and the caller retries against the current one.
+type sessionGen struct {
+	db      *Database
+	gen     int64
+	refs    atomic.Int64
+	drained chan struct{}
+}
+
+func newSessionGen(db *Database, gen int64) *sessionGen {
+	g := &sessionGen{db: db, gen: gen, drained: make(chan struct{})}
+	g.refs.Store(1)
+	return g
+}
+
+// acquire adds a reference, failing if the generation is already retired.
+func (g *sessionGen) acquire() bool {
+	for {
+		n := g.refs.Load()
+		if n == 0 {
+			return false
+		}
+		if g.refs.CompareAndSwap(n, n+1) {
+			return true
+		}
+	}
+}
+
+// release drops a reference, closing drained on the last one.
+func (g *sessionGen) release() {
+	if g.refs.Add(-1) == 0 {
+		close(g.drained)
+	}
+}
+
+// NewSession wraps an already-constructed database. p is remembered as the
+// load parameters for future Reload calls (typically the same Params the
+// database was built with; fields the container pins — block size, split
+// geometry — may be left zero to adopt each container's stored values).
+func NewSession(db *Database, p Params) *Session {
+	s := &Session{params: p}
+	s.gen.Store(1)
+	s.cur.Store(newSessionGen(db, 1))
+	return s
+}
+
+// OpenSession loads a saved container and wraps it in a Session.
+func OpenSession(path string, p Params) (*Session, error) {
+	db, err := LoadFile(path, p)
+	if err != nil {
+		return nil, err
+	}
+	return NewSession(db, p), nil
+}
+
+// Acquire pins the current database generation and returns it with a release
+// function. The database stays valid — and its results stay byte-identical —
+// for the lifetime of the pin even if Reload swaps in a replacement
+// concurrently. Every Acquire must be paired with exactly one release.
+func (s *Session) Acquire() (*Database, func()) {
+	for {
+		g := s.cur.Load()
+		if g.acquire() {
+			return g.db, g.release
+		}
+		// Raced with a swap retiring g; the new current generation is
+		// already installed, so the retry terminates.
+	}
+}
+
+// DB returns the current database without pinning it. Use Acquire for any
+// access that outlives the call.
+func (s *Session) DB() *Database { return s.cur.Load().db }
+
+// Generation returns the 1-based generation number of the current database;
+// it increments on every successful Reload.
+func (s *Session) Generation() int64 { return s.cur.Load().gen }
+
+// Reloads returns how many successful Reloads the session has performed.
+func (s *Session) Reloads() int64 { return s.reloads.Load() }
+
+// Reload atomically replaces the session's database with the container at
+// path, loaded with the session's stored Params. The candidate is validated
+// twice before the swap — a full Verify pass (every checksum, complete
+// decode) and then the Load itself (fingerprint enforcement) — so any
+// failure, from a flipped byte to a params mismatch, leaves the old database
+// serving untouched. After the swap Reload waits for every search still
+// pinned to the displaced generation to finish (they complete normally,
+// byte-identical to an undisturbed run) before returning.
+func (s *Session) Reload(path string) error {
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	if _, err := VerifyFile(path); err != nil {
+		return fmt.Errorf("blast: reload rejected, keeping current database: %w", err)
+	}
+	db, err := LoadFile(path, s.params)
+	if err != nil {
+		return fmt.Errorf("blast: reload rejected, keeping current database: %w", err)
+	}
+	next := newSessionGen(db, s.gen.Add(1))
+	old := s.cur.Swap(next)
+	s.reloads.Add(1)
+	old.release() // drop the session's own reference...
+	<-old.drained // ...and wait for in-flight searches to finish with it
+	return nil
+}

@@ -11,7 +11,9 @@
 //
 // SIGINT/SIGTERM cancel the running batch between tasks: completed queries
 // are printed (identical to an uninterrupted run), the trace file and debug
-// server shut down cleanly, and the exit status is non-zero.
+// server shut down cleanly, and the exit status is non-zero. A second
+// SIGINT/SIGTERM during that graceful shutdown force-exits immediately with
+// exit code 3 (sigctx.ExitForced).
 package main
 
 import (
@@ -20,14 +22,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
-	"syscall"
 	"time"
 
 	"repro/blast"
 	"repro/internal/faultinject"
 	"repro/internal/obs"
 	"repro/internal/obs/prof"
+	"repro/internal/sigctx"
 )
 
 func main() {
@@ -64,10 +65,13 @@ func run() (retErr error) {
 	)
 	flag.Parse()
 
-	// SIGINT/SIGTERM cancel the batch; a second signal kills the process
-	// immediately (signal.NotifyContext restores default handling once the
-	// context is cancelled).
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	// SIGINT/SIGTERM cancel the batch; a second signal during the graceful
+	// wind-down (partial-result printing, trace flush) force-exits with a
+	// distinct code instead of being swallowed by the still-held signal
+	// registration, so an operator can always escalate past a slow drain.
+	ctx, stop := sigctx.WithForcedExit(context.Background(), func(sig os.Signal) {
+		fmt.Fprintf(os.Stderr, "mublastp: %v received, stopping after in-flight tasks (signal again to force exit)\n", sig)
+	})
 	defer stop()
 
 	if *faultSpec != "" {
@@ -79,13 +83,19 @@ func run() (retErr error) {
 	}
 
 	// The debug server comes up before the database loads so the whole run —
-	// including index construction — is observable live.
+	// including index construction — is observable live, and goes down
+	// through a bounded Shutdown on every exit path so a scrape in progress
+	// completes instead of being reset mid-dump.
 	if *debugAddr != "" {
 		srv, err := obs.Serve(*debugAddr, obs.Default)
 		if err != nil {
 			return err
 		}
-		defer srv.Close()
+		defer func() {
+			if err := srv.ShutdownTimeout(2 * time.Second); err != nil && retErr == nil {
+				retErr = fmt.Errorf("debug server shutdown: %w", err)
+			}
+		}()
 		fmt.Fprintf(os.Stderr, "mublastp: debug server listening on %s\n", srv.Addr)
 	}
 	if *verifyDB != "" {

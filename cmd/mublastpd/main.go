@@ -1,0 +1,139 @@
+// Command mublastpd is the long-running search daemon: it loads (or builds)
+// a database once, keeps the index resident, and serves searches over
+// HTTP/JSON with production robustness machinery — bounded admission with
+// 429 backpressure, token concurrency sized to the scheduler, degraded mode
+// under sustained queue pressure, hot database reload, and graceful drain.
+//
+// Usage:
+//
+//	mublastpd -db db.mublastp -addr :8044
+//	mublastpd -subjects db.fasta -addr 127.0.0.1:0 -queue 128 -concurrency 2
+//
+// Endpoints (all on -addr):
+//
+//	POST /search   {"queries":[{"name":"q1","residues":"MKT..."}], "timeout_ms":5000}
+//	POST /reload   {"path":"new.mublastp"}   verify-then-swap; rejects corrupt containers
+//	GET  /healthz  liveness; /readyz readiness (503 while draining)
+//	GET  /metrics, /debug/vars, /debug/pprof/  (the obs debug surface)
+//
+// SIGINT/SIGTERM start a graceful drain: new requests get 503, in-flight
+// searches get -drain-grace to finish, then are cancelled so their handlers
+// flush partial results. A second signal force-exits with code 3.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/blast"
+	"repro/internal/faultinject"
+	"repro/internal/obs"
+	"repro/internal/server"
+	"repro/internal/sigctx"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "mublastpd: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		dbPath      = flag.String("db", "", "prebuilt database container (from makedb); reloadable at runtime")
+		subjects    = flag.String("subjects", "", "FASTA database to index on the fly (reload still requires containers)")
+		addr        = flag.String("addr", ":8044", "listen address (use :0 for an ephemeral port)")
+		threads     = flag.Int("threads", 0, "threads per batch search (0 = all cores)")
+		evalue      = flag.Float64("evalue", 10, "E-value cutoff")
+		maxHits     = flag.Int("max-hits", 250, "maximum hits per query")
+		queue       = flag.Int("queue", 64, "admission queue bound; excess requests are shed with 429")
+		concurrency = flag.Int("concurrency", 0, "concurrent batch searches (0 = size to the scheduler's worker pool)")
+		timeout     = flag.Duration("timeout", 30*time.Second, "default per-request deadline")
+		maxTimeout  = flag.Duration("max-timeout", 2*time.Minute, "cap on client-requested deadlines")
+		maxQueries  = flag.Int("max-queries", 64, "per-request batch size cap")
+		degAfter    = flag.Duration("degrade-after", 250*time.Millisecond, "sustained queue pressure before degraded mode trips")
+		degTimeout  = flag.Duration("degraded-timeout", 0, "per-request deadline in degraded mode (0 = timeout/4)")
+		drainGrace  = flag.Duration("drain-grace", 10*time.Second, "time in-flight searches get to finish on shutdown before partial-result flush")
+		faultSpec   = flag.String("faultspec", "", "arm fault-injection sites, e.g. 'server.admit=error@0.1' (testing aid)")
+		faultSeed   = flag.Uint64("faultseed", 1, "seed for probabilistic -faultspec clauses")
+	)
+	flag.Parse()
+	if (*dbPath == "") == (*subjects == "") {
+		fmt.Fprintln(os.Stderr, "mublastpd: need exactly one of -db / -subjects")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	if *faultSpec != "" {
+		if err := faultinject.Enable(*faultSpec, *faultSeed); err != nil {
+			return err
+		}
+		defer faultinject.Disable()
+		fmt.Fprintf(os.Stderr, "mublastpd: fault injection armed: %s (seed %d)\n", *faultSpec, *faultSeed)
+	}
+
+	p := blast.DefaultParams()
+	p.EValueCutoff = *evalue
+	p.MaxResults = *maxHits
+	p.Threads = *threads
+
+	start := time.Now()
+	var ses *blast.Session
+	if *dbPath != "" {
+		var err error
+		if ses, err = blast.OpenSession(*dbPath, p); err != nil {
+			return fmt.Errorf("loading database: %w", err)
+		}
+	} else {
+		seqs, err := blast.ReadFASTAFile(*subjects)
+		if err != nil {
+			return fmt.Errorf("reading subjects: %w", err)
+		}
+		db, err := blast.NewDatabase(seqs, p)
+		if err != nil {
+			return fmt.Errorf("building database: %w", err)
+		}
+		ses = blast.NewSession(db, p)
+	}
+	db := ses.DB()
+	fmt.Fprintf(os.Stderr, "mublastpd: database ready in %v (%d sequences, %d blocks)\n",
+		time.Since(start).Round(time.Millisecond), db.NumSequences(), db.NumBlocks())
+
+	srv := server.New(ses, p, server.Config{
+		Queue:           *queue,
+		Concurrency:     *concurrency,
+		DefaultTimeout:  *timeout,
+		MaxTimeout:      *maxTimeout,
+		MaxQueries:      *maxQueries,
+		DegradeAfter:    *degAfter,
+		DegradedTimeout: *degTimeout,
+		Registry:        obs.Default,
+	})
+	bound, err := srv.Start(*addr)
+	if err != nil {
+		return err
+	}
+	cfg := srv.Config()
+	fmt.Fprintf(os.Stderr, "mublastpd: serving on %s (queue %d, concurrency %d, timeout %v)\n",
+		bound, cfg.Queue, cfg.Concurrency, cfg.DefaultTimeout)
+
+	// First signal: graceful drain (announced). Second signal: sigctx
+	// force-exits with its distinct code — the drain can be escalated past.
+	ctx, stop := sigctx.WithForcedExit(context.Background(), func(sig os.Signal) {
+		fmt.Fprintf(os.Stderr, "mublastpd: %v received, draining (grace %v; signal again to force exit)\n", sig, *drainGrace)
+	})
+	defer stop()
+	<-ctx.Done()
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainGrace+5*time.Second)
+	defer cancel()
+	if err := srv.Drain(drainCtx, *drainGrace); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	fmt.Fprintln(os.Stderr, "mublastpd: drained, exiting")
+	return nil
+}

@@ -9,12 +9,14 @@
 package obs
 
 import (
+	"context"
 	"expvar"
 	"fmt"
 	"net"
 	"net/http"
 	"net/http/pprof"
 	"sync"
+	"time"
 )
 
 // publishOnce guards the expvar registration of the default registry:
@@ -24,7 +26,15 @@ var publishOnce sync.Once
 
 // Handler returns the debug mux for a registry: /metrics, /debug/vars,
 // /debug/pprof/ and friends, plus a tiny index at /.
-func Handler(r *Registry) http.Handler {
+func Handler(r *Registry) http.Handler { return HandlerWithReadiness(r, nil) }
+
+// HandlerWithReadiness is Handler plus the serving probes: /healthz always
+// answers 200 while the process is up (liveness), and /readyz answers 200
+// when ready() returns nil and 503 with the error text otherwise — the
+// daemon points ready at its admission state, so a draining or reloading
+// instance is visibly not ready without being restarted. A nil ready means
+// always ready.
+func HandlerWithReadiness(r *Registry, ready func() error) http.Handler {
 	if r == Default {
 		publishOnce.Do(func() {
 			expvar.Publish("obs", expvar.Func(func() any { return Default.Snapshot() }))
@@ -36,6 +46,20 @@ func Handler(r *Registry) http.Handler {
 		r.WriteText(w)
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if ready != nil {
+			if err := ready(); err != nil {
+				http.Error(w, err.Error(), http.StatusServiceUnavailable)
+				return
+			}
+		}
+		fmt.Fprintln(w, "ready")
+	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -46,7 +70,7 @@ func Handler(r *Registry) http.Handler {
 			http.NotFound(w, req)
 			return
 		}
-		fmt.Fprintln(w, "mublastp debug endpoint: /metrics /debug/vars /debug/pprof/")
+		fmt.Fprintln(w, "mublastp debug endpoint: /metrics /healthz /readyz /debug/vars /debug/pprof/")
 	})
 	return mux
 }
@@ -71,5 +95,25 @@ func Serve(addr string, r *Registry) (*Server, error) {
 	return s, nil
 }
 
-// Close shuts the listener down.
+// Close shuts the listener down immediately, dropping in-flight requests.
+// Prefer Shutdown on any orderly exit path.
 func (s *Server) Close() error { return s.srv.Close() }
+
+// Shutdown closes the listener and waits for in-flight requests (a scrape
+// mid-dump, a pprof profile) to finish, bounded by ctx. It exists so the
+// debug server rides the same shutdown lifecycle as the work it observes
+// instead of being abandoned at exit: a scraper reading /metrics during a
+// graceful drain sees a complete payload, not a reset connection.
+func (s *Server) Shutdown(ctx context.Context) error { return s.srv.Shutdown(ctx) }
+
+// ShutdownTimeout is Shutdown with a fresh deadline of d (a convenience for
+// exit paths that have no context of their own); non-positive d means a
+// 2-second default.
+func (s *Server) ShutdownTimeout(d time.Duration) error {
+	if d <= 0 {
+		d = 2 * time.Second
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), d)
+	defer cancel()
+	return s.Shutdown(ctx)
+}

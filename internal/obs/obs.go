@@ -430,6 +430,44 @@ func NewPipelineMetrics(r *Registry) *PipelineMetrics {
 	return p
 }
 
+// ServerMetrics bundles the serving-layer metric handles: admission
+// outcomes, queue pressure, degraded-mode state, and hot-reload counts.
+// Like PipelineMetrics, handles are resolved once (server construction) and
+// stamped lock-free on every request.
+type ServerMetrics struct {
+	Admitted        *Counter // requests that acquired a run token
+	Shed            *Counter // requests rejected 429 at admission (queue full)
+	TimedOut        *Counter // requests whose deadline expired while queued
+	Reloads         *Counter // successful hot database reloads
+	ReloadsRejected *Counter // reloads rejected (corrupt/mismatched container)
+
+	QueueDepth *Gauge // requests currently waiting for a run token
+	Inflight   *Gauge // requests currently searching
+	Degraded   *Gauge // 1 while degraded mode is tripped, else 0
+	Generation *Gauge // current database generation (1-based)
+
+	QueueWaitNanos *Histogram // admission-queue wait per admitted request
+	RequestNanos   *Histogram // total handler time per admitted request
+}
+
+// NewServerMetrics registers the serving metric set in r under the stable
+// "requests_*" / "queue_*" / daemon gauge names.
+func NewServerMetrics(r *Registry) *ServerMetrics {
+	return &ServerMetrics{
+		Admitted:        r.Counter("requests_admitted"),
+		Shed:            r.Counter("requests_shed"),
+		TimedOut:        r.Counter("requests_timed_out"),
+		Reloads:         r.Counter("db_reloads"),
+		ReloadsRejected: r.Counter("db_reloads_rejected"),
+		QueueDepth:      r.Gauge("queue_depth"),
+		Inflight:        r.Gauge("requests_inflight"),
+		Degraded:        r.Gauge("degraded_mode"),
+		Generation:      r.Gauge("db_generation"),
+		QueueWaitNanos:  r.Histogram("queue_wait_nanos"),
+		RequestNanos:    r.Histogram("request_nanos"),
+	}
+}
+
 // Pipe is the default engine metric bundle, registered in Default.
 var Pipe = NewPipelineMetrics(Default)
 

@@ -1,0 +1,256 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"reflect"
+	"runtime"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/blast"
+	"repro/internal/faultinject"
+	"repro/internal/obs"
+)
+
+// TestChaosServer runs randomized fault schedules over the serving-layer
+// sites (server.admit, server.reload, server.respond) and the engine sites
+// underneath, while concurrent searches and hot reloads hammer the server.
+// The invariants, no matter what fires: every request gets a well-formed JSON
+// response with a deliberate status code (faults degrade to 4xx/5xx, never a
+// torn connection or a process death), every query flagged completed is
+// byte-identical to a fault-free run against its generation, admission
+// tokens are never leaked (the server still serves once faults clear), and
+// no goroutines leak. `make chaos` runs this under -race; CHAOS_SEED pins a
+// schedule for replay, CHAOS_ROUNDS widens the sweep.
+func TestChaosServer(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos sweep skipped in -short mode")
+	}
+	rounds := 5
+	if s := os.Getenv("CHAOS_ROUNDS"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil {
+			t.Fatalf("bad CHAOS_ROUNDS %q: %v", s, err)
+		}
+		rounds = n
+	}
+	seeds := make([]int64, rounds)
+	for i := range seeds {
+		seeds[i] = int64(2000 + 17*i)
+	}
+	if s := os.Getenv("CHAOS_SEED"); s != "" {
+		n, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			t.Fatalf("bad CHAOS_SEED %q: %v", s, err)
+		}
+		seeds = []int64{n}
+	}
+
+	f := newFixture(t)
+	dbB, err := blast.LoadFile(f.pathB, f.params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reloads flip generations mid-flight, so a completed result is valid if
+	// it matches either database's reference answer exactly.
+	references := [][]Hit{wantHits(t, f.dbA, f.query), wantHits(t, dbB, f.query)}
+
+	base := runtime.NumGoroutine()
+	for _, seed := range seeds {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			defer func() {
+				if t.Failed() {
+					t.Logf("replay with: CHAOS_SEED=%d go test -race -run TestChaosServer ./internal/server", seed)
+				}
+			}()
+			rng := rand.New(rand.NewSource(seed))
+			spec := serverChaosSchedule(rng)
+			t.Logf("schedule %q", spec)
+			if err := faultinject.Enable(spec, uint64(seed)); err != nil {
+				t.Fatalf("enable %q: %v", spec, err)
+			}
+			defer faultinject.Disable()
+
+			// A fresh session per round so one round's reloads do not leak
+			// generation state into the next.
+			db, err := blast.LoadFile(f.pathA, f.params)
+			if err != nil {
+				t.Fatal(err)
+			}
+			srv := New(blast.NewSession(db, f.params), f.params, Config{
+				Queue:        8,
+				Concurrency:  2,
+				DegradeAfter: time.Hour,
+				Registry:     obs.NewRegistry(),
+			})
+			addr, err := srv.Start("127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer srv.Close()
+			baseURL := "http://" + addr
+
+			type outcome struct{ err error }
+			results := make(chan outcome, 32)
+			var wg sync.WaitGroup
+			for i := 0; i < 4; i++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for j := 0; j < 4; j++ {
+						results <- outcome{err: chaosSearch(baseURL, f.query, references)}
+					}
+				}()
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for j, path := 0, f.pathB; j < 4; j++ {
+					results <- outcome{err: chaosReload(baseURL, path)}
+					if path == f.pathB {
+						path = f.pathA
+					} else {
+						path = f.pathB
+					}
+				}
+			}()
+			wg.Wait()
+			close(results)
+			for o := range results {
+				if o.err != nil {
+					t.Error(o.err)
+				}
+			}
+
+			// Faults off, the same server must still serve correctly: no
+			// admission token or wait slot was lost to a mid-handler panic.
+			faultinject.Disable()
+			if err := chaosSearch(baseURL, f.query, references); err != nil {
+				t.Errorf("after faults cleared: %v", err)
+			}
+			if d := srv.adm.depth(); d != 0 {
+				t.Errorf("admission queue depth = %d after quiesce, want 0", d)
+			}
+			if n := srv.adm.inflight.Load(); n != 0 {
+				t.Errorf("inflight = %d after quiesce, want 0", n)
+			}
+			srv.Close()
+		})
+	}
+	waitForGoroutines(t, base)
+}
+
+// chaosSearch posts one search and validates the response against the chaos
+// invariants. It runs off the test goroutine, so defects return as errors.
+func chaosSearch(baseURL, query string, references [][]Hit) error {
+	raw, _ := json.Marshal(SearchRequest{Queries: []QueryInput{{Name: "q", Residues: query}}})
+	resp, err := http.Post(baseURL+"/search", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		return fmt.Errorf("search transport error (connection torn, not degraded): %w", err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return fmt.Errorf("search body: %w", err)
+	}
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusTooManyRequests, http.StatusInternalServerError, http.StatusServiceUnavailable:
+		return nil // deliberate degradation
+	default:
+		return fmt.Errorf("search: unexpected status %d: %s", resp.StatusCode, data)
+	}
+	var sr SearchResponse
+	if err := json.Unmarshal(data, &sr); err != nil {
+		return fmt.Errorf("search: malformed 200 body: %v: %s", err, data)
+	}
+	for i, out := range sr.Results {
+		if !out.Completed {
+			continue
+		}
+		ok := false
+		for _, want := range references {
+			if reflect.DeepEqual(out.Hits, want) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return fmt.Errorf("query %d flagged completed but matches no generation's reference result", i)
+		}
+	}
+	return nil
+}
+
+// chaosReload posts one reload; any typed refusal is acceptable, a torn
+// connection or unknown status is not.
+func chaosReload(baseURL, path string) error {
+	raw, _ := json.Marshal(ReloadRequest{Path: path})
+	resp, err := http.Post(baseURL+"/reload", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		return fmt.Errorf("reload transport error: %w", err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return fmt.Errorf("reload body: %w", err)
+	}
+	switch resp.StatusCode {
+	case http.StatusOK, http.StatusConflict, http.StatusUnprocessableEntity,
+		http.StatusInternalServerError, http.StatusServiceUnavailable:
+		return nil
+	}
+	return fmt.Errorf("reload: unexpected status %d: %s", resp.StatusCode, data)
+}
+
+// serverChaosSchedule draws one to three clauses over the serving-layer and
+// engine sites, mixing panic, delay, and error kinds with probabilistic and
+// nth-hit triggers.
+func serverChaosSchedule(rng *rand.Rand) string {
+	sites := []string{
+		"server.admit", "server.reload", "server.respond",
+		"sched.task", "core.hitdetect", "core.extend",
+	}
+	kinds := []string{"panic", "delay:2ms", "error"}
+	spec := ""
+	n := 1 + rng.Intn(3)
+	for i := 0; i < n; i++ {
+		clause := sites[rng.Intn(len(sites))] + "=" + kinds[rng.Intn(len(kinds))]
+		switch rng.Intn(3) {
+		case 0:
+			clause += fmt.Sprintf("#%d", 1+rng.Intn(6))
+		case 1:
+			clause += fmt.Sprintf("@0.%02d", 10+rng.Intn(40))
+		default: // every hit
+		}
+		if spec != "" {
+			spec += ","
+		}
+		spec += clause
+	}
+	return spec
+}
+
+// waitForGoroutines asserts the goroutine count returns to its baseline —
+// the serving layer must not leak handler or drain goroutines across rounds.
+func waitForGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > base {
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked: %d > baseline %d\n%s", runtime.NumGoroutine(), base, buf[:n])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

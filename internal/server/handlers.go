@@ -1,0 +1,345 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/blast"
+	"repro/internal/alphabet"
+)
+
+// Wire types of the /search endpoint. Hits are a stable snake_case mirror of
+// blast.Hit so the engine's public structs can evolve without breaking
+// clients.
+
+// QueryInput is one named query sequence.
+type QueryInput struct {
+	Name     string `json:"name"`
+	Residues string `json:"residues"`
+}
+
+// SearchRequest is the /search request body.
+type SearchRequest struct {
+	Queries []QueryInput `json:"queries"`
+	// TimeoutMS requests a per-request deadline in milliseconds; 0 means the
+	// server default. The server caps it (MaxTimeout, and DegradedTimeout in
+	// degraded mode) — the effective value is reported in the response.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// Hit is the wire form of one reported alignment.
+type Hit struct {
+	Subject      int     `json:"subject"`
+	SubjectName  string  `json:"subject_name"`
+	Score        int     `json:"score"`
+	BitScore     float64 `json:"bit_score"`
+	EValue       float64 `json:"e_value"`
+	QueryStart   int     `json:"query_start"`
+	QueryEnd     int     `json:"query_end"`
+	SubjectStart int     `json:"subject_start"`
+	SubjectEnd   int     `json:"subject_end"`
+	Identity     float64 `json:"identity"`
+	Ops          string  `json:"ops"`
+}
+
+// HitFromBlast converts an engine hit to its wire form.
+func HitFromBlast(h blast.Hit) Hit {
+	return Hit{
+		Subject:      h.Subject,
+		SubjectName:  h.SubjectName,
+		Score:        h.Score,
+		BitScore:     h.BitScore,
+		EValue:       h.EValue,
+		QueryStart:   h.QueryStart,
+		QueryEnd:     h.QueryEnd,
+		SubjectStart: h.SubjectStart,
+		SubjectEnd:   h.SubjectEnd,
+		Identity:     h.Identity,
+		Ops:          h.Ops,
+	}
+}
+
+// QueryOutput is the outcome of one query. Completed=false means the query
+// was cut off (deadline, drain, or an isolated task failure) and Hits is
+// empty; completed queries are byte-identical to a direct library call.
+type QueryOutput struct {
+	Name      string `json:"name"`
+	QueryLen  int    `json:"query_len"`
+	Completed bool   `json:"completed"`
+	Error     string `json:"error,omitempty"`
+	Hits      []Hit  `json:"hits"`
+}
+
+// RequestStats is the per-request serving and scheduler telemetry attached
+// to every response.
+type RequestStats struct {
+	QueueWaitMS      float64 `json:"queue_wait_ms"`
+	SearchMS         float64 `json:"search_ms"`
+	EffectiveTimeout string  `json:"effective_timeout"`
+	Workers          int     `json:"workers"`
+	Tasks            int64   `json:"tasks"`
+	TasksCancelled   int64   `json:"tasks_cancelled,omitempty"`
+	TasksPanicked    int64   `json:"tasks_panicked,omitempty"`
+	QueriesAborted   int64   `json:"queries_aborted,omitempty"`
+	UtilizationPct   float64 `json:"utilization_pct"`
+}
+
+// SearchResponse is the /search response body. Degraded and Truncated are
+// the honest-degradation contract: Degraded reports that the server was in
+// load-shedding mode (shorter deadline, smaller batch cap) when the request
+// was admitted, Truncated that the batch cap actually dropped queries from
+// this request (the first MaxQueries ran; the rest were not searched).
+type SearchResponse struct {
+	Degraded   bool          `json:"degraded"`
+	Truncated  int           `json:"truncated_queries,omitempty"`
+	Generation int64         `json:"db_generation"`
+	Incomplete bool          `json:"incomplete,omitempty"`
+	Error      string        `json:"error,omitempty"`
+	Results    []QueryOutput `json:"results"`
+	Stats      RequestStats  `json:"stats"`
+}
+
+// ReloadRequest is the /reload request body.
+type ReloadRequest struct {
+	Path string `json:"path"`
+}
+
+// ReloadResponse reports a successful swap.
+type ReloadResponse struct {
+	Generation int64 `json:"db_generation"`
+	Sequences  int   `json:"sequences"`
+	Blocks     int   `json:"blocks"`
+}
+
+// errorResponse is the uniform JSON error body.
+type errorResponse struct {
+	Error  string `json:"error"`
+	Status int    `json:"status"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v) // the connection is the only failure mode left here
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...), Status: status})
+}
+
+// retryAfterSeconds renders the Retry-After hint (whole seconds, minimum 1).
+func retryAfterSeconds(d time.Duration) string {
+	s := int(d.Round(time.Second) / time.Second)
+	if s < 1 {
+		s = 1
+	}
+	return strconv.Itoa(s)
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	if s.Draining() {
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	if err := fiAdmit.Err(); err != nil {
+		writeError(w, http.StatusServiceUnavailable, "admission failure: %v", err)
+		return
+	}
+	var req SearchRequest
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	if len(req.Queries) == 0 {
+		writeError(w, http.StatusBadRequest, "no queries")
+		return
+	}
+	if len(req.Queries) > s.cfg.MaxQueries {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			"%d queries exceeds the per-request cap of %d", len(req.Queries), s.cfg.MaxQueries)
+		return
+	}
+	// Malformed sequences are refused before admission: a request that can
+	// never run must not occupy a queue slot.
+	for i := range req.Queries {
+		if _, err := alphabet.Encode([]byte(req.Queries[i].Residues)); err != nil {
+			writeError(w, http.StatusBadRequest, "query %d (%s): %v", i, req.Queries[i].Name, err)
+			return
+		}
+	}
+
+	// Degraded mode is sampled at admission time and applied to this whole
+	// request: a shorter deadline and a smaller batch cap, both reported in
+	// the response rather than silently imposed.
+	degraded := s.deg.observe(s.adm.depth(), time.Now())
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	if timeout > s.cfg.MaxTimeout {
+		timeout = s.cfg.MaxTimeout
+	}
+	truncated := 0
+	queries := req.Queries
+	if degraded {
+		if timeout > s.cfg.DegradedTimeout {
+			timeout = s.cfg.DegradedTimeout
+		}
+		if len(queries) > s.cfg.DegradedMaxQueries {
+			truncated = len(queries) - s.cfg.DegradedMaxQueries
+			queries = queries[:s.cfg.DegradedMaxQueries]
+		}
+	}
+
+	// Claim a wait slot — the only unbounded-queue defense that matters.
+	if !s.adm.enter() {
+		s.deg.observe(s.adm.depth(), time.Now())
+		w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter))
+		writeError(w, http.StatusTooManyRequests,
+			"admission queue full (%d waiting); retry later", s.cfg.Queue)
+		return
+	}
+	s.deg.observe(s.adm.depth(), time.Now())
+
+	// The deadline covers queueing AND searching: a request that waited its
+	// whole budget in the queue is shed as timed out, not run late.
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+	enqueued := time.Now()
+	if !s.adm.acquire(ctx.Done()) {
+		s.deg.observe(s.adm.depth(), time.Now())
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			s.met.TimedOut.Add(1)
+			w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter))
+			writeError(w, http.StatusServiceUnavailable,
+				"deadline expired after %v in the admission queue", time.Since(enqueued).Round(time.Millisecond))
+			return
+		}
+		// Client went away (or the drain cancelled the base context);
+		// nothing useful to write.
+		writeError(w, http.StatusServiceUnavailable, "request cancelled while queued")
+		return
+	}
+	defer s.adm.release()
+	queueWait := time.Since(enqueued)
+	s.met.Admitted.Add(1)
+	s.met.QueueWaitNanos.Observe(int64(queueWait))
+	s.deg.observe(s.adm.depth(), time.Now())
+	if s.testHookRunning != nil {
+		s.testHookRunning()
+	}
+
+	texts := make([]string, len(queries))
+	for i := range queries {
+		texts[i] = queries[i].Residues
+	}
+	db, release := s.ses.Acquire()
+	searchStart := time.Now()
+	br, err := db.SearchBatchCtx(ctx, texts)
+	searchDur := time.Since(searchStart)
+	release()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "search: %v", err)
+		return
+	}
+	s.met.RequestNanos.Observe(int64(time.Since(enqueued)))
+
+	resp := SearchResponse{
+		Degraded:   degraded,
+		Truncated:  truncated,
+		Generation: s.ses.Generation(),
+		Incomplete: br.Err != nil,
+		Results:    make([]QueryOutput, len(br.Results)),
+		Stats: RequestStats{
+			QueueWaitMS:      float64(queueWait) / float64(time.Millisecond),
+			SearchMS:         float64(searchDur) / float64(time.Millisecond),
+			EffectiveTimeout: timeout.String(),
+			Workers:          br.Sched.Workers,
+			Tasks:            br.Sched.Tasks,
+			TasksCancelled:   br.Sched.TasksCancelled,
+			TasksPanicked:    br.Sched.TasksPanicked,
+			QueriesAborted:   br.Sched.QueriesAborted,
+			UtilizationPct:   br.Sched.Utilization() * 100,
+		},
+	}
+	if br.Err != nil {
+		resp.Error = br.Err.Error()
+	}
+	for i := range br.Results {
+		out := QueryOutput{
+			Name:      queries[i].Name,
+			QueryLen:  br.Results[i].QueryLen,
+			Completed: br.Completed[i],
+			Hits:      []Hit{},
+		}
+		if br.QueryErrs[i] != nil {
+			out.Error = br.QueryErrs[i].Error()
+		}
+		if br.Completed[i] {
+			for _, h := range br.Results[i].Hits {
+				out.Hits = append(out.Hits, HitFromBlast(h))
+			}
+		}
+		resp.Results[i] = out
+	}
+
+	if err := fiRespond.Err(); err != nil {
+		writeError(w, http.StatusInternalServerError, "response failure: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	if s.Draining() {
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	var req ReloadRequest
+	r.Body = http.MaxBytesReader(w, r.Body, 1<<20)
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	if req.Path == "" {
+		writeError(w, http.StatusBadRequest, "missing path")
+		return
+	}
+	err := fiReload.Err()
+	if err == nil {
+		err = s.ses.Reload(req.Path)
+	}
+	if err != nil {
+		s.met.ReloadsRejected.Add(1)
+		status := http.StatusConflict
+		if errors.Is(err, blast.ErrCorrupt) || errors.Is(err, blast.ErrVersion) ||
+			errors.Is(err, blast.ErrParamsMismatch) {
+			status = http.StatusUnprocessableEntity
+		}
+		writeError(w, status, "reload rejected, previous database still serving: %v", err)
+		return
+	}
+	s.met.Reloads.Add(1)
+	s.met.Generation.Set(float64(s.ses.Generation()))
+	db := s.ses.DB()
+	writeJSON(w, http.StatusOK, ReloadResponse{
+		Generation: s.ses.Generation(),
+		Sequences:  db.NumSequences(),
+		Blocks:     db.NumBlocks(),
+	})
+}

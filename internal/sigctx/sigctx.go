@@ -1,0 +1,72 @@
+// Package sigctx is the shared signal policy of the CLI and the daemon:
+// the first SIGINT/SIGTERM starts a graceful shutdown (context
+// cancellation), a second one force-exits immediately with a distinct exit
+// code.
+//
+// The previous per-command wiring used signal.NotifyContext alone, which
+// keeps the signal registration alive until its stop function runs at exit —
+// so a second Ctrl-C during a slow graceful drain was swallowed and the
+// operator had no escalation path short of SIGKILL. This helper restores
+// that escalation: once shutdown has begun, the next signal bypasses the
+// drain entirely.
+package sigctx
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+)
+
+// ExitForced is the exit code of a second-signal forced exit. It is distinct
+// from the commands' error exit (1) and usage exit (2) so wrappers can tell
+// "operator escalated past a graceful drain" from ordinary failure.
+const ExitForced = 3
+
+// exit is os.Exit, swappable by tests exercising the second-signal path.
+var exit = os.Exit
+
+// WithForcedExit returns a copy of parent that is cancelled on the first
+// SIGINT or SIGTERM. A second signal after that prints a note to stderr and
+// exits the process immediately with ExitForced — no deferred cleanup runs,
+// which is the point: the operator asked twice.
+//
+// onShutdown, if non-nil, is called (on the signal goroutine) when the first
+// signal lands, so commands can log what drain they are starting.
+//
+// The returned stop function releases the signal registration and cancels
+// the context; call it once the graceful path has fully finished.
+func WithForcedExit(parent context.Context, onShutdown func(sig os.Signal)) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(parent)
+	ch := make(chan os.Signal, 2)
+	quit := make(chan struct{})
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		select {
+		case sig := <-ch:
+			if onShutdown != nil {
+				onShutdown(sig)
+			}
+			cancel()
+		case <-quit:
+			return
+		}
+		select {
+		case sig := <-ch: // second signal: escalate
+			fmt.Fprintf(os.Stderr, "received %v during shutdown, forcing exit\n", sig)
+			exit(ExitForced)
+		case <-quit:
+		}
+	}()
+	var stopOnce sync.Once
+	stop := func() {
+		stopOnce.Do(func() {
+			signal.Stop(ch)
+			close(quit)
+			cancel()
+		})
+	}
+	return ctx, stop
+}

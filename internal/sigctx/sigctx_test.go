@@ -1,0 +1,78 @@
+package sigctx
+
+import (
+	"context"
+	"os"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// kill delivers sig to this process and fails the test if delivery errors.
+func kill(t *testing.T, sig syscall.Signal) {
+	t.Helper()
+	if err := syscall.Kill(os.Getpid(), sig); err != nil {
+		t.Fatalf("sending %v: %v", sig, err)
+	}
+}
+
+// waitDone asserts ctx is cancelled within a generous deadline.
+func waitDone(t *testing.T, ctx context.Context) {
+	t.Helper()
+	select {
+	case <-ctx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("context not cancelled after signal")
+	}
+}
+
+func TestFirstSignalCancels(t *testing.T) {
+	got := make(chan os.Signal, 1)
+	ctx, stop := WithForcedExit(context.Background(), func(sig os.Signal) { got <- sig })
+	defer stop()
+	kill(t, syscall.SIGTERM)
+	waitDone(t, ctx)
+	select {
+	case sig := <-got:
+		if sig != syscall.SIGTERM {
+			t.Errorf("onShutdown saw %v, want SIGTERM", sig)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("onShutdown never called")
+	}
+}
+
+func TestSecondSignalForcesExit(t *testing.T) {
+	exited := make(chan int, 1)
+	old := exit
+	exit = func(code int) {
+		exited <- code
+		select {} // the real os.Exit never returns; park the goroutine
+	}
+	defer func() { exit = old }()
+
+	ctx, stop := WithForcedExit(context.Background(), nil)
+	defer stop()
+	kill(t, syscall.SIGTERM)
+	waitDone(t, ctx)
+	kill(t, syscall.SIGTERM)
+	select {
+	case code := <-exited:
+		if code != ExitForced {
+			t.Errorf("forced exit code %d, want %d", code, ExitForced)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("second signal did not force exit")
+	}
+}
+
+func TestStopReleasesRegistration(t *testing.T) {
+	ctx, stop := WithForcedExit(context.Background(), nil)
+	stop()
+	stop() // idempotent
+	select {
+	case <-ctx.Done():
+	default:
+		t.Error("stop should cancel the context")
+	}
+}

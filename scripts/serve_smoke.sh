@@ -1,0 +1,127 @@
+#!/bin/sh
+# End-to-end daemon smoke test (the `make serve-smoke` target).
+#
+# Builds mublastpd + makedb + genseq, starts the daemon on a prebuilt
+# container, and exercises the full serving lifecycle: concurrent /search
+# requests, a hot /reload to a second container while searches are in flight,
+# a corrupt-container reload that must be rejected with the old database
+# still serving, the serving counters on /metrics, and a SIGTERM drain that
+# exits cleanly.
+set -eu
+
+workdir=$(mktemp -d "${TMPDIR:-/tmp}/serve-smoke.XXXXXX")
+pid=""
+cleanup() {
+    [ -n "$pid" ] && kill -9 "$pid" 2>/dev/null || true
+    rm -rf "$workdir"
+}
+trap cleanup EXIT INT TERM
+
+echo "serve-smoke: building binaries..."
+go build -o "$workdir/mublastpd" ./cmd/mublastpd
+go build -o "$workdir/makedb" ./cmd/makedb
+go build -o "$workdir/genseq" ./cmd/genseq
+
+echo "serve-smoke: generating workload..."
+"$workdir/genseq" -n 600 -seed 11 -out "$workdir/db1.fasta" \
+    -queries 4 -qlen 200 -qout "$workdir/queries.fasta"
+"$workdir/genseq" -n 800 -seed 12 -out "$workdir/db2.fasta"
+"$workdir/makedb" -in "$workdir/db1.fasta" -out "$workdir/db1.mublastp" 2>/dev/null
+"$workdir/makedb" -in "$workdir/db2.fasta" -out "$workdir/db2.mublastp" 2>/dev/null
+
+# A structurally broken replacement: flip one byte mid-container.
+cp "$workdir/db2.mublastp" "$workdir/corrupt.mublastp"
+printf '\377' | dd of="$workdir/corrupt.mublastp" bs=1 seek=200 conv=notrunc 2>/dev/null
+
+# One query sequence, pulled out of the FASTA (first record, joined lines).
+query=$(awk '/^>/{n++; next} n==1{printf "%s", $0} n>1{exit}' "$workdir/queries.fasta")
+[ -n "$query" ] || { echo "serve-smoke: FAIL: no query extracted"; exit 1; }
+
+echo "serve-smoke: starting mublastpd..."
+"$workdir/mublastpd" -db "$workdir/db1.mublastp" -addr 127.0.0.1:0 \
+    -drain-grace 5s >"$workdir/stdout.txt" 2>"$workdir/stderr.txt" &
+pid=$!
+
+addr=""
+for _ in $(seq 1 100); do
+    addr=$(sed -n 's/^mublastpd: serving on \([^ ]*\) .*/\1/p' "$workdir/stderr.txt" | head -n 1)
+    [ -n "$addr" ] && break
+    kill -0 "$pid" 2>/dev/null || { echo "serve-smoke: FAIL: mublastpd exited early"; cat "$workdir/stderr.txt"; exit 1; }
+    sleep 0.1
+done
+[ -n "$addr" ] || { echo "serve-smoke: FAIL: serving address never announced"; cat "$workdir/stderr.txt"; exit 1; }
+echo "serve-smoke: daemon at $addr"
+
+fail=0
+
+# post PATH BODY OUT -> status code
+post() {
+    curl -s -o "$3" -w '%{http_code}' -X POST -H 'Content-Type: application/json' \
+        -d "$2" "http://$addr$1"
+}
+
+for probe in healthz readyz; do
+    code=$(curl -s -o /dev/null -w '%{http_code}' "http://$addr/$probe")
+    [ "$code" = "200" ] || { echo "serve-smoke: FAIL: /$probe = $code, want 200"; fail=1; }
+done
+
+search_body="{\"queries\":[{\"name\":\"q1\",\"residues\":\"$query\"}]}"
+
+echo "serve-smoke: concurrent searches + hot reload..."
+search_pids=""
+for i in 1 2 3 4; do
+    post /search "$search_body" "$workdir/search_$i.json" >"$workdir/search_$i.code" &
+    search_pids="$search_pids $!"
+done
+code=$(post /reload "{\"path\":\"$workdir/db2.mublastp\"}" "$workdir/reload.json")
+for p in $search_pids; do wait "$p"; done
+[ "$code" = "200" ] || { echo "serve-smoke: FAIL: reload = $code: $(cat "$workdir/reload.json")"; fail=1; }
+grep -q '"db_generation":2' "$workdir/reload.json" || {
+    echo "serve-smoke: FAIL: reload response has no generation 2"; fail=1; }
+for i in 1 2 3 4; do
+    code=$(cat "$workdir/search_$i.code")
+    [ "$code" = "200" ] || { echo "serve-smoke: FAIL: concurrent search $i = $code"; fail=1; }
+    grep -q '"completed":true' "$workdir/search_$i.json" || {
+        echo "serve-smoke: FAIL: concurrent search $i has no completed query"; fail=1; }
+done
+
+echo "serve-smoke: corrupt reload must be rejected..."
+code=$(post /reload "{\"path\":\"$workdir/corrupt.mublastp\"}" "$workdir/reload_bad.json")
+[ "$code" = "422" ] || { echo "serve-smoke: FAIL: corrupt reload = $code, want 422"; fail=1; }
+code=$(post /search "$search_body" "$workdir/search_after.json")
+[ "$code" = "200" ] || { echo "serve-smoke: FAIL: search after rejected reload = $code"; fail=1; }
+grep -q '"db_generation":2' "$workdir/search_after.json" || {
+    echo "serve-smoke: FAIL: rejected reload changed the serving generation"; fail=1; }
+
+curl -fsS "http://$addr/metrics" >"$workdir/metrics.txt"
+for metric in requests_admitted:5 db_reloads:1 db_reloads_rejected:1; do
+    name=${metric%:*}; want=${metric#*:}
+    value=$(sed -n "s/^$name //p" "$workdir/metrics.txt")
+    if [ "$value" != "$want" ]; then
+        echo "serve-smoke: FAIL: $name = '${value:-missing}', want $want"
+        fail=1
+    else
+        echo "serve-smoke: $name = $value"
+    fi
+done
+
+echo "serve-smoke: SIGTERM drain..."
+kill -TERM "$pid"
+status=0
+i=0
+while kill -0 "$pid" 2>/dev/null; do
+    i=$((i + 1))
+    [ "$i" -gt 150 ] && { echo "serve-smoke: FAIL: daemon did not exit within 15s of SIGTERM"; fail=1; break; }
+    sleep 0.1
+done
+wait "$pid" 2>/dev/null || status=$?
+pid=""
+[ "$status" -eq 0 ] || { echo "serve-smoke: FAIL: daemon exit status $status, want 0"; fail=1; }
+grep -q "drained, exiting" "$workdir/stderr.txt" || {
+    echo "serve-smoke: FAIL: no drain confirmation on stderr"; cat "$workdir/stderr.txt"; fail=1; }
+
+if [ "$fail" -ne 0 ]; then
+    echo "serve-smoke: FAILED"
+    exit 1
+fi
+echo "serve-smoke: OK"
