@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath (stdlib only).
 
-.PHONY: all build vet test race fuzz chaos bench bench-json obs-smoke obs-smoke-fault serve-smoke experiments examples golden clean
+.PHONY: all build vet test race fuzz chaos bench bench-json bench-compare bench-smoke obs-smoke obs-smoke-fault serve-smoke experiments examples golden clean
 
 all: build vet test bench-json
 
@@ -10,7 +10,7 @@ build:
 vet:
 	go vet ./...
 
-test: vet race fuzz chaos obs-smoke obs-smoke-fault serve-smoke
+test: vet race fuzz chaos obs-smoke obs-smoke-fault serve-smoke bench-compare bench-smoke
 	go test ./...
 
 # Race-detector pass over the packages with concurrent hot paths (the batch
@@ -38,6 +38,9 @@ fuzz:
 	go test -fuzz=FuzzReadFrom -fuzztime=$(FUZZTIME) -run='^$$' ./internal/dbase
 	go test -fuzz=FuzzReadFrom -fuzztime=$(FUZZTIME) -run='^$$' ./internal/dbindex
 	go test -fuzz=FuzzLoad -fuzztime=$(FUZZTIME) -run='^$$' ./blast
+	go test -fuzz=FuzzExtendEquivalence -fuzztime=$(FUZZTIME) -run='^$$' ./internal/ungapped
+	go test -fuzz=FuzzExtendScoreProfEquivalence -fuzztime=$(FUZZTIME) -run='^$$' ./internal/gapped
+	go test -fuzz=FuzzLSDPairsEquivalence -fuzztime=$(FUZZTIME) -run='^$$' ./internal/hitsort
 
 # Record the full suite and benchmark outputs (as committed).
 record:
@@ -48,10 +51,29 @@ bench:
 	go test -bench=. -benchmem ./...
 
 # Machine-readable stage budget: per-stage time shares, prefilter survival,
-# sort share, and scheduler utilization, written as BENCH_stage.json (schema
-# mublastp/bench-stage/v1, validated by internal/bench tests).
+# sort share, and scheduler utilization (schema mublastp/bench-stage/v1,
+# validated by internal/bench tests). Writes the *current* report,
+# BENCH_stage_pr6.json; BENCH_stage.json is the frozen seed baseline the
+# kernel campaign is measured against — never regenerate it. -block-kb 512
+# is the tuned block size for timing runs (see EXPERIMENTS.md for the sweep);
+# the default scaled-LLC sizing rule remains in force for the paper's
+# cache-simulation experiments.
 bench-json:
-	go run ./cmd/experiments -exp stage -seqs 4000 -batch 16 -json BENCH_stage.json
+	go run ./cmd/experiments -exp stage -seqs 4000 -batch 16 -block-kb 512 -json BENCH_stage_pr6.json
+
+# Mechanical perf gate: diff the frozen seed baseline against the committed
+# current report and fail on >5% total-pipeline regression (tolerance
+# overridable via BENCH_COMPARE_TOLERANCE).
+bench-compare:
+	./scripts/bench_compare.sh
+
+# Short-workload perf smoke for the default test flow: regenerate a small
+# stage report with the current build and compare it against the committed
+# short baseline. The loose tolerance absorbs host noise (shared machines
+# vary ±20% run to run); a real kernel regression blows far past it.
+bench-smoke:
+	go run ./cmd/experiments -exp stage -seqs 800 -batch 4 -block-kb 512 -json /tmp/BENCH_stage_short_cand.json
+	BENCH_COMPARE_TOLERANCE=40 ./scripts/bench_compare.sh BENCH_stage_short.json /tmp/BENCH_stage_short_cand.json
 
 # End-to-end observability smoke test: runs a live batch search with
 # -debug-addr, scrapes /metrics, /debug/vars and /debug/pprof/, and asserts

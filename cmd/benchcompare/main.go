@@ -1,0 +1,90 @@
+// benchcompare diffs two BENCH_stage*.json stage-budget reports (schema
+// mublastp/bench-stage/v1): per-stage nanos and shares, total pipeline time,
+// and the paper-claim booleans. It exits non-zero when the candidate's total
+// pipeline time regresses more than the tolerance over the baseline, so perf
+// changes gate mechanically in `make bench-compare`.
+//
+// Usage:
+//
+//	benchcompare [-tolerance 5] baseline.json candidate.json
+//
+// The tolerance is a percentage of the baseline total (default 5). Speedups
+// and within-tolerance noise pass; only a genuine slowdown fails.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func load(path string) (*bench.StageReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r bench.StageReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if r.Schema != bench.StageSchemaVersion {
+		return nil, fmt.Errorf("%s: schema %q, want %q", path, r.Schema, bench.StageSchemaVersion)
+	}
+	return &r, nil
+}
+
+func main() {
+	tolerance := flag.Float64("tolerance", 5, "max allowed total-pipeline regression, percent of baseline")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchcompare [-tolerance pct] baseline.json candidate.json")
+		os.Exit(2)
+	}
+	base, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcompare:", err)
+		os.Exit(2)
+	}
+	cand, err := load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcompare:", err)
+		os.Exit(2)
+	}
+
+	if base.Workload != cand.Workload {
+		fmt.Printf("note: workloads differ\n  baseline:  %+v\n  candidate: %+v\n", base.Workload, cand.Workload)
+	}
+
+	baseStages := map[string]bench.StageShare{}
+	for _, s := range base.Stages {
+		baseStages[s.Stage] = s
+	}
+	fmt.Printf("%-12s %12s %12s %8s   %7s -> %-7s\n", "stage", "base (ms)", "cand (ms)", "delta", "share", "share")
+	for _, c := range cand.Stages {
+		b, ok := baseStages[c.Stage]
+		if !ok {
+			fmt.Printf("%-12s %12s %12.1f %8s\n", c.Stage, "-", float64(c.Nanos)/1e6, "new")
+			continue
+		}
+		delta := "-"
+		if b.Nanos > 0 {
+			delta = fmt.Sprintf("%+.1f%%", 100*(float64(c.Nanos)-float64(b.Nanos))/float64(b.Nanos))
+		}
+		fmt.Printf("%-12s %12.1f %12.1f %8s   %6.1f%% -> %5.1f%%\n",
+			c.Stage, float64(b.Nanos)/1e6, float64(c.Nanos)/1e6, delta, 100*b.Share, 100*c.Share)
+	}
+	totalDelta := 100 * (float64(cand.TotalPipelineNanos) - float64(base.TotalPipelineNanos)) / float64(base.TotalPipelineNanos)
+	speedup := float64(base.TotalPipelineNanos) / float64(cand.TotalPipelineNanos)
+	fmt.Printf("%-12s %12.1f %12.1f %+7.1f%%   speedup %.3fx\n",
+		"total", float64(base.TotalPipelineNanos)/1e6, float64(cand.TotalPipelineNanos)/1e6, totalDelta, speedup)
+	fmt.Printf("claims: baseline %+v\n        candidate %+v\n", base.Claims, cand.Claims)
+
+	if totalDelta > *tolerance {
+		fmt.Printf("FAIL: total pipeline regressed %.1f%% (> %.1f%% tolerance)\n", totalDelta, *tolerance)
+		os.Exit(1)
+	}
+	fmt.Printf("OK: within %.1f%% tolerance\n", *tolerance)
+}

@@ -30,6 +30,7 @@ import (
 	"repro/internal/gapped"
 	"repro/internal/hit"
 	"repro/internal/hitsort"
+	"repro/internal/matrix"
 	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/search"
@@ -153,6 +154,7 @@ func NewWithOptions(cfg *search.Config, ix *dbindex.Index, opt Options) *Engine 
 // scratch is the per-worker reusable state.
 type scratch struct {
 	lastPos   search.StampedLastPos
+	lastPos16 search.StampedLastPos16
 	diagOff   []int32
 	pairs     []hit.Pair
 	pairBuf   []hit.Pair
@@ -160,6 +162,7 @@ type scratch struct {
 	hitBuf    []hit.Hit
 	exts      []ungapped.Ext
 	binCounts []int
+	prof      matrix.Profile
 	aligner   *gapped.Aligner
 }
 
@@ -280,6 +283,16 @@ func (e *Engine) searchBlock(sc *scratch, q []alphabet.Code, bi int, st *search.
 		panic(fmt.Sprintf("core: block %d: %v (rebuild the index with smaller blocks)", bi, err))
 	}
 
+	// The query profile feeds both the ungapped and gapped kernels; its
+	// (re)build cost — a row-copy per query position into the scratch's
+	// flat buffer — is stamped into the ungapped stage as the first
+	// consumer. Building per task instead of per query keeps the scratch
+	// contract simple; the cost is a few microseconds against a
+	// millisecond-scale task.
+	profStart := time.Now()
+	sc.prof.Fill(e.Cfg.Matrix, q)
+	st.StageNanos[obs.StageUngapped] += int64(time.Since(profStart))
+
 	// Stage boundaries are stamped into st.StageNanos as the task runs: two
 	// clock reads per stage, no allocations. The ungapped stage is measured
 	// as the extend call minus the gapped time GappedStage stamps from
@@ -321,6 +334,11 @@ func (e *Engine) detectPrefiltered(sc *scratch, q []alphabet.Code, bi int, coder
 	diagBias := len(q) - alphabet.W
 	window := int32(e.Cfg.TwoHit.Window)
 	trace := e.Cfg.Trace
+	if len(q)-alphabet.W > search.MaxQOff {
+		// The packed last-hit word stores query offsets in 20 bits; no real
+		// protein comes within an order of magnitude of this.
+		panic(fmt.Sprintf("core: query length %d exceeds the %d-offset last-hit limit", len(q), search.MaxQOff))
+	}
 
 	// The prefilter's separable cost is its state setup: sizing the
 	// per-sequence diagonal offsets and resetting the flat last-hit array.
@@ -340,11 +358,27 @@ func (e *Engine) detectPrefiltered(sc *scratch, q []alphabet.Code, bi int, coder
 		}
 	}
 	sc.diagOff[numSeqs] = total
-	sc.lastPos.Reset(int(total))
+	// The fast scan needs no trace hooks, two-hit mode, a window the fused
+	// pair compare can treat as unsigned, and query offsets that fit the
+	// compact last-hit word. Each path resets only its own slot array: the
+	// compact one halves the block's randomly-accessed footprint, which is
+	// exactly what the scan is bound on.
+	fast := trace == nil && !e.Cfg.TwoHit.OneHit && window >= 1 &&
+		len(q)-alphabet.W <= search.MaxQOff16
+	if fast {
+		sc.lastPos16.Reset(int(total))
+	} else {
+		sc.lastPos.Reset(int(total))
+	}
 	sc.pairs = sc.pairs[:0]
 	st.StageNanos[obs.StagePrefilter] += int64(time.Since(stageStart))
 
 	stageStart = time.Now()
+	if fast {
+		e.detectScanFast(sc, q, b, coder, diagBias, window, st)
+		st.StageNanos[obs.StageHitDetect] += int64(time.Since(stageStart))
+		return
+	}
 	for qOff := 0; qOff+alphabet.W <= len(q); qOff++ {
 		w := alphabet.WordAt(q, qOff)
 		for _, v := range e.Cfg.Neighbors.Neighbors(w) {
@@ -360,6 +394,9 @@ func (e *Engine) detectPrefiltered(sc *scratch, q []alphabet.Code, bi int, coder
 				slot := int(sc.diagOff[local]) + diag
 				if trace != nil {
 					trace(search.SpaceIndex, base+int64(pi)*4)
+					// Trace models the paper's int32 lastHitArr, as in the
+					// db-indexed baseline; the packed epoch word is an
+					// implementation detail the simulator doesn't see.
 					trace(search.SpaceLastHit, int64(slot)*4)
 				}
 				var dist int32
@@ -384,6 +421,57 @@ func (e *Engine) detectPrefiltered(sc *scratch, q []alphabet.Code, bi int, coder
 		}
 	}
 	st.StageNanos[obs.StageHitDetect] += int64(time.Since(stageStart))
+}
+
+// detectScanFast is the untraced two-hit detection kernel: the same scan as
+// detectPrefiltered's general loop with everything per-hit that is not
+// load-compute-store hoisted out — no trace callbacks, no one-hit branch,
+// position decode inlined off hoisted field widths, and hit counting moved
+// to one add per position list. The per-hit random access is the compact
+// packed last-hit word (see search.StampedLastPos16), one cache line per
+// hit; detectPrefiltered routes queries too long for the compact word
+// through the general loop below instead.
+func (e *Engine) detectScanFast(sc *scratch, q []alphabet.Code, b *dbindex.BlockIndex, coder hit.KeyCoder, diagBias int, window int32, st *search.Stats) {
+	nbrs := e.Cfg.Neighbors
+	offBits := b.OffBits
+	offMask := uint32(1)<<offBits - 1
+	diagOff := sc.diagOff
+	// Pairs are written compaction-style: every hit stores its would-be pair
+	// record at buf[np] and advances np by CheckCount's 0/1 verdict, so the
+	// loop body has no data-dependent branch and the out-of-order window
+	// keeps several of the random last-hit misses in flight instead of
+	// stalling on a mispredicted "if paired" (~a third of hits pair, with no
+	// pattern a predictor can learn). Records of unpaired hits are dead
+	// stores that the next hit overwrites.
+	buf := sc.pairs[:cap(sc.pairs)]
+	np := len(sc.pairs)
+	for qOff := 0; qOff+alphabet.W <= len(q); qOff++ {
+		w := alphabet.WordAt(q, qOff)
+		qOff32 := int32(qOff)
+		for _, v := range nbrs.Neighbors(w) {
+			ps := b.Positions(v)
+			st.Hits += int64(len(ps))
+			if np+len(ps) > len(buf) {
+				grown := make([]hit.Pair, (np+len(ps))*2)
+				copy(grown, buf[:np])
+				buf = grown
+			}
+			for _, packed := range ps {
+				local := int(packed >> offBits)
+				diag := int(packed&offMask) - qOff + diagBias
+				slot := int(diagOff[local]) + diag
+				dist, inc := sc.lastPos16.CheckCount(slot, qOff32, window)
+				buf[np] = hit.Pair{
+					Key:  coder.Encode(local, diag),
+					QOff: qOff32,
+					Dist: dist,
+				}
+				np += inc
+			}
+		}
+	}
+	sc.pairs = buf[:np]
+	st.Pairs += int64(np)
 }
 
 // detectAll is hit detection without the pre-filter: every hit is buffered
@@ -424,7 +512,7 @@ func (e *Engine) sortPairs(sc *scratch, coder hit.KeyCoder) {
 	}
 	switch e.Opt.Sorter {
 	case SortLSD:
-		hitsort.LSD(sc.pairs, coder.KeyBits(), sc.pairBuf)
+		hitsort.LSDPairs(sc.pairs, coder.KeyBits(), sc.pairBuf)
 	case SortMSD:
 		hitsort.MSD(sc.pairs, coder.KeyBits(), sc.pairBuf)
 	case SortMerge:
@@ -441,7 +529,7 @@ func (e *Engine) sortHits(sc *scratch, coder hit.KeyCoder) {
 	}
 	switch e.Opt.Sorter {
 	case SortLSD:
-		hitsort.LSD(sc.hits, coder.KeyBits(), sc.hitBuf)
+		hitsort.LSDHits(sc.hits, coder.KeyBits(), sc.hitBuf)
 	case SortMSD:
 		hitsort.MSD(sc.hits, coder.KeyBits(), sc.hitBuf)
 	case SortMerge:
@@ -472,7 +560,11 @@ func (e *Engine) traceSort(n, recordSize, passes int) {
 // once (the locality the reordering buys).
 func (e *Engine) extendPairs(sc *scratch, q []alphabet.Code, bi int, coder hit.KeyCoder, diagBias int, st *search.Stats) []search.SubjectAlignments {
 	b := e.Ix.Blocks[bi]
-	canon := &e.canon
+	// e.canon is shared across workers; the per-query profile must ride on a
+	// local copy.
+	canonv := e.canon
+	canonv.Prof = &sc.prof
+	canon := &canonv
 	trace := e.Cfg.Trace
 
 	var subjects []search.SubjectAlignments
@@ -488,43 +580,67 @@ func (e *Engine) extendPairs(sc *scratch, q []alphabet.Code, bi int, coder hit.K
 		}
 		gsi := b.Block.Start + curLocal
 		s := e.Ix.DB.Seqs[gsi].Data
-		alns := search.GappedStage(e.Cfg, sc.aligner, q, s, sc.exts, st)
+		alns := search.GappedStage(e.Cfg, sc.aligner, &sc.prof, q, s, sc.exts, st)
 		if len(alns) > 0 {
 			subjects = append(subjects, search.SubjectAlignments{Subject: gsi, Alns: alns})
 		}
 		sc.exts = sc.exts[:0]
 	}
 
+	// The per-pair work is Canon.ExtendPair unrolled into the loop: the
+	// cover test, the Trigger decision, and the ExtReached advance are the
+	// exact Algorithm 1 lines 15-25 (the cross-engine identity tests pin
+	// this against Canon), with the kernel dispatch and key decode hoisted
+	// so the 10M-pairs-per-batch loop runs call-free except the extension
+	// itself.
+	useProf := canon.Prof != nil && canon.P.XDrop >= 1 && canon.Prof.QLen < 0xFFFF
+	xDrop := canon.P.XDrop
+	trigger := canon.P.Trigger
+	var extensions, kept int64
+	var diag, gsi int
+	var s []alphabet.Code
 	for i := range sc.pairs {
 		p := &sc.pairs[i]
 		if !haveKey || p.Key != curKey {
 			curKey = p.Key
 			haveKey = true
 			d.Reset()
-			local, _ := coder.Decode(p.Key)
+			local, dg := coder.Decode(p.Key)
+			diag = dg
 			if local != curLocal {
 				flushSubject()
 				curLocal = local
 			}
+			gsi = b.Block.Start + local
+			s = e.Ix.DB.Seqs[gsi].Data
 		}
-		local, diag := coder.Decode(p.Key)
-		gsi := b.Block.Start + local
-		s := e.Ix.DB.Seqs[gsi].Data
-		sOff := diag + int(p.QOff) - diagBias
-		ext, extended, keep := canon.ExtendPair(&d, q, s, int(p.QOff), sOff)
-		if extended {
-			st.Extensions++
-			if trace != nil {
-				for off := e.subjOff[gsi] + int64(ext.SStart); off < e.subjOff[gsi]+int64(ext.SEnd); off++ {
-					trace(search.SpaceSubject, off)
-				}
+		if d.ExtReached > p.QOff {
+			continue // covered by a previous extension
+		}
+		qOff := int(p.QOff)
+		sOff := diag + qOff - diagBias
+		var ext ungapped.Ext
+		if useProf {
+			ext = ungapped.ExtendProfile(canon.Prof, s, qOff, sOff, xDrop)
+		} else {
+			ext = ungapped.Extend(canon.Matrix, q, s, qOff, sOff, xDrop)
+		}
+		extensions++
+		if trace != nil {
+			for off := e.subjOff[gsi] + int64(ext.SStart); off < e.subjOff[gsi]+int64(ext.SEnd); off++ {
+				trace(search.SpaceSubject, off)
 			}
 		}
-		if keep {
-			st.Kept++
+		if ext.Score > trigger {
+			d.ExtReached = int32(ext.QEnd)
+			kept++
 			sc.exts = append(sc.exts, ext)
+		} else {
+			d.ExtReached = p.QOff
 		}
 	}
+	st.Extensions += extensions
+	st.Kept += kept
 	flushSubject()
 	return subjects
 }
@@ -533,7 +649,11 @@ func (e *Engine) extendPairs(sc *scratch, q []alphabet.Code, bi int, coder hit.K
 // and extension in one pass (Algorithm 1's post-filter form).
 func (e *Engine) extendPostFiltered(sc *scratch, q []alphabet.Code, bi int, coder hit.KeyCoder, diagBias int, st *search.Stats) []search.SubjectAlignments {
 	b := e.Ix.Blocks[bi]
-	canon := &e.canon
+	// e.canon is shared across workers; the per-query profile must ride on a
+	// local copy.
+	canonv := e.canon
+	canonv.Prof = &sc.prof
+	canon := &canonv
 	trace := e.Cfg.Trace
 
 	var subjects []search.SubjectAlignments
@@ -549,7 +669,7 @@ func (e *Engine) extendPostFiltered(sc *scratch, q []alphabet.Code, bi int, code
 		}
 		gsi := b.Block.Start + curLocal
 		s := e.Ix.DB.Seqs[gsi].Data
-		alns := search.GappedStage(e.Cfg, sc.aligner, q, s, sc.exts, st)
+		alns := search.GappedStage(e.Cfg, sc.aligner, &sc.prof, q, s, sc.exts, st)
 		if len(alns) > 0 {
 			subjects = append(subjects, search.SubjectAlignments{Subject: gsi, Alns: alns})
 		}

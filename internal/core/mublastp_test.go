@@ -19,7 +19,7 @@ var (
 	worldCfg  *search.Config
 )
 
-func cfgShared(t *testing.T) *search.Config {
+func cfgShared(t testing.TB) *search.Config {
 	t.Helper()
 	worldOnce.Do(func() {
 		nbr := neighbor.Build(matrix.Blosum62, neighbor.DefaultThreshold)
@@ -33,7 +33,7 @@ func cfgShared(t *testing.T) *search.Config {
 	return &cfg
 }
 
-func world(t *testing.T, seed int64, nSeqs, nQueries, qLen int, blockResidues int64) (*search.Config, *dbindex.Index, [][]alphabet.Code) {
+func world(t testing.TB, seed int64, nSeqs, nQueries, qLen int, blockResidues int64) (*search.Config, *dbindex.Index, [][]alphabet.Code) {
 	t.Helper()
 	cfg := cfgShared(t)
 	g := seqgen.New(seqgen.UniprotProfile(), seed)

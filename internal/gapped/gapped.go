@@ -119,6 +119,11 @@ type Aligner struct {
 	rowPool []*row
 	rowUsed int
 	rowRefs []*row
+	// reusable rolling rows for the score-only extensions (stage three runs
+	// thousands of them per query; keeping their capacity across calls makes
+	// the score-only DP allocation-free at steady state).
+	sprev, scur scoreRow
+	hprev, hcur halfRow
 }
 
 // acquireRow returns a recycled (or new) row with empty cell slices.

@@ -1,6 +1,9 @@
 package gapped
 
-import "repro/internal/alphabet"
+import (
+	"repro/internal/alphabet"
+	"repro/internal/matrix"
+)
 
 // ExtendScore is the score-only form of Extend: the same X-drop affine DP
 // through the seed point, but with two rolling rows and no traceback
@@ -24,10 +27,55 @@ func (a *Aligner) ExtendScore(q, s []alphabet.Code, qSeed, sSeed int) Alignment 
 	}
 }
 
+// ExtendScoreProf is ExtendScore driven by a query profile: the DP row's
+// score lookup comes straight from the flattened PSSM row for the absolute
+// query position, so the inner loop never touches the query sequence or the
+// two-dimensional matrix. prof must be built from this aligner's matrix and
+// the full query q; the returned alignment is identical to ExtendScore's.
+func (a *Aligner) ExtendScoreProf(prof *matrix.Profile, q, s []alphabet.Code, qSeed, sSeed int) Alignment {
+	// Forward half: DP row i scores query residue qSeed+i-1.
+	fScore, fq, fs := a.extendHalfScoreProf(prof, qSeed, +1, len(q)-qSeed, s[sSeed:])
+
+	// Backward half: the subject prefix is reversed as in ExtendScore, and
+	// DP row i scores query residue qSeed-i (the reversed-prefix row order).
+	a.srev = reverseInto(a.srev[:0], s[:sSeed])
+	bScore, bq, bs := a.extendHalfScoreProf(prof, qSeed-1, -1, qSeed, a.srev)
+
+	return Alignment{
+		Score:  fScore + bScore,
+		QStart: qSeed - bq,
+		QEnd:   qSeed + fq,
+		SStart: sSeed - bs,
+		SEnd:   sSeed + fs,
+	}
+}
+
 // scoreRow is one rolling DP row for the score-only extension.
 type scoreRow struct {
 	lo      int
 	h, e, f []int32
+}
+
+// halfRow is the profile kernel's rolling row: only H and F survive a row
+// boundary (E is consumed by the very next cell of the same row, so the fast
+// path carries it in a register instead of storing it; see
+// extendHalfScoreProf).
+type halfRow struct {
+	lo   int
+	h, f []int32
+}
+
+func (r *halfRow) at(j int) (h, f int32) {
+	idx := j - r.lo
+	if idx < 0 || idx >= len(r.h) {
+		return negInf, negInf
+	}
+	return r.h[idx], r.f[idx]
+}
+
+func (r *halfRow) reset(lo int) {
+	r.lo = lo
+	r.h, r.f = r.h[:0], r.f[:0]
 }
 
 func (r *scoreRow) at(j int) (h, e, f int32) {
@@ -43,6 +91,114 @@ func (r *scoreRow) reset(lo int) {
 	r.h, r.e, r.f = r.h[:0], r.e[:0], r.f[:0]
 }
 
+// extendHalfScoreProf is extendHalfScore with the per-row score lookup
+// redirected through a query profile — DP row i (1-based) reads profile row
+// rowBase + (i-1)*rowStride instead of a.M.Row(q[i-1]) — and the inner loop
+// restructured around register carries: the same-row H/E feeding cell j+1
+// and the diagonal H feeding cell j+1 never round-trip through memory, and
+// the E array is not stored at all (no cell outside the current row reads
+// it). Band bookkeeping, pruning, and tie-breaking compute exactly the same
+// values as extendHalfScore, which is what keeps the two paths
+// byte-identical (pinned by the equivalence tests in profile_equiv_test.go).
+func (a *Aligner) extendHalfScoreProf(prof *matrix.Profile, rowBase, rowStride, qLen int, s []alphabet.Code) (best int, bq, bs int) {
+	openExt := int32(a.P.GapOpen + a.P.GapExtend)
+	ext := int32(a.P.GapExtend)
+	xdrop := int32(a.P.XDrop)
+
+	// The rolling rows live on the aligner so repeated extensions reuse
+	// their capacity instead of growing fresh slices every call.
+	prev, cur := &a.hprev, &a.hcur
+	// Row 0. The reference also seeds an E row here; E never crosses a row
+	// boundary, so the fast path has nothing to store.
+	lo, hi := 0, len(s)+1
+	prev.reset(0)
+	bestScore := int32(0)
+	for j := 0; j <= len(s); j++ {
+		var h int32
+		if j == 0 {
+			h = 0
+		} else {
+			h = -openExt - ext*int32(j-1)
+		}
+		if h < bestScore-xdrop {
+			hi = j
+			break
+		}
+		prev.h = append(prev.h, h)
+		prev.f = append(prev.f, negInf)
+	}
+	bi, bj := 0, 0
+	cells := len(prev.h)
+
+	for i := 1; i <= qLen && lo < hi; i++ {
+		// The row is pre-sized to the widest it can get (j runs lo..len(s))
+		// and filled by index, trimmed to the cells actually written after
+		// the loop — append's length bookkeeping and growth check cost two
+		// stores per cell in a loop this hot.
+		rowMax := len(s) + 1 - lo
+		if cap(cur.h) < rowMax {
+			cur.h = make([]int32, rowMax)
+			cur.f = make([]int32, rowMax)
+		}
+		curH, curF := cur.h[:rowMax], cur.f[:rowMax]
+		cur.lo = lo
+		idx := 0
+		newLo, newHi := -1, lo
+		mRow := prof.Row(rowBase + (i-1)*rowStride)
+		// diagH carries prev row's H at j-1 across iterations: the diagonal
+		// input of cell j is the vertical input of cell j-1, so one at()
+		// lookup per cell feeds both. carryH/carryE are the current row's
+		// previous cell (the reference's cur.h/cur.e reads at j-1).
+		diagH, _ := prev.at(lo - 1)
+		carryH, carryE := int32(negInf), int32(negInf)
+		for j := lo; j <= len(s); j++ {
+			e := int32(negInf)
+			if j > lo {
+				e = maxI32(carryH-openExt, carryE-ext)
+			}
+			ph, pf := prev.at(j)
+			f := maxI32(ph-openExt, pf-ext)
+			h := int32(negInf)
+			if j > 0 && diagH > negInf {
+				h = diagH + int32(mRow[s[j-1]])
+			}
+			diagH = ph
+			h = maxI32(h, maxI32(e, f))
+			pruned := h < bestScore-xdrop
+			if pruned {
+				h = negInf
+			} else {
+				if newLo < 0 {
+					newLo = j
+				}
+				newHi = j + 1
+				if h > bestScore {
+					bestScore = h
+					bi, bj = i, j
+				}
+			}
+			curH[idx] = h
+			curF[idx] = f
+			idx++
+			carryH, carryE = h, e
+			cells++
+			if pruned && j >= hi {
+				break
+			}
+		}
+		cur.h, cur.f = curH[:idx], curF[:idx]
+		prev, cur = cur, prev
+		if newLo < 0 {
+			break
+		}
+		lo, hi = newLo, newHi
+		if cells > a.P.MaxCells {
+			break
+		}
+	}
+	return int(bestScore), bi, bj
+}
+
 // extendHalfScore mirrors extendHalf without keeping rows: only the
 // previous row is retained. The iteration order, band bookkeeping, pruning
 // decisions, and best-cell tie-breaking (first maximum encountered wins)
@@ -53,7 +209,9 @@ func (a *Aligner) extendHalfScore(q, s []alphabet.Code) (best int, bq, bs int) {
 	ext := int32(a.P.GapExtend)
 	xdrop := int32(a.P.XDrop)
 
-	var prev, cur scoreRow
+	// The rolling rows live on the aligner so repeated extensions reuse
+	// their capacity instead of growing fresh slices every call.
+	prev, cur := &a.sprev, &a.scur
 	// Row 0.
 	lo, hi := 0, len(s)+1
 	prev.reset(0)

@@ -1,0 +1,55 @@
+package matrix
+
+import "repro/internal/alphabet"
+
+// Profile is a query-specific position score table (a flattened PSSM): row i
+// holds the substitution scores of query residue i against every residue
+// code, laid out row-major in one contiguous int8 slice. The hot kernels
+// (ungapped extension, score-only gapped extension) score a cell with a
+// single slice index — profile[i*Size + s[j]] — instead of the
+// query-residue load plus two-dimensional matrix lookup that
+// Matrix.Score(q[i], s[j]) costs, and walking a diagonal advances the row
+// base by a constant stride, which keeps the accesses prefetch-friendly.
+//
+// A Profile is plain data: build one per query (Fill reuses its buffer, so
+// per-task rebuilds allocate nothing at steady state) and share it read-only
+// across any number of goroutines.
+type Profile struct {
+	// QLen is the query length the profile was built for.
+	QLen int
+	// Scores is the row-major table, len QLen*alphabet.Size.
+	Scores []int8
+}
+
+// Fill (re)builds the profile for query q under matrix m, reusing the
+// existing buffer when it is large enough. The zero Profile is ready to Fill.
+func (p *Profile) Fill(m *Matrix, q []alphabet.Code) {
+	n := len(q) * alphabet.Size
+	if cap(p.Scores) < n {
+		p.Scores = make([]int8, n)
+	}
+	p.Scores = p.Scores[:n]
+	for i, c := range q {
+		copy(p.Scores[i*alphabet.Size:(i+1)*alphabet.Size], m.scores[c][:])
+	}
+	p.QLen = len(q)
+}
+
+// NewProfile builds a fresh profile for query q under matrix m.
+func NewProfile(m *Matrix, q []alphabet.Code) *Profile {
+	p := &Profile{}
+	p.Fill(m, q)
+	return p
+}
+
+// Row returns the score row for query position i, indexed by subject residue
+// code. The slice aliases the profile; callers must not modify it.
+func (p *Profile) Row(i int) []int8 {
+	return p.Scores[i*alphabet.Size : (i+1)*alphabet.Size : (i+1)*alphabet.Size]
+}
+
+// Score returns the score of query position i against subject residue c —
+// the profile equivalent of Matrix.Score(q[i], c), for tests and cold paths.
+func (p *Profile) Score(i int, c alphabet.Code) int {
+	return int(p.Scores[i*alphabet.Size+int(c)])
+}

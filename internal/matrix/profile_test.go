@@ -1,0 +1,88 @@
+package matrix
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/alphabet"
+)
+
+func profTestSeq(rng *rand.Rand, n int) []alphabet.Code {
+	s := make([]alphabet.Code, n)
+	for i := range s {
+		s[i] = alphabet.Code(rng.Intn(alphabet.Size))
+	}
+	return s
+}
+
+// TestProfileMatchesMatrix pins the flattened table to the matrix it was
+// built from: every (position, residue) cell must equal Matrix.Score.
+func TestProfileMatchesMatrix(t *testing.T) {
+	rng := rand.New(rand.NewSource(151))
+	q := profTestSeq(rng, 300)
+	p := NewProfile(Blosum62, q)
+	if p.QLen != len(q) {
+		t.Fatalf("QLen = %d, want %d", p.QLen, len(q))
+	}
+	for i := range q {
+		row := p.Row(i)
+		for c := 0; c < alphabet.Size; c++ {
+			want := Blosum62.Score(q[i], alphabet.Code(c))
+			if got := int(row[c]); got != want {
+				t.Fatalf("row %d residue %d: %d, want %d", i, c, got, want)
+			}
+			if got := p.Score(i, alphabet.Code(c)); got != want {
+				t.Fatalf("Score(%d, %d): %d, want %d", i, c, got, want)
+			}
+		}
+	}
+}
+
+// TestProfileFillReuse checks Fill reuses its buffer across queries of
+// shrinking and growing lengths and always reflects the latest query.
+func TestProfileFillReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(157))
+	var p Profile
+	for _, n := range []int{200, 50, 120, 300, 1} {
+		q := profTestSeq(rng, n)
+		p.Fill(Blosum62, q)
+		if p.QLen != n || len(p.Scores) != n*alphabet.Size {
+			t.Fatalf("after Fill(%d): QLen=%d len=%d", n, p.QLen, len(p.Scores))
+		}
+		for i := 0; i < n; i += 17 {
+			if got, want := p.Score(i, q[i]), Blosum62.Score(q[i], q[i]); got != want {
+				t.Fatalf("n=%d row %d: %d, want %d", n, i, got, want)
+			}
+		}
+	}
+}
+
+// TestProfileFillZeroAlloc pins the per-task profile build at zero
+// allocations once the buffer has warmed to the query length — the build
+// runs once per (block, query) task in the engines, so a heap allocation
+// here multiplies across the whole batch.
+func TestProfileFillZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(163))
+	q := profTestSeq(rng, 300)
+	var p Profile
+	p.Fill(Blosum62, q)
+	if allocs := testing.AllocsPerRun(20, func() {
+		p.Fill(Blosum62, q)
+	}); allocs != 0 {
+		t.Errorf("warm Profile.Fill allocates %.1f objects, want 0", allocs)
+	}
+}
+
+// BenchmarkQueryProfileBuild measures the per-task profile construction for
+// a typical 300-residue query (the stage-budget workload's query length).
+func BenchmarkQueryProfileBuild(b *testing.B) {
+	rng := rand.New(rand.NewSource(167))
+	q := profTestSeq(rng, 300)
+	var p Profile
+	p.Fill(Blosum62, q)
+	b.SetBytes(int64(len(q) * alphabet.Size))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Fill(Blosum62, q)
+	}
+}

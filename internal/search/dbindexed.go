@@ -4,6 +4,7 @@ import (
 	"repro/internal/alphabet"
 	"repro/internal/dbindex"
 	"repro/internal/gapped"
+	"repro/internal/matrix"
 	"repro/internal/parallel"
 	"repro/internal/ungapped"
 )
@@ -48,6 +49,7 @@ func NewDBIndexed(cfg *Config, ix *dbindex.Index) *DBIndexed {
 type dbiScratch struct {
 	diags   StampedDiags
 	diagOff []int32
+	prof    matrix.Profile
 	// extLists collects surviving ungapped extensions per local sequence of
 	// the current block; touched lists the locals with at least one.
 	extLists [][]ungapped.Ext
@@ -80,7 +82,8 @@ func (e *DBIndexed) searchOne(sc *dbiScratch, queryIdx int, q []alphabet.Code) Q
 	if len(q) < alphabet.W {
 		return Finalize(cfg, sc.aligner, queryIdx, q, e.Ix.DB, nil, st)
 	}
-	canon := &ungapped.Canon{P: cfg.TwoHit, Matrix: cfg.Matrix}
+	sc.prof.Fill(cfg.Matrix, q)
+	canon := &ungapped.Canon{P: cfg.TwoHit, Matrix: cfg.Matrix, Prof: &sc.prof}
 	diagBias := len(q) - alphabet.W
 	trace := cfg.Trace
 	var subjects []SubjectAlignments
@@ -157,7 +160,7 @@ func (e *DBIndexed) searchOne(sc *dbiScratch, queryIdx int, q []alphabet.Code) Q
 		for _, local := range sc.touched {
 			gsi := b.Block.Start + int(local)
 			s := e.Ix.DB.Seqs[gsi].Data
-			alns := GappedStage(cfg, sc.aligner, q, s, sc.extLists[local], &st)
+			alns := GappedStage(cfg, sc.aligner, &sc.prof, q, s, sc.extLists[local], &st)
 			sc.extLists[local] = sc.extLists[local][:0]
 			if len(alns) > 0 {
 				subjects = append(subjects, SubjectAlignments{Subject: gsi, Alns: alns})

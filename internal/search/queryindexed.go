@@ -4,6 +4,7 @@ import (
 	"repro/internal/alphabet"
 	"repro/internal/dbase"
 	"repro/internal/gapped"
+	"repro/internal/matrix"
 	"repro/internal/parallel"
 	"repro/internal/qindex"
 	"repro/internal/ungapped"
@@ -40,6 +41,7 @@ func NewQueryIndexed(cfg *Config, db *dbase.DB) *QueryIndexed {
 type qiScratch struct {
 	diags   StampedDiags
 	exts    []ungapped.Ext
+	prof    matrix.Profile
 	aligner *gapped.Aligner
 }
 
@@ -71,7 +73,8 @@ func (e *QueryIndexed) searchOne(sc *qiScratch, queryIdx int, q []alphabet.Code)
 		return Finalize(cfg, sc.aligner, queryIdx, q, e.DB, nil, st)
 	}
 	ix := qindex.Build(q, cfg.Neighbors)
-	canon := &ungapped.Canon{P: cfg.TwoHit, Matrix: cfg.Matrix}
+	sc.prof.Fill(cfg.Matrix, q)
+	canon := &ungapped.Canon{P: cfg.TwoHit, Matrix: cfg.Matrix, Prof: &sc.prof}
 	diagBias := len(q) - alphabet.W
 	trace := cfg.Trace
 	var subjects []SubjectAlignments
@@ -119,7 +122,7 @@ func (e *QueryIndexed) searchOne(sc *qiScratch, queryIdx int, q []alphabet.Code)
 			}
 		}
 		if len(sc.exts) > 0 {
-			alns := GappedStage(cfg, sc.aligner, q, s, sc.exts, &st)
+			alns := GappedStage(cfg, sc.aligner, &sc.prof, q, s, sc.exts, &st)
 			if len(alns) > 0 {
 				subjects = append(subjects, SubjectAlignments{Subject: si, Alns: alns})
 			}

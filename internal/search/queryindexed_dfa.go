@@ -49,7 +49,8 @@ func (e *QueryIndexedDFA) searchOne(sc *qiScratch, queryIdx int, q []alphabet.Co
 		return Finalize(cfg, sc.aligner, queryIdx, q, e.DB, nil, st)
 	}
 	dfa := qdfa.Build(q, cfg.Neighbors)
-	canon := &ungapped.Canon{P: cfg.TwoHit, Matrix: cfg.Matrix}
+	sc.prof.Fill(cfg.Matrix, q)
+	canon := &ungapped.Canon{P: cfg.TwoHit, Matrix: cfg.Matrix, Prof: &sc.prof}
 	diagBias := len(q) - alphabet.W
 	var subjects []SubjectAlignments
 
@@ -78,7 +79,7 @@ func (e *QueryIndexedDFA) searchOne(sc *qiScratch, queryIdx int, q []alphabet.Co
 			}
 		})
 		if len(sc.exts) > 0 {
-			alns := GappedStage(cfg, sc.aligner, q, s, sc.exts, &st)
+			alns := GappedStage(cfg, sc.aligner, &sc.prof, q, s, sc.exts, &st)
 			if len(alns) > 0 {
 				subjects = append(subjects, SubjectAlignments{Subject: si, Alns: alns})
 			}

@@ -244,7 +244,11 @@ type SubjectAlignments struct {
 // Extensions are processed in a canonical order (score descending, then
 // coordinates), so engines that discover the same extension set in
 // different orders produce identical output.
-func GappedStage(cfg *Config, al *gapped.Aligner, q, s []alphabet.Code, exts []ungapped.Ext, st *Stats) []ScoredAlignment {
+//
+// prof, when non-nil, must be q's profile under cfg.Matrix; the score-only
+// DP then runs the profile kernel (gapped.ExtendScoreProf), which produces
+// identical alignments with cheaper row lookups.
+func GappedStage(cfg *Config, al *gapped.Aligner, prof *matrix.Profile, q, s []alphabet.Code, exts []ungapped.Ext, st *Stats) []ScoredAlignment {
 	stageStart := time.Now()
 	if len(exts) > 1 {
 		sort.SliceStable(exts, func(i, j int) bool {
@@ -277,7 +281,12 @@ func GappedStage(cfg *Config, al *gapped.Aligner, q, s []alphabet.Code, exts []u
 		}
 		qSeed := (e.QStart + e.QEnd) / 2
 		sSeed := e.SStart + (qSeed - e.QStart)
-		aln := al.ExtendScore(q, s, qSeed, sSeed)
+		var aln gapped.Alignment
+		if prof != nil {
+			aln = al.ExtendScoreProf(prof, q, s, qSeed, sSeed)
+		} else {
+			aln = al.ExtendScore(q, s, qSeed, sSeed)
+		}
 		st.GappedExts++
 		if aln.Score <= 0 {
 			continue

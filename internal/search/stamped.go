@@ -2,30 +2,36 @@ package search
 
 import "repro/internal/ungapped"
 
+// stampedDiag co-locates a diagonal's epoch stamp with its two-hit state so
+// one hit touches one cache line. The earlier layout kept stamps and states
+// in two parallel arrays, which doubled the random-access traffic of hit
+// detection — the stage the paper singles out as memory-bound (Section II-B).
+type stampedDiag struct {
+	stamp uint32
+	state ungapped.DiagState
+}
+
 // StampedDiags is a reusable array of per-diagonal two-hit states with
 // epoch-based lazy reset: advancing the epoch invalidates every slot in O(1)
 // instead of clearing the array, which matters because the db-indexed
 // pipelines need one state per (subject, diagonal) of a whole index block
 // and reset it for every query (Section II-B's last-hit arrays).
 type StampedDiags struct {
-	epoch  uint32
-	stamps []uint32
-	states []ungapped.DiagState
+	epoch uint32
+	slots []stampedDiag
 }
 
 // Reset invalidates all states and ensures capacity for n slots.
 func (sd *StampedDiags) Reset(n int) {
-	if cap(sd.stamps) < n {
-		sd.stamps = make([]uint32, n)
-		sd.states = make([]ungapped.DiagState, n)
+	if cap(sd.slots) < n {
+		sd.slots = make([]stampedDiag, n)
 	}
-	sd.stamps = sd.stamps[:n]
-	sd.states = sd.states[:n]
+	sd.slots = sd.slots[:n]
 	sd.epoch++
 	if sd.epoch == 0 {
 		// Stamp wrap-around: clear once and restart at epoch 1.
-		for i := range sd.stamps {
-			sd.stamps[i] = 0
+		for i := range sd.slots {
+			sd.slots[i].stamp = 0
 		}
 		sd.epoch = 1
 	}
@@ -34,34 +40,44 @@ func (sd *StampedDiags) Reset(n int) {
 // Get returns the state for slot i, lazily resetting it on first access in
 // the current epoch.
 func (sd *StampedDiags) Get(i int) *ungapped.DiagState {
-	if sd.stamps[i] != sd.epoch {
-		sd.stamps[i] = sd.epoch
-		sd.states[i].Reset()
+	sl := &sd.slots[i]
+	if sl.stamp != sd.epoch {
+		sl.stamp = sd.epoch
+		sl.state.Reset()
 	}
-	return &sd.states[i]
+	return &sl.state
 }
 
 // StampedLastPos is the pre-filter variant: only the last-hit position per
 // (subject, diagonal) slot, since the pre-filter never consults extension
-// state (Algorithm 2's lastHitArr).
+// state (Algorithm 2's lastHitArr). Stamp and position are packed into one
+// uint32 word — epoch in the high 12 bits, query offset in the low 20 — so
+// the per-hit random access costs a single 4-byte load and store on one
+// cache line, and a block's whole slot array is half the footprint of an
+// int32 position plus a separate stamp. The 12-bit epoch wraps every 4095
+// resets, forcing one array clear (microseconds, amortized to nothing); the
+// 20-bit position caps supported query offsets at MaxQOff, far beyond any
+// protein (callers guard — see core's hit detection).
 type StampedLastPos struct {
-	epoch  uint32
-	stamps []uint32
-	pos    []int32
+	epoch uint32 // current stamp, always in [1, 0xFFF]
+	slots []uint32
 }
+
+// MaxQOff is the largest query offset Check can record: positions are packed
+// into 20 bits, which covers queries ~30x longer than the largest known
+// protein.
+const MaxQOff = 1<<20 - 1
 
 // Reset invalidates all slots and ensures capacity for n of them.
 func (sl *StampedLastPos) Reset(n int) {
-	if cap(sl.stamps) < n {
-		sl.stamps = make([]uint32, n)
-		sl.pos = make([]int32, n)
+	if cap(sl.slots) < n {
+		sl.slots = make([]uint32, n)
 	}
-	sl.stamps = sl.stamps[:n]
-	sl.pos = sl.pos[:n]
+	sl.slots = sl.slots[:n]
 	sl.epoch++
-	if sl.epoch == 0 {
-		for i := range sl.stamps {
-			sl.stamps[i] = 0
+	if sl.epoch == 1<<12 {
+		for i := range sl.slots {
+			sl.slots[i] = 0
 		}
 		sl.epoch = 1
 	}
@@ -70,13 +86,83 @@ func (sl *StampedLastPos) Reset(n int) {
 // Check performs the two-hit pair test for a hit at qOff on slot i and
 // records qOff as the slot's new last position. It returns the distance to
 // the previous hit and whether the pair test passed (0 < dist < window).
+// qOff must be in [0, MaxQOff].
 func (sl *StampedLastPos) Check(i int, qOff int32, window int32) (dist int32, paired bool) {
-	if sl.stamps[i] != sl.epoch {
-		sl.stamps[i] = sl.epoch
-		sl.pos[i] = qOff
+	v := sl.slots[i]
+	cur := sl.epoch << 20
+	sl.slots[i] = cur | uint32(qOff)
+	if v&^uint32(MaxQOff) != cur {
 		return 0, false
 	}
-	dist = qOff - sl.pos[i]
-	sl.pos[i] = qOff
+	dist = qOff - int32(v&MaxQOff)
 	return dist, dist > 0 && dist < window
+}
+
+// StampedLastPos16 is StampedLastPos squeezed into uint16 slots — epoch in
+// the high 6 bits, query offset in the low 10 — for queries of at most
+// MaxQOff16 offsets (covering all but the very largest known proteins; the
+// detection kernel falls back to the uint32 form beyond that). The point is
+// footprint: the last-hit array of a whole database block is accessed
+// randomly, one slot per hit, so halving it roughly doubles the fraction of
+// slots that survive in cache between hits. The 6-bit epoch wraps every 63
+// resets, forcing one array clear — microseconds, amortized to nothing.
+type StampedLastPos16 struct {
+	epoch uint16 // current stamp, always in [1, 63]
+	slots []uint16
+}
+
+// MaxQOff16 is the largest query offset StampedLastPos16 can record.
+const MaxQOff16 = 1<<10 - 1
+
+// Reset invalidates all slots and ensures capacity for n of them.
+func (sl *StampedLastPos16) Reset(n int) {
+	if cap(sl.slots) < n {
+		sl.slots = make([]uint16, n)
+	}
+	sl.slots = sl.slots[:n]
+	sl.epoch++
+	if sl.epoch == 1<<6 {
+		for i := range sl.slots {
+			sl.slots[i] = 0
+		}
+		sl.epoch = 1
+	}
+}
+
+// CheckCount is the uint16 form of StampedLastPos.CheckCount: the same
+// store-then-fused-compare pair test, qOff must be in [0, MaxQOff16] and
+// window >= 1. dist is meaningful only when inc is 1.
+func (sl *StampedLastPos16) CheckCount(i int, qOff int32, window int32) (dist int32, inc int) {
+	v := sl.slots[i]
+	cur := sl.epoch << 10
+	sl.slots[i] = cur | uint16(qOff)
+	dist = qOff - int32(v&MaxQOff16)
+	key := uint64(v&^uint16(MaxQOff16)^cur)<<32 | uint64(uint32(dist-1))
+	if key < uint64(uint32(window-1)) {
+		inc = 1
+	}
+	return dist, inc
+}
+
+// CheckCount is Check with the verdict folded into one comparison and
+// returned as a 0/1 increment instead of a bool, so a caller can emit its
+// pair record unconditionally and advance a write index by inc — no
+// data-dependent branch between consecutive slot accesses. That matters in
+// the detection kernel: the pair test passes unpredictably (~a third of
+// hits), and a mispredicted branch there flushes the speculative window that
+// would otherwise keep several of the random last-hit cache misses in
+// flight. The epoch test and the window test 0 < dist < window fuse into a
+// single unsigned compare: stale epochs force the high word of key non-zero,
+// and dist-1 maps the valid range onto [0, window-1). dist is meaningful
+// only when inc is 1.
+func (sl *StampedLastPos) CheckCount(i int, qOff int32, window int32) (dist int32, inc int) {
+	v := sl.slots[i]
+	cur := sl.epoch << 20
+	sl.slots[i] = cur | uint32(qOff)
+	dist = qOff - int32(v&MaxQOff)
+	key := uint64(v&^uint32(MaxQOff)^cur)<<32 | uint64(uint32(dist-1))
+	if key < uint64(uint32(window-1)) {
+		inc = 1
+	}
+	return dist, inc
 }

@@ -1,0 +1,79 @@
+package ungapped
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/alphabet"
+	"repro/internal/matrix"
+)
+
+// benchSeeds builds a deterministic workload shaped like the stage bench:
+// one mid-length query, a long subject stream, and seed positions where the
+// first word pair scores at least the two-hit threshold would plausibly ask.
+func benchSeeds(tb testing.TB) (*matrix.Matrix, *matrix.Profile, []alphabet.Code, []alphabet.Code, [][2]int) {
+	tb.Helper()
+	m := matrix.Blosum62
+	rng := rand.New(rand.NewSource(42))
+	randSeq := func(n int) []alphabet.Code {
+		s := make([]alphabet.Code, n)
+		for i := range s {
+			s[i] = alphabet.Code(rng.Intn(20))
+		}
+		return s
+	}
+	q := randSeq(300)
+	s := randSeq(4096)
+	prof := matrix.NewProfile(m, q)
+	var seeds [][2]int
+	for len(seeds) < 512 {
+		qOff := 1 + rng.Intn(len(q)-alphabet.W-1)
+		sOff := 1 + rng.Intn(len(s)-alphabet.W-1)
+		seeds = append(seeds, [2]int{qOff, sOff})
+	}
+	return m, prof, q, s, seeds
+}
+
+// BenchmarkUngappedExtend pits the profile kernel against the matrix-indexed
+// reference on the same seed set; the profile path must also be allocation
+// free (pinned by TestUngappedExtendZeroAlloc).
+func BenchmarkUngappedExtend(b *testing.B) {
+	m, prof, q, s, seeds := benchSeeds(b)
+	const xDrop = 20
+
+	b.Run("profile", func(b *testing.B) {
+		b.ReportAllocs()
+		sink := 0
+		for i := 0; i < b.N; i++ {
+			sd := seeds[i%len(seeds)]
+			sink += ExtendProfile(prof, s, sd[0], sd[1], xDrop).Score
+		}
+		benchSink = sink
+	})
+	b.Run("reference", func(b *testing.B) {
+		b.ReportAllocs()
+		sink := 0
+		for i := 0; i < b.N; i++ {
+			sd := seeds[i%len(seeds)]
+			sink += Extend(m, q, s, sd[0], sd[1], xDrop).Score
+		}
+		benchSink = sink
+	})
+}
+
+var benchSink int
+
+// TestUngappedExtendZeroAlloc pins the profile kernel's zero-allocation
+// contract: the decoupled pipeline calls it tens of millions of times per
+// batch and any per-call allocation would dominate the stage budget.
+func TestUngappedExtendZeroAlloc(t *testing.T) {
+	_, prof, _, s, seeds := benchSeeds(t)
+	allocs := testing.AllocsPerRun(100, func() {
+		for _, sd := range seeds[:32] {
+			ExtendProfile(prof, s, sd[0], sd[1], 20)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("ExtendProfile allocated %.1f times per run; want 0", allocs)
+	}
+}

@@ -1,0 +1,156 @@
+package ungapped
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/alphabet"
+	"repro/internal/matrix"
+)
+
+// randMatrix builds a random symmetric substitution matrix with scores in
+// [-8, 11] — wider than BLOSUM62's range, so the equivalence property is
+// exercised beyond the standard tables.
+func randMatrix(t testing.TB, rng *rand.Rand) *matrix.Matrix {
+	t.Helper()
+	var table [alphabet.Size][alphabet.Size]int8
+	for i := 0; i < alphabet.Size; i++ {
+		for j := i; j < alphabet.Size; j++ {
+			s := int8(rng.Intn(20) - 8)
+			table[i][j], table[j][i] = s, s
+		}
+	}
+	m, err := matrix.New("random", table)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func randSeq(rng *rand.Rand, n int) []alphabet.Code {
+	s := make([]alphabet.Code, n)
+	for i := range s {
+		s[i] = alphabet.Code(rng.Intn(alphabet.Size))
+	}
+	return s
+}
+
+// TestExtendProfileEquivalence is the property pinning the packed branchless
+// profile kernel to the reference: for random matrices, sequences, seed
+// offsets, and X-drop values, ExtendProfile must return exactly the Ext that
+// Extend returns. Every part of the packed-word restructuring — the
+// tie-breaking low bits, the sentinel, the arithmetic-shift decode of
+// negative running scores — is observable through some input here.
+func TestExtendProfileEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 400; trial++ {
+		m := randMatrix(t, rng)
+		q := randSeq(rng, 4+rng.Intn(240))
+		s := randSeq(rng, 4+rng.Intn(400))
+		prof := matrix.NewProfile(m, q)
+		xDrop := 1 + rng.Intn(40)
+		for rep := 0; rep < 8; rep++ {
+			qOff := rng.Intn(len(q) - alphabet.W + 1)
+			sOff := rng.Intn(len(s) - alphabet.W + 1)
+			want := Extend(m, q, s, qOff, sOff, xDrop)
+			got := ExtendProfile(prof, s, qOff, sOff, xDrop)
+			if got != want {
+				t.Fatalf("trial %d: ExtendProfile(qOff=%d sOff=%d xDrop=%d) = %+v, Extend = %+v",
+					trial, qOff, sOff, xDrop, got, want)
+			}
+		}
+	}
+}
+
+// TestExtendProfileEdgeOffsets drives the kernel at the sequence boundaries,
+// where one or both extension loops run zero iterations.
+func TestExtendProfileEdgeOffsets(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	m := randMatrix(t, rng)
+	for trial := 0; trial < 50; trial++ {
+		q := randSeq(rng, alphabet.W+rng.Intn(8))
+		s := randSeq(rng, alphabet.W+rng.Intn(8))
+		prof := matrix.NewProfile(m, q)
+		for qOff := 0; qOff+alphabet.W <= len(q); qOff++ {
+			for sOff := 0; sOff+alphabet.W <= len(s); sOff++ {
+				for _, xDrop := range []int{1, 5, 16} {
+					want := Extend(m, q, s, qOff, sOff, xDrop)
+					got := ExtendProfile(prof, s, qOff, sOff, xDrop)
+					if got != want {
+						t.Fatalf("qOff=%d sOff=%d xDrop=%d: %+v vs %+v", qOff, sOff, xDrop, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCanonDispatch pins Canon's kernel selection: with a profile attached
+// and parameters inside the packed form's envelope it must produce the same
+// extensions as the bare reference Canon, and outside the envelope (XDrop 0)
+// it must fall back rather than run the packed form whose drop test needs a
+// positive margin.
+func TestCanonDispatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	m := randMatrix(t, rng)
+	q := randSeq(rng, 120)
+	s := randSeq(rng, 300)
+	prof := matrix.NewProfile(m, q)
+	for _, xDrop := range []int{0, 1, 16} {
+		p := Params{Window: 40, XDrop: xDrop, Trigger: 20}
+		ref := Canon{P: p, Matrix: m}
+		fast := Canon{P: p, Matrix: m, Prof: prof}
+		var dr, df DiagState
+		dr.Reset()
+		df.Reset()
+		for i := 0; i < 200; i++ {
+			qOff := rng.Intn(len(q) - alphabet.W + 1)
+			sOff := rng.Intn(len(s) - alphabet.W + 1)
+			er, pr, xr, kr := ref.Step(&dr, q, s, qOff, sOff)
+			ef, pf, xf, kf := fast.Step(&df, q, s, qOff, sOff)
+			if er != ef || pr != pf || xr != xf || kr != kf {
+				t.Fatalf("xDrop=%d step %d: ref (%+v %v %v %v) vs prof (%+v %v %v %v)",
+					xDrop, i, er, pr, xr, kr, ef, pf, xf, kf)
+			}
+		}
+	}
+}
+
+// FuzzExtendEquivalence fuzzes the profile kernel against the reference:
+// the fuzzer controls both sequences, the seed offsets, and the X-drop.
+// Run under `make fuzz` for a fixed budget.
+func FuzzExtendEquivalence(f *testing.F) {
+	f.Add([]byte("MKVLAARTWQ"), []byte("MKVLHARTWQNDEC"), 2, 3, 16)
+	f.Add([]byte("AAAAAAA"), []byte("AAAAAAAAAA"), 0, 0, 1)
+	f.Add([]byte("WWWCCCHHHMMM"), []byte("WWWCCCHHHMMM"), 4, 4, 7)
+	m := matrix.Blosum62
+	f.Fuzz(func(t *testing.T, qb, sb []byte, qOff, sOff, xDrop int) {
+		if len(qb) < alphabet.W || len(sb) < alphabet.W {
+			return
+		}
+		if len(qb) > 2048 || len(sb) > 4096 {
+			return
+		}
+		q := make([]alphabet.Code, len(qb))
+		for i, b := range qb {
+			q[i] = alphabet.Code(int(b) % alphabet.Size)
+		}
+		s := make([]alphabet.Code, len(sb))
+		for i, b := range sb {
+			s[i] = alphabet.Code(int(b) % alphabet.Size)
+		}
+		if qOff < 0 || qOff+alphabet.W > len(q) || sOff < 0 || sOff+alphabet.W > len(s) {
+			return
+		}
+		if xDrop < 1 || xDrop > 1<<20 {
+			return
+		}
+		prof := matrix.NewProfile(m, q)
+		want := Extend(m, q, s, qOff, sOff, xDrop)
+		got := ExtendProfile(prof, s, qOff, sOff, xDrop)
+		if got != want {
+			t.Fatalf("ExtendProfile(qOff=%d sOff=%d xDrop=%d) = %+v, Extend = %+v",
+				qOff, sOff, xDrop, got, want)
+		}
+	})
+}

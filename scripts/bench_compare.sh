@@ -1,0 +1,15 @@
+#!/bin/sh
+# bench_compare.sh — diff two BENCH_stage*.json reports and fail on a total-
+# pipeline regression beyond the tolerance (percent, default 5; override with
+# BENCH_COMPARE_TOLERANCE). Defaults to comparing the committed seed baseline
+# against the committed PR-6 kernel-campaign report.
+#
+# Usage: scripts/bench_compare.sh [baseline.json [candidate.json]]
+set -eu
+
+cd "$(dirname "$0")/.."
+BASE=${1:-BENCH_stage.json}
+CAND=${2:-BENCH_stage_pr6.json}
+TOL=${BENCH_COMPARE_TOLERANCE:-5}
+
+exec go run ./cmd/benchcompare -tolerance "$TOL" "$BASE" "$CAND"
