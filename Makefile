@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath (stdlib only).
 
-.PHONY: all build vet test race fuzz chaos bench bench-json bench-compare bench-smoke obs-smoke obs-smoke-fault serve-smoke experiments examples golden clean
+.PHONY: all build vet test race fuzz chaos bench bench-json bench-compare bench-smoke obs-smoke obs-smoke-fault serve-smoke shard-smoke experiments examples golden clean
 
 all: build vet test bench-json
 
@@ -10,14 +10,14 @@ build:
 vet:
 	go vet ./...
 
-test: vet race fuzz chaos obs-smoke obs-smoke-fault serve-smoke bench-compare bench-smoke
+test: vet race fuzz chaos obs-smoke obs-smoke-fault serve-smoke shard-smoke bench-compare bench-smoke
 	go test ./...
 
 # Race-detector pass over the packages with concurrent hot paths (the batch
 # scheduler, the task-grid runtime, the engines it drives, the hot-reload
 # session, and the serving layer's admission machinery).
 race:
-	go test -race ./internal/core ./internal/parallel ./internal/search ./internal/mpi ./internal/cluster ./internal/server ./blast
+	go test -race ./internal/core ./internal/parallel ./internal/search ./internal/mpi ./internal/cluster ./internal/server ./internal/router ./blast
 
 # Chaos harness: randomized fault schedules (injected panics, delays, errors,
 # rank deaths, op timeouts) against both batch schedulers, the distributed
@@ -38,6 +38,7 @@ fuzz:
 	go test -fuzz=FuzzReadFrom -fuzztime=$(FUZZTIME) -run='^$$' ./internal/dbase
 	go test -fuzz=FuzzReadFrom -fuzztime=$(FUZZTIME) -run='^$$' ./internal/dbindex
 	go test -fuzz=FuzzLoad -fuzztime=$(FUZZTIME) -run='^$$' ./blast
+	go test -fuzz=FuzzShardEquivalence -fuzztime=$(FUZZTIME) -run='^$$' ./blast
 	go test -fuzz=FuzzExtendEquivalence -fuzztime=$(FUZZTIME) -run='^$$' ./internal/ungapped
 	go test -fuzz=FuzzExtendScoreProfEquivalence -fuzztime=$(FUZZTIME) -run='^$$' ./internal/gapped
 	go test -fuzz=FuzzLSDPairsEquivalence -fuzztime=$(FUZZTIME) -run='^$$' ./internal/hitsort
@@ -93,6 +94,13 @@ obs-smoke-fault:
 # counters on /metrics, and a clean SIGTERM drain.
 serve-smoke:
 	./scripts/serve_smoke.sh
+
+# Sharded serving smoke test: splits a database with `makedb -shards`, serves
+# the shards behind the scatter-gather router (mublastpr) next to a
+# monolithic mublastpd, sends the same batch to both, and requires the
+# response payloads — every hit, score, and E-value — to be byte-identical.
+shard-smoke:
+	./scripts/shard_smoke.sh
 
 # Regenerate every evaluation table (Section V). ~5 minutes at this scale.
 experiments:

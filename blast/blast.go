@@ -85,6 +85,16 @@ type Params struct {
 	// queries (byte-identical to an unbounded run) from the abandoned
 	// ones. 0 means no deadline.
 	Timeout time.Duration
+	// GlobalDBResidues and GlobalDBSequences, when positive, declare that
+	// this database is one shard of a larger logical database with the given
+	// totals: E-values (and hence cutoff filtering and ranking) are computed
+	// against the global search space, so hits from this shard merge
+	// byte-identically with the other shards' into a single-database result
+	// (paper Section IV-D3's global-statistics merge). Both must be set
+	// together; they are search-time parameters, not part of the container
+	// build fingerprint. Zero means the database is the whole search space.
+	GlobalDBResidues  int64
+	GlobalDBSequences int64
 }
 
 // DefaultParams returns the BLASTP defaults the paper evaluates with.
@@ -290,6 +300,15 @@ func buildConfig(p Params) (*search.Config, error) {
 	cfg.Gap = gapped.Params{GapOpen: p.GapOpen, GapExtend: p.GapExtend, XDrop: p.GappedXDrop}
 	cfg.EValueCutoff = p.EValueCutoff
 	cfg.MaxResults = p.MaxResults
+	// Shard-of-a-larger-database statistics: both totals must travel
+	// together, or every E-value in the merged ranking drifts from the
+	// monolithic search (the partition-boundary bug class this guards).
+	if (p.GlobalDBResidues > 0) != (p.GlobalDBSequences > 0) {
+		return nil, fmt.Errorf("blast: GlobalDBResidues and GlobalDBSequences must be set together (got %d residues, %d sequences)",
+			p.GlobalDBResidues, p.GlobalDBSequences)
+	}
+	cfg.DBLenOverride = p.GlobalDBResidues
+	cfg.DBSeqsOverride = p.GlobalDBSequences
 	return cfg, nil
 }
 
@@ -387,6 +406,18 @@ func (d *Database) SearchBatchStats(queries []string) ([]*Result, search.SchedSt
 }
 
 func (d *Database) convert(q []alphabet.Code, res search.QueryResult) *Result {
+	return convertHSPs(q, res,
+		func(subject int) []alphabet.Code { return d.db.Seqs[subject].Data },
+		func(_ int, name string) (chunkInfo, bool) { info, ok := d.chunkOrigin[name]; return info, ok })
+}
+
+// convertHSPs turns ranked HSPs into reported Hits against an abstract
+// subject view: residues resolves a subject id to its residues and origin
+// resolves a (subject id, name) to its split-chunk origin, if any. The
+// monolithic database and the sharded merge both funnel through this one
+// function, so chunk-coordinate mapping and overlap deduplication behave
+// identically on both paths.
+func convertHSPs(q []alphabet.Code, res search.QueryResult, residues func(int) []alphabet.Code, origin func(subject int, name string) (chunkInfo, bool)) *Result {
 	out := &Result{QueryLen: len(q), Stats: res.Stats, Hits: make([]Hit, 0, len(res.HSPs))}
 	type hitKey struct {
 		name          string
@@ -394,7 +425,7 @@ func (d *Database) convert(q []alphabet.Code, res search.QueryResult) *Result {
 	}
 	var seen map[hitKey]bool
 	for _, h := range res.HSPs {
-		s := d.db.Seqs[h.Subject].Data
+		s := residues(h.Subject)
 		hit := Hit{
 			Subject:      h.Subject,
 			SubjectName:  h.SubjectName,
@@ -411,7 +442,7 @@ func (d *Database) convert(q []alphabet.Code, res search.QueryResult) *Result {
 		// Map split chunks back to original-sequence coordinates and drop
 		// duplicates found in the overlap region of adjacent chunks
 		// (Section IV-A's assembly step).
-		if info, ok := d.chunkOrigin[h.SubjectName]; ok {
+		if info, ok := origin(h.Subject, h.SubjectName); ok {
 			hit.SubjectName = info.origName
 			hit.SubjectStart += info.offset
 			hit.SubjectEnd += info.offset

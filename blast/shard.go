@@ -1,0 +1,314 @@
+package blast
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/alphabet"
+	"repro/internal/dbindex"
+	"repro/internal/search"
+)
+
+// This file implements horizontal database sharding: splitting one built
+// database into N self-contained sub-databases (each saveable as a normal
+// container), searching a shard on behalf of the whole, and merging per-shard
+// results byte-identically to a monolithic search.
+//
+// The shard layout is the paper's inter-node partitioning (Section IV-D3)
+// frozen into the container format: the monolithic database is length-sorted
+// (the index build guarantees it), then dealt round-robin, so shard s holds
+// the sequences whose monolithic ids are s, s+N, s+2N, ... in that order.
+// Three properties follow and the merge depends on all of them:
+//
+//   - every shard sees a near-identical length distribution, so per-query
+//     work is balanced across shards (the paper's load-balance argument);
+//   - each shard is itself in ascending length order, so it round-trips
+//     through the container format unchanged;
+//   - the monolithic id of shard s's local sequence j is j*N + s, so merged
+//     hits can be restored to monolithic subject ids — and hence monolithic
+//     ranking and rendered output — without any stored mapping.
+//
+// E-values are the other half of the merge invariant: every shard engine must
+// compute statistics against the *global* search space (Params.GlobalDB*,
+// threaded into search.Config.DBLenOverride/DBSeqsOverride), or per-shard
+// E-values — and with them cutoff filtering and the merged ranking — drift
+// from the monolithic search. MergeShards re-sorts with the monolithic
+// comparator over restored ids, re-caps at MaxResults, and converts hits
+// through the same convertHSPs path as a monolithic search, so for any shard
+// count N >= 1 the merged output is byte-identical to the single-database
+// result. (The one theoretical exception, shared with all distributed BLAST
+// merges: a hit cut by the monolithic MaxResults pre-traceback cap can
+// survive a shard's local cap; it needs more than MaxResults co-ranked HSPs
+// on one query to occur.)
+
+// ErrShardUnavailable marks queries whose results are incomplete because at
+// least one shard contributed nothing (shed, failed, or unreachable). The
+// missing shard makes a zero-hit answer indistinguishable from a real miss,
+// so such queries are reported incomplete rather than merged dishonestly.
+var ErrShardUnavailable = errors.New("blast: shard unavailable, merged result would be incomplete")
+
+// Shards splits a built database into n self-contained shard databases by
+// round-robin over the length-sorted sequence order. Each shard carries the
+// global search-space totals, so its E-values match the monolithic search;
+// each can be saved with SaveFile as an ordinary container and later served
+// by an independent process. n must not exceed the sequence count (an empty
+// shard would add nothing but merge bookkeeping).
+func (d *Database) Shards(n int) ([]*Database, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("blast: shard count must be positive, got %d", n)
+	}
+	if n > d.db.NumSeqs() {
+		return nil, fmt.Errorf("blast: %d shards for %d sequences; shards must not be empty", n, d.db.NumSeqs())
+	}
+	parts := d.db.Partitions(n)
+	out := make([]*Database, n)
+	for s := range parts {
+		sub := d.db.Subset(parts[s])
+		p := d.params
+		p.BlockResidues = d.ix.BlockResidues
+		p.GlobalDBResidues = d.db.TotalResidues
+		p.GlobalDBSequences = int64(d.db.NumSeqs())
+		cfg, err := buildConfig(p)
+		if err != nil {
+			return nil, err
+		}
+		// The subset of an ascending-length database is ascending, so the
+		// build's internal sort is a stable no-op and local id j keeps
+		// meaning monolithic id j*n + s.
+		ix, err := dbindex.Build(sub, cfg.Neighbors, d.ix.BlockResidues)
+		if err != nil {
+			return nil, fmt.Errorf("blast: indexing shard %d: %w", s, err)
+		}
+		var co map[string]chunkInfo
+		for i := range sub.Seqs {
+			if info, ok := d.chunkOrigin[sub.Seqs[i].Name]; ok {
+				if co == nil {
+					co = make(map[string]chunkInfo)
+				}
+				co[sub.Seqs[i].Name] = info
+			}
+		}
+		sd := &Database{params: p, cfg: cfg, db: sub, ix: ix, chunkOrigin: co,
+			splitLen: d.splitLen, splitOverlap: d.splitOverlap}
+		sd.attachEngines()
+		out[s] = sd
+	}
+	return out, nil
+}
+
+// GlobalSearchSpace reports the search-space totals this database computes
+// E-values against: the declared global totals for a shard, its own totals
+// otherwise.
+func (d *Database) GlobalSearchSpace() (residues, sequences int64) {
+	if d.params.GlobalDBResidues > 0 {
+		return d.params.GlobalDBResidues, d.params.GlobalDBSequences
+	}
+	return d.db.TotalResidues, int64(d.db.NumSeqs())
+}
+
+// ShardResult is one shard's raw contribution to a scatter-gather search:
+// per-query HSPs still carrying shard-local subject ids, plus the batch's
+// completion flags. It is produced by SearchShardBatchCtx and consumed by
+// MergeShards; callers treat it as opaque.
+type ShardResult struct {
+	shard     int
+	numShards int
+	db        *Database
+	results   []search.QueryResult
+	completed []bool
+	queryErrs []error
+	sched     search.SchedStats
+	err       error
+}
+
+// Shard returns the shard index this result came from.
+func (r *ShardResult) Shard() int { return r.shard }
+
+// NumShards returns the shard count the search was scattered over.
+func (r *ShardResult) NumShards() int { return r.numShards }
+
+// Err returns the shard batch's error (nil when it ran to the end).
+func (r *ShardResult) Err() error { return r.err }
+
+// CompletedCount returns how many queries this shard completed.
+func (r *ShardResult) CompletedCount() int {
+	n := 0
+	for _, done := range r.completed {
+		if done {
+			n++
+		}
+	}
+	return n
+}
+
+// Sched returns the shard batch's scheduler statistics.
+func (r *ShardResult) Sched() search.SchedStats { return r.sched }
+
+// SearchShardBatchCtx searches a query batch against this database acting as
+// shard `shard` of `numShards`: the result keeps raw HSPs (shard-local
+// subject ids, global-statistics E-values) for MergeShards to combine with
+// the other shards' into output byte-identical to a monolithic search. The
+// database must actually be that shard of the logical database — built by
+// Shards, or loaded from a `makedb -shards` container with the global totals
+// in Params — or the merge's id restoration produces garbage.
+//
+// Cancellation and deadlines behave as in SearchBatchCtx: the batch stops
+// between tasks, completed queries stay byte-identical, and per-query flags
+// tell them apart. The returned error is non-nil only for invalid input.
+func (d *Database) SearchShardBatchCtx(ctx context.Context, queries []string, shard, numShards int) (*ShardResult, error) {
+	if numShards <= 0 || shard < 0 || shard >= numShards {
+		return nil, fmt.Errorf("blast: shard %d of %d out of range", shard, numShards)
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if d.params.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d.params.Timeout)
+		defer cancel()
+	}
+	enc := make([][]alphabet.Code, len(queries))
+	for i, s := range queries {
+		q, err := alphabet.Encode([]byte(s))
+		if err != nil {
+			return nil, fmt.Errorf("blast: query %d: %w", i, err)
+		}
+		enc[i] = q
+	}
+	br := d.mu.SearchBatchCtx(ctx, enc, d.params.Threads)
+	return &ShardResult{
+		shard: shard, numShards: numShards, db: d,
+		results: br.Results, completed: br.Completed, queryErrs: br.QueryErrs,
+		sched: br.Sched, err: br.Err,
+	}, nil
+}
+
+// MergeShards combines one ShardResult per shard (parts[s] from shard s)
+// into a BatchResult byte-identical to searching the monolithic database:
+// subject ids are restored to monolithic ids (local*N + shard), HSPs
+// re-ranked with the monolithic comparator, re-capped at MaxResults, and
+// converted — chunk-origin mapping and overlap deduplication included —
+// through the same path as a single-database search.
+//
+// A nil entry stands for a shard that contributed nothing (shed or failed).
+// Its absence poisons every query honestly: the query is marked incomplete
+// with ErrShardUnavailable rather than merged as if the shard had zero hits.
+// Queries a shard left incomplete (deadline, panic isolation) are likewise
+// incomplete in the merge.
+func MergeShards(queries []string, parts []*ShardResult) (*BatchResult, error) {
+	numShards := len(parts)
+	if numShards == 0 {
+		return nil, errors.New("blast: MergeShards needs at least one shard")
+	}
+	var tmpl *ShardResult
+	var missing []int
+	for s, part := range parts {
+		if part == nil {
+			missing = append(missing, s)
+			continue
+		}
+		if part.numShards != numShards || part.shard != s {
+			return nil, fmt.Errorf("blast: shard result %d/%d at position %d of %d",
+				part.shard, part.numShards, s, numShards)
+		}
+		if len(part.results) != len(queries) {
+			return nil, fmt.Errorf("blast: shard %d returned %d results for %d queries",
+				s, len(part.results), len(queries))
+		}
+		if tmpl == nil {
+			tmpl = part
+		}
+	}
+	if tmpl == nil {
+		return nil, fmt.Errorf("blast: %w: all %d shards missing", ErrShardUnavailable, numShards)
+	}
+	enc := make([][]alphabet.Code, len(queries))
+	for i, s := range queries {
+		q, err := alphabet.Encode([]byte(s))
+		if err != nil {
+			return nil, fmt.Errorf("blast: query %d: %w", i, err)
+		}
+		enc[i] = q
+	}
+
+	maxResults := tmpl.db.params.MaxResults
+	residues := func(subject int) []alphabet.Code {
+		return parts[subject%numShards].db.db.Seqs[subject/numShards].Data
+	}
+	origin := func(subject int, name string) (chunkInfo, bool) {
+		info, ok := parts[subject%numShards].db.chunkOrigin[name]
+		return info, ok
+	}
+
+	out := &BatchResult{
+		Results:   make([]*Result, len(queries)),
+		Completed: make([]bool, len(queries)),
+		QueryErrs: make([]error, len(queries)),
+	}
+	var errs []error
+	for _, part := range parts {
+		if part == nil {
+			continue
+		}
+		out.Sched.Workers = max(out.Sched.Workers, part.sched.Workers)
+		out.Sched.Scheduler = part.sched.Scheduler
+		out.Sched.Tasks += part.sched.Tasks
+		out.Sched.BusyNanos += part.sched.BusyNanos
+		out.Sched.StallNanos += part.sched.StallNanos
+		out.Sched.ElapsedNanos = max(out.Sched.ElapsedNanos, part.sched.ElapsedNanos)
+		out.Sched.TasksPanicked += part.sched.TasksPanicked
+		out.Sched.TasksCancelled += part.sched.TasksCancelled
+		out.Sched.QueriesAborted += part.sched.QueriesAborted
+		out.Sched.DeadlineExceeded = out.Sched.DeadlineExceeded || part.sched.DeadlineExceeded
+		if part.err != nil {
+			errs = append(errs, fmt.Errorf("shard %d: %w", part.shard, part.err))
+		}
+	}
+	for _, s := range missing {
+		errs = append(errs, fmt.Errorf("shard %d: %w", s, ErrShardUnavailable))
+	}
+	out.Err = errors.Join(errs...)
+
+	for qi := range queries {
+		completed := len(missing) == 0
+		var qerr error
+		if !completed {
+			qerr = ErrShardUnavailable
+		}
+		for _, part := range parts {
+			if part == nil {
+				continue
+			}
+			if !part.completed[qi] {
+				completed = false
+				if qerr == nil {
+					qerr = part.queryErrs[qi]
+				}
+			}
+		}
+		if !completed {
+			out.Results[qi] = &Result{QueryLen: len(enc[qi])}
+			out.QueryErrs[qi] = qerr
+			continue
+		}
+		merged := search.QueryResult{Query: qi}
+		for s, part := range parts {
+			res := &part.results[qi]
+			for _, h := range res.HSPs {
+				h.Subject = h.Subject*numShards + s // restore the monolithic id
+				merged.HSPs = append(merged.HSPs, h)
+			}
+			merged.Stats.Add(res.Stats)
+		}
+		// Monolithic ranking over monolithic ids, then the monolithic cap:
+		// exactly what Finalize does after traceback on the whole database.
+		search.SortHSPs(merged.HSPs)
+		if maxResults > 0 && len(merged.HSPs) > maxResults {
+			merged.HSPs = merged.HSPs[:maxResults]
+		}
+		out.Results[qi] = convertHSPs(enc[qi], merged, residues, origin)
+		out.Completed[qi] = true
+	}
+	return out, nil
+}

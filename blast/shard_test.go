@@ -1,0 +1,302 @@
+package blast
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/alphabet"
+	"repro/internal/seqgen"
+)
+
+func shardQueries(seqs []Sequence) []string {
+	return []string{
+		queryFrom(seqs, 150),
+		queryFrom(seqs, 120),
+		seqs[10].Residues,
+		seqs[len(seqs)-1].Residues,
+		"MKTAYIAKQRQISFVKSHFSRQLEERLGLIEVQAPILSRVGDGTQDNLSGAEKAVQVKVKALPDAQ",
+	}
+}
+
+// TestShardMergeMatchesMonolithic is the merge invariant, end to end: for
+// every shard count, searching each shard independently and merging must be
+// byte-identical to searching the monolithic database — same hits with the
+// same subject ids, scores, E-values, coordinates, and order, down to the
+// rendered tabular output.
+func TestShardMergeMatchesMonolithic(t *testing.T) {
+	db, seqs := testDatabase(t)
+	queries := shardQueries(seqs)
+	mono, err := db.SearchBatchCtx(context.Background(), queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits := 0
+	for qi := range queries {
+		hits += len(mono.Results[qi].Hits)
+	}
+	if hits == 0 {
+		t.Fatal("monolithic search found nothing; the equivalence check would be vacuous")
+	}
+
+	for _, n := range []int{1, 2, 3, 5} {
+		shards, err := db.Shards(n)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		parts := make([]*ShardResult, n)
+		for s, sd := range shards {
+			if parts[s], err = sd.SearchShardBatchCtx(context.Background(), queries, s, n); err != nil {
+				t.Fatalf("n=%d shard %d: %v", n, s, err)
+			}
+		}
+		merged, err := MergeShards(queries, parts)
+		if err != nil {
+			t.Fatalf("n=%d merge: %v", n, err)
+		}
+		for qi := range queries {
+			if merged.Completed[qi] != mono.Completed[qi] {
+				t.Fatalf("n=%d query %d: completed=%v, monolithic %v", n, qi, merged.Completed[qi], mono.Completed[qi])
+			}
+			got, want := merged.Results[qi], mono.Results[qi]
+			if len(got.Hits) != len(want.Hits) {
+				t.Fatalf("n=%d query %d: %d hits, monolithic %d", n, qi, len(got.Hits), len(want.Hits))
+			}
+			for j := range want.Hits {
+				if got.Hits[j] != want.Hits[j] {
+					t.Fatalf("n=%d query %d hit %d:\n got  %+v\n want %+v", n, qi, j, got.Hits[j], want.Hits[j])
+				}
+			}
+			if g, w := got.Tabular("q"), want.Tabular("q"); g != w {
+				t.Fatalf("n=%d query %d: rendered output differs:\n got:\n%s\n want:\n%s", n, qi, g, w)
+			}
+		}
+	}
+}
+
+// TestShardEngineCarriesGlobalStatistics pins the E-value invariant from two
+// sides: every shard engine must carry the whole database's search-space
+// totals, and the same sequences indexed as a standalone database (local
+// statistics — the bug this guards against) must produce *different*
+// E-values, proving the override is what keeps shards byte-identical.
+func TestShardEngineCarriesGlobalStatistics(t *testing.T) {
+	db, seqs := testDatabase(t)
+	const n = 3
+	shards, err := db.Shards(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s, sd := range shards {
+		res, nseq := sd.GlobalSearchSpace()
+		if res != db.TotalResidues() || nseq != int64(db.NumSequences()) {
+			t.Fatalf("shard %d: global space %d residues/%d seqs, want %d/%d",
+				s, res, nseq, db.TotalResidues(), db.NumSequences())
+		}
+		if sd.cfg.DBLenOverride != db.TotalResidues() || sd.cfg.DBSeqsOverride != int64(db.NumSequences()) {
+			t.Fatalf("shard %d: engine overrides %d/%d, want %d/%d",
+				s, sd.cfg.DBLenOverride, sd.cfg.DBSeqsOverride, db.TotalResidues(), db.NumSequences())
+		}
+	}
+
+	// Find a shard where a query hits, then rebuild that shard's sequences
+	// as an independent database: without the global override its E-values
+	// must drift (smaller search space => smaller E-values).
+	q := queryFrom(seqs, 150)
+	for s, sd := range shards {
+		part, err := sd.SearchShardBatchCtx(context.Background(), []string{q}, s, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parts := make([]*ShardResult, n)
+		parts[s] = part
+		for o := range parts {
+			if parts[o] == nil {
+				other, err := shards[o].SearchShardBatchCtx(context.Background(), []string{q}, o, n)
+				if err != nil {
+					t.Fatal(err)
+				}
+				parts[o] = other
+			}
+		}
+		merged, err := MergeShards([]string{q}, parts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(merged.Results[0].Hits) == 0 {
+			continue
+		}
+		top := merged.Results[0].Hits[0]
+		owner := shards[top.Subject%n]
+		local := make([]Sequence, owner.db.NumSeqs())
+		for i := range owner.db.Seqs {
+			local[i] = Sequence{Name: owner.db.Seqs[i].Name, Residues: alphabet.String(owner.db.Seqs[i].Data)}
+		}
+		p := owner.params
+		p.GlobalDBResidues, p.GlobalDBSequences = 0, 0
+		localDB, err := NewDatabase(local, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		localRes, err := localDB.Search(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, lh := range localRes.Hits {
+			if lh.SubjectName == top.SubjectName && lh.Score == top.Score {
+				if lh.EValue == top.EValue {
+					t.Fatalf("local-statistics E-value %g equals global %g: the override is not doing anything",
+						lh.EValue, top.EValue)
+				}
+				if lh.EValue > top.EValue {
+					t.Fatalf("local-statistics E-value %g > global %g: smaller search space must not inflate E-values",
+						lh.EValue, top.EValue)
+				}
+				return
+			}
+		}
+		t.Fatalf("top hit %s not found in local-statistics search", top.SubjectName)
+	}
+	t.Fatal("no shard produced a hit for the probe query")
+}
+
+// TestMergeShardsMissingShard pins the honesty contract: a missing shard
+// poisons every query (incomplete, ErrShardUnavailable) instead of merging
+// as a silent zero-hit shard.
+func TestMergeShardsMissingShard(t *testing.T) {
+	db, seqs := testDatabase(t)
+	queries := shardQueries(seqs)[:2]
+	const n = 3
+	shards, err := db.Shards(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts := make([]*ShardResult, n)
+	for s, sd := range shards {
+		if s == 1 {
+			continue // shard 1 "shed"
+		}
+		if parts[s], err = sd.SearchShardBatchCtx(context.Background(), queries, s, n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	merged, err := MergeShards(queries, parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Err == nil || !strings.Contains(merged.Err.Error(), "shard 1") {
+		t.Fatalf("batch error %v does not name the missing shard", merged.Err)
+	}
+	for qi := range queries {
+		if merged.Completed[qi] {
+			t.Fatalf("query %d completed despite a missing shard", qi)
+		}
+		if merged.QueryErrs[qi] != ErrShardUnavailable {
+			t.Fatalf("query %d error %v, want ErrShardUnavailable", qi, merged.QueryErrs[qi])
+		}
+		if len(merged.Results[qi].Hits) != 0 {
+			t.Fatalf("query %d reports %d hits despite being incomplete", qi, len(merged.Results[qi].Hits))
+		}
+	}
+
+	if _, err := MergeShards(queries, make([]*ShardResult, n)); err == nil {
+		t.Fatal("merging all-missing shards must fail")
+	}
+}
+
+// TestShardValidation covers the constructor guards: shard counts, shard
+// identity checks in the merge, and the both-or-neither rule for the global
+// search-space parameters.
+func TestShardValidation(t *testing.T) {
+	db, seqs := testDatabase(t)
+	if _, err := db.Shards(0); err == nil {
+		t.Error("Shards(0) must fail")
+	}
+	if _, err := db.Shards(db.NumSequences() + 1); err == nil {
+		t.Error("more shards than sequences must fail")
+	}
+
+	p := DefaultParams()
+	p.GlobalDBResidues = 1000 // without GlobalDBSequences
+	if _, err := NewDatabase([]Sequence{{Name: "a", Residues: seqs[0].Residues}}, p); err == nil {
+		t.Error("GlobalDBResidues without GlobalDBSequences must fail")
+	}
+
+	shards, err := db.Shards(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := []string{seqs[0].Residues}
+	p0, err := shards[0].SearchShardBatchCtx(context.Background(), q, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MergeShards(q, []*ShardResult{nil, p0}); err == nil {
+		t.Error("shard result at the wrong position must fail the merge")
+	}
+	if _, err := shards[0].SearchShardBatchCtx(context.Background(), q, 2, 2); err == nil {
+		t.Error("shard index out of range must fail")
+	}
+}
+
+// FuzzShardEquivalence drives the merge invariant with fuzzed queries and
+// shard counts: any valid query, any N, merged output must equal the
+// monolithic search exactly.
+func FuzzShardEquivalence(f *testing.F) {
+	g := seqgen.New(seqgen.UniprotProfile(), 17)
+	raw := g.Database(40)
+	seqs := make([]Sequence, len(raw))
+	for i, s := range raw {
+		seqs[i] = Sequence{Name: nameFor(i), Residues: alphabet.String(s)}
+	}
+	p := DefaultParams()
+	p.BlockResidues = 16384
+	db, err := NewDatabase(seqs, p)
+	if err != nil {
+		f.Fatal(err)
+	}
+	// Shard sets are deterministic in the database alone, so build each N
+	// once; the fuzz loop only varies the query.
+	shardSets := make(map[int][]*Database)
+	for n := 1; n <= 5; n++ {
+		shards, err := db.Shards(n)
+		if err != nil {
+			f.Fatal(err)
+		}
+		shardSets[n] = shards
+	}
+	f.Add(uint8(2), []byte(seqs[3].Residues))
+	f.Add(uint8(3), []byte("MKTAYIAKQRQISFVKSHFSRQLEERLGLIEVQ"))
+	f.Add(uint8(5), []byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11})
+	const letters = "ACDEFGHIKLMNPQRSTVWY"
+	f.Fuzz(func(t *testing.T, nRaw uint8, qRaw []byte) {
+		if len(qRaw) < 8 {
+			return
+		}
+		if len(qRaw) > 400 {
+			qRaw = qRaw[:400]
+		}
+		n := 1 + int(nRaw)%5
+		q := make([]byte, len(qRaw))
+		for i, b := range qRaw {
+			q[i] = letters[int(b)%len(letters)]
+		}
+		queries := []string{string(q)}
+		mono, err := db.SearchBatchCtx(context.Background(), queries)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parts := make([]*ShardResult, n)
+		for s, sd := range shardSets[n] {
+			if parts[s], err = sd.SearchShardBatchCtx(context.Background(), queries, s, n); err != nil {
+				t.Fatal(err)
+			}
+		}
+		merged, err := MergeShards(queries, parts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g, w := merged.Results[0].Tabular("q"), mono.Results[0].Tabular("q"); g != w {
+			t.Fatalf("n=%d: merged output differs from monolithic:\n got:\n%s\n want:\n%s", n, g, w)
+		}
+	})
+}

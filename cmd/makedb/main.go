@@ -2,9 +2,16 @@
 // saves it for reuse, the "build once, search many" workflow database-
 // indexed BLAST exists for (paper Section III).
 //
+// With -shards N it instead writes N self-contained shard containers
+// (<out>.shard<i>-of-<N>), the monolithic database dealt round-robin over
+// its length-sorted order so every shard carries a balanced slice of the
+// length distribution. Each shard is verified after writing. A router (see
+// cmd/mublastpr) serving all N shards with the printed global totals
+// returns results byte-identical to serving the single -out container.
+//
 // Usage:
 //
-//	makedb -in db.fasta -out db.mublastp [-block-bytes 1048576] [-threads 12]
+//	makedb -in db.fasta -out db.mublastp [-shards 4] [-block-bytes 1048576] [-threads 12]
 package main
 
 import (
@@ -20,6 +27,7 @@ func main() {
 	var (
 		in         = flag.String("in", "", "input FASTA database (required)")
 		out        = flag.String("out", "", "output index path (required)")
+		shards     = flag.Int("shards", 1, "split into N shard containers named <out>.shard<i>-of-<N> (1 = single container)")
 		blockBytes = flag.Int64("block-bytes", 0, "index block size in bytes (0 = paper's L3 sizing rule)")
 		threads    = flag.Int("threads", 0, "thread count the block sizing rule targets (0 = all cores)")
 		matrixName = flag.String("matrix", "BLOSUM62", "substitution matrix")
@@ -29,6 +37,9 @@ func main() {
 		fmt.Fprintln(os.Stderr, "makedb: -in and -out are required")
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *shards < 1 {
+		fatalf("-shards must be >= 1, got %d", *shards)
 	}
 
 	seqs, err := blast.ReadFASTAFile(*in)
@@ -47,13 +58,41 @@ func main() {
 	if err != nil {
 		fatalf("building index: %v", err)
 	}
-	if err := db.SaveFile(*out); err != nil {
-		fatalf("saving %s: %v", *out, err)
+	if *shards == 1 {
+		if err := db.SaveFile(*out); err != nil {
+			fatalf("saving %s: %v", *out, err)
+		}
+		fmt.Fprintf(os.Stderr,
+			"makedb: %d sequences, %d residues -> %d blocks, %.1f MB index in %v\n",
+			db.NumSequences(), db.TotalResidues(), db.NumBlocks(),
+			float64(db.IndexSizeBytes())/(1<<20), time.Since(start).Round(time.Millisecond))
+		return
+	}
+
+	parts, err := db.Shards(*shards)
+	if err != nil {
+		fatalf("sharding: %v", err)
+	}
+	for s, sd := range parts {
+		path := shardPath(*out, s, *shards)
+		if err := sd.SaveFile(path); err != nil {
+			fatalf("saving shard %d (%s): %v", s, path, err)
+		}
+		info, err := blast.VerifyFile(path)
+		if err != nil {
+			fatalf("verifying shard %d (%s): %v", s, path, err)
+		}
+		fmt.Fprintf(os.Stderr, "makedb: shard %d/%d -> %s: %d sequences, %d residues, %d blocks\n",
+			s, *shards, path, info.NumSequences, info.TotalResidues, info.NumBlocks)
 	}
 	fmt.Fprintf(os.Stderr,
-		"makedb: %d sequences, %d residues -> %d blocks, %.1f MB index in %v\n",
-		db.NumSequences(), db.TotalResidues(), db.NumBlocks(),
-		float64(db.IndexSizeBytes())/(1<<20), time.Since(start).Round(time.Millisecond))
+		"makedb: %d shards of %d sequences, %d residues total in %v; serve with global totals -- e.g. mublastpr -shards <files>\n",
+		*shards, db.NumSequences(), db.TotalResidues(), time.Since(start).Round(time.Millisecond))
+}
+
+// shardPath names shard s of n for an -out base path.
+func shardPath(out string, s, n int) string {
+	return fmt.Sprintf("%s.shard%d-of-%d", out, s, n)
 }
 
 func fatalf(format string, args ...any) {

@@ -1,0 +1,198 @@
+// Command mublastpr is the scatter-gather routing daemon: it serves one
+// logical database that was split into shard containers (makedb -shards N),
+// keeping a resident search session per shard replica, scattering every
+// /search to all shards, and merging the shard results byte-identically to
+// a monolithic mublastpd serving the unsharded container — same hits, same
+// E-values, same order.
+//
+// Usage:
+//
+//	mublastpr -shards db.shard0-of-2,db.shard1-of-2 -addr :8045
+//	mublastpr -shards 'a0|a0b,a1' -policy least-loaded   # '|' separates replicas of one shard
+//
+// Before serving, every container is verified and cross-checked: all
+// replicas of a shard must hold the same slice, all shards the same build
+// fingerprint, and the shard sizes must fit one round-robin split of one
+// database — then each shard engine is opened with the *global*
+// residue/sequence totals so its E-values are computed against the whole
+// logical database, the invariant the byte-identical merge rests on.
+//
+// Endpoints (all on -addr):
+//
+//	POST /search   {"queries":[...], "timeout_ms":5000, "policy":"round-robin"}
+//	GET  /healthz  liveness; /readyz readiness (503 while draining)
+//	GET  /metrics, /debug/vars, /debug/pprof/  (the obs debug surface)
+//
+// A shard replica that is saturated sheds its part of a request; the
+// response then reports those queries incomplete (never fake zero-hit
+// results) with Retry-After forwarded. Only when every shard sheds does the
+// daemon answer 429. SIGINT/SIGTERM drain gracefully as in mublastpd.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/blast"
+	"repro/internal/obs"
+	"repro/internal/router"
+	"repro/internal/sigctx"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "mublastpr: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		shardSpec  = flag.String("shards", "", "comma-separated shard containers in shard order; '|' separates replicas of one shard (required)")
+		policy     = flag.String("policy", router.PolicyRoundRobin, "default replica-choice policy: "+strings.Join(router.PolicyNames(), ", "))
+		addr       = flag.String("addr", ":8045", "listen address (use :0 for an ephemeral port)")
+		threads    = flag.Int("threads", 0, "threads per shard batch search (0 = all cores)")
+		evalue     = flag.Float64("evalue", 10, "E-value cutoff")
+		maxHits    = flag.Int("max-hits", 250, "maximum hits per query")
+		shardConc  = flag.Int("shard-concurrency", 2, "concurrent searches per shard replica; excess sheds")
+		retryAfter = flag.Duration("retry-after", time.Second, "Retry-After hint attached to sheds")
+		timeout    = flag.Duration("timeout", 30*time.Second, "default per-request deadline")
+		maxTimeout = flag.Duration("max-timeout", 2*time.Minute, "cap on client-requested deadlines")
+		maxQueries = flag.Int("max-queries", 64, "per-request batch size cap")
+		drainGrace = flag.Duration("drain-grace", 10*time.Second, "time in-flight searches get to finish on shutdown before partial-result flush")
+	)
+	flag.Parse()
+	if *shardSpec == "" {
+		fmt.Fprintln(os.Stderr, "mublastpr: -shards is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	paths := make([][]string, 0)
+	for _, shard := range strings.Split(*shardSpec, ",") {
+		var reps []string
+		for _, rep := range strings.Split(shard, "|") {
+			if rep = strings.TrimSpace(rep); rep != "" {
+				reps = append(reps, rep)
+			}
+		}
+		if len(reps) == 0 {
+			return fmt.Errorf("empty shard entry in -shards %q", *shardSpec)
+		}
+		paths = append(paths, reps)
+	}
+	n := len(paths)
+
+	// Verify pass: every container is validated end to end (CRCs, structure)
+	// before anything serves, and the shard set is cross-checked as one
+	// coherent round-robin split. The sum of the verified per-shard totals is
+	// the global search space every shard engine will be opened with.
+	start := time.Now()
+	var fp *blast.Fingerprint
+	var globalResidues int64
+	var globalSeqs int64
+	counts := make([]int, n)
+	for s, reps := range paths {
+		var first *blast.ContainerInfo
+		for r, path := range reps {
+			info, err := blast.VerifyFile(path)
+			if err != nil {
+				return fmt.Errorf("verifying shard %d replica %d (%s): %w", s, r, path, err)
+			}
+			if fp == nil {
+				fp = &info.Fingerprint
+			} else if info.Fingerprint != *fp {
+				return fmt.Errorf("shard %d replica %d (%s): build fingerprint %+v differs from shard 0's %+v; all shards must come from one makedb run",
+					s, r, path, info.Fingerprint, *fp)
+			}
+			if first == nil {
+				first = info
+			} else if info.NumSequences != first.NumSequences || info.TotalResidues != first.TotalResidues {
+				return fmt.Errorf("shard %d replica %d (%s): %d sequences/%d residues, but replica 0 has %d/%d; replicas must hold the same slice",
+					s, r, path, info.NumSequences, info.TotalResidues, first.NumSequences, first.TotalResidues)
+			}
+		}
+		counts[s] = first.NumSequences
+		globalResidues += first.TotalResidues
+		globalSeqs += int64(first.NumSequences)
+	}
+	// A round-robin deal of G sequences over n shards puts ceil((G-s)/n) in
+	// shard s. Containers that do not fit that pattern are not shards of one
+	// database (or are given out of order) and would merge to garbage.
+	for s := range counts {
+		want := int((globalSeqs - int64(s) + int64(n) - 1) / int64(n))
+		if counts[s] != want {
+			return fmt.Errorf("shard %d holds %d sequences but a round-robin split of %d over %d shards puts %d there; check -shards order and completeness",
+				s, counts[s], globalSeqs, n, want)
+		}
+	}
+
+	p := blast.DefaultParams()
+	p.Matrix = fp.Matrix
+	p.EValueCutoff = *evalue
+	p.MaxResults = *maxHits
+	p.Threads = *threads
+	p.GlobalDBResidues = globalResidues
+	p.GlobalDBSequences = globalSeqs
+
+	workers := make([][]router.Worker, n)
+	var sessions []*blast.Session
+	for s, reps := range paths {
+		for r, path := range reps {
+			ses, err := blast.OpenSession(path, p)
+			if err != nil {
+				return fmt.Errorf("loading shard %d replica %d (%s): %w", s, r, path, err)
+			}
+			sessions = append(sessions, ses)
+			name := fmt.Sprintf("s%d/r%d(%s)", s, r, filepath.Base(path))
+			workers[s] = append(workers[s], router.NewLocalWorker(name, ses, *shardConc, 1, *retryAfter))
+		}
+	}
+	fmt.Fprintf(os.Stderr, "mublastpr: %d shards (%d replicas) ready in %v; global search space %d sequences, %d residues\n",
+		n, len(sessions), time.Since(start).Round(time.Millisecond), globalSeqs, globalResidues)
+
+	rt, err := router.New(workers, router.Options{DefaultPolicy: *policy, Registry: obs.Default})
+	if err != nil {
+		return err
+	}
+	fe := router.NewFrontend(rt, router.FrontendConfig{
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+		MaxQueries:     *maxQueries,
+		Registry:       obs.Default,
+		Generation: func() int64 {
+			g := sessions[0].Generation()
+			for _, ses := range sessions[1:] {
+				if sg := ses.Generation(); sg < g {
+					g = sg
+				}
+			}
+			return g
+		},
+	})
+	bound, err := fe.Start(*addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "mublastpr: serving on %s (policy %s, shard concurrency %d, timeout %v)\n",
+		bound, rt.DefaultPolicy(), *shardConc, *timeout)
+
+	ctx, stop := sigctx.WithForcedExit(context.Background(), func(sig os.Signal) {
+		fmt.Fprintf(os.Stderr, "mublastpr: %v received, draining (grace %v; signal again to force exit)\n", sig, *drainGrace)
+	})
+	defer stop()
+	<-ctx.Done()
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainGrace+5*time.Second)
+	defer cancel()
+	if err := fe.Drain(drainCtx, *drainGrace); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	fmt.Fprintln(os.Stderr, "mublastpr: drained, exiting")
+	return nil
+}

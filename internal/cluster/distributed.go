@@ -34,6 +34,7 @@ import (
 	"repro/internal/faultinject"
 	"repro/internal/mpi"
 	"repro/internal/obs"
+	"repro/internal/papar"
 	"repro/internal/search"
 )
 
@@ -116,14 +117,27 @@ func RunDistributedCtx(ctx context.Context, cfg *search.Config, db *dbase.DB, qu
 	if met == nil {
 		met = obs.Pipe
 	}
-	// Length-sort once, then partition (Section IV-D3).
-	db.SortByLength()
-	var parts [][]int
-	if opts.Contiguous {
-		parts = db.ContiguousPartitions(opts.Ranks)
-	} else {
-		parts = db.Partitions(opts.Ranks)
+	// Partition over a sorted *copy* of the id ordering (Section IV-D3),
+	// leaving the caller's database untouched: an earlier version called
+	// db.SortByLength() here, silently reordering the caller's sequences so
+	// a subsequent local search or container write on the same *dbase.DB saw
+	// a different order. The papar plans express the same two partitioners
+	// declaratively; each partition lists original sequence ids in ascending
+	// length order, so every rank's Subset is length-sorted exactly as
+	// before.
+	lengths := make([]int, db.NumSeqs())
+	for i := range db.Seqs {
+		lengths[i] = len(db.Seqs[i].Data)
 	}
+	plan := papar.SortedRoundRobin(opts.Ranks)
+	if opts.Contiguous {
+		plan = papar.NewPlan().SortByKey().ScatterBlock(opts.Ranks)
+	}
+	recParts, err := plan.Execute(papar.FromLengths(lengths))
+	if err != nil {
+		return nil, nil, DistStats{}, fmt.Errorf("cluster: partitioning: %w", err)
+	}
+	parts := papar.IndexLists(recParts)
 
 	world, err := mpi.NewWorld(opts.Ranks, mpi.WithOpTimeout(opts.OpTimeout))
 	if err != nil {

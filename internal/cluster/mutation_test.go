@@ -1,0 +1,54 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/alphabet"
+	"repro/internal/dbase"
+	"repro/internal/seqgen"
+)
+
+// TestDistributedDoesNotMutateCallerDB pins the fix for the in-place
+// SortByLength partition bug: RunDistributedCtx used to length-sort the
+// *caller's* database before partitioning, so a subsequent local search or
+// container write on the same *dbase.DB saw a silently reordered sequence
+// list (and renumbered IDs). Partitioning now works over a copied id
+// ordering; the caller's database must come back exactly as it went in.
+func TestDistributedDoesNotMutateCallerDB(t *testing.T) {
+	c := cfg(t)
+	g := seqgen.New(seqgen.EnvNRProfile(), 99)
+	db := dbase.New(g.Database(120))
+	if db.IsSortedByLength() {
+		t.Fatal("test needs an unsorted database to detect reordering")
+	}
+	type snap struct {
+		id   int
+		name string
+		len  int
+	}
+	before := make([]snap, db.NumSeqs())
+	for i := range db.Seqs {
+		before[i] = snap{db.Seqs[i].ID, db.Seqs[i].Name, len(db.Seqs[i].Data)}
+	}
+
+	seqs := make([][]alphabet.Code, db.NumSeqs())
+	for i := range db.Seqs {
+		seqs[i] = db.Seqs[i].Data
+	}
+	queries := g.Queries(seqs, 2, 96)
+	for _, contiguous := range []bool{false, true} {
+		res, _ := RunDistributed(c, db, queries, DistOptions{
+			Ranks: 3, ThreadsPerRank: 1, BlockResidues: 8192, Contiguous: contiguous,
+		})
+		if len(res) != len(queries) {
+			t.Fatalf("contiguous=%v: got %d results, want %d", contiguous, len(res), len(queries))
+		}
+		for i := range db.Seqs {
+			got := snap{db.Seqs[i].ID, db.Seqs[i].Name, len(db.Seqs[i].Data)}
+			if got != before[i] {
+				t.Fatalf("contiguous=%v: caller database mutated at position %d: got %+v, want %+v",
+					contiguous, i, got, before[i])
+			}
+		}
+	}
+}

@@ -468,6 +468,41 @@ func NewServerMetrics(r *Registry) *ServerMetrics {
 	}
 }
 
+// RouterMetrics bundles the scatter-gather routing tier's metric handles:
+// request outcomes, per-shard scatter results, and the scatter/merge phase
+// latencies. Handles are resolved once (router construction) and stamped
+// lock-free per request.
+type RouterMetrics struct {
+	Requests *Counter // scatter-gather searches routed
+	Partial  *Counter // responses incomplete because >=1 shard contributed nothing
+	AllShed  *Counter // requests refused outright: every shard shed
+
+	ShardSearches *Counter // per-shard search attempts (Requests x fanout)
+	ShardSheds    *Counter // shard attempts refused by worker backpressure
+	ShardErrors   *Counter // shard attempts that failed for any other reason
+
+	Fanout *Gauge // shard count the router scatters over
+
+	ScatterNanos *Histogram // slowest-shard scatter time per request
+	MergeNanos   *Histogram // merge time per request
+}
+
+// NewRouterMetrics registers the routing metric set in r under the stable
+// "router_*" names.
+func NewRouterMetrics(r *Registry) *RouterMetrics {
+	return &RouterMetrics{
+		Requests:      r.Counter("router_requests"),
+		Partial:       r.Counter("router_partial_responses"),
+		AllShed:       r.Counter("router_requests_all_shed"),
+		ShardSearches: r.Counter("router_shard_searches"),
+		ShardSheds:    r.Counter("router_shard_sheds"),
+		ShardErrors:   r.Counter("router_shard_errors"),
+		Fanout:        r.Gauge("router_fanout_shards"),
+		ScatterNanos:  r.Histogram("router_scatter_nanos"),
+		MergeNanos:    r.Histogram("router_merge_nanos"),
+	}
+}
+
 // Pipe is the default engine metric bundle, registered in Default.
 var Pipe = NewPipelineMetrics(Default)
 

@@ -1,0 +1,389 @@
+package router
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/alphabet"
+	"repro/internal/obs"
+	"repro/internal/server"
+)
+
+// The router frontend speaks the same /search wire protocol as the
+// single-database daemon (internal/server types), extended with per-shard
+// routing detail. A client that understands the monolithic response can read
+// the sharded one unchanged — extra fields ride after "stats" — and a merged
+// complete response carries byte-identical results to the monolithic daemon
+// serving the unsharded container.
+
+// ShardStatusWire is the wire form of one shard's routing outcome.
+type ShardStatusWire struct {
+	Shard  int    `json:"shard"`
+	Worker string `json:"worker"`
+	// Status is "ok", "shed" (replica backpressure, retryable), or "error".
+	Status    string  `json:"status"`
+	Completed int     `json:"completed_queries,omitempty"`
+	Error     string  `json:"error,omitempty"`
+	MS        float64 `json:"ms"`
+}
+
+// SearchResponse is the sharded /search response: the monolithic response
+// plus the routing report. Incomplete (inherited) is true whenever a shard
+// contributed nothing — those queries answer completed=false rather than
+// fake zero-hit results.
+type SearchResponse struct {
+	server.SearchResponse
+	Policy string            `json:"policy"`
+	Shards []ShardStatusWire `json:"shards"`
+}
+
+// errorResponse mirrors the monolithic daemon's uniform error body, with the
+// routing report attached when the scatter ran.
+type errorResponse struct {
+	Error  string            `json:"error"`
+	Status int               `json:"status"`
+	Shards []ShardStatusWire `json:"shards,omitempty"`
+}
+
+// FrontendConfig tunes the HTTP tier in front of a Router. Zero values
+// select the defaults. Admission bounding lives in the shard workers (their
+// token budgets): the frontend only validates, scatters, and renders.
+type FrontendConfig struct {
+	// DefaultTimeout is the per-request deadline when the client sends none
+	// (default 30s); MaxTimeout caps client-requested deadlines (default 2m).
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// MaxQueries caps the batch size of one request (default 64).
+	MaxQueries int
+	// MaxBodyBytes caps the request body (default 32 MiB).
+	MaxBodyBytes int64
+	// Registry serves /metrics (default obs.Default). Use the registry the
+	// Router stamps so router_* numbers are visible.
+	Registry *obs.Registry
+	// Generation is reported as db_generation (default: constant 0). With
+	// local shard workers, wire it to the minimum session generation.
+	Generation func() int64
+}
+
+func (c FrontendConfig) withDefaults() FrontendConfig {
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 2 * time.Minute
+	}
+	if c.MaxQueries <= 0 {
+		c.MaxQueries = 64
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 32 << 20
+	}
+	if c.Registry == nil {
+		c.Registry = obs.Default
+	}
+	if c.Generation == nil {
+		c.Generation = func() int64 { return 0 }
+	}
+	return c
+}
+
+// Frontend is the HTTP surface of the scatter-gather tier: /search over the
+// router, plus the standard debug endpoints (/metrics, /healthz, /readyz).
+type Frontend struct {
+	rt  *Router
+	cfg FrontendConfig
+	mux *http.ServeMux
+
+	searchCtx      context.Context
+	cancelSearches context.CancelFunc
+	draining       chan struct{}
+	drainOnce      sync.Once
+
+	httpMu  sync.Mutex
+	httpSrv *http.Server
+	httpLn  net.Listener
+}
+
+// NewFrontend wraps a router in the HTTP tier.
+func NewFrontend(rt *Router, cfg FrontendConfig) *Frontend {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	f := &Frontend{
+		rt: rt, cfg: cfg,
+		searchCtx: ctx, cancelSearches: cancel,
+		draining: make(chan struct{}),
+	}
+	f.mux = http.NewServeMux()
+	f.mux.HandleFunc("/search", f.handleSearch)
+	f.mux.Handle("/", obs.HandlerWithReadiness(cfg.Registry, f.Ready))
+	return f
+}
+
+// Router returns the scatter-gather core the frontend serves.
+func (f *Frontend) Router() *Router { return f.rt }
+
+// Draining reports whether BeginDrain has run.
+func (f *Frontend) Draining() bool {
+	select {
+	case <-f.draining:
+		return true
+	default:
+		return false
+	}
+}
+
+// Ready is the readiness probe behind /readyz.
+func (f *Frontend) Ready() error {
+	if f.Draining() {
+		return errors.New("draining")
+	}
+	return nil
+}
+
+// Handler returns the HTTP surface with panic recovery (a poisoned request
+// answers 500, never a torn connection).
+func (f *Frontend) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if v := recover(); v != nil {
+				http.Error(w, fmt.Sprintf("internal error: %v", v), http.StatusInternalServerError)
+			}
+		}()
+		f.mux.ServeHTTP(w, r)
+	})
+}
+
+// Start binds addr (":0" for an ephemeral port) and serves in the
+// background, returning the bound address.
+func (f *Frontend) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("router: listen on %s: %w", addr, err)
+	}
+	srv := &http.Server{
+		Handler:     f.Handler(),
+		BaseContext: func(net.Listener) context.Context { return f.searchCtx },
+	}
+	f.httpMu.Lock()
+	f.httpSrv, f.httpLn = srv, ln
+	f.httpMu.Unlock()
+	go srv.Serve(ln)
+	return ln.Addr().String(), nil
+}
+
+// BeginDrain takes the frontend out of rotation (new searches answer 503,
+// /readyz fails) and cancels in-flight scatters after grace so shard batches
+// stop between tasks and flush partial results.
+func (f *Frontend) BeginDrain(grace time.Duration) {
+	f.drainOnce.Do(func() {
+		close(f.draining)
+		if grace <= 0 {
+			f.cancelSearches()
+			return
+		}
+		t := time.AfterFunc(grace, f.cancelSearches)
+		go func() {
+			<-f.searchCtx.Done()
+			t.Stop()
+		}()
+	})
+}
+
+// Drain is the graceful shutdown: BeginDrain(grace) then HTTP Shutdown
+// bounded by ctx.
+func (f *Frontend) Drain(ctx context.Context, grace time.Duration) error {
+	f.BeginDrain(grace)
+	f.httpMu.Lock()
+	srv := f.httpSrv
+	f.httpMu.Unlock()
+	var err error
+	if srv != nil {
+		err = srv.Shutdown(ctx)
+	}
+	f.cancelSearches()
+	return err
+}
+
+// Close tears everything down immediately.
+func (f *Frontend) Close() error {
+	f.BeginDrain(0)
+	f.cancelSearches()
+	f.httpMu.Lock()
+	srv := f.httpSrv
+	f.httpMu.Unlock()
+	if srv != nil {
+		return srv.Close()
+	}
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// retryAfterSeconds renders a Retry-After hint (whole seconds, minimum 1).
+func retryAfterSeconds(d time.Duration) string {
+	s := int(d.Round(time.Second) / time.Second)
+	if s < 1 {
+		s = 1
+	}
+	return strconv.Itoa(s)
+}
+
+func statusesWire(rep *Report) []ShardStatusWire {
+	if rep == nil {
+		return nil
+	}
+	out := make([]ShardStatusWire, len(rep.Shards))
+	for i := range rep.Shards {
+		st := &rep.Shards[i]
+		w := ShardStatusWire{
+			Shard: st.Shard, Worker: st.Worker,
+			Completed: st.Completed,
+			MS:        float64(st.Nanos) / float64(time.Millisecond),
+		}
+		switch {
+		case st.OK:
+			w.Status = "ok"
+		case st.Shed:
+			w.Status = "shed"
+			w.Error = st.Err.Error()
+		default:
+			w.Status = "error"
+			w.Error = st.Err.Error()
+		}
+		out[i] = w
+	}
+	return out
+}
+
+func (f *Frontend) handleSearch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST only", Status: http.StatusMethodNotAllowed})
+		return
+	}
+	if f.Draining() {
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "draining", Status: http.StatusServiceUnavailable})
+		return
+	}
+	var req server.SearchRequest
+	r.Body = http.MaxBytesReader(w, r.Body, f.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("decoding request: %v", err), Status: http.StatusBadRequest})
+		return
+	}
+	if len(req.Queries) == 0 {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "no queries", Status: http.StatusBadRequest})
+		return
+	}
+	if len(req.Queries) > f.cfg.MaxQueries {
+		writeJSON(w, http.StatusRequestEntityTooLarge, errorResponse{
+			Error:  fmt.Sprintf("%d queries exceeds the per-request cap of %d", len(req.Queries), f.cfg.MaxQueries),
+			Status: http.StatusRequestEntityTooLarge,
+		})
+		return
+	}
+	for i := range req.Queries {
+		if _, err := alphabet.Encode([]byte(req.Queries[i].Residues)); err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{
+				Error:  fmt.Sprintf("query %d (%s): %v", i, req.Queries[i].Name, err),
+				Status: http.StatusBadRequest,
+			})
+			return
+		}
+	}
+
+	timeout := f.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	if timeout > f.cfg.MaxTimeout {
+		timeout = f.cfg.MaxTimeout
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	texts := make([]string, len(req.Queries))
+	for i := range req.Queries {
+		texts[i] = req.Queries[i].Residues
+	}
+	searchStart := time.Now()
+	br, rep, err := f.rt.Search(ctx, texts, req.Policy)
+	searchDur := time.Since(searchStart)
+	if err != nil {
+		switch {
+		case rep == nil: // bad input (unknown policy), nothing scattered
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error(), Status: http.StatusBadRequest})
+		case errors.Is(err, ErrAllShardsUnavailable) && rep.Failed() == 0:
+			// Pure overload: every shard shed. 429 with the aggregated hint,
+			// exactly like the monolithic daemon's queue-full shed.
+			w.Header().Set("Retry-After", retryAfterSeconds(rep.RetryAfter))
+			writeJSON(w, http.StatusTooManyRequests, errorResponse{
+				Error: err.Error(), Status: http.StatusTooManyRequests, Shards: statusesWire(rep),
+			})
+		default:
+			if rep.Sheds() > 0 {
+				w.Header().Set("Retry-After", retryAfterSeconds(rep.RetryAfter))
+			}
+			writeJSON(w, http.StatusServiceUnavailable, errorResponse{
+				Error: err.Error(), Status: http.StatusServiceUnavailable, Shards: statusesWire(rep),
+			})
+		}
+		return
+	}
+
+	resp := SearchResponse{
+		SearchResponse: server.SearchResponse{
+			Generation: f.cfg.Generation(),
+			Incomplete: br.Err != nil,
+			Results:    make([]server.QueryOutput, len(br.Results)),
+			Stats: server.RequestStats{
+				SearchMS:         float64(searchDur) / float64(time.Millisecond),
+				EffectiveTimeout: timeout.String(),
+				Workers:          br.Sched.Workers,
+				Tasks:            br.Sched.Tasks,
+				TasksCancelled:   br.Sched.TasksCancelled,
+				TasksPanicked:    br.Sched.TasksPanicked,
+				QueriesAborted:   br.Sched.QueriesAborted,
+				UtilizationPct:   br.Sched.Utilization() * 100,
+			},
+		},
+		Policy: rep.Policy,
+		Shards: statusesWire(rep),
+	}
+	if br.Err != nil {
+		resp.Error = br.Err.Error()
+	}
+	for i := range br.Results {
+		out := server.QueryOutput{
+			Name:      req.Queries[i].Name,
+			QueryLen:  br.Results[i].QueryLen,
+			Completed: br.Completed[i],
+			Hits:      []server.Hit{},
+		}
+		if br.QueryErrs[i] != nil {
+			out.Error = br.QueryErrs[i].Error()
+		}
+		if br.Completed[i] {
+			for _, h := range br.Results[i].Hits {
+				out.Hits = append(out.Hits, server.HitFromBlast(h))
+			}
+		}
+		resp.Results[i] = out
+	}
+	// A partial (some-shards-shed) success still tells the client when to
+	// retry for the full answer.
+	if rep.Sheds() > 0 {
+		w.Header().Set("Retry-After", retryAfterSeconds(rep.RetryAfter))
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

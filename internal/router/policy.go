@@ -1,0 +1,105 @@
+package router
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync/atomic"
+)
+
+// Policy chooses which replica of a shard serves a request. Policies are
+// selected per request by name; a Router builds one instance of each known
+// policy at construction so per-policy state (round-robin cursors) persists
+// across requests. Pick must be safe for concurrent use.
+type Policy interface {
+	// Name is the policy's stable wire name.
+	Name() string
+	// Pick returns the index into replicas to use for this request's search
+	// of shard `shard`. replicas is never empty.
+	Pick(shard int, replicas []Worker) int
+}
+
+// Policy wire names.
+const (
+	PolicyRoundRobin = "round-robin"
+	PolicyLeastLoad  = "least-loaded"
+	PolicyWeighted   = "weighted"
+)
+
+// NewPolicy builds a fresh instance of the named policy for a router with
+// numShards shards. Unknown names list the valid ones in the error.
+func NewPolicy(name string, numShards int) (Policy, error) {
+	switch name {
+	case PolicyRoundRobin:
+		return &roundRobin{next: make([]atomic.Uint64, numShards)}, nil
+	case PolicyLeastLoad:
+		return leastLoaded{}, nil
+	case PolicyWeighted:
+		return weighted{}, nil
+	}
+	return nil, fmt.Errorf("router: unknown policy %q (have %s)", name, strings.Join(PolicyNames(), ", "))
+}
+
+// PolicyNames returns the known policy names, sorted.
+func PolicyNames() []string {
+	names := []string{PolicyRoundRobin, PolicyLeastLoad, PolicyWeighted}
+	sort.Strings(names)
+	return names
+}
+
+// roundRobin cycles through a shard's replicas in order, one atomic cursor
+// per shard so shards advance independently.
+type roundRobin struct {
+	next []atomic.Uint64
+}
+
+func (p *roundRobin) Name() string { return PolicyRoundRobin }
+
+func (p *roundRobin) Pick(shard int, replicas []Worker) int {
+	return int((p.next[shard].Add(1) - 1) % uint64(len(replicas)))
+}
+
+// leastLoaded picks the replica with the fewest searches in flight,
+// first-listed winning ties — under uniform load it degenerates to
+// first-replica-preferred, under skew it routes around the busy one.
+type leastLoaded struct{}
+
+func (leastLoaded) Name() string { return PolicyLeastLoad }
+
+func (leastLoaded) Pick(shard int, replicas []Worker) int {
+	best := 0
+	bestLoad := replicas[0].Inflight()
+	for i := 1; i < len(replicas); i++ {
+		if load := replicas[i].Inflight(); load < bestLoad {
+			best, bestLoad = i, load
+		}
+	}
+	return best
+}
+
+// weighted is least-loaded normalized by capacity: it minimizes
+// inflight/weight, so a weight-2 replica takes twice the concurrent load of
+// a weight-1 one before losing preference. Ties break toward the heavier
+// replica, then first-listed.
+type weighted struct{}
+
+func (weighted) Name() string { return PolicyWeighted }
+
+func (weighted) Pick(shard int, replicas []Worker) int {
+	norm := func(i int) (float64, float64) {
+		w := replicas[i].Weight()
+		if w <= 0 {
+			w = 1
+		}
+		return float64(replicas[i].Inflight()) / w, w
+	}
+	best := 0
+	bestLoad, bestW := norm(0)
+	for i := 1; i < len(replicas); i++ {
+		load, w := norm(i)
+		if load < bestLoad || (load == bestLoad && w > bestW) {
+			best, bestLoad, bestW = i, load, w
+		}
+	}
+	return best
+}

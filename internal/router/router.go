@@ -1,0 +1,226 @@
+package router
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/blast"
+	"repro/internal/obs"
+)
+
+// ShardStatus is the router's per-shard account of one scatter: which
+// replica was picked and how its search ended. Exactly one of the three
+// outcomes holds: OK (result merged), Shed (replica refused under
+// backpressure, RetryAfter carries its hint), or failed (Err non-nil, not a
+// shed). A non-OK shard never silently becomes "zero hits" — the merge marks
+// every query incomplete instead.
+type ShardStatus struct {
+	Shard      int
+	Worker     string
+	OK         bool
+	Shed       bool
+	RetryAfter time.Duration // only when Shed
+	Err        error         // nil when OK
+	Nanos      int64         // wall time of this shard's search
+	Completed  int           // queries the shard completed (when OK)
+}
+
+// Report describes how one scatter-gather request was routed: the policy
+// used, per-shard statuses, and phase timings. RetryAfter aggregates the
+// shed hints (the maximum, so a client retrying after it clears every
+// saturated replica).
+type Report struct {
+	Policy       string
+	Shards       []ShardStatus
+	ScatterNanos int64 // slowest shard's wall time (shards run concurrently)
+	MergeNanos   int64
+	RetryAfter   time.Duration
+}
+
+// Sheds counts shards that shed this request.
+func (r *Report) Sheds() int {
+	n := 0
+	for i := range r.Shards {
+		if r.Shards[i].Shed {
+			n++
+		}
+	}
+	return n
+}
+
+// Failed counts shards that failed (non-shed errors).
+func (r *Report) Failed() int {
+	n := 0
+	for i := range r.Shards {
+		if r.Shards[i].Err != nil && !r.Shards[i].Shed {
+			n++
+		}
+	}
+	return n
+}
+
+// Spans renders the report as pipeline-style stage timings.
+func (r *Report) Spans() []obs.Span {
+	return []obs.Span{
+		{Stage: "scatter", Nanos: r.ScatterNanos},
+		{Stage: "merge", Nanos: r.MergeNanos},
+	}
+}
+
+// ErrAllShardsUnavailable is returned by Search when no shard contributed a
+// result, so there is nothing honest to merge. The Report tells shed
+// (retryable, 429-shaped) apart from failure (503-shaped).
+var ErrAllShardsUnavailable = errors.New("router: no shard available, nothing to merge")
+
+// Options configures a Router.
+type Options struct {
+	// DefaultPolicy is used when a request names none. Empty means
+	// round-robin.
+	DefaultPolicy string
+	// Registry receives the router_* metrics. Nil means obs.Default.
+	Registry *obs.Registry
+}
+
+// Router is the scatter-gather tier: it owns one replica set per shard,
+// scatters every search to all shards concurrently (one replica each, chosen
+// by the request's policy), and gathers the shard results into a merged
+// BatchResult that is byte-identical to a monolithic search when every shard
+// answers — and honestly incomplete when one does not.
+type Router struct {
+	shards   [][]Worker
+	policies map[string]Policy
+	def      string
+	met      *obs.RouterMetrics
+}
+
+// New builds a Router over shards[s] = the replicas serving shard s. Every
+// shard needs at least one replica; the shard count is fixed for the
+// router's lifetime (it is baked into the containers' id mapping).
+func New(shards [][]Worker, opts Options) (*Router, error) {
+	if len(shards) == 0 {
+		return nil, errors.New("router: need at least one shard")
+	}
+	for s, reps := range shards {
+		if len(reps) == 0 {
+			return nil, fmt.Errorf("router: shard %d has no replicas", s)
+		}
+	}
+	def := opts.DefaultPolicy
+	if def == "" {
+		def = PolicyRoundRobin
+	}
+	policies := make(map[string]Policy, len(PolicyNames()))
+	for _, name := range PolicyNames() {
+		p, err := NewPolicy(name, len(shards))
+		if err != nil {
+			return nil, err
+		}
+		policies[name] = p
+	}
+	if _, ok := policies[def]; !ok {
+		return nil, fmt.Errorf("router: unknown default policy %q (have %v)", def, PolicyNames())
+	}
+	reg := opts.Registry
+	if reg == nil {
+		reg = obs.Default
+	}
+	rt := &Router{shards: shards, policies: policies, def: def, met: obs.NewRouterMetrics(reg)}
+	rt.met.Fanout.Set(float64(len(shards)))
+	return rt, nil
+}
+
+// NumShards returns the fanout.
+func (rt *Router) NumShards() int { return len(rt.shards) }
+
+// DefaultPolicy returns the policy used when a request names none.
+func (rt *Router) DefaultPolicy() string { return rt.def }
+
+// Search scatters the query batch to every shard and merges the gathered
+// results. policyName selects the replica-choice policy ("" means the
+// router's default; unknown names fail before any shard work).
+//
+// The merged BatchResult follows the blast contract: per-query Completed
+// flags, zero-value placeholders for incomplete queries. A request with at
+// least one answering shard succeeds with partial (honest) results; only
+// when no shard answers does Search return ErrAllShardsUnavailable. The
+// Report is non-nil whenever the policy resolved, including on error.
+func (rt *Router) Search(ctx context.Context, queries []string, policyName string) (*blast.BatchResult, *Report, error) {
+	if policyName == "" {
+		policyName = rt.def
+	}
+	pol, ok := rt.policies[policyName]
+	if !ok {
+		return nil, nil, fmt.Errorf("router: unknown policy %q (have %v)", policyName, PolicyNames())
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	rt.met.Requests.Add(1)
+
+	n := len(rt.shards)
+	rep := &Report{Policy: pol.Name(), Shards: make([]ShardStatus, n)}
+	parts := make([]*blast.ShardResult, n)
+	var wg sync.WaitGroup
+	for s := 0; s < n; s++ {
+		replicas := rt.shards[s]
+		w := replicas[pol.Pick(s, replicas)]
+		st := &rep.Shards[s]
+		st.Shard, st.Worker = s, w.Name()
+		wg.Add(1)
+		go func(s int, w Worker, st *ShardStatus) {
+			defer wg.Done()
+			rt.met.ShardSearches.Add(1)
+			start := time.Now()
+			res, err := w.Search(ctx, queries, s, n)
+			st.Nanos = time.Since(start).Nanoseconds()
+			if err != nil {
+				st.Err = err
+				var busy *BusyError
+				if errors.As(err, &busy) {
+					st.Shed = true
+					st.RetryAfter = busy.RetryAfter
+					rt.met.ShardSheds.Add(1)
+				} else {
+					rt.met.ShardErrors.Add(1)
+				}
+				return
+			}
+			st.OK = true
+			st.Completed = res.CompletedCount()
+			parts[s] = res
+		}(s, w, st)
+	}
+	wg.Wait()
+
+	for i := range rep.Shards {
+		if rep.Shards[i].Nanos > rep.ScatterNanos {
+			rep.ScatterNanos = rep.Shards[i].Nanos
+		}
+		if rep.Shards[i].RetryAfter > rep.RetryAfter {
+			rep.RetryAfter = rep.Shards[i].RetryAfter
+		}
+	}
+	rt.met.ScatterNanos.Observe(rep.ScatterNanos)
+
+	answered := n - rep.Sheds() - rep.Failed()
+	if answered == 0 {
+		rt.met.AllShed.Add(1)
+		return nil, rep, fmt.Errorf("%w: %d shed, %d failed of %d shards",
+			ErrAllShardsUnavailable, rep.Sheds(), rep.Failed(), n)
+	}
+
+	mergeStart := time.Now()
+	br, err := blast.MergeShards(queries, parts)
+	rep.MergeNanos = time.Since(mergeStart).Nanoseconds()
+	rt.met.MergeNanos.Observe(rep.MergeNanos)
+	if err != nil {
+		return nil, rep, err
+	}
+	if answered < n {
+		rt.met.Partial.Add(1)
+	}
+	return br, rep, nil
+}

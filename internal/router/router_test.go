@@ -1,0 +1,308 @@
+package router
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/blast"
+	"repro/internal/alphabet"
+	"repro/internal/obs"
+	"repro/internal/seqgen"
+)
+
+var (
+	fixOnce    sync.Once
+	fixDB      *blast.Database
+	fixShards  []*blast.Database // 3 shards of fixDB
+	fixQueries []string
+)
+
+func fixture(t *testing.T) (*blast.Database, []*blast.Database, []string) {
+	t.Helper()
+	fixOnce.Do(func() {
+		g := seqgen.New(seqgen.UniprotProfile(), 44)
+		raw := g.Database(90)
+		seqs := make([]blast.Sequence, len(raw))
+		for i, s := range raw {
+			seqs[i] = blast.Sequence{Name: "sub" + string(rune('A'+i/26)) + string(rune('a'+i%26)), Residues: alphabet.String(s)}
+		}
+		p := blast.DefaultParams()
+		p.BlockResidues = 16384
+		p.Threads = 1
+		db, err := blast.NewDatabase(seqs, p)
+		if err != nil {
+			panic(err)
+		}
+		shards, err := db.Shards(3)
+		if err != nil {
+			panic(err)
+		}
+		fixDB, fixShards = db, shards
+		fixQueries = []string{
+			seqs[5].Residues,
+			seqs[40].Residues[2 : len(seqs[40].Residues)-2],
+		}
+	})
+	return fixDB, fixShards, fixQueries
+}
+
+func localWorkers(shards []*blast.Database, concurrency int) [][]Worker {
+	p := blast.DefaultParams()
+	out := make([][]Worker, len(shards))
+	for s, sd := range shards {
+		w := NewLocalWorker("s"+string(rune('0'+s)), blast.NewSession(sd, p), concurrency, 1, 0)
+		out[s] = []Worker{w}
+	}
+	return out
+}
+
+// stubWorker lets tests script a replica's behaviour.
+type stubWorker struct {
+	name     string
+	inflight int64
+	weight   float64
+	search   func(ctx context.Context, queries []string, shard, numShards int) (*blast.ShardResult, error)
+}
+
+func (w *stubWorker) Name() string    { return w.name }
+func (w *stubWorker) Inflight() int64 { return w.inflight }
+func (w *stubWorker) Weight() float64 {
+	if w.weight == 0 {
+		return 1
+	}
+	return w.weight
+}
+func (w *stubWorker) Search(ctx context.Context, queries []string, shard, numShards int) (*blast.ShardResult, error) {
+	return w.search(ctx, queries, shard, numShards)
+}
+
+// delegate builds a stub that searches a real shard database.
+func delegate(name string, sd *blast.Database) *stubWorker {
+	return &stubWorker{name: name, search: func(ctx context.Context, queries []string, shard, numShards int) (*blast.ShardResult, error) {
+		return sd.SearchShardBatchCtx(ctx, queries, shard, numShards)
+	}}
+}
+
+// TestRouterMatchesMonolithic: the full scatter-gather path, all shards
+// healthy, must reproduce the monolithic search byte for byte.
+func TestRouterMatchesMonolithic(t *testing.T) {
+	db, shards, queries := fixture(t)
+	mono, err := db.SearchBatchCtx(context.Background(), queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := New(localWorkers(shards, 2), Options{Registry: obs.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, policy := range append(PolicyNames(), "") {
+		br, rep, err := rt.Search(context.Background(), queries, policy)
+		if err != nil {
+			t.Fatalf("policy %q: %v", policy, err)
+		}
+		if rep.Sheds() != 0 || rep.Failed() != 0 {
+			t.Fatalf("policy %q: unexpected sheds/failures: %+v", policy, rep.Shards)
+		}
+		for qi := range queries {
+			if !br.Completed[qi] {
+				t.Fatalf("policy %q: query %d incomplete", policy, qi)
+			}
+			if g, w := br.Results[qi].Tabular("q"), mono.Results[qi].Tabular("q"); g != w {
+				t.Fatalf("policy %q query %d: routed output differs from monolithic:\n got:\n%s\n want:\n%s", policy, qi, g, w)
+			}
+		}
+	}
+	if _, _, err := rt.Search(context.Background(), queries, "no-such-policy"); err == nil {
+		t.Fatal("unknown policy must fail")
+	}
+}
+
+// TestRouterShedIsPartialNotEmpty pins satellite bug 3: a shard answering
+// with backpressure must surface as an honest partial result — queries
+// incomplete, Retry-After carried — never as a merged zero-hit shard.
+func TestRouterShedIsPartialNotEmpty(t *testing.T) {
+	_, shards, queries := fixture(t)
+	busy := &stubWorker{name: "busy", search: func(context.Context, []string, int, int) (*blast.ShardResult, error) {
+		return nil, &BusyError{Worker: "busy", RetryAfter: 7 * 1e9}
+	}}
+	workers := [][]Worker{
+		{delegate("s0", shards[0])},
+		{busy},
+		{delegate("s2", shards[2])},
+	}
+	rt, err := New(workers, Options{Registry: obs.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	br, rep, err := rt.Search(context.Background(), queries, "")
+	if err != nil {
+		t.Fatalf("one shed shard must still produce a partial result, got %v", err)
+	}
+	if rep.Sheds() != 1 || rep.Failed() != 0 {
+		t.Fatalf("report: %d sheds, %d failed; want 1, 0", rep.Sheds(), rep.Failed())
+	}
+	if rep.RetryAfter.Seconds() != 7 {
+		t.Fatalf("RetryAfter %v not forwarded from the shed", rep.RetryAfter)
+	}
+	if br.Err == nil || !errors.Is(br.Err, blast.ErrShardUnavailable) {
+		t.Fatalf("batch error %v must carry ErrShardUnavailable", br.Err)
+	}
+	for qi := range queries {
+		if br.Completed[qi] {
+			t.Fatalf("query %d completed despite a shed shard", qi)
+		}
+		if len(br.Results[qi].Hits) != 0 {
+			t.Fatalf("query %d reports hits from an incomplete merge", qi)
+		}
+	}
+}
+
+// TestRouterAllShed: every shard shedding refuses the request outright with
+// the aggregated retry hint — the scatter-path analogue of the monolithic
+// daemon's queue-full 429.
+func TestRouterAllShed(t *testing.T) {
+	_, _, queries := fixture(t)
+	mk := func(name string, after time.Duration) Worker {
+		return &stubWorker{name: name, search: func(context.Context, []string, int, int) (*blast.ShardResult, error) {
+			return nil, &BusyError{Worker: name, RetryAfter: after}
+		}}
+	}
+	rt, err := New([][]Worker{{mk("a", 1e9)}, {mk("b", 3e9)}}, Options{Registry: obs.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rep, err := rt.Search(context.Background(), queries, "")
+	if !errors.Is(err, ErrAllShardsUnavailable) {
+		t.Fatalf("err %v, want ErrAllShardsUnavailable", err)
+	}
+	if rep.Sheds() != 2 || rep.Failed() != 0 {
+		t.Fatalf("report: %d sheds, %d failed; want 2, 0", rep.Sheds(), rep.Failed())
+	}
+	if rep.RetryAfter.Seconds() != 3 {
+		t.Fatalf("aggregated RetryAfter %v, want the maximum hint 3s", rep.RetryAfter)
+	}
+}
+
+// TestRouterShardFailure: a non-shed shard error is a failure, not a shed,
+// and still yields an honest partial result.
+func TestRouterShardFailure(t *testing.T) {
+	_, shards, queries := fixture(t)
+	boom := &stubWorker{name: "boom", search: func(context.Context, []string, int, int) (*blast.ShardResult, error) {
+		return nil, errors.New("disk on fire")
+	}}
+	rt, err := New([][]Worker{{delegate("s0", shards[0])}, {boom}, {delegate("s2", shards[2])}},
+		Options{Registry: obs.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	br, rep, err := rt.Search(context.Background(), queries, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Sheds() != 0 || rep.Failed() != 1 {
+		t.Fatalf("report: %d sheds, %d failed; want 0, 1", rep.Sheds(), rep.Failed())
+	}
+	for qi := range queries {
+		if br.Completed[qi] {
+			t.Fatalf("query %d completed despite a failed shard", qi)
+		}
+	}
+	if !strings.Contains(rep.Shards[1].Err.Error(), "disk on fire") {
+		t.Fatalf("shard status lost the failure: %v", rep.Shards[1].Err)
+	}
+}
+
+// TestLocalWorkerSheds: the bounded token budget refuses excess load with a
+// BusyError instead of queueing.
+func TestLocalWorkerSheds(t *testing.T) {
+	_, shards, queries := fixture(t)
+	w := NewLocalWorker("w", blast.NewSession(shards[0], blast.DefaultParams()), 1, 1, 0)
+	gate := make(chan struct{})
+	done := make(chan error, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		close(gate)
+		_, err := w.Search(ctx, queries, 0, 3)
+		done <- err
+	}()
+	<-gate
+	// Saturate: keep poking until the goroutine holds the single token, then
+	// the next call must shed.
+	var busy *BusyError
+	for {
+		_, err := w.Search(context.Background(), queries[:1], 0, 3)
+		if errors.As(err, &busy) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatal(err)
+			}
+			return // first search finished before we ever collided; nothing left to race
+		default:
+		}
+	}
+	if busy.RetryAfter <= 0 {
+		t.Fatalf("BusyError without a retry hint: %+v", busy)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPolicies(t *testing.T) {
+	mk := func(inflight int64, weight float64) Worker {
+		return &stubWorker{name: "w", inflight: inflight, weight: weight}
+	}
+	t.Run("round-robin cycles per shard", func(t *testing.T) {
+		p, err := NewPolicy(PolicyRoundRobin, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reps := []Worker{mk(0, 1), mk(0, 1), mk(0, 1)}
+		var got []int
+		for i := 0; i < 6; i++ {
+			got = append(got, p.Pick(0, reps))
+		}
+		want := []int{0, 1, 2, 0, 1, 2}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("picks %v, want %v", got, want)
+			}
+		}
+		if p.Pick(1, reps) != 0 {
+			t.Fatal("shard 1's cursor must be independent of shard 0's")
+		}
+	})
+	t.Run("least-loaded picks min inflight", func(t *testing.T) {
+		p, err := NewPolicy(PolicyLeastLoad, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := p.Pick(0, []Worker{mk(5, 1), mk(2, 1), mk(9, 1)}); got != 1 {
+			t.Fatalf("picked %d, want 1", got)
+		}
+	})
+	t.Run("weighted normalizes by capacity", func(t *testing.T) {
+		p, err := NewPolicy(PolicyWeighted, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// 4 inflight at weight 4 (load 1) beats 2 inflight at weight 1 (load 2).
+		if got := p.Pick(0, []Worker{mk(2, 1), mk(4, 4)}); got != 1 {
+			t.Fatalf("picked %d, want the heavier replica", got)
+		}
+	})
+	if _, err := NewPolicy("bogus", 1); err == nil {
+		t.Fatal("unknown policy name must fail")
+	}
+}
