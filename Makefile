@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath (stdlib only).
 
-.PHONY: all build vet test race fuzz chaos bench bench-json bench-compare bench-smoke obs-smoke obs-smoke-fault serve-smoke shard-smoke experiments examples golden clean
+.PHONY: all build vet test race fuzz chaos bench bench-json bench-compare bench-smoke obs-smoke obs-smoke-fault serve-smoke shard-smoke trace-smoke experiments examples golden clean
 
 all: build vet test bench-json
 
@@ -10,14 +10,15 @@ build:
 vet:
 	go vet ./...
 
-test: vet race fuzz chaos obs-smoke obs-smoke-fault serve-smoke shard-smoke bench-compare bench-smoke
+test: vet race fuzz chaos obs-smoke obs-smoke-fault serve-smoke shard-smoke trace-smoke bench-compare bench-smoke
 	go test ./...
 
 # Race-detector pass over the packages with concurrent hot paths (the batch
 # scheduler, the task-grid runtime, the engines it drives, the hot-reload
-# session, and the serving layer's admission machinery).
+# session, the serving layer's admission machinery, and the observability
+# layer's lock-free metrics and concurrent trace/record sinks).
 race:
-	go test -race ./internal/core ./internal/parallel ./internal/search ./internal/mpi ./internal/cluster ./internal/server ./internal/router ./blast
+	go test -race ./internal/core ./internal/parallel ./internal/search ./internal/mpi ./internal/cluster ./internal/server ./internal/router ./internal/obs ./internal/reqtrace ./blast
 
 # Chaos harness: randomized fault schedules (injected panics, delays, errors,
 # rank deaths, op timeouts) against both batch schedulers, the distributed
@@ -101,6 +102,14 @@ serve-smoke:
 # response payloads — every hit, score, and E-value — to be byte-identical.
 shard-smoke:
 	./scripts/shard_smoke.sh
+
+# Cross-tier tracing smoke test: traced mublastpd + mublastpr serve a batch,
+# then cmd/tracecheck asserts one stitched (span-ID-linked) trace tree per
+# request with the edge/scatter/shard/merge and six-stage spans present,
+# X-Request-ID on every response, upstream trace context honored across the
+# HTTP hop, workload records written, and non-empty debug-address /metrics.
+trace-smoke:
+	./scripts/trace_smoke.sh
 
 # Regenerate every evaluation table (Section V). ~5 minutes at this scale.
 experiments:

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/alphabet"
 	"repro/internal/dbindex"
+	"repro/internal/obs"
 	"repro/internal/search"
 )
 
@@ -144,6 +145,25 @@ func (r *ShardResult) CompletedCount() int {
 
 // Sched returns the shard batch's scheduler statistics.
 func (r *ShardResult) Sched() search.SchedStats { return r.sched }
+
+// NumQueries returns how many queries the shard batch carried.
+func (r *ShardResult) NumQueries() int { return len(r.results) }
+
+// QueryCompleted reports whether this shard completed query i.
+func (r *ShardResult) QueryCompleted(i int) bool {
+	return i >= 0 && i < len(r.completed) && r.completed[i]
+}
+
+// QueryStageSpans returns query i's per-stage pipeline timing on this shard,
+// one span per stage in pipeline order — the shard-side counterpart of
+// Result.StageSpans, for trace sinks that attribute scatter time to stages.
+// Allocates; call only with tracing on.
+func (r *ShardResult) QueryStageSpans(i int) []obs.Span {
+	if i < 0 || i >= len(r.results) {
+		return nil
+	}
+	return r.results[i].Stats.Spans()
+}
 
 // SearchShardBatchCtx searches a query batch against this database acting as
 // shard `shard` of `numShards`: the result keeps raw HSPs (shard-local

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -20,6 +21,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/obs/prof"
+	"repro/internal/reqtrace"
 )
 
 type experiment struct {
@@ -39,11 +41,61 @@ var experiments = []experiment{
 	{"stage", "stage budget: per-stage time shares (+ -json emission)", runStage},
 	{"index-size", "two-level vs expanded index size", bench.IndexSize},
 	{"verify", "Section V-E output verification", bench.Verify},
+	{"capsim", "capacity model: record, fit, predict vs measured overload", bench.CapacityValidation},
+	{"replay", "re-issue a recorded workload against a live daemon (-replay-target, -replay-workload)", runReplay},
 }
 
 // stageJSONPath is where the stage experiment writes its machine-readable
 // report (-json flag); empty means table output only.
 var stageJSONPath string
+
+// Replay experiment inputs (-replay-* flags): the live daemon to load and
+// the recorded workload (a -record JSONL file, or one from
+// reqtrace.WriteRecordsFile) to re-issue with original inter-arrival timing.
+var (
+	replayTarget   string
+	replayWorkload string
+	replaySpeed    float64
+)
+
+func runReplay(bench.Scale) (*bench.Table, error) {
+	if replayTarget == "" || replayWorkload == "" {
+		return nil, fmt.Errorf("replay needs -replay-target (daemon base URL) and -replay-workload (record JSONL)")
+	}
+	recs, err := reqtrace.ReadRecordsFile(replayWorkload)
+	if err != nil {
+		return nil, err
+	}
+	res, err := reqtrace.Replay(context.Background(), reqtrace.ReplayConfig{
+		Target: replayTarget, Speed: replaySpeed, Seed: 1,
+	}, recs)
+	if err != nil {
+		return nil, err
+	}
+	ms := func(ns int64) string { return fmt.Sprintf("%.1f", float64(ns)/float64(time.Millisecond)) }
+	t := &bench.Table{
+		Title:   fmt.Sprintf("replay of %s against %s", replayWorkload, replayTarget),
+		Columns: []string{"metric", "value"},
+	}
+	t.AddRow("requests", res.Sent)
+	for _, oc := range []string{reqtrace.OutcomeOK, reqtrace.OutcomeShed, reqtrace.OutcomeTimeout,
+		reqtrace.OutcomeRejected, reqtrace.OutcomeError} {
+		if n := res.ByOutcome[oc]; n > 0 {
+			t.AddRow(oc, n)
+		}
+	}
+	t.AddRow("shed rate", fmt.Sprintf("%.3f", res.ShedRate()))
+	t.AddRow("p50 ms", ms(res.LatencyQuantile(0.50)))
+	t.AddRow("p95 ms", ms(res.LatencyQuantile(0.95)))
+	t.AddRow("p99 ms", ms(res.LatencyQuantile(0.99)))
+	t.AddRow("wall s", fmt.Sprintf("%.2f", float64(res.WallNS)/float64(time.Second)))
+	speed := replaySpeed
+	if speed <= 0 {
+		speed = 1
+	}
+	t.Note("open-loop replay at %gx recorded pacing; latency quantiles over completed requests", speed)
+	return t, nil
+}
 
 func runStage(s bench.Scale) (*bench.Table, error) {
 	rep, err := bench.StageBudget(s)
@@ -72,9 +124,13 @@ func main() {
 		jsonOut  = flag.String("json", "", "write the stage experiment's report as JSON to this file")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile after the experiments to this file")
+		rTarget  = flag.String("replay-target", "", "replay experiment: daemon base URL (e.g. http://127.0.0.1:8044)")
+		rFile    = flag.String("replay-workload", "", "replay experiment: workload record JSONL (a daemon's -record output)")
+		rSpeed   = flag.Float64("replay-speed", 1, "replay experiment: inter-arrival speedup (2 = twice as fast)")
 	)
 	flag.Parse()
 	stageJSONPath = *jsonOut
+	replayTarget, replayWorkload, replaySpeed = *rTarget, *rFile, *rSpeed
 
 	stopProf, err := prof.Start(*cpuProf, *memProf)
 	if err != nil {

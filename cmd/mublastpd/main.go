@@ -31,6 +31,7 @@ import (
 	"repro/blast"
 	"repro/internal/faultinject"
 	"repro/internal/obs"
+	"repro/internal/reqtrace"
 	"repro/internal/server"
 	"repro/internal/sigctx"
 )
@@ -58,6 +59,9 @@ func run() error {
 		degAfter    = flag.Duration("degrade-after", 250*time.Millisecond, "sustained queue pressure before degraded mode trips")
 		degTimeout  = flag.Duration("degraded-timeout", 0, "per-request deadline in degraded mode (0 = timeout/4)")
 		drainGrace  = flag.Duration("drain-grace", 10*time.Second, "time in-flight searches get to finish on shutdown before partial-result flush")
+		debugAddr   = flag.String("debug-addr", "", "also serve /metrics, /debug/vars and /debug/pprof/ on this address (e.g. :6060), separate from -addr")
+		tracePath   = flag.String("trace", "", "append one JSONL trace tree per request (edge, admission, search, per-query stage spans) to this file")
+		recordPath  = flag.String("record", "", "append one workload record per request (arrival, query lengths, deadline, outcome, span durations) to this file — replay/capsim input")
 		faultSpec   = flag.String("faultspec", "", "arm fault-injection sites, e.g. 'server.admit=error@0.1' (testing aid)")
 		faultSeed   = flag.Uint64("faultseed", 1, "seed for probabilistic -faultspec clauses")
 	)
@@ -103,6 +107,25 @@ func run() error {
 	fmt.Fprintf(os.Stderr, "mublastpd: database ready in %v (%d sequences, %d blocks)\n",
 		time.Since(start).Round(time.Millisecond), db.NumSequences(), db.NumBlocks())
 
+	var tracer *reqtrace.Tracer
+	if *tracePath != "" {
+		var err error
+		if tracer, err = reqtrace.NewTracerFile("mublastpd", *tracePath); err != nil {
+			return fmt.Errorf("opening trace sink: %w", err)
+		}
+		defer tracer.Close()
+		fmt.Fprintf(os.Stderr, "mublastpd: tracing requests to %s\n", *tracePath)
+	}
+	var recorder *reqtrace.Recorder
+	if *recordPath != "" {
+		var err error
+		if recorder, err = reqtrace.NewRecorderFile(*recordPath); err != nil {
+			return fmt.Errorf("opening record sink: %w", err)
+		}
+		defer recorder.Close()
+		fmt.Fprintf(os.Stderr, "mublastpd: recording workload to %s\n", *recordPath)
+	}
+
 	srv := server.New(ses, p, server.Config{
 		Queue:           *queue,
 		Concurrency:     *concurrency,
@@ -112,10 +135,27 @@ func run() error {
 		DegradeAfter:    *degAfter,
 		DegradedTimeout: *degTimeout,
 		Registry:        obs.Default,
+		Tracer:          tracer,
+		Recorder:        recorder,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "mublastpd: "+format+"\n", args...)
+		},
 	})
 	bound, err := srv.Start(*addr)
 	if err != nil {
 		return err
+	}
+	if *debugAddr != "" {
+		dbg, err := obs.Serve(*debugAddr, obs.Default)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "mublastpd: debug server on %s\n", dbg.Addr)
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			dbg.Shutdown(ctx)
+		}()
 	}
 	cfg := srv.Config()
 	fmt.Fprintf(os.Stderr, "mublastpd: serving on %s (queue %d, concurrency %d, timeout %v)\n",

@@ -40,6 +40,7 @@ import (
 
 	"repro/blast"
 	"repro/internal/obs"
+	"repro/internal/reqtrace"
 	"repro/internal/router"
 	"repro/internal/sigctx"
 )
@@ -65,6 +66,9 @@ func run() error {
 		maxTimeout = flag.Duration("max-timeout", 2*time.Minute, "cap on client-requested deadlines")
 		maxQueries = flag.Int("max-queries", 64, "per-request batch size cap")
 		drainGrace = flag.Duration("drain-grace", 10*time.Second, "time in-flight searches get to finish on shutdown before partial-result flush")
+		debugAddr  = flag.String("debug-addr", "", "also serve /metrics, /debug/vars and /debug/pprof/ on this address (e.g. :6060), separate from -addr")
+		tracePath  = flag.String("trace", "", "append one JSONL trace tree per request (edge, scatter, per-shard stage spans, merge) to this file")
+		recordPath = flag.String("record", "", "append one workload record per request (arrival, query lengths, deadline, outcome, span durations) to this file — replay/capsim input")
 	)
 	flag.Parse()
 	if *shardSpec == "" {
@@ -160,6 +164,23 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	var tracer *reqtrace.Tracer
+	if *tracePath != "" {
+		if tracer, err = reqtrace.NewTracerFile("mublastpr", *tracePath); err != nil {
+			return fmt.Errorf("opening trace sink: %w", err)
+		}
+		defer tracer.Close()
+		fmt.Fprintf(os.Stderr, "mublastpr: tracing requests to %s\n", *tracePath)
+	}
+	var recorder *reqtrace.Recorder
+	if *recordPath != "" {
+		if recorder, err = reqtrace.NewRecorderFile(*recordPath); err != nil {
+			return fmt.Errorf("opening record sink: %w", err)
+		}
+		defer recorder.Close()
+		fmt.Fprintf(os.Stderr, "mublastpr: recording workload to %s\n", *recordPath)
+	}
+
 	fe := router.NewFrontend(rt, router.FrontendConfig{
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTimeout,
@@ -174,10 +195,27 @@ func run() error {
 			}
 			return g
 		},
+		Tracer:   tracer,
+		Recorder: recorder,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "mublastpr: "+format+"\n", args...)
+		},
 	})
 	bound, err := fe.Start(*addr)
 	if err != nil {
 		return err
+	}
+	if *debugAddr != "" {
+		dbg, err := obs.Serve(*debugAddr, obs.Default)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "mublastpr: debug server on %s\n", dbg.Addr)
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			dbg.Shutdown(ctx)
+		}()
 	}
 	fmt.Fprintf(os.Stderr, "mublastpr: serving on %s (policy %s, shard concurrency %d, timeout %v)\n",
 		bound, rt.DefaultPolicy(), *shardConc, *timeout)

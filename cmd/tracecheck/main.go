@@ -1,0 +1,105 @@
+// Command tracecheck validates a trace JSONL file (a daemon's -trace
+// output): every line must parse as one trace tree whose span IDs link —
+// each non-root span's parent_id names another span of the same tree — and
+// optional flags assert the tree count, the emitting daemon, and span names
+// every tree must contain. It is the assertion half of scripts/trace_smoke.sh
+// and a standalone triage tool for trace captures.
+//
+// Usage:
+//
+//	tracecheck -in trace.jsonl -want 3 -daemon mublastpr \
+//	    -require edge,scatter,merge,stage:hit_detect
+//
+// Exit status: 0 when every check passes, 1 on any violation, 2 on usage
+// errors. With -v each tree is summarized (request ID, outcome, span count).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/reqtrace"
+)
+
+func main() {
+	var (
+		in      = flag.String("in", "", "trace JSONL file to validate (required)")
+		want    = flag.Int("want", -1, "exact number of trace trees expected (-1 = any non-zero)")
+		daemon  = flag.String("daemon", "", "daemon name every tree must carry (empty = any)")
+		require = flag.String("require", "", "comma-separated span names every tree must contain")
+		verbose = flag.Bool("v", false, "summarize each tree")
+	)
+	flag.Parse()
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "tracecheck: -in is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	f, err := os.Open(*in)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tracecheck: %v\n", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	traces, err := reqtrace.ReadTraces(f)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tracecheck: %s: %v\n", *in, err)
+		os.Exit(1)
+	}
+
+	var required []string
+	for _, name := range strings.Split(*require, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			required = append(required, name)
+		}
+	}
+
+	fail := 0
+	errf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "tracecheck: "+format+"\n", args...)
+		fail = 1
+	}
+
+	if *want >= 0 && len(traces) != *want {
+		errf("%s holds %d trace trees, want %d", *in, len(traces), *want)
+	}
+	if *want < 0 && len(traces) == 0 {
+		errf("%s holds no trace trees", *in)
+	}
+	seen := make(map[string]bool, len(traces))
+	for i, tr := range traces {
+		rid, tid := tr.IDs()
+		if err := tr.Linked(); err != nil {
+			errf("tree %d (%s): not a linked tree: %v", i, rid, err)
+			continue
+		}
+		if rid == "" || tid == "" {
+			errf("tree %d: missing request or trace ID (%q, %q)", i, rid, tid)
+		}
+		if seen[tid] {
+			errf("tree %d: trace ID %s appears twice — trees are not one-per-request", i, tid)
+		}
+		seen[tid] = true
+		if *daemon != "" && tr.Daemon != *daemon {
+			errf("tree %d (%s): daemon %q, want %q", i, rid, tr.Daemon, *daemon)
+		}
+		for _, name := range required {
+			if tr.RootSpan().Find(name) == nil {
+				errf("tree %d (%s, outcome %s): no %q span", i, rid, tr.Outcome, name)
+			}
+		}
+		if *verbose {
+			spans := 0
+			tr.RootSpan().Walk(func(*reqtrace.Span) { spans++ })
+			fmt.Printf("tracecheck: %s trace %s outcome=%s spans=%d\n", rid, tid, tr.Outcome, spans)
+		}
+	}
+
+	if fail == 0 {
+		fmt.Printf("tracecheck: %s OK (%d linked trace trees)\n", *in, len(traces))
+	}
+	os.Exit(fail)
+}

@@ -1,0 +1,43 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/reqtrace"
+)
+
+// TestCapacityModelTracksMeasuredOverload is the capacity-planner gate: the
+// discrete-event model, fitted from a recorded calibration run, must predict
+// a live daemon's overload behaviour inside the bands EXPERIMENTS.md states
+// — shed rate within 0.15 absolute, p95 latency within 50% relative.
+func TestCapacityModelTracksMeasuredOverload(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replays two workloads against a live server")
+	}
+	out, err := runCapacityValidation(SmallScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, p := out.Measured, out.Predicted
+
+	// The overload run must actually overload: an idle "validation" would
+	// pass any band vacuously.
+	if m.ShedRate() < 0.1 {
+		t.Fatalf("overload run shed only %.3f — not an overload (outcomes %v)", m.ShedRate(), m.ByOutcome)
+	}
+	if m.ByOutcome[reqtrace.OutcomeOK] == 0 {
+		t.Fatalf("overload run completed nothing: %v", m.ByOutcome)
+	}
+
+	if gap := abs(m.ShedRate() - p.ShedRate()); gap > 0.15 {
+		t.Errorf("shed rate: measured %.3f predicted %.3f (|err| %.3f > 0.15)", m.ShedRate(), p.ShedRate(), gap)
+	}
+	mp95 := float64(m.LatencyQuantile(0.95))
+	pp95 := float64(p.LatencyQuantile(0.95))
+	if mp95 <= 0 || pp95 <= 0 {
+		t.Fatalf("degenerate p95: measured %v predicted %v", mp95, pp95)
+	}
+	if rel := abs(mp95-pp95) / mp95; rel > 0.5 {
+		t.Errorf("p95: measured %.1fms predicted %.1fms (rel err %.0f%% > 50%%)", mp95/1e6, pp95/1e6, rel*100)
+	}
+}

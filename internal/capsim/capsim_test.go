@@ -1,0 +1,217 @@
+package capsim
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/reqtrace"
+)
+
+func ms(n int64) int64 { return n * int64(time.Millisecond) }
+
+// TestUnloadedLatencyIsServiceTime: arrivals far apart see zero queueing —
+// predicted latency is exactly the service draw.
+func TestUnloadedLatencyIsServiceTime(t *testing.T) {
+	wl := make([]Request, 10)
+	for i := range wl {
+		wl[i] = Request{ArrivalNS: int64(i) * ms(100)}
+	}
+	res, err := Run(Config{Concurrency: 1, Service: Constant(ms(10))}, wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ByOutcome[reqtrace.OutcomeOK] != 10 || res.ShedRate() != 0 {
+		t.Fatalf("outcomes = %v", res.ByOutcome)
+	}
+	for _, l := range res.OKLatencies {
+		if l != ms(10) {
+			t.Fatalf("unloaded latency %d, want %d", l, ms(10))
+		}
+	}
+	for _, w := range res.WaitNanos {
+		if w != 0 {
+			t.Fatalf("unloaded run queued: %v", res.WaitNanos)
+		}
+	}
+}
+
+// TestQueueBoundSheds: one token, two queue slots, five simultaneous
+// arrivals — three serve (latency 1x, 2x, 3x service), two shed.
+func TestQueueBoundSheds(t *testing.T) {
+	wl := make([]Request, 5)
+	res, err := Run(Config{Queue: 2, Concurrency: 1, Service: Constant(ms(10))}, wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ByOutcome[reqtrace.OutcomeOK] != 3 || res.ByOutcome[reqtrace.OutcomeShed] != 2 {
+		t.Fatalf("outcomes = %v, want 3 ok + 2 shed", res.ByOutcome)
+	}
+	want := []int64{ms(10), ms(20), ms(30)}
+	for i, l := range res.OKLatencies {
+		if l != want[i] {
+			t.Fatalf("latency[%d] = %d, want %d", i, l, want[i])
+		}
+	}
+	if got := res.ShedRate(); got != 0.4 {
+		t.Fatalf("shed rate %v, want 0.4", got)
+	}
+}
+
+// TestDeadlineCoversQueueWait: with a 15ms deadline over a 10ms service and
+// one token, the second simultaneous arrival starts with only 5ms of budget
+// left (cut at the deadline), and the third expires at dequeue without ever
+// holding the token.
+func TestDeadlineCoversQueueWait(t *testing.T) {
+	wl := []Request{
+		{DeadlineNS: ms(15)},
+		{DeadlineNS: ms(15)},
+		{DeadlineNS: ms(15)},
+	}
+	res, err := Run(Config{Queue: 8, Concurrency: 1, Service: Constant(ms(10))}, wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ByOutcome[reqtrace.OutcomeOK] != 1 || res.ByOutcome[reqtrace.OutcomeTimeout] != 2 {
+		t.Fatalf("outcomes = %v, want 1 ok + 2 timeout", res.ByOutcome)
+	}
+	if res.OKLatencies[0] != ms(10) {
+		t.Fatalf("first latency %d", res.OKLatencies[0])
+	}
+}
+
+// TestScatterIsSlowestShardPlusMerge: with constant per-shard service the
+// N-way maximum degenerates to the constant; merge adds on top.
+func TestScatterIsSlowestShardPlusMerge(t *testing.T) {
+	wl := []Request{{}}
+	res, err := Run(Config{Concurrency: 1, Shards: 3, Service: Constant(ms(10)), Merge: Constant(ms(2))}, wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.OKLatencies) != 1 || res.OKLatencies[0] != ms(12) {
+		t.Fatalf("scatter latency = %v, want [%d]", res.OKLatencies, ms(12))
+	}
+}
+
+// TestOverloadShedRateMatchesCapacityGap: deterministic 10ms service, one
+// token → capacity 100 req/s. Offered 200 req/s with a tight queue must shed
+// about half; well under capacity must shed none.
+func TestOverloadShedRateMatchesCapacityGap(t *testing.T) {
+	cfg := Config{Queue: 4, Concurrency: 1, Service: Constant(ms(10)), Seed: 11}
+	over, err := Run(cfg, PoissonWorkload(2000, 200, 0, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := over.ShedRate(); got < 0.35 || got > 0.65 {
+		t.Fatalf("2x-overload shed rate %v, want ~0.5", got)
+	}
+	under, err := Run(cfg, PoissonWorkload(500, 20, 0, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := under.ShedRate(); got > 0.01 {
+		t.Fatalf("20%%-load shed rate %v, want ~0", got)
+	}
+}
+
+// TestDeterministicForSeed: identical (Config, workload) → identical result.
+func TestDeterministicForSeed(t *testing.T) {
+	d := NewDist([]int64{ms(5), ms(10), ms(20), ms(40)})
+	wl := PoissonWorkload(500, 150, ms(100), 9)
+	a, err := Run(Config{Queue: 8, Concurrency: 2, Service: d, Seed: 3}, wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(Config{Queue: 8, Concurrency: 2, Service: d, Seed: 3}, wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ShedRate() != b.ShedRate() || a.LatencyQuantile(0.95) != b.LatencyQuantile(0.95) ||
+		len(a.OKLatencies) != len(b.OKLatencies) {
+		t.Fatalf("same seed diverged: %v vs %v", a.ByOutcome, b.ByOutcome)
+	}
+}
+
+// TestSweepFindsTheKnee: the predicted curve must be calm below capacity and
+// shedding above it.
+func TestSweepFindsTheKnee(t *testing.T) {
+	cfg := Config{Queue: 8, Concurrency: 1, Service: Constant(ms(10)), Seed: 1}
+	pts, err := Sweep(cfg, []float64{20, 50, 200}, 1000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pts[0].ShedRate > 0.01 || pts[1].ShedRate > 0.05 {
+		t.Fatalf("below-capacity rates shed: %+v", pts)
+	}
+	if pts[2].ShedRate < 0.3 {
+		t.Fatalf("2x-capacity rate did not shed: %+v", pts[2])
+	}
+	if pts[2].P95NS < pts[0].P95NS {
+		t.Fatalf("p95 fell under load: %+v", pts)
+	}
+}
+
+// TestFitSpanAndWorkloadFromRecords: the record → model plumbing.
+func TestFitSpanAndWorkloadFromRecords(t *testing.T) {
+	recs := []*reqtrace.Record{
+		{ArrivalUnixNS: 1000, DeadlineMS: 250, Outcome: reqtrace.OutcomeOK,
+			SpanNanos: map[string]int64{"search": ms(8), "total": ms(9)}},
+		{ArrivalUnixNS: 3000, DeadlineMS: 250, Outcome: reqtrace.OutcomeOK,
+			SpanNanos: map[string]int64{"search": ms(12), "total": ms(13)}},
+		{ArrivalUnixNS: 2000, DeadlineMS: 250, Outcome: reqtrace.OutcomeShed},
+	}
+	d, err := FitSpan(recs, "search", reqtrace.OutcomeOK)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 2 || d.Quantile(0) != ms(8) || d.Quantile(1) != ms(12) {
+		t.Fatalf("fit = %d samples, q0 %d q1 %d", d.Len(), d.Quantile(0), d.Quantile(1))
+	}
+	if _, err := FitSpan(recs, "no-such-span"); err == nil {
+		t.Fatal("fitting a missing span must fail")
+	}
+
+	wl := WorkloadFromRecords(recs)
+	if len(wl) != 3 {
+		t.Fatalf("workload len %d", len(wl))
+	}
+	// Arrival order restored, offsets rebased to the earliest arrival,
+	// sheds included (they loaded the real queue).
+	if wl[0].ArrivalNS != 0 || wl[1].ArrivalNS != 1000 || wl[2].ArrivalNS != 2000 {
+		t.Fatalf("offsets = %v", wl)
+	}
+	if wl[0].DeadlineNS != 250*int64(time.Millisecond) {
+		t.Fatalf("deadline = %d", wl[0].DeadlineNS)
+	}
+}
+
+// TestFitShardServicePoolsShards: shard spans pool across shards; a
+// monolithic recording falls back to the search span.
+func TestFitShardServicePoolsShards(t *testing.T) {
+	recs := []*reqtrace.Record{
+		{Outcome: reqtrace.OutcomeOK, SpanNanos: map[string]int64{"shard0": ms(4), "shard1": ms(6)}},
+		{Outcome: reqtrace.OutcomeOK, SpanNanos: map[string]int64{"shard0": ms(5), "shard1": ms(7)}},
+	}
+	d, err := FitShardService(recs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 4 || d.Quantile(1) != ms(7) {
+		t.Fatalf("pooled fit = %d samples, max %d", d.Len(), d.Quantile(1))
+	}
+	mono := []*reqtrace.Record{{Outcome: reqtrace.OutcomeOK, SpanNanos: map[string]int64{"search": ms(9)}}}
+	d, err = FitShardService(mono, 2)
+	if err != nil || d.Quantile(1) != ms(9) {
+		t.Fatalf("monolithic fallback: %v, %d", err, d.Quantile(1))
+	}
+}
+
+// TestRunRejectsEmptyService: an unfitted model must not silently predict
+// zero latency.
+func TestRunRejectsEmptyService(t *testing.T) {
+	if _, err := Run(Config{}, []Request{{}}); err == nil {
+		t.Fatal("Run with no service distribution must fail")
+	}
+	if _, err := Run(Config{Service: NewDist(nil)}, []Request{{}}); err == nil {
+		t.Fatal("Run with an empty service distribution must fail")
+	}
+}

@@ -1,0 +1,162 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestHistogramEmptyQuantiles pins the empty-histogram contract: every
+// accessor returns zero values rather than panicking or inventing data.
+func TestHistogramEmptyQuantiles(t *testing.T) {
+	var h Histogram
+	for _, q := range []float64{-1, 0, 0.5, 0.999, 1, 2} {
+		if got := h.Quantile(q); got != 0 {
+			t.Errorf("empty histogram Quantile(%g) = %d, want 0", q, got)
+		}
+	}
+	if h.Count() != 0 || h.Sum() != 0 || h.Mean() != 0 {
+		t.Errorf("empty histogram count=%d sum=%d mean=%v, want all zero", h.Count(), h.Sum(), h.Mean())
+	}
+	if bounds, counts := h.Buckets(); len(bounds) != 0 || len(counts) != 0 {
+		t.Errorf("empty histogram Buckets() = %v %v, want empty", bounds, counts)
+	}
+	snap := h.Snapshot()
+	if snap != (HistogramSnapshot{}) {
+		t.Errorf("empty histogram Snapshot() = %+v, want zero value", snap)
+	}
+}
+
+// TestHistogramSingleSample: with one observation, every quantile is that
+// sample's bucket bound — there is only one place the rank can land.
+func TestHistogramSingleSample(t *testing.T) {
+	cases := []struct {
+		v    int64
+		want int64 // bucket upper bound every quantile must return
+	}{
+		{0, 1},             // clamps into bucket 0, reported as 1
+		{1, 1},             // bucket 0 exactly
+		{1000, 1024},       // interior bucket
+		{1 << 40, 1 << 40}, // exact power of two stays in its own bucket
+	}
+	for _, tc := range cases {
+		var h Histogram
+		h.Observe(tc.v)
+		if h.Count() != 1 {
+			t.Fatalf("Observe(%d): count = %d, want 1", tc.v, h.Count())
+		}
+		for _, q := range []float64{0, 0.5, 1} {
+			if got := h.Quantile(q); got != tc.want {
+				t.Errorf("single sample %d: Quantile(%g) = %d, want %d", tc.v, q, got, tc.want)
+			}
+		}
+		if tc.v >= 0 && h.Sum() != tc.v {
+			t.Errorf("single sample %d: sum = %d", tc.v, h.Sum())
+		}
+	}
+}
+
+// TestHistogramOverflowBucket: values past 1<<62 land in the last bucket,
+// whose upper bound is reported as MaxInt64 (a power-of-two bound would
+// overflow int64). The 1<<62 boundary itself still belongs to bucket 62.
+func TestHistogramOverflowBucket(t *testing.T) {
+	var h Histogram
+	h.Observe(math.MaxInt64)
+	if got := h.Quantile(0.5); got != math.MaxInt64 {
+		t.Errorf("MaxInt64 sample: quantile = %d, want MaxInt64", got)
+	}
+	bounds, counts := h.Buckets()
+	if len(bounds) != 1 || bounds[0] != math.MaxInt64 || counts[0] != 1 {
+		t.Errorf("MaxInt64 sample: Buckets() = %v %v, want [MaxInt64] [1]", bounds, counts)
+	}
+
+	var edge Histogram
+	edge.Observe(1 << 62)   // last value of bucket 62
+	edge.Observe(1<<62 + 1) // first value of the overflow bucket
+	if got := edge.Quantile(0.5); got != 1<<62 {
+		t.Errorf("p50 = %d, want 1<<62 (boundary value stays in bucket 62)", got)
+	}
+	if got := edge.Quantile(1); got != math.MaxInt64 {
+		t.Errorf("p100 = %d, want MaxInt64 (value past the boundary overflows)", got)
+	}
+
+	// The overflow bound must survive the /metrics text path too.
+	r := NewRegistry()
+	r.Histogram("big_nanos").Observe(math.MaxInt64)
+	var b bytes.Buffer
+	if err := r.WriteText(&b); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	if !strings.Contains(b.String(), "big_nanos_bucket_le_9223372036854775807 1") {
+		t.Errorf("WriteText missing overflow bucket line:\n%s", b.String())
+	}
+}
+
+// TestHistogramSnapshotUnderConcurrentStamping pins what Snapshot guarantees
+// while writers are stamping (run under -race via the Makefile race target):
+// no torn reads, counts monotone across successive snapshots, quantiles that
+// are always legal bucket bounds, and an exact final state once writers stop.
+func TestHistogramSnapshotUnderConcurrentStamping(t *testing.T) {
+	var h Histogram
+	const workers = 4
+	const per = 5000
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(int64(w*per + i))
+			}
+		}()
+	}
+
+	var snapErr error
+	var snapWG sync.WaitGroup
+	snapWG.Add(1)
+	go func() {
+		defer snapWG.Done()
+		var lastCount int64
+		for !stop.Load() {
+			s := h.Snapshot()
+			if s.Count < lastCount {
+				snapErr = fmt.Errorf("snapshot count went backwards under concurrent stamping: %d then %d", lastCount, s.Count)
+				return
+			}
+			lastCount = s.Count
+			if s.Count > 0 {
+				for _, q := range []int64{s.P50, s.P95, s.P99} {
+					if q < 1 || (q != math.MaxInt64 && q&(q-1) != 0) {
+						snapErr = fmt.Errorf("snapshot quantile %d is not a bucket bound", q)
+						return
+					}
+				}
+			}
+		}
+	}()
+
+	wg.Wait()
+	stop.Store(true)
+	snapWG.Wait()
+	if snapErr != nil {
+		t.Fatal(snapErr)
+	}
+
+	final := h.Snapshot()
+	if final.Count != workers*per {
+		t.Errorf("final count = %d, want %d", final.Count, workers*per)
+	}
+	var wantSum int64
+	for v := int64(0); v < workers*per; v++ {
+		wantSum += v
+	}
+	if final.Sum != wantSum {
+		t.Errorf("final sum = %d, want %d", final.Sum, wantSum)
+	}
+}

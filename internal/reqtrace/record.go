@@ -1,0 +1,165 @@
+// The request-trace record format: the compact on-disk workload log both
+// daemons write behind -record. One JSONL line per finished request captures
+// what the capacity planner and the replayer need — when the request
+// arrived, how big it was, what deadline it ran under, how it ended, and
+// where its time went — without storing residues or hits, so an overload
+// run's record stays a few hundred bytes per request.
+package reqtrace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+)
+
+// Request outcomes, shared by records and trace trees. The vocabulary
+// mirrors the serving layer's honest-degradation contract: a shed is not a
+// timeout is not an error.
+const (
+	OutcomeOK        = "ok"        // 200, all admitted work ran
+	OutcomeShed      = "shed"      // 429, refused at admission (queue full / all shards shed)
+	OutcomeTimeout   = "timeout"   // 503, deadline expired (queue or search)
+	OutcomeCancelled = "cancelled" // client went away / drain cancelled it
+	OutcomeRejected  = "rejected"  // 4xx, invalid request (never admitted)
+	OutcomeError     = "error"     // 5xx, internal failure
+)
+
+// Record is one request's workload line.
+type Record struct {
+	// RequestID correlates the record with the trace tree, the response's
+	// X-Request-ID header, and daemon logs.
+	RequestID string `json:"request_id"`
+	// ArrivalUnixNS is the absolute arrival time at the edge handler.
+	// Replay and simulation use inter-arrival deltas, so only the
+	// differences need to be meaningful.
+	ArrivalUnixNS int64 `json:"arrival_unix_ns"`
+	// QueryLens are the residue lengths of the batch's queries, in order.
+	QueryLens []int `json:"query_lens"`
+	// DeadlineMS is the effective per-request deadline applied (after
+	// server caps and degraded-mode shrinking).
+	DeadlineMS int64 `json:"deadline_ms"`
+	// Outcome is one of the Outcome* constants; Status the HTTP status.
+	Outcome string `json:"outcome"`
+	Status  int    `json:"status"`
+	// Degraded reports the server was in degraded mode at admission.
+	Degraded bool `json:"degraded,omitempty"`
+	// SpanNanos maps span names to durations — the flat projection of the
+	// trace tree the simulator fits from: "total" always; "queue" and
+	// "search" when admitted; "scatter", "merge" and "shard<N>" on the
+	// routing tier.
+	SpanNanos map[string]int64 `json:"span_nanos,omitempty"`
+}
+
+// InterArrival returns the nanoseconds between r's arrival and prev's; zero
+// when prev is nil (the first request).
+func (r *Record) InterArrival(prev *Record) int64 {
+	if prev == nil {
+		return 0
+	}
+	d := r.ArrivalUnixNS - prev.ArrivalUnixNS
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+// Recorder writes Records as JSONL. Safe for concurrent use; nil is valid
+// and free, so the daemons thread one handle unconditionally.
+type Recorder struct {
+	mu  sync.Mutex
+	bw  *bufio.Writer
+	enc *json.Encoder
+	c   io.Closer
+}
+
+// NewRecorder wraps w in a record sink.
+func NewRecorder(w io.Writer) *Recorder {
+	bw := bufio.NewWriter(w)
+	r := &Recorder{bw: bw, enc: json.NewEncoder(bw)}
+	if c, ok := w.(io.Closer); ok {
+		r.c = c
+	}
+	return r
+}
+
+// Write appends one record. Nil-safe.
+func (r *Recorder) Write(rec *Record) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.enc.Encode(rec)
+}
+
+// Flush drains the buffer. Nil-safe.
+func (r *Recorder) Flush() error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.bw.Flush()
+}
+
+// Close flushes and closes the underlying writer when owned. Nil-safe.
+func (r *Recorder) Close() error {
+	if r == nil {
+		return nil
+	}
+	err := r.Flush()
+	if r.c != nil {
+		if cerr := r.c.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// ReadRecords decodes a JSONL record stream, sorted by arrival time (the
+// daemons write completion-ordered lines, but replay and simulation need
+// arrival order).
+func ReadRecords(r io.Reader) ([]*Record, error) {
+	dec := json.NewDecoder(r)
+	var out []*Record
+	for {
+		var rec Record
+		if err := dec.Decode(&rec); err != nil {
+			if err == io.EOF {
+				break
+			}
+			return nil, fmt.Errorf("reqtrace: decoding record %d: %w", len(out), err)
+		}
+		out = append(out, &rec)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		return out[i].ArrivalUnixNS < out[j].ArrivalUnixNS
+	})
+	return out, nil
+}
+
+// newFileRecorder opens (creates/truncates) path as a record sink.
+func newFileRecorder(path string) (*Recorder, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("reqtrace: %w", err)
+	}
+	return NewRecorder(f), nil
+}
+
+// NewRecorderFile opens path as a record sink (the daemons' -record flag).
+func NewRecorderFile(path string) (*Recorder, error) { return newFileRecorder(path) }
+
+// ReadRecordsFile is ReadRecords over a file path.
+func ReadRecordsFile(path string) ([]*Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("reqtrace: %w", err)
+	}
+	defer f.Close()
+	return ReadRecords(f)
+}

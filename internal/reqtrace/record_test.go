@@ -1,0 +1,222 @@
+package reqtrace
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRecordRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewRecorder(&buf)
+	// Written out of arrival order (completion order in a real daemon);
+	// ReadRecords must hand back arrival order.
+	recs := []*Record{
+		{RequestID: "b", ArrivalUnixNS: 200, QueryLens: []int{10, 20}, DeadlineMS: 500,
+			Outcome: OutcomeOK, Status: 200, SpanNanos: map[string]int64{"total": 42, "queue": 5, "search": 30}},
+		{RequestID: "a", ArrivalUnixNS: 100, QueryLens: []int{30}, DeadlineMS: 500,
+			Outcome: OutcomeShed, Status: 429},
+	}
+	for _, r := range recs {
+		if err := w.Write(r); err != nil {
+			t.Fatalf("Write: %v", err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	got, err := ReadRecords(&buf)
+	if err != nil {
+		t.Fatalf("ReadRecords: %v", err)
+	}
+	if len(got) != 2 || got[0].RequestID != "a" || got[1].RequestID != "b" {
+		t.Fatalf("arrival order not restored: %+v", got)
+	}
+	if got[1].SpanNanos["search"] != 30 {
+		t.Fatalf("span nanos lost: %+v", got[1].SpanNanos)
+	}
+	if d := got[1].InterArrival(got[0]); d != 100 {
+		t.Fatalf("InterArrival = %d, want 100", d)
+	}
+	if d := got[0].InterArrival(nil); d != 0 {
+		t.Fatalf("first InterArrival = %d, want 0", d)
+	}
+}
+
+func TestNilRecorderIsFree(t *testing.T) {
+	var r *Recorder
+	if err := r.Write(&Record{}); err != nil {
+		t.Fatalf("nil Write: %v", err)
+	}
+	if err := r.Flush(); err != nil {
+		t.Fatalf("nil Flush: %v", err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatalf("nil Close: %v", err)
+	}
+}
+
+func TestRecordsFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "w.jsonl")
+	recs := SynthWorkload(10, 100, 50, 250, 7)
+	if err := WriteRecordsFile(path, recs); err != nil {
+		t.Fatalf("WriteRecordsFile: %v", err)
+	}
+	got, err := ReadRecordsFile(path)
+	if err != nil {
+		t.Fatalf("ReadRecordsFile: %v", err)
+	}
+	if len(got) != 10 {
+		t.Fatalf("got %d records, want 10", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].ArrivalUnixNS < got[i-1].ArrivalUnixNS {
+			t.Fatalf("arrivals not monotone at %d", i)
+		}
+	}
+}
+
+func TestSynthWorkloadDeterministic(t *testing.T) {
+	a := SynthWorkload(20, 50, 80, 100, 3)
+	b := SynthWorkload(20, 50, 80, 100, 3)
+	for i := range a {
+		if a[i].ArrivalUnixNS != b[i].ArrivalUnixNS {
+			t.Fatalf("seeded workload not deterministic at %d", i)
+		}
+	}
+	c := SynthWorkload(20, 50, 80, 100, 4)
+	same := true
+	for i := range a {
+		if a[i].ArrivalUnixNS != c[i].ArrivalUnixNS {
+			same = false
+		}
+	}
+	if same {
+		t.Fatalf("different seeds produced identical arrivals")
+	}
+}
+
+func TestReplayAgainstLiveServer(t *testing.T) {
+	type seen struct {
+		lens      []int
+		timeoutMS int64
+		at        time.Time
+	}
+	var mu sync.Mutex
+	var got []seen
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Queries []struct {
+				Name     string `json:"name"`
+				Residues string `json:"residues"`
+			} `json:"queries"`
+			TimeoutMS int64 `json:"timeout_ms"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		s := seen{timeoutMS: req.TimeoutMS, at: time.Now()}
+		for _, q := range req.Queries {
+			s.lens = append(s.lens, len(q.Residues))
+		}
+		mu.Lock()
+		got = append(got, s)
+		n := len(got)
+		mu.Unlock()
+		w.Header().Set(HeaderRequestID, "srv-id")
+		if n == 2 {
+			// Second-arriving request is shed, to exercise classification.
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		w.Write([]byte(`{}`))
+	}))
+	defer srv.Close()
+
+	gap := 60 * time.Millisecond
+	recs := []*Record{
+		{ArrivalUnixNS: 0, QueryLens: []int{40, 25}, DeadlineMS: 1000},
+		{ArrivalUnixNS: gap.Nanoseconds(), QueryLens: []int{10}, DeadlineMS: 2000},
+	}
+	res, err := Replay(context.Background(), ReplayConfig{Target: srv.URL, Seed: 2}, recs)
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if res.Sent != 2 {
+		t.Fatalf("sent %d, want 2", res.Sent)
+	}
+	if res.ByOutcome[OutcomeOK] != 1 || res.ByOutcome[OutcomeShed] != 1 {
+		t.Fatalf("outcomes = %v, want 1 ok + 1 shed", res.ByOutcome)
+	}
+	for _, o := range res.Outcomes {
+		if o.RequestID != "srv-id" {
+			t.Fatalf("request id not captured: %+v", o)
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 2 {
+		t.Fatalf("server saw %d requests, want 2", len(got))
+	}
+	if len(got[0].lens) != 2 || got[0].lens[0] != 40 || got[0].lens[1] != 25 {
+		t.Fatalf("first request lens = %v, want [40 25]", got[0].lens)
+	}
+	if got[0].timeoutMS != 1000 || got[1].timeoutMS != 2000 {
+		t.Fatalf("deadlines not replayed: %d %d", got[0].timeoutMS, got[1].timeoutMS)
+	}
+	// Inter-arrival pacing: the second request must not fire before the
+	// recorded gap (minus nothing — the pacer only ever waits).
+	if d := got[1].at.Sub(got[0].at); d < gap/2 {
+		t.Fatalf("recorded gap %v collapsed to %v on replay", gap, d)
+	}
+}
+
+func TestReplaySpeedScalesGaps(t *testing.T) {
+	var mu sync.Mutex
+	var times []time.Time
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		times = append(times, time.Now())
+		mu.Unlock()
+		w.Write([]byte(`{}`))
+	}))
+	defer srv.Close()
+	recs := []*Record{
+		{ArrivalUnixNS: 0, QueryLens: []int{5}},
+		{ArrivalUnixNS: (400 * time.Millisecond).Nanoseconds(), QueryLens: []int{5}},
+	}
+	start := time.Now()
+	if _, err := Replay(context.Background(), ReplayConfig{Target: srv.URL, Speed: 8}, recs); err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if wall := time.Since(start); wall > 300*time.Millisecond {
+		t.Fatalf("8x replay of a 400ms workload took %v", wall)
+	}
+}
+
+func TestQuantileNanos(t *testing.T) {
+	v := []int64{50, 10, 40, 20, 30}
+	if got := quantileNanos(v, 0.5); got != 30 {
+		t.Fatalf("p50 = %d, want 30", got)
+	}
+	if got := quantileNanos(v, 1); got != 50 {
+		t.Fatalf("p100 = %d, want 50", got)
+	}
+	if got := quantileNanos(v, 0); got != 10 {
+		t.Fatalf("p0 = %d, want 10", got)
+	}
+	if got := quantileNanos(nil, 0.5); got != 0 {
+		t.Fatalf("empty quantile = %d, want 0", got)
+	}
+	// The input must not be reordered in place.
+	if v[0] != 50 {
+		t.Fatalf("quantileNanos mutated its input: %v", v)
+	}
+}

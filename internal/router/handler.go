@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/alphabet"
 	"repro/internal/obs"
+	"repro/internal/reqtrace"
 	"repro/internal/server"
 )
 
@@ -70,6 +71,22 @@ type FrontendConfig struct {
 	// Generation is reported as db_generation (default: constant 0). With
 	// local shard workers, wire it to the minimum session generation.
 	Generation func() int64
+
+	// Tracer, when set, stitches every routed request into a JSONL trace
+	// tree: edge, scatter with per-shard children (each nesting the shard's
+	// per-query six-stage pipeline spans), and merge, linked by span IDs
+	// and correlated by the X-Request-ID echoed on every outcome. Nil (the
+	// default) is free — every span operation no-ops.
+	Tracer *reqtrace.Tracer
+	// Recorder, when set, writes one compact workload record per request
+	// (arrival time, query lengths, deadline, outcome, scatter/merge and
+	// per-shard durations) — replayer and capacity-planner input. Nil is
+	// free.
+	Recorder *reqtrace.Recorder
+	// Logf receives operational log lines (sheds, shard failures) tagged
+	// with the request ID. Nil disables logging (tests); the daemon wires
+	// it to stderr.
+	Logf func(format string, args ...any)
 }
 
 func (c FrontendConfig) withDefaults() FrontendConfig {
@@ -267,22 +284,27 @@ func statusesWire(rep *Report) []ShardStatusWire {
 }
 
 func (f *Frontend) handleSearch(w http.ResponseWriter, r *http.Request) {
+	sc := f.beginRouteScope(w, r)
 	if r.Method != http.MethodPost {
 		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST only", Status: http.StatusMethodNotAllowed})
+		sc.finish(reqtrace.OutcomeRejected, http.StatusMethodNotAllowed)
 		return
 	}
 	if f.Draining() {
 		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "draining", Status: http.StatusServiceUnavailable})
+		sc.finish(reqtrace.OutcomeCancelled, http.StatusServiceUnavailable)
 		return
 	}
 	var req server.SearchRequest
 	r.Body = http.MaxBytesReader(w, r.Body, f.cfg.MaxBodyBytes)
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("decoding request: %v", err), Status: http.StatusBadRequest})
+		sc.finish(reqtrace.OutcomeRejected, http.StatusBadRequest)
 		return
 	}
 	if len(req.Queries) == 0 {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "no queries", Status: http.StatusBadRequest})
+		sc.finish(reqtrace.OutcomeRejected, http.StatusBadRequest)
 		return
 	}
 	if len(req.Queries) > f.cfg.MaxQueries {
@@ -290,6 +312,7 @@ func (f *Frontend) handleSearch(w http.ResponseWriter, r *http.Request) {
 			Error:  fmt.Sprintf("%d queries exceeds the per-request cap of %d", len(req.Queries), f.cfg.MaxQueries),
 			Status: http.StatusRequestEntityTooLarge,
 		})
+		sc.finish(reqtrace.OutcomeRejected, http.StatusRequestEntityTooLarge)
 		return
 	}
 	for i := range req.Queries {
@@ -298,6 +321,7 @@ func (f *Frontend) handleSearch(w http.ResponseWriter, r *http.Request) {
 				Error:  fmt.Sprintf("query %d (%s): %v", i, req.Queries[i].Name, err),
 				Status: http.StatusBadRequest,
 			})
+			sc.finish(reqtrace.OutcomeRejected, http.StatusBadRequest)
 			return
 		}
 	}
@@ -309,8 +333,18 @@ func (f *Frontend) handleSearch(w http.ResponseWriter, r *http.Request) {
 	if timeout > f.cfg.MaxTimeout {
 		timeout = f.cfg.MaxTimeout
 	}
+	if sc.rec != nil {
+		sc.rec.QueryLens = make([]int, len(req.Queries))
+		for i := range req.Queries {
+			sc.rec.QueryLens[i] = len(req.Queries[i].Residues)
+		}
+		sc.rec.DeadlineMS = timeout.Milliseconds()
+	}
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
+	// The scatter tier hangs its spans under the edge span it finds in the
+	// context (a no-op nil with tracing off).
+	ctx = reqtrace.ContextWithSpan(ctx, sc.root)
 
 	texts := make([]string, len(req.Queries))
 	for i := range req.Queries {
@@ -319,10 +353,12 @@ func (f *Frontend) handleSearch(w http.ResponseWriter, r *http.Request) {
 	searchStart := time.Now()
 	br, rep, err := f.rt.Search(ctx, texts, req.Policy)
 	searchDur := time.Since(searchStart)
+	sc.recordReport(rep)
 	if err != nil {
 		switch {
 		case rep == nil: // bad input (unknown policy), nothing scattered
 			writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error(), Status: http.StatusBadRequest})
+			sc.finish(reqtrace.OutcomeRejected, http.StatusBadRequest)
 		case errors.Is(err, ErrAllShardsUnavailable) && rep.Failed() == 0:
 			// Pure overload: every shard shed. 429 with the aggregated hint,
 			// exactly like the monolithic daemon's queue-full shed.
@@ -330,6 +366,8 @@ func (f *Frontend) handleSearch(w http.ResponseWriter, r *http.Request) {
 			writeJSON(w, http.StatusTooManyRequests, errorResponse{
 				Error: err.Error(), Status: http.StatusTooManyRequests, Shards: statusesWire(rep),
 			})
+			f.logf("request %s shed: all %d shards saturated, retry after %v", sc.rid, len(rep.Shards), rep.RetryAfter)
+			sc.finish(reqtrace.OutcomeShed, http.StatusTooManyRequests)
 		default:
 			if rep.Sheds() > 0 {
 				w.Header().Set("Retry-After", retryAfterSeconds(rep.RetryAfter))
@@ -337,6 +375,13 @@ func (f *Frontend) handleSearch(w http.ResponseWriter, r *http.Request) {
 			writeJSON(w, http.StatusServiceUnavailable, errorResponse{
 				Error: err.Error(), Status: http.StatusServiceUnavailable, Shards: statusesWire(rep),
 			})
+			f.logf("request %s failed: %d shed, %d failed of %d shards: %v",
+				sc.rid, rep.Sheds(), rep.Failed(), len(rep.Shards), err)
+			outcome := reqtrace.OutcomeError
+			if ctx.Err() == context.DeadlineExceeded {
+				outcome = reqtrace.OutcomeTimeout
+			}
+			sc.finish(outcome, http.StatusServiceUnavailable)
 		}
 		return
 	}
@@ -386,4 +431,16 @@ func (f *Frontend) handleSearch(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Retry-After", retryAfterSeconds(rep.RetryAfter))
 	}
 	writeJSON(w, http.StatusOK, resp)
+	if sc.rec != nil {
+		sc.rec.SpanNanos["search"] = searchDur.Nanoseconds()
+	}
+	if br.Err != nil {
+		// Honest partial: a 200 whose batch carries an error (deadline or a
+		// non-answering shard) counts against the deadline budget, not as a
+		// clean success.
+		f.logf("request %s partial: %v", sc.rid, br.Err)
+		sc.finish(reqtrace.OutcomeTimeout, http.StatusOK)
+		return
+	}
+	sc.finish(reqtrace.OutcomeOK, http.StatusOK)
 }

@@ -4,11 +4,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 	"time"
 
 	"repro/blast"
 	"repro/internal/obs"
+	"repro/internal/reqtrace"
 )
 
 // ShardStatus is the router's per-shard account of one scatter: which
@@ -67,6 +69,27 @@ func (r *Report) Spans() []obs.Span {
 	return []obs.Span{
 		{Stage: "scatter", Nanos: r.ScatterNanos},
 		{Stage: "merge", Nanos: r.MergeNanos},
+	}
+}
+
+// attachShardQuerySpans grafts the shard batch's per-query six-stage
+// pipeline spans under the shard's scatter span, mirroring the monolithic
+// daemon's query spans: one child per completed query, stage spans nested as
+// duration attributions with the shard search's start as nominal placement
+// (stages of one query interleave across scheduler tasks). Only called with
+// tracing on.
+func attachShardQuerySpans(ss *reqtrace.Span, startNS int64, res *blast.ShardResult) {
+	for qi := 0; qi < res.NumQueries(); qi++ {
+		if !res.QueryCompleted(qi) {
+			continue
+		}
+		q := ss.Child("query:"+strconv.Itoa(qi), startNS)
+		var total int64
+		for _, sp := range res.QueryStageSpans(qi) {
+			q.StaticChild("stage:"+sp.Stage, startNS, sp.Nanos)
+			total += sp.Nanos
+		}
+		q.End(total)
 	}
 }
 
@@ -160,6 +183,16 @@ func (rt *Router) Search(ctx context.Context, queries []string, policyName strin
 	}
 	rt.met.Requests.Add(1)
 
+	// Scatter span under whatever span the caller put in the context (the
+	// frontend's edge span; nil with tracing off, making every child below
+	// a free no-op). Each shard gets a child span built inside its
+	// goroutine — Span.Child is concurrency-safe — carrying the replica
+	// choice and outcome, and, when the shard answered, the per-query
+	// six-stage pipeline spans the shard's scheduler measured.
+	parent := reqtrace.SpanFromContext(ctx)
+	scatter := parent.Child("scatter", time.Now().UnixNano())
+	scatter.SetAttr("policy", pol.Name())
+
 	n := len(rt.shards)
 	rep := &Report{Policy: pol.Name(), Shards: make([]ShardStatus, n)}
 	parts := make([]*blast.ShardResult, n)
@@ -174,6 +207,11 @@ func (rt *Router) Search(ctx context.Context, queries []string, policyName strin
 			defer wg.Done()
 			rt.met.ShardSearches.Add(1)
 			start := time.Now()
+			var ss *reqtrace.Span
+			if scatter != nil {
+				ss = scatter.Child("shard"+strconv.Itoa(s), start.UnixNano())
+				ss.SetAttr("worker", w.Name())
+			}
 			res, err := w.Search(ctx, queries, s, n)
 			st.Nanos = time.Since(start).Nanoseconds()
 			if err != nil {
@@ -183,14 +221,23 @@ func (rt *Router) Search(ctx context.Context, queries []string, policyName strin
 					st.Shed = true
 					st.RetryAfter = busy.RetryAfter
 					rt.met.ShardSheds.Add(1)
+					ss.SetAttr("status", "shed")
 				} else {
 					rt.met.ShardErrors.Add(1)
+					ss.SetAttr("status", "error")
 				}
+				ss.End(st.Nanos)
 				return
 			}
 			st.OK = true
 			st.Completed = res.CompletedCount()
 			parts[s] = res
+			if ss != nil {
+				ss.SetAttr("status", "ok")
+				ss.SetAttr("completed", strconv.Itoa(st.Completed))
+				attachShardQuerySpans(ss, start.UnixNano(), res)
+				ss.End(st.Nanos)
+			}
 		}(s, w, st)
 	}
 	wg.Wait()
@@ -204,6 +251,7 @@ func (rt *Router) Search(ctx context.Context, queries []string, policyName strin
 		}
 	}
 	rt.met.ScatterNanos.Observe(rep.ScatterNanos)
+	scatter.End(rep.ScatterNanos)
 
 	answered := n - rep.Sheds() - rep.Failed()
 	if answered == 0 {
@@ -216,6 +264,7 @@ func (rt *Router) Search(ctx context.Context, queries []string, policyName strin
 	br, err := blast.MergeShards(queries, parts)
 	rep.MergeNanos = time.Since(mergeStart).Nanoseconds()
 	rt.met.MergeNanos.Observe(rep.MergeNanos)
+	parent.StaticChild("merge", mergeStart.UnixNano(), rep.MergeNanos)
 	if err != nil {
 		return nil, rep, err
 	}

@@ -1,0 +1,241 @@
+package router
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/blast"
+	"repro/internal/obs"
+	"repro/internal/reqtrace"
+)
+
+// TestFrontendTraceTreeAndIdentity: a routed request with tracing on yields
+// one stitched trace tree — edge, scatter, per-shard spans with nested
+// per-query six-stage pipeline spans, merge — and byte-identical results to
+// the same request with tracing off.
+func TestFrontendTraceTreeAndIdentity(t *testing.T) {
+	_, shards, queries := fixture(t)
+	rt, err := New(localWorkers(shards, 2), Options{Registry: obs.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var traceBuf, recBuf bytes.Buffer
+	fe := NewFrontend(rt, FrontendConfig{
+		Registry: obs.NewRegistry(),
+		Tracer:   reqtrace.NewTracer("mublastpr", &traceBuf),
+		Recorder: reqtrace.NewRecorder(&recBuf),
+	})
+	rec := postSearch(t, fe.Handler(), searchBody(queries, ""))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("traced search = %d: %s", rec.Code, rec.Body.String())
+	}
+	rid := rec.Header().Get(reqtrace.HeaderRequestID)
+	if rid == "" {
+		t.Fatalf("no X-Request-ID on traced response")
+	}
+
+	rt2, err := New(localWorkers(shards, 2), Options{Registry: obs.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	feOff := NewFrontend(rt2, FrontendConfig{Registry: obs.NewRegistry()})
+	recOff := postSearch(t, feOff.Handler(), searchBody(queries, ""))
+	if recOff.Code != http.StatusOK {
+		t.Fatalf("untraced search = %d", recOff.Code)
+	}
+
+	// Byte-identity of the merged results with tracing on vs off.
+	var on, off SearchResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &on); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(recOff.Body.Bytes(), &off); err != nil {
+		t.Fatal(err)
+	}
+	onJSON, _ := json.Marshal(on.Results)
+	offJSON, _ := json.Marshal(off.Results)
+	if !bytes.Equal(onJSON, offJSON) {
+		t.Fatalf("results differ with tracing on vs off:\non:  %s\noff: %s", onJSON, offJSON)
+	}
+
+	traces, err := reqtrace.ReadTraces(&traceBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traces) != 1 {
+		t.Fatalf("got %d trace trees, want 1", len(traces))
+	}
+	tr := traces[0]
+	if tr.RequestID != rid || tr.Daemon != "mublastpr" || tr.Outcome != reqtrace.OutcomeOK {
+		t.Fatalf("trace header = %q/%q/%q", tr.RequestID, tr.Daemon, tr.Outcome)
+	}
+	if err := tr.Linked(); err != nil {
+		t.Fatalf("trace tree not linked: %v", err)
+	}
+	for _, name := range []string{"edge", "scatter", "merge"} {
+		if tr.RootSpan().Find(name) == nil {
+			t.Fatalf("trace tree missing span %q", name)
+		}
+	}
+	scatter := tr.RootSpan().Find("scatter")
+	if len(scatter.Children) != len(shards) {
+		t.Fatalf("scatter has %d shard children, want %d", len(scatter.Children), len(shards))
+	}
+	for s := range shards {
+		ss := scatter.Find("shard" + strconv.Itoa(s))
+		if ss == nil {
+			t.Fatalf("scatter missing shard%d span", s)
+		}
+		if ss.Attrs["status"] != "ok" || ss.Attrs["worker"] == "" {
+			t.Fatalf("shard%d attrs = %v", s, ss.Attrs)
+		}
+		// Each shard completed every query; each query span nests exactly
+		// the six pipeline stages.
+		if len(ss.Children) != len(queries) {
+			t.Fatalf("shard%d has %d query spans, want %d", s, len(ss.Children), len(queries))
+		}
+		for _, q := range ss.Children {
+			if !strings.HasPrefix(q.Name, "query:") {
+				t.Fatalf("shard%d child %q is not a query span", s, q.Name)
+			}
+			if len(q.Children) != 6 {
+				t.Fatalf("%s under shard%d has %d stage children, want 6", q.Name, s, len(q.Children))
+			}
+			for _, st := range q.Children {
+				if !strings.HasPrefix(st.Name, "stage:") {
+					t.Fatalf("query child %q is not a stage span", st.Name)
+				}
+			}
+		}
+	}
+
+	// The workload record carries scatter/merge/per-shard durations.
+	recs, err := reqtrace.ReadRecords(&recBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("got %d records, want 1", len(recs))
+	}
+	wr := recs[0]
+	if wr.RequestID != rid || wr.Outcome != reqtrace.OutcomeOK || wr.Status != 200 {
+		t.Fatalf("record = %+v", wr)
+	}
+	if len(wr.QueryLens) != len(queries) || wr.QueryLens[0] != len(queries[0]) {
+		t.Fatalf("record query lens = %v", wr.QueryLens)
+	}
+	for _, k := range []string{"total", "search", "scatter", "shard0", "shard1", "shard2"} {
+		if _, ok := wr.SpanNanos[k]; !ok {
+			t.Fatalf("record missing span %q: %v", k, wr.SpanNanos)
+		}
+	}
+}
+
+// TestFrontendShedTracedAndLogged: an all-shards-shed 429 still carries the
+// request ID, records a shed outcome with per-shard durations, and logs with
+// the request ID.
+func TestFrontendShedTracedAndLogged(t *testing.T) {
+	_, shards, queries := fixture(t)
+	workers := make([][]Worker, len(shards))
+	for s := range shards {
+		name := "b" + strconv.Itoa(s)
+		workers[s] = []Worker{&stubWorker{name: name, search: func(ctx context.Context, q []string, shard, n int) (*blast.ShardResult, error) {
+			return nil, &BusyError{Worker: name, RetryAfter: time.Second}
+		}}}
+	}
+	rt, err := New(workers, Options{Registry: obs.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var traceBuf, recBuf bytes.Buffer
+	var logLines []string
+	fe := NewFrontend(rt, FrontendConfig{
+		Registry: obs.NewRegistry(),
+		Tracer:   reqtrace.NewTracer("mublastpr", &traceBuf),
+		Recorder: reqtrace.NewRecorder(&recBuf),
+		Logf: func(format string, args ...any) {
+			logLines = append(logLines, fmt.Sprintf(format, args...))
+		},
+	})
+	rec := postSearch(t, fe.Handler(), searchBody(queries, ""))
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("all-shed = %d, want 429", rec.Code)
+	}
+	rid := rec.Header().Get(reqtrace.HeaderRequestID)
+	if rid == "" {
+		t.Fatalf("shed response carries no X-Request-ID")
+	}
+	traces, err := reqtrace.ReadTraces(&traceBuf)
+	if err != nil || len(traces) != 1 {
+		t.Fatalf("traces = %d, err %v", len(traces), err)
+	}
+	if traces[0].Outcome != reqtrace.OutcomeShed {
+		t.Fatalf("trace outcome %q, want shed", traces[0].Outcome)
+	}
+	if ss := traces[0].RootSpan().Find("shard0"); ss == nil || ss.Attrs["status"] != "shed" {
+		t.Fatalf("shard0 span not marked shed: %+v", ss)
+	}
+	recs, err := reqtrace.ReadRecords(&recBuf)
+	if err != nil || len(recs) != 1 {
+		t.Fatalf("records = %d, err %v", len(recs), err)
+	}
+	if recs[0].Outcome != reqtrace.OutcomeShed || recs[0].Status != 429 || recs[0].RequestID != rid {
+		t.Fatalf("shed record = %+v", recs[0])
+	}
+	var logged bool
+	for _, l := range logLines {
+		if strings.Contains(l, "shed") && strings.Contains(l, rid) {
+			logged = true
+		}
+	}
+	if !logged {
+		t.Fatalf("shed not logged with request id %s: %v", rid, logLines)
+	}
+}
+
+// TestFrontendUpstreamContextStitches: a request arriving with trace headers
+// (as a load balancer or an upstream router would send) keeps the upstream
+// request ID and parents its edge span under the upstream span.
+func TestFrontendUpstreamContextStitches(t *testing.T) {
+	_, shards, queries := fixture(t)
+	rt, err := New(localWorkers(shards, 2), Options{Registry: obs.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var traceBuf bytes.Buffer
+	fe := NewFrontend(rt, FrontendConfig{
+		Registry: obs.NewRegistry(),
+		Tracer:   reqtrace.NewTracer("mublastpr", &traceBuf),
+	})
+	raw, _ := json.Marshal(searchBody(queries, ""))
+	req := httptest.NewRequest(http.MethodPost, "/search", bytes.NewReader(raw))
+	reqtrace.Inject(req.Header, "req-upstream", "00000000feedface", &reqtrace.Span{SpanID: "00000000deadbeef"})
+	rec := httptest.NewRecorder()
+	fe.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if got := rec.Header().Get(reqtrace.HeaderRequestID); got != "req-upstream" {
+		t.Fatalf("X-Request-ID = %q, want upstream id echoed", got)
+	}
+	traces, err := reqtrace.ReadTraces(&traceBuf)
+	if err != nil || len(traces) != 1 {
+		t.Fatalf("traces = %d, err %v", len(traces), err)
+	}
+	tr := traces[0]
+	if tr.RequestID != "req-upstream" || tr.TraceID != "00000000feedface" {
+		t.Fatalf("upstream ids not honored: %+v", tr)
+	}
+	if tr.RootSpan().ParentID != "00000000deadbeef" {
+		t.Fatalf("edge span not parented under upstream: %q", tr.RootSpan().ParentID)
+	}
+}

@@ -1,0 +1,99 @@
+package router
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/reqtrace"
+)
+
+// logf emits an operational log line when the daemon wired a logger; tests
+// leave it nil and stay quiet.
+func (f *Frontend) logf(format string, args ...any) {
+	if f.cfg.Logf != nil {
+		f.cfg.Logf(format, args...)
+	}
+}
+
+// routeScope is one routed request's observability state — the router-tier
+// twin of the monolithic daemon's searchScope: the request ID echoed on
+// every outcome, the trace tree under construction (nil with tracing off),
+// and the workload record under accumulation (nil with recording off). All
+// exit paths converge on finish.
+type routeScope struct {
+	fe      *Frontend
+	arrival time.Time
+	rid     string
+	tr      *reqtrace.Trace
+	root    *reqtrace.Span
+	rec     *reqtrace.Record
+	done    bool
+}
+
+// beginRouteScope resolves the request ID (honoring an incoming
+// X-Request-ID so a trace spanning router and shard daemons keeps one
+// handle), echoes it on the response immediately, and opens the trace tree
+// and workload record when their sinks are attached.
+func (f *Frontend) beginRouteScope(w http.ResponseWriter, r *http.Request) *routeScope {
+	arrival := time.Now()
+	wc := reqtrace.Extract(r.Header)
+	if wc.RequestID == "" {
+		wc.RequestID = reqtrace.NewRequestID()
+	}
+	sc := &routeScope{fe: f, arrival: arrival, rid: wc.RequestID}
+	sc.tr = f.cfg.Tracer.Begin(wc, "edge", arrival.UnixNano())
+	sc.root = sc.tr.RootSpan()
+	sc.root.SetAttr("daemon", "mublastpr")
+	if f.cfg.Recorder != nil {
+		sc.rec = &reqtrace.Record{
+			RequestID:     sc.rid,
+			ArrivalUnixNS: arrival.UnixNano(),
+			SpanNanos:     make(map[string]int64, 8),
+		}
+	}
+	w.Header().Set(reqtrace.HeaderRequestID, sc.rid)
+	return sc
+}
+
+// recordReport projects the routing report into the workload record's flat
+// span durations: scatter, merge, and one shard<N> entry per shard — the
+// per-stage service times the capacity planner fits its distributions from.
+func (sc *routeScope) recordReport(rep *Report) {
+	if sc.rec == nil || rep == nil {
+		return
+	}
+	sc.rec.SpanNanos["scatter"] = rep.ScatterNanos
+	if rep.MergeNanos > 0 {
+		sc.rec.SpanNanos["merge"] = rep.MergeNanos
+	}
+	for i := range rep.Shards {
+		sc.rec.SpanNanos["shard"+strconv.Itoa(rep.Shards[i].Shard)] = rep.Shards[i].Nanos
+	}
+}
+
+// finish closes the request: root span ended with the total duration,
+// outcome and HTTP status stamped on tree and record, both sinks written and
+// flushed. Idempotent, so error paths can finish early and fall through.
+func (sc *routeScope) finish(outcome string, status int) {
+	if sc.done {
+		return
+	}
+	sc.done = true
+	total := time.Since(sc.arrival)
+	sc.root.SetAttr("status", strconv.Itoa(status))
+	sc.root.End(total.Nanoseconds())
+	tracer := sc.fe.cfg.Tracer
+	if err := tracer.Finish(sc.tr, outcome); err == nil {
+		tracer.Flush()
+	}
+	if sc.rec != nil {
+		sc.rec.Outcome = outcome
+		sc.rec.Status = status
+		sc.rec.SpanNanos["total"] = total.Nanoseconds()
+		rec := sc.fe.cfg.Recorder
+		if err := rec.Write(sc.rec); err == nil {
+			rec.Flush()
+		}
+	}
+}

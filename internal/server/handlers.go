@@ -11,6 +11,7 @@ import (
 
 	"repro/blast"
 	"repro/internal/alphabet"
+	"repro/internal/reqtrace"
 )
 
 // Wire types of the /search endpoint. Hits are a stable snake_case mirror of
@@ -146,31 +147,38 @@ func retryAfterSeconds(d time.Duration) string {
 }
 
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	sc := s.beginSearchScope(w, r)
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		sc.finish(reqtrace.OutcomeRejected, http.StatusMethodNotAllowed)
 		return
 	}
 	if s.Draining() {
 		writeError(w, http.StatusServiceUnavailable, "draining")
+		sc.finish(reqtrace.OutcomeCancelled, http.StatusServiceUnavailable)
 		return
 	}
 	if err := fiAdmit.Err(); err != nil {
 		writeError(w, http.StatusServiceUnavailable, "admission failure: %v", err)
+		sc.finish(reqtrace.OutcomeError, http.StatusServiceUnavailable)
 		return
 	}
 	var req SearchRequest
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		sc.finish(reqtrace.OutcomeRejected, http.StatusBadRequest)
 		return
 	}
 	if len(req.Queries) == 0 {
 		writeError(w, http.StatusBadRequest, "no queries")
+		sc.finish(reqtrace.OutcomeRejected, http.StatusBadRequest)
 		return
 	}
 	if len(req.Queries) > s.cfg.MaxQueries {
 		writeError(w, http.StatusRequestEntityTooLarge,
 			"%d queries exceeds the per-request cap of %d", len(req.Queries), s.cfg.MaxQueries)
+		sc.finish(reqtrace.OutcomeRejected, http.StatusRequestEntityTooLarge)
 		return
 	}
 	// Malformed sequences are refused before admission: a request that can
@@ -178,7 +186,14 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	for i := range req.Queries {
 		if _, err := alphabet.Encode([]byte(req.Queries[i].Residues)); err != nil {
 			writeError(w, http.StatusBadRequest, "query %d (%s): %v", i, req.Queries[i].Name, err)
+			sc.finish(reqtrace.OutcomeRejected, http.StatusBadRequest)
 			return
+		}
+	}
+	if sc.rec != nil {
+		sc.rec.QueryLens = make([]int, len(req.Queries))
+		for i := range req.Queries {
+			sc.rec.QueryLens[i] = len(req.Queries[i].Residues)
 		}
 	}
 
@@ -204,6 +219,10 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 			queries = queries[:s.cfg.DegradedMaxQueries]
 		}
 	}
+	if sc.rec != nil {
+		sc.rec.DeadlineMS = timeout.Milliseconds()
+		sc.rec.Degraded = degraded
+	}
 
 	// Claim a wait slot — the only unbounded-queue defense that matters.
 	if !s.adm.enter() {
@@ -211,6 +230,8 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter))
 		writeError(w, http.StatusTooManyRequests,
 			"admission queue full (%d waiting); retry later", s.cfg.Queue)
+		s.logf("request %s shed: admission queue full (%d waiting)", sc.rid, s.cfg.Queue)
+		sc.finish(reqtrace.OutcomeShed, http.StatusTooManyRequests)
 		return
 	}
 	s.deg.observe(s.adm.depth(), time.Now())
@@ -220,22 +241,31 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
 	enqueued := time.Now()
+	admSpan := sc.root.Child("admission", enqueued.UnixNano())
 	if !s.adm.acquire(ctx.Done()) {
+		admSpan.End(time.Since(enqueued).Nanoseconds())
+		sc.spanNanos("queue", time.Since(enqueued))
 		s.deg.observe(s.adm.depth(), time.Now())
 		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
 			s.met.TimedOut.Add(1)
 			w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter))
 			writeError(w, http.StatusServiceUnavailable,
 				"deadline expired after %v in the admission queue", time.Since(enqueued).Round(time.Millisecond))
+			s.logf("request %s timed out after %v in the admission queue", sc.rid, time.Since(enqueued).Round(time.Millisecond))
+			sc.finish(reqtrace.OutcomeTimeout, http.StatusServiceUnavailable)
 			return
 		}
 		// Client went away (or the drain cancelled the base context);
 		// nothing useful to write.
 		writeError(w, http.StatusServiceUnavailable, "request cancelled while queued")
+		s.logf("request %s cancelled while queued", sc.rid)
+		sc.finish(reqtrace.OutcomeCancelled, http.StatusServiceUnavailable)
 		return
 	}
 	defer s.adm.release()
 	queueWait := time.Since(enqueued)
+	admSpan.End(queueWait.Nanoseconds())
+	sc.spanNanos("queue", queueWait)
 	s.met.Admitted.Add(1)
 	s.met.QueueWaitNanos.Observe(int64(queueWait))
 	s.deg.observe(s.adm.depth(), time.Now())
@@ -249,13 +279,22 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	}
 	db, release := s.ses.Acquire()
 	searchStart := time.Now()
-	br, err := db.SearchBatchCtx(ctx, texts)
+	searchSpan := sc.root.Child("search", searchStart.UnixNano())
+	br, err := db.SearchBatchCtx(reqtrace.ContextWithSpan(ctx, searchSpan), texts)
 	searchDur := time.Since(searchStart)
 	release()
+	searchSpan.End(searchDur.Nanoseconds())
+	sc.spanNanos("search", searchDur)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "search: %v", err)
+		sc.finish(reqtrace.OutcomeRejected, http.StatusBadRequest)
 		return
 	}
+	names := make([]string, len(queries))
+	for i := range queries {
+		names[i] = queries[i].Name
+	}
+	attachQuerySpans(searchSpan, searchStart.UnixNano(), names, br)
 	s.met.RequestNanos.Observe(int64(time.Since(enqueued)))
 
 	resp := SearchResponse{
@@ -299,9 +338,19 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 
 	if err := fiRespond.Err(); err != nil {
 		writeError(w, http.StatusInternalServerError, "response failure: %v", err)
+		sc.finish(reqtrace.OutcomeError, http.StatusInternalServerError)
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
+	outcome := reqtrace.OutcomeOK
+	if br.Err != nil {
+		// The batch was cut short (deadline or drain) but completed queries
+		// were still answered: an honest partial, recorded as a timeout so
+		// the capacity model counts it against the deadline budget.
+		outcome = reqtrace.OutcomeTimeout
+		s.logf("request %s incomplete: %v", sc.rid, br.Err)
+	}
+	sc.finish(outcome, http.StatusOK)
 }
 
 func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {

@@ -27,6 +27,7 @@ import (
 	"repro/blast"
 	"repro/internal/faultinject"
 	"repro/internal/obs"
+	"repro/internal/reqtrace"
 )
 
 // Fault sites of the serving layer, armable by name through the same chaos
@@ -82,6 +83,21 @@ type Config struct {
 
 	// Registry receives the serving metrics (default obs.Default).
 	Registry *obs.Registry
+
+	// Tracer, when set, stitches every request into a JSONL trace tree:
+	// edge, admission-queue wait, search, and per-query six-stage pipeline
+	// spans, linked by span IDs and correlated by the request ID echoed in
+	// X-Request-ID. Nil (the default) is free — every span operation
+	// no-ops.
+	Tracer *reqtrace.Tracer
+	// Recorder, when set, writes one compact workload record per request
+	// (arrival time, query lengths, deadline, outcome, span durations) —
+	// the input of the replayer and the capacity planner. Nil is free.
+	Recorder *reqtrace.Recorder
+	// Logf receives operational log lines (sheds, timeouts, cancellations)
+	// tagged with the request ID so they correlate with traces. Nil
+	// disables logging (tests); the daemon wires it to stderr.
+	Logf func(format string, args ...any)
 }
 
 // withDefaults resolves every zero field. threads is the per-batch thread

@@ -1,0 +1,124 @@
+package server
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/blast"
+	"repro/internal/reqtrace"
+)
+
+// logf emits an operational log line when the daemon wired a logger; tests
+// leave it nil and stay quiet.
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// searchScope is one request's observability state: the request ID echoed
+// on every outcome, the trace tree under construction (nil with tracing
+// off — every span operation no-ops), and the workload record under
+// accumulation (nil with recording off). It exists so the handler's many
+// exit paths all converge on one finish call that stamps outcome and
+// status, closes the root span, and writes both sinks.
+type searchScope struct {
+	srv     *Server
+	arrival time.Time
+	rid     string
+	tr      *reqtrace.Trace
+	root    *reqtrace.Span
+	rec     *reqtrace.Record
+	done    bool
+}
+
+// beginSearchScope resolves the request ID (honoring an incoming
+// X-Request-ID so multi-hop traces keep one handle), echoes it on the
+// response immediately — every outcome carries it, success or shed — and
+// opens the trace tree and workload record when their sinks are attached.
+func (s *Server) beginSearchScope(w http.ResponseWriter, r *http.Request) *searchScope {
+	arrival := time.Now()
+	wc := reqtrace.Extract(r.Header)
+	if wc.RequestID == "" {
+		wc.RequestID = reqtrace.NewRequestID()
+	}
+	sc := &searchScope{srv: s, arrival: arrival, rid: wc.RequestID}
+	sc.tr = s.cfg.Tracer.Begin(wc, "edge", arrival.UnixNano())
+	sc.root = sc.tr.RootSpan()
+	sc.root.SetAttr("daemon", "mublastpd")
+	if s.cfg.Recorder != nil {
+		sc.rec = &reqtrace.Record{
+			RequestID:     sc.rid,
+			ArrivalUnixNS: arrival.UnixNano(),
+			SpanNanos:     make(map[string]int64, 4),
+		}
+	}
+	w.Header().Set(reqtrace.HeaderRequestID, sc.rid)
+	return sc
+}
+
+// spanNanos stamps a named duration into the workload record. Trace spans
+// are handled separately (they carry structure); the record keeps the flat
+// projection the capacity planner fits from.
+func (sc *searchScope) spanNanos(name string, d time.Duration) {
+	if sc.rec != nil {
+		sc.rec.SpanNanos[name] = d.Nanoseconds()
+	}
+}
+
+// finish closes the request: root span ended with the total duration,
+// outcome and HTTP status stamped on tree and record, both sinks written
+// and flushed (a trace file must be complete the moment the response is on
+// the wire — the smoke test and operators read it while the daemon runs).
+// Idempotent; later calls no-op so error paths can finish early and fall
+// through.
+func (sc *searchScope) finish(outcome string, status int) {
+	if sc.done {
+		return
+	}
+	sc.done = true
+	total := time.Since(sc.arrival)
+	sc.root.SetAttr("status", strconv.Itoa(status))
+	sc.root.End(total.Nanoseconds())
+	tracer := sc.srv.cfg.Tracer
+	if err := tracer.Finish(sc.tr, outcome); err == nil {
+		tracer.Flush()
+	}
+	if sc.rec != nil {
+		sc.rec.Outcome = outcome
+		sc.rec.Status = status
+		sc.rec.SpanNanos["total"] = total.Nanoseconds()
+		rec := sc.srv.cfg.Recorder
+		if err := rec.Write(sc.rec); err == nil {
+			rec.Flush()
+		}
+	}
+}
+
+// attachQuerySpans grafts the engine's per-query six-stage pipeline spans
+// under the search span: one child per completed query, each holding the
+// stage spans materialized from the Stats the pipeline already carries.
+// Stage spans are duration attributions, not placements — stages of one
+// query interleave across scheduler tasks, so each stage child carries the
+// search phase's start as its nominal start time. No-op with tracing off
+// (nil search span).
+func attachQuerySpans(search *reqtrace.Span, startNS int64, names []string, br *blast.BatchResult) {
+	if search == nil {
+		return
+	}
+	for i, res := range br.Results {
+		if !br.Completed[i] {
+			continue
+		}
+		q := search.Child("query:"+names[i], startNS)
+		q.SetAttr("query_len", strconv.Itoa(res.QueryLen))
+		q.SetAttr("hits", strconv.Itoa(len(res.Hits)))
+		var total int64
+		for _, sp := range res.StageSpans() {
+			q.StaticChild("stage:"+sp.Stage, startNS, sp.Nanos)
+			total += sp.Nanos
+		}
+		q.End(total)
+	}
+}
