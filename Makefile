@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath (stdlib only).
 
-.PHONY: all build vet test race fuzz chaos bench bench-json bench-compare bench-smoke obs-smoke obs-smoke-fault serve-smoke shard-smoke trace-smoke experiments examples golden clean
+.PHONY: all build vet test race fuzz chaos bench bench-json bench-compare bench-smoke obs-smoke obs-smoke-fault serve-smoke shard-smoke remote-smoke trace-smoke experiments examples golden clean
 
 all: build vet test bench-json
 
@@ -10,7 +10,7 @@ build:
 vet:
 	go vet ./...
 
-test: vet race fuzz chaos obs-smoke obs-smoke-fault serve-smoke shard-smoke trace-smoke bench-compare bench-smoke
+test: vet race fuzz chaos obs-smoke obs-smoke-fault serve-smoke shard-smoke remote-smoke trace-smoke bench-compare bench-smoke
 	go test ./...
 
 # Race-detector pass over the packages with concurrent hot paths (the batch
@@ -21,13 +21,14 @@ race:
 	go test -race ./internal/core ./internal/parallel ./internal/search ./internal/mpi ./internal/cluster ./internal/server ./internal/router ./internal/obs ./internal/reqtrace ./blast
 
 # Chaos harness: randomized fault schedules (injected panics, delays, errors,
-# rank deaths, op timeouts) against both batch schedulers, the distributed
-# failover path, and the serving layer under concurrent load, under the race
-# detector. Each round logs its seed and fault schedule; on failure the log
-# ends with a CHAOS_SEED=... replay line. CHAOS_ROUNDS widens the sweep,
-# CHAOS_SEED pins one schedule.
+# rank deaths, op timeouts, dropped RPCs, torn response bodies) against both
+# batch schedulers, the distributed failover path, the serving layer, and the
+# remote scatter transport under concurrent load, under the race detector.
+# Each round logs its seed and fault schedule; on failure the log ends with a
+# CHAOS_SEED=... replay line. CHAOS_ROUNDS widens the sweep, CHAOS_SEED pins
+# one schedule.
 chaos:
-	go test -race -run 'TestChaos' -v ./internal/core ./internal/cluster ./internal/server
+	go test -race -run 'TestChaos' -v ./internal/core ./internal/cluster ./internal/server ./internal/router
 
 # Short-budget fuzz pass over every decoder at the I/O boundary: the FASTA
 # parser, the database and index deserializers, and the container loader.
@@ -102,6 +103,14 @@ serve-smoke:
 # response payloads — every hit, score, and E-value — to be byte-identical.
 shard-smoke:
 	./scripts/shard_smoke.sh
+
+# Remote-topology smoke test: a 2-shard x 2-replica mublastpd fleet behind
+# mublastpr -workers, checked byte-identical against a monolithic daemon,
+# then the failure drills — SIGKILL one replica (fleet keeps serving, prober
+# ejects, /readyz stays green), SIGKILL the shard's last replica (/readyz
+# 503), restart (readmission, byte-identity restored).
+remote-smoke:
+	./scripts/remote_smoke.sh
 
 # Cross-tier tracing smoke test: traced mublastpd + mublastpr serve a batch,
 # then cmd/tracecheck asserts one stitched (span-ID-linked) trace tree per

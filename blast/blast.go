@@ -315,6 +315,14 @@ func buildConfig(p Params) (*search.Config, error) {
 // NumSequences returns the number of database sequences.
 func (d *Database) NumSequences() int { return d.db.NumSeqs() }
 
+// SearchSettings reports the result-shaping parameters this database serves
+// with: the E-value cutoff and the per-query report cap. Shard-coherent
+// serving checks them across replicas — they must match or merged output
+// drifts from the monolithic search.
+func (d *Database) SearchSettings() (evalueCutoff float64, maxResults int) {
+	return d.params.EValueCutoff, d.params.MaxResults
+}
+
 // TotalResidues returns the total residue count.
 func (d *Database) TotalResidues() int64 { return d.db.TotalResidues }
 
@@ -407,25 +415,31 @@ func (d *Database) SearchBatchStats(queries []string) ([]*Result, search.SchedSt
 
 func (d *Database) convert(q []alphabet.Code, res search.QueryResult) *Result {
 	return convertHSPs(q, res,
-		func(subject int) []alphabet.Code { return d.db.Seqs[subject].Data },
-		func(_ int, name string) (chunkInfo, bool) { info, ok := d.chunkOrigin[name]; return info, ok })
+		func(_ int, h *search.HSP) float64 { return identity(q, d.db.Seqs[h.Subject].Data, &h.Aln) },
+		func(_ int, h *search.HSP) (chunkInfo, bool) {
+			info, ok := d.chunkOrigin[h.SubjectName]
+			return info, ok
+		})
 }
 
 // convertHSPs turns ranked HSPs into reported Hits against an abstract
-// subject view: residues resolves a subject id to its residues and origin
-// resolves a (subject id, name) to its split-chunk origin, if any. The
-// monolithic database and the sharded merge both funnel through this one
-// function, so chunk-coordinate mapping and overlap deduplication behave
-// identically on both paths.
-func convertHSPs(q []alphabet.Code, res search.QueryResult, residues func(int) []alphabet.Code, origin func(subject int, name string) (chunkInfo, bool)) *Result {
+// subject view: identityOf resolves the i-th HSP to its aligned-column
+// identity fraction and origin resolves it to its split-chunk origin, if
+// any. The closures receive the HSP's position in res.HSPs so merge paths
+// whose HSPs come from different shards (including detached, wire-imported
+// shard results with no local residues at all) can consult per-HSP side
+// records. The monolithic database and the sharded merge both funnel
+// through this one function, so chunk-coordinate mapping and overlap
+// deduplication behave identically on both paths.
+func convertHSPs(q []alphabet.Code, res search.QueryResult, identityOf func(i int, h *search.HSP) float64, origin func(i int, h *search.HSP) (chunkInfo, bool)) *Result {
 	out := &Result{QueryLen: len(q), Stats: res.Stats, Hits: make([]Hit, 0, len(res.HSPs))}
 	type hitKey struct {
 		name          string
 		score, qs, ss int
 	}
 	var seen map[hitKey]bool
-	for _, h := range res.HSPs {
-		s := residues(h.Subject)
+	for i := range res.HSPs {
+		h := &res.HSPs[i]
 		hit := Hit{
 			Subject:      h.Subject,
 			SubjectName:  h.SubjectName,
@@ -436,13 +450,13 @@ func convertHSPs(q []alphabet.Code, res search.QueryResult, residues func(int) [
 			QueryEnd:     h.Aln.QEnd,
 			SubjectStart: h.Aln.SStart,
 			SubjectEnd:   h.Aln.SEnd,
-			Identity:     identity(q, s, &h.Aln),
+			Identity:     identityOf(i, h),
 			Ops:          string(h.Aln.Ops),
 		}
 		// Map split chunks back to original-sequence coordinates and drop
 		// duplicates found in the overlap region of adjacent chunks
 		// (Section IV-A's assembly step).
-		if info, ok := origin(h.Subject, h.SubjectName); ok {
+		if info, ok := origin(i, h); ok {
 			hit.SubjectName = info.origName
 			hit.SubjectStart += info.offset
 			hit.SubjectEnd += info.offset

@@ -118,6 +118,12 @@ func mismatchf(format string, args ...any) error {
 	return fmt.Errorf("blast: %w: %s", ErrParamsMismatch, fmt.Sprintf(format, args...))
 }
 
+// Fingerprint returns the build fingerprint this database carries (the same
+// one Save persists and Load validates). Shard-coherent serving uses it as
+// the handshake token: replicas answering for one logical database must all
+// report the fingerprint of one makedb run.
+func (d *Database) Fingerprint() Fingerprint { return d.fingerprint() }
+
 // fingerprint captures the database's build parameters for Save.
 func (d *Database) fingerprint() Fingerprint {
 	return Fingerprint{

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 
 	"repro/internal/alphabet"
 	"repro/internal/dbindex"
@@ -110,17 +111,68 @@ func (d *Database) GlobalSearchSpace() (residues, sequences int64) {
 
 // ShardResult is one shard's raw contribution to a scatter-gather search:
 // per-query HSPs still carrying shard-local subject ids, plus the batch's
-// completion flags. It is produced by SearchShardBatchCtx and consumed by
+// completion flags. It is produced by SearchShardBatchCtx (attached to the
+// shard's local database) or by ImportShardResult (detached — rebuilt from
+// the wire form a remote shard worker sent, with precomputed identity and
+// chunk-origin side records instead of a resident database) and consumed by
 // MergeShards; callers treat it as opaque.
 type ShardResult struct {
 	shard     int
 	numShards int
-	db        *Database
+	db        *Database // nil for a detached (wire-imported) result
 	results   []search.QueryResult
 	completed []bool
 	queryErrs []error
 	sched     search.SchedStats
 	err       error
+
+	// Detached-result state: the merge cap the remote shard was configured
+	// with, and per-query per-HSP side records (parallel to results[i].HSPs)
+	// replacing what an attached result derives from db.
+	maxResults int
+	sidecar    [][]hspMeta
+}
+
+// hspMeta is the detached stand-in for what the merge otherwise reads from
+// the shard's resident database: the alignment's identity fraction (needs
+// subject residues) and its split-chunk origin (needs the chunkOrigin map).
+// Both are computed shard-side at Wire time, against exactly the data a
+// local merge would have consulted.
+type hspMeta struct {
+	identity  float64
+	origName  string
+	offset    int
+	hasOrigin bool
+}
+
+// hspIdentity resolves one of this shard's HSPs (restored to its monolithic
+// subject id) to its aligned-column identity fraction.
+func (r *ShardResult) hspIdentity(q []alphabet.Code, qi, local int, h *search.HSP) float64 {
+	if r.db != nil {
+		return identity(q, r.db.db.Seqs[h.Subject/r.numShards].Data, &h.Aln)
+	}
+	return r.sidecar[qi][local].identity
+}
+
+// hspOrigin resolves one of this shard's HSPs to its split-chunk origin.
+func (r *ShardResult) hspOrigin(qi, local int, h *search.HSP) (chunkInfo, bool) {
+	if r.db != nil {
+		info, ok := r.db.chunkOrigin[h.SubjectName]
+		return info, ok
+	}
+	m := &r.sidecar[qi][local]
+	if !m.hasOrigin {
+		return chunkInfo{}, false
+	}
+	return chunkInfo{origName: m.origName, offset: m.offset}, true
+}
+
+// maxHits returns the per-query report cap this shard was searched with.
+func (r *ShardResult) maxHits() int {
+	if r.db != nil {
+		return r.db.params.MaxResults
+	}
+	return r.maxResults
 }
 
 // Shard returns the shard index this result came from.
@@ -252,14 +304,7 @@ func MergeShards(queries []string, parts []*ShardResult) (*BatchResult, error) {
 		enc[i] = q
 	}
 
-	maxResults := tmpl.db.params.MaxResults
-	residues := func(subject int) []alphabet.Code {
-		return parts[subject%numShards].db.db.Seqs[subject/numShards].Data
-	}
-	origin := func(subject int, name string) (chunkInfo, bool) {
-		info, ok := parts[subject%numShards].db.chunkOrigin[name]
-		return info, ok
-	}
+	maxResults := tmpl.maxHits()
 
 	out := &BatchResult{
 		Results:   make([]*Result, len(queries)),
@@ -313,22 +358,60 @@ func MergeShards(queries []string, parts []*ShardResult) (*BatchResult, error) {
 			continue
 		}
 		merged := search.QueryResult{Query: qi}
+		var refs []hspRef
 		for s, part := range parts {
+			if part == nil {
+				continue
+			}
 			res := &part.results[qi]
-			for _, h := range res.HSPs {
+			for li, h := range res.HSPs {
 				h.Subject = h.Subject*numShards + s // restore the monolithic id
 				merged.HSPs = append(merged.HSPs, h)
+				refs = append(refs, hspRef{part: part, local: li})
 			}
 			merged.Stats.Add(res.Stats)
 		}
 		// Monolithic ranking over monolithic ids, then the monolithic cap:
 		// exactly what Finalize does after traceback on the whole database.
-		search.SortHSPs(merged.HSPs)
+		// The sort permutes the provenance refs alongside, so each surviving
+		// HSP can still reach its shard's identity/origin view — resident
+		// database for attached results, wire side records for detached ones.
+		sortHSPsWithRefs(merged.HSPs, refs)
 		if maxResults > 0 && len(merged.HSPs) > maxResults {
 			merged.HSPs = merged.HSPs[:maxResults]
+			refs = refs[:maxResults]
 		}
-		out.Results[qi] = convertHSPs(enc[qi], merged, residues, origin)
+		q := enc[qi]
+		out.Results[qi] = convertHSPs(q, merged,
+			func(i int, h *search.HSP) float64 { return refs[i].part.hspIdentity(q, qi, refs[i].local, h) },
+			func(i int, h *search.HSP) (chunkInfo, bool) { return refs[i].part.hspOrigin(qi, refs[i].local, h) })
 		out.Completed[qi] = true
 	}
 	return out, nil
+}
+
+// hspRef records which shard result a merged HSP came from and its index in
+// that shard's per-query HSP list — the provenance the merge needs to route
+// identity/origin lookups after sorting mixes shards together.
+type hspRef struct {
+	part  *ShardResult
+	local int
+}
+
+// sortHSPsWithRefs sorts hsps exactly as search.SortHSPs does (stable,
+// monolithic comparator) while permuting refs the same way.
+func sortHSPsWithRefs(hsps []search.HSP, refs []hspRef) {
+	idx := make([]int, len(hsps))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return search.LessHSP(&hsps[idx[a]], &hsps[idx[b]]) })
+	outH := make([]search.HSP, len(hsps))
+	outR := make([]hspRef, len(refs))
+	for i, j := range idx {
+		outH[i] = hsps[j]
+		outR[i] = refs[j]
+	}
+	copy(hsps, outH)
+	copy(refs, outR)
 }

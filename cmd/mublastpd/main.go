@@ -11,9 +11,13 @@
 //
 // Endpoints (all on -addr):
 //
-//	POST /search   {"queries":[{"name":"q1","residues":"MKT..."}], "timeout_ms":5000}
-//	POST /reload   {"path":"new.mublastp"}   verify-then-swap; rejects corrupt containers
-//	GET  /healthz  liveness; /readyz readiness (503 while draining)
+//	POST /search        {"queries":[{"name":"q1","residues":"MKT..."}], "timeout_ms":5000}
+//	POST /reload        {"path":"new.mublastp"}   verify-then-swap; rejects corrupt
+//	                    containers; {"verify_only":true} validates without swapping
+//	POST /shard/search  one shard's part of a routed scatter (driven by
+//	                    mublastpr -workers; pair with -global-sequences/-global-residues)
+//	GET  /shard/info    shard-coherence handshake for the router
+//	GET  /healthz       liveness; /readyz readiness (503 while draining)
 //	GET  /metrics, /debug/vars, /debug/pprof/  (the obs debug surface)
 //
 // SIGINT/SIGTERM start a graceful drain: new requests get 503, in-flight
@@ -64,6 +68,8 @@ func run() error {
 		recordPath  = flag.String("record", "", "append one workload record per request (arrival, query lengths, deadline, outcome, span durations) to this file — replay/capsim input")
 		faultSpec   = flag.String("faultspec", "", "arm fault-injection sites, e.g. 'server.admit=error@0.1' (testing aid)")
 		faultSeed   = flag.Uint64("faultseed", 1, "seed for probabilistic -faultspec clauses")
+		globalSeqs  = flag.Int64("global-sequences", 0, "sequence count of the whole logical database when -db is one shard of it; with -global-residues, E-values use the global search space so a remote merge is byte-identical")
+		globalRes   = flag.Int64("global-residues", 0, "residue count of the whole logical database when -db is one shard of it")
 	)
 	flag.Parse()
 	if (*dbPath == "") == (*subjects == "") {
@@ -80,10 +86,20 @@ func run() error {
 		fmt.Fprintf(os.Stderr, "mublastpd: fault injection armed: %s (seed %d)\n", *faultSpec, *faultSeed)
 	}
 
+	if (*globalSeqs > 0) != (*globalRes > 0) {
+		return fmt.Errorf("-global-sequences and -global-residues must be set together")
+	}
+
 	p := blast.DefaultParams()
 	p.EValueCutoff = *evalue
 	p.MaxResults = *maxHits
 	p.Threads = *threads
+	if *globalSeqs > 0 {
+		p.GlobalDBSequences = *globalSeqs
+		p.GlobalDBResidues = *globalRes
+		fmt.Fprintf(os.Stderr, "mublastpd: serving as a shard worker: global search space %d sequences, %d residues\n",
+			*globalSeqs, *globalRes)
+	}
 
 	start := time.Now()
 	var ses *blast.Session

@@ -9,18 +9,32 @@
 //
 //	mublastpr -shards db.shard0-of-2,db.shard1-of-2 -addr :8045
 //	mublastpr -shards 'a0|a0b,a1' -policy least-loaded   # '|' separates replicas of one shard
+//	mublastpr -workers 'http://h1:8044|http://h2:8044,http://h3:8044'   # remote mublastpd fleet
 //
-// Before serving, every container is verified and cross-checked: all
+// With -shards every replica is an in-process engine over a local container;
+// with -workers every replica is a remote mublastpd driven over HTTP
+// (/shard/search). Before serving, the topology is cross-checked: all
 // replicas of a shard must hold the same slice, all shards the same build
 // fingerprint, and the shard sizes must fit one round-robin split of one
-// database — then each shard engine is opened with the *global*
-// residue/sequence totals so its E-values are computed against the whole
-// logical database, the invariant the byte-identical merge rests on.
+// database — local engines are then opened with the *global*
+// residue/sequence totals (remote workers must be started with
+// -global-sequences/-global-residues) so E-values are computed against the
+// whole logical database, the invariant the byte-identical merge rests on.
+//
+// Every replica, local or remote, is wrapped in a resilience layer: /readyz
+// health probing with ejection and jittered-backoff readmission (remote), a
+// circuit breaker fed by request-path failures, a per-request retry budget,
+// and optional hedged scatter (-hedge). /readyz on this daemon fails while
+// any shard has zero healthy replicas.
 //
 // Endpoints (all on -addr):
 //
-//	POST /search   {"queries":[...], "timeout_ms":5000, "policy":"round-robin"}
-//	GET  /healthz  liveness; /readyz readiness (503 while draining)
+//	POST /search    {"queries":[...], "timeout_ms":5000, "policy":"round-robin"}
+//	POST /reload    {"paths":["shard0.mbc","shard1.mbc"]} rolling per-shard reload,
+//	                verify-before-swap per replica, never the last healthy one
+//	GET  /replicas  per-replica lifecycle state (ejection, breaker)
+//	GET  /healthz   liveness; /readyz readiness (503 while draining or a shard
+//	                has no healthy replica)
 //	GET  /metrics, /debug/vars, /debug/pprof/  (the obs debug surface)
 //
 // A shard replica that is saturated sheds its part of a request; the
@@ -39,6 +53,7 @@ import (
 	"time"
 
 	"repro/blast"
+	"repro/internal/faultinject"
 	"repro/internal/obs"
 	"repro/internal/reqtrace"
 	"repro/internal/router"
@@ -54,7 +69,8 @@ func main() {
 
 func run() error {
 	var (
-		shardSpec  = flag.String("shards", "", "comma-separated shard containers in shard order; '|' separates replicas of one shard (required)")
+		shardSpec  = flag.String("shards", "", "comma-separated shard containers in shard order; '|' separates replicas of one shard (exactly one of -shards/-workers)")
+		workerSpec = flag.String("workers", "", "comma-separated shard worker URLs in shard order; '|' separates replicas of one shard, e.g. 'http://h1:8044|http://h2:8044,http://h3:8044'")
 		policy     = flag.String("policy", router.PolicyRoundRobin, "default replica-choice policy: "+strings.Join(router.PolicyNames(), ", "))
 		addr       = flag.String("addr", ":8045", "listen address (use :0 for an ephemeral port)")
 		threads    = flag.Int("threads", 0, "threads per shard batch search (0 = all cores)")
@@ -69,16 +85,40 @@ func run() error {
 		debugAddr  = flag.String("debug-addr", "", "also serve /metrics, /debug/vars and /debug/pprof/ on this address (e.g. :6060), separate from -addr")
 		tracePath  = flag.String("trace", "", "append one JSONL trace tree per request (edge, scatter, per-shard stage spans, merge) to this file")
 		recordPath = flag.String("record", "", "append one workload record per request (arrival, query lengths, deadline, outcome, span durations) to this file — replay/capsim input")
+		faultSpec  = flag.String("faultspec", "", "arm fault-injection sites, e.g. 'router.rpc=error@0.1' (testing aid)")
+		faultSeed  = flag.Uint64("faultseed", 1, "seed for probabilistic -faultspec clauses")
+
+		probeEvery    = flag.Duration("probe-interval", time.Second, "health-probe interval for remote replicas (/readyz-driven ejection)")
+		readmitBase   = flag.Duration("readmit-backoff", 500*time.Millisecond, "first readmission probe delay after an ejection (doubles, jittered, up to -readmit-backoff-max)")
+		readmitMax    = flag.Duration("readmit-backoff-max", 15*time.Second, "readmission backoff ceiling")
+		breakerFails  = flag.Int("breaker-failures", 3, "consecutive replica failures that open its circuit breaker (-1 disables)")
+		breakerCool   = flag.Duration("breaker-cooldown", 2*time.Second, "how long an open breaker refuses traffic before one half-open trial")
+		retryBudget   = flag.Int("retry-budget", 2, "extra upstream attempts (retries+hedges) one request may spend across all shards (-1 disables)")
+		retryBackoff  = flag.Duration("retry-backoff", 25*time.Millisecond, "pause before retry k, scaled by k")
+		hedge         = flag.Bool("hedge", false, "hedged scatter: fire a second replica once a shard outlives its recent p95, first result wins")
+		networkMargin = flag.Duration("net-margin", 150*time.Millisecond, "network margin subtracted from the deadline budget propagated to remote workers")
 	)
 	flag.Parse()
-	if *shardSpec == "" {
-		fmt.Fprintln(os.Stderr, "mublastpr: -shards is required")
+	if (*shardSpec == "") == (*workerSpec == "") {
+		fmt.Fprintln(os.Stderr, "mublastpr: need exactly one of -shards / -workers")
 		flag.Usage()
 		os.Exit(2)
 	}
 
+	if *faultSpec != "" {
+		if err := faultinject.Enable(*faultSpec, *faultSeed); err != nil {
+			return err
+		}
+		defer faultinject.Disable()
+		fmt.Fprintf(os.Stderr, "mublastpr: fault injection armed: %s (seed %d)\n", *faultSpec, *faultSeed)
+	}
+
+	spec := *shardSpec
+	if spec == "" {
+		spec = *workerSpec
+	}
 	paths := make([][]string, 0)
-	for _, shard := range strings.Split(*shardSpec, ",") {
+	for _, shard := range strings.Split(spec, ",") {
 		var reps []string
 		for _, rep := range strings.Split(shard, "|") {
 			if rep = strings.TrimSpace(rep); rep != "" {
@@ -86,11 +126,30 @@ func run() error {
 			}
 		}
 		if len(reps) == 0 {
-			return fmt.Errorf("empty shard entry in -shards %q", *shardSpec)
+			return fmt.Errorf("empty shard entry in %q", spec)
 		}
 		paths = append(paths, reps)
 	}
 	n := len(paths)
+
+	resilience := router.ResilienceConfig{
+		ProbeInterval:     *probeEvery,
+		ReadmitBackoff:    *readmitBase,
+		ReadmitBackoffMax: *readmitMax,
+		BreakerFailures:   *breakerFails,
+		BreakerCooldown:   *breakerCool,
+		RetryBudget:       *retryBudget,
+		RetryBackoff:      *retryBackoff,
+		Hedge:             *hedge,
+	}
+
+	if *workerSpec != "" {
+		return runRemote(paths, resilience, *networkMargin, remoteOpts{
+			policy: *policy, addr: *addr, timeout: *timeout, maxTimeout: *maxTimeout,
+			maxQueries: *maxQueries, drainGrace: *drainGrace, debugAddr: *debugAddr,
+			tracePath: *tracePath, recordPath: *recordPath,
+		})
+	}
 
 	// Verify pass: every container is validated end to end (CRCs, structure)
 	// before anything serves, and the shard set is cross-checked as one
@@ -160,53 +219,123 @@ func run() error {
 	fmt.Fprintf(os.Stderr, "mublastpr: %d shards (%d replicas) ready in %v; global search space %d sequences, %d residues\n",
 		n, len(sessions), time.Since(start).Round(time.Millisecond), globalSeqs, globalResidues)
 
-	rt, err := router.New(workers, router.Options{DefaultPolicy: *policy, Registry: obs.Default})
+	rt, err := router.New(workers, router.Options{DefaultPolicy: *policy, Registry: obs.Default, Resilience: resilience})
 	if err != nil {
 		return err
 	}
+	return serve(rt, func() int64 {
+		g := sessions[0].Generation()
+		for _, ses := range sessions[1:] {
+			if sg := ses.Generation(); sg < g {
+				g = sg
+			}
+		}
+		return g
+	}, remoteOpts{
+		policy: *policy, addr: *addr, timeout: *timeout, maxTimeout: *maxTimeout,
+		maxQueries: *maxQueries, drainGrace: *drainGrace, debugAddr: *debugAddr,
+		tracePath: *tracePath, recordPath: *recordPath,
+	})
+}
+
+// remoteOpts bundles the serving flags shared by the local and remote paths.
+type remoteOpts struct {
+	policy     string
+	addr       string
+	timeout    time.Duration
+	maxTimeout time.Duration
+	maxQueries int
+	drainGrace time.Duration
+	debugAddr  string
+	tracePath  string
+	recordPath string
+}
+
+// runRemote builds the router over a remote mublastpd fleet: coherence
+// handshake against every replica's /shard/info, then RemoteWorkers wrapped
+// in the resilience layer with /readyz probing live.
+func runRemote(urls [][]string, resilience router.ResilienceConfig, margin time.Duration, o remoteOpts) error {
+	start := time.Now()
+	shards := make([][]*router.RemoteWorker, len(urls))
+	workers := make([][]router.Worker, len(urls))
+	total := 0
+	for s, reps := range urls {
+		for r, u := range reps {
+			w := router.NewRemoteWorker(fmt.Sprintf("s%d/r%d(%s)", s, r, u), u, router.RemoteOptions{
+				NetworkMargin: margin,
+			})
+			shards[s] = append(shards[s], w)
+			workers[s] = append(workers[s], w)
+			total++
+		}
+	}
+	hctx, hcancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer hcancel()
+	fp, globalSeqs, err := router.VerifyRemoteTopology(hctx, shards)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "mublastpr: %d shards (%d remote replicas) coherent in %v; fingerprint %+v, global %d sequences\n",
+		len(urls), total, time.Since(start).Round(time.Millisecond), *fp, globalSeqs)
+
+	rt, err := router.New(workers, router.Options{DefaultPolicy: o.policy, Registry: obs.Default, Resilience: resilience})
+	if err != nil {
+		return err
+	}
+	gen := func() int64 {
+		var g int64
+		first := true
+		for _, reps := range shards {
+			for _, w := range reps {
+				if wg := w.Generation(); first || wg < g {
+					g, first = wg, false
+				}
+			}
+		}
+		return g
+	}
+	return serve(rt, gen, o)
+}
+
+// serve wraps a built router in the HTTP frontend and runs it until a drain
+// signal; shared tail of the local and remote paths.
+func serve(rt *router.Router, generation func() int64, o remoteOpts) error {
+	var err error
 	var tracer *reqtrace.Tracer
-	if *tracePath != "" {
-		if tracer, err = reqtrace.NewTracerFile("mublastpr", *tracePath); err != nil {
+	if o.tracePath != "" {
+		if tracer, err = reqtrace.NewTracerFile("mublastpr", o.tracePath); err != nil {
 			return fmt.Errorf("opening trace sink: %w", err)
 		}
 		defer tracer.Close()
-		fmt.Fprintf(os.Stderr, "mublastpr: tracing requests to %s\n", *tracePath)
+		fmt.Fprintf(os.Stderr, "mublastpr: tracing requests to %s\n", o.tracePath)
 	}
 	var recorder *reqtrace.Recorder
-	if *recordPath != "" {
-		if recorder, err = reqtrace.NewRecorderFile(*recordPath); err != nil {
+	if o.recordPath != "" {
+		if recorder, err = reqtrace.NewRecorderFile(o.recordPath); err != nil {
 			return fmt.Errorf("opening record sink: %w", err)
 		}
 		defer recorder.Close()
-		fmt.Fprintf(os.Stderr, "mublastpr: recording workload to %s\n", *recordPath)
+		fmt.Fprintf(os.Stderr, "mublastpr: recording workload to %s\n", o.recordPath)
 	}
 
 	fe := router.NewFrontend(rt, router.FrontendConfig{
-		DefaultTimeout: *timeout,
-		MaxTimeout:     *maxTimeout,
-		MaxQueries:     *maxQueries,
+		DefaultTimeout: o.timeout,
+		MaxTimeout:     o.maxTimeout,
+		MaxQueries:     o.maxQueries,
 		Registry:       obs.Default,
-		Generation: func() int64 {
-			g := sessions[0].Generation()
-			for _, ses := range sessions[1:] {
-				if sg := ses.Generation(); sg < g {
-					g = sg
-				}
-			}
-			return g
-		},
-		Tracer:   tracer,
-		Recorder: recorder,
+		Generation:     generation,
+		Tracer:         tracer,
+		Recorder:       recorder,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "mublastpr: "+format+"\n", args...)
 		},
 	})
-	bound, err := fe.Start(*addr)
+	bound, err := fe.Start(o.addr)
 	if err != nil {
 		return err
 	}
-	if *debugAddr != "" {
-		dbg, err := obs.Serve(*debugAddr, obs.Default)
+	if o.debugAddr != "" {
+		dbg, err := obs.Serve(o.debugAddr, obs.Default)
 		if err != nil {
 			return err
 		}
@@ -217,18 +346,18 @@ func run() error {
 			dbg.Shutdown(ctx)
 		}()
 	}
-	fmt.Fprintf(os.Stderr, "mublastpr: serving on %s (policy %s, shard concurrency %d, timeout %v)\n",
-		bound, rt.DefaultPolicy(), *shardConc, *timeout)
+	fmt.Fprintf(os.Stderr, "mublastpr: serving on %s (policy %s, timeout %v, retry budget %d, hedge %v)\n",
+		bound, rt.DefaultPolicy(), o.timeout, rt.Resilience().RetryBudget, rt.Resilience().Hedge)
 
 	ctx, stop := sigctx.WithForcedExit(context.Background(), func(sig os.Signal) {
-		fmt.Fprintf(os.Stderr, "mublastpr: %v received, draining (grace %v; signal again to force exit)\n", sig, *drainGrace)
+		fmt.Fprintf(os.Stderr, "mublastpr: %v received, draining (grace %v; signal again to force exit)\n", sig, o.drainGrace)
 	})
 	defer stop()
 	<-ctx.Done()
 
-	drainCtx, cancel := context.WithTimeout(context.Background(), *drainGrace+5*time.Second)
+	drainCtx, cancel := context.WithTimeout(context.Background(), o.drainGrace+5*time.Second)
 	defer cancel()
-	if err := fe.Drain(drainCtx, *drainGrace); err != nil {
+	if err := fe.Drain(drainCtx, o.drainGrace); err != nil {
 		return fmt.Errorf("drain: %w", err)
 	}
 	fmt.Fprintln(os.Stderr, "mublastpr: drained, exiting")

@@ -485,6 +485,18 @@ type RouterMetrics struct {
 
 	ScatterNanos *Histogram // slowest-shard scatter time per request
 	MergeNanos   *Histogram // merge time per request
+
+	// Replica-lifecycle metrics (the resilience layer around each worker).
+	ReplicasHealthy *Gauge   // replicas currently in rotation
+	ReplicasEjected *Gauge   // replicas currently out of rotation (probe-failed)
+	Ejections       *Counter // health-probe ejections
+	Readmissions    *Counter // replicas readmitted after probe recovery
+	BreakerOpens    *Counter // circuit-breaker closed->open transitions
+	BreakerCloses   *Counter // circuit-breaker half-open->closed recoveries
+	Retries         *Counter // retry attempts spent (beyond first attempts)
+	RetryBudgetDry  *Counter // retries forgone because the request budget was spent
+	HedgesFired     *Counter // hedged second attempts launched
+	HedgesWon       *Counter // hedges that answered before the primary
 }
 
 // NewRouterMetrics registers the routing metric set in r under the stable
@@ -500,6 +512,17 @@ func NewRouterMetrics(r *Registry) *RouterMetrics {
 		Fanout:        r.Gauge("router_fanout_shards"),
 		ScatterNanos:  r.Histogram("router_scatter_nanos"),
 		MergeNanos:    r.Histogram("router_merge_nanos"),
+
+		ReplicasHealthy: r.Gauge("router_replicas_healthy"),
+		ReplicasEjected: r.Gauge("router_replicas_ejected"),
+		Ejections:       r.Counter("router_replica_ejections"),
+		Readmissions:    r.Counter("router_replica_readmissions"),
+		BreakerOpens:    r.Counter("router_breaker_opens"),
+		BreakerCloses:   r.Counter("router_breaker_closes"),
+		Retries:         r.Counter("router_retries"),
+		RetryBudgetDry:  r.Counter("router_retry_budget_exhausted"),
+		HedgesFired:     r.Counter("router_hedges_fired"),
+		HedgesWon:       r.Counter("router_hedges_won"),
 	}
 }
 

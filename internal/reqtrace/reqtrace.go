@@ -220,6 +220,32 @@ func Inject(h http.Header, requestID, traceID string, parent *Span) {
 	}
 }
 
+// idsKey is the context key carrying the request's wire Context (the IDs an
+// outbound RPC injects into its propagation headers).
+type idsKey struct{}
+
+// ContextWithIDs returns a context carrying the request and trace IDs for
+// downstream RPC clients — a remote shard worker reads them back with
+// IDsFromContext and Injects them on the outgoing hop, so one request keeps
+// one ID across router and shard daemons.
+func ContextWithIDs(ctx context.Context, requestID, traceID string) context.Context {
+	if requestID == "" && traceID == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, idsKey{}, Context{RequestID: requestID, TraceID: traceID})
+}
+
+// IDsFromContext returns the propagation IDs attached with ContextWithIDs;
+// empty fields mean "mint downstream" (the shard daemon's edge mints what is
+// absent, so a missing context degrades to uncorrelated but valid traces).
+func IDsFromContext(ctx context.Context) (requestID, traceID string) {
+	if ctx == nil {
+		return "", ""
+	}
+	wc, _ := ctx.Value(idsKey{}).(Context)
+	return wc.RequestID, wc.TraceID
+}
+
 // spanKey is the context key carrying the active parent span.
 type spanKey struct{}
 

@@ -139,8 +139,20 @@ func NewFrontend(rt *Router, cfg FrontendConfig) *Frontend {
 	}
 	f.mux = http.NewServeMux()
 	f.mux.HandleFunc("/search", f.handleSearch)
+	f.mux.HandleFunc("/reload", f.handleReload)
+	f.mux.HandleFunc("/replicas", f.handleReplicas)
 	f.mux.Handle("/", obs.HandlerWithReadiness(cfg.Registry, f.Ready))
 	return f
+}
+
+// handleReplicas reports every replica's lifecycle state (ops visibility for
+// the ejection/breaker machinery).
+func (f *Frontend) handleReplicas(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "GET only", Status: http.StatusMethodNotAllowed})
+		return
+	}
+	writeJSON(w, http.StatusOK, f.rt.ReplicaStates())
 }
 
 // Router returns the scatter-gather core the frontend serves.
@@ -156,12 +168,14 @@ func (f *Frontend) Draining() bool {
 	}
 }
 
-// Ready is the readiness probe behind /readyz.
+// Ready is the readiness probe behind /readyz: failing while draining, and
+// failing while any shard has zero healthy replicas — a fleet that can only
+// produce guaranteed-incomplete merges pulls itself from upstream rotation.
 func (f *Frontend) Ready() error {
 	if f.Draining() {
 		return errors.New("draining")
 	}
-	return nil
+	return f.rt.HealthErr()
 }
 
 // Handler returns the HTTP surface with panic recovery (a poisoned request
@@ -178,12 +192,14 @@ func (f *Frontend) Handler() http.Handler {
 }
 
 // Start binds addr (":0" for an ephemeral port) and serves in the
-// background, returning the bound address.
+// background, returning the bound address. It also starts the router's
+// health prober (a no-op when nothing is probeable).
 func (f *Frontend) Start(addr string) (string, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", fmt.Errorf("router: listen on %s: %w", addr, err)
 	}
+	f.rt.Start()
 	srv := &http.Server{
 		Handler:     f.Handler(),
 		BaseContext: func(net.Listener) context.Context { return f.searchCtx },
@@ -225,6 +241,7 @@ func (f *Frontend) Drain(ctx context.Context, grace time.Duration) error {
 		err = srv.Shutdown(ctx)
 	}
 	f.cancelSearches()
+	f.rt.Close()
 	return err
 }
 
@@ -232,6 +249,7 @@ func (f *Frontend) Drain(ctx context.Context, grace time.Duration) error {
 func (f *Frontend) Close() error {
 	f.BeginDrain(0)
 	f.cancelSearches()
+	f.rt.Close()
 	f.httpMu.Lock()
 	srv := f.httpSrv
 	f.httpMu.Unlock()
@@ -343,8 +361,15 @@ func (f *Frontend) handleSearch(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
 	// The scatter tier hangs its spans under the edge span it finds in the
-	// context (a no-op nil with tracing off).
+	// context (a no-op nil with tracing off), and remote workers read the
+	// IDs back out to stamp their outbound propagation headers — one request
+	// ID across router and shard daemons.
 	ctx = reqtrace.ContextWithSpan(ctx, sc.root)
+	var traceID string
+	if sc.tr != nil {
+		traceID = sc.tr.TraceID
+	}
+	ctx = reqtrace.ContextWithIDs(ctx, sc.rid, traceID)
 
 	texts := make([]string, len(req.Queries))
 	for i := range req.Queries {

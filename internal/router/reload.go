@@ -1,0 +1,130 @@
+package router
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// Reloader is the optional reload surface of a Worker: LocalWorker swaps its
+// in-process session, RemoteWorker drives the daemon's POST /reload. A
+// verify-only call validates the candidate container without swapping.
+type Reloader interface {
+	ReloadContainer(ctx context.Context, path string, verifyOnly bool) error
+}
+
+// ReloadShardsRequest is the frontend's POST /reload body: one candidate
+// container path per shard (the shard slices are distinct containers).
+type ReloadShardsRequest struct {
+	Paths []string `json:"paths"`
+	// Force permits swapping a shard's only healthy replica — without it the
+	// orchestrator refuses, because a reload gone wrong there would leave
+	// the shard unservable and every request guaranteed-incomplete.
+	Force bool `json:"force,omitempty"`
+	// TimeoutMS bounds the whole rolling reload (default 2 minutes).
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// ReplicaReloadWire is one replica's outcome in the rolling reload.
+type ReplicaReloadWire struct {
+	Shard  int    `json:"shard"`
+	Worker string `json:"worker"`
+	OK     bool   `json:"ok"`
+	Error  string `json:"error,omitempty"`
+}
+
+// ReloadShardsResponse reports the rolling reload, one entry per replica in
+// rolling order. OK means every replica swapped.
+type ReloadShardsResponse struct {
+	OK       bool                `json:"ok"`
+	Replicas []ReplicaReloadWire `json:"replicas"`
+}
+
+// RollingReload walks the fleet shard by shard, replica by replica: each
+// replica's candidate container is verified first (verify-only, no swap) and
+// only then swapped in, and a replica that is its shard's last healthy one
+// is never swapped unless force — so a rolling reload can degrade one
+// replica at a time but can never take a whole shard out of rotation. The
+// walk is sequential by construction: at most one replica is mid-swap at any
+// moment. Replicas without a Reloader surface (custom workers) fail their
+// entry; the rest of the fleet still rolls.
+func (rt *Router) RollingReload(ctx context.Context, paths []string, force bool) *ReloadShardsResponse {
+	resp := &ReloadShardsResponse{OK: true}
+	for s := 0; s < rt.NumShards(); s++ {
+		path := paths[s]
+		for _, w := range rt.Workers(s) {
+			entry := ReplicaReloadWire{Shard: s, Worker: w.Name()}
+			fail := func(format string, args ...any) {
+				entry.Error = fmt.Sprintf(format, args...)
+				resp.OK = false
+				resp.Replicas = append(resp.Replicas, entry)
+			}
+			rl, ok := w.(Reloader)
+			if !ok {
+				fail("worker is not reloadable")
+				continue
+			}
+			if err := rl.ReloadContainer(ctx, path, true); err != nil {
+				fail("verify: %v", err)
+				continue
+			}
+			if !force && rt.HealthyReplicas(s) <= 1 {
+				fail("refusing to reload shard %d's last healthy replica (force to override)", s)
+				continue
+			}
+			if err := rl.ReloadContainer(ctx, path, false); err != nil {
+				fail("swap: %v", err)
+				continue
+			}
+			entry.OK = true
+			resp.Replicas = append(resp.Replicas, entry)
+			if ctx.Err() != nil {
+				resp.OK = false
+				return resp
+			}
+		}
+	}
+	return resp
+}
+
+// handleReload is the frontend's rolling-reload endpoint.
+func (f *Frontend) handleReload(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST only", Status: http.StatusMethodNotAllowed})
+		return
+	}
+	if f.Draining() {
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "draining", Status: http.StatusServiceUnavailable})
+		return
+	}
+	var req ReloadShardsRequest
+	r.Body = http.MaxBytesReader(w, r.Body, f.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("decoding request: %v", err), Status: http.StatusBadRequest})
+		return
+	}
+	if len(req.Paths) != f.rt.NumShards() {
+		writeJSON(w, http.StatusBadRequest, errorResponse{
+			Error:  fmt.Sprintf("%d paths for %d shards", len(req.Paths), f.rt.NumShards()),
+			Status: http.StatusBadRequest,
+		})
+		return
+	}
+	timeout := 2 * time.Minute
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+	resp := f.rt.RollingReload(ctx, req.Paths, req.Force)
+	status := http.StatusOK
+	if !resp.OK {
+		// Partial or refused roll: the fleet still serves (old containers
+		// where the swap did not happen), but the caller must know.
+		status = http.StatusConflict
+	}
+	f.logf("rolling reload: ok=%v over %d replicas", resp.OK, len(resp.Replicas))
+	writeJSON(w, status, resp)
+}

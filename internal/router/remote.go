@@ -1,0 +1,326 @@
+package router
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"repro/blast"
+	"repro/internal/faultinject"
+	"repro/internal/reqtrace"
+	"repro/internal/server"
+)
+
+// Fault sites of the remote transport, armable through the same chaos
+// harness as the engine's and the daemon's (internal/faultinject). Disarmed
+// they cost one atomic load per RPC.
+var (
+	// fiRPC sits before the outbound shard RPC: an error fault drops the
+	// call (a dead upstream), a delay fault slows it (a congested link).
+	fiRPC = faultinject.NewSite("router.rpc")
+	// fiRPCBody wraps the response body: a shortread fault truncates it
+	// mid-stream (a connection torn under the decoder).
+	fiRPCBody = faultinject.NewSite("router.rpcbody")
+)
+
+// RemoteOptions tunes a RemoteWorker. Zero values select the defaults.
+type RemoteOptions struct {
+	// Client is the HTTP client for every RPC (default: a dedicated client
+	// with no global timeout — deadlines ride the request contexts).
+	Client *http.Client
+	// Weight is the replica's relative capacity (default 1).
+	Weight float64
+	// NetworkMargin is subtracted from the request's remaining deadline
+	// before it is propagated upstream as the shard's budget, so the worker
+	// gives up early enough for its (partial) answer to travel back
+	// (default 150ms).
+	NetworkMargin time.Duration
+	// MinTimeout floors the propagated budget (default 50ms): below it the
+	// RPC is not worth the wire.
+	MinTimeout time.Duration
+}
+
+// RemoteWorker is a Worker backed by a mublastpd daemon over HTTP: Search
+// drives POST /shard/search, HealthCheck (the prober's ejection signal) GET
+// /readyz, Info (the registration handshake) GET /shard/info, and Reload
+// (rolling-reload orchestration) POST /reload. Saturation (429 +
+// Retry-After) decodes back into BusyError, so the router's shed/failure
+// distinction — and with it the honesty contract — survives the network hop.
+type RemoteWorker struct {
+	name   string
+	base   string // http://host:port, no trailing slash
+	client *http.Client
+	weight float64
+	margin time.Duration
+	minTO  time.Duration
+
+	inflight atomic.Int64
+	gen      atomic.Int64 // last generation seen from the daemon
+}
+
+// NewRemoteWorker wraps the daemon at baseURL (scheme://host:port).
+func NewRemoteWorker(name, baseURL string, opts RemoteOptions) *RemoteWorker {
+	client := opts.Client
+	if client == nil {
+		client = &http.Client{}
+	}
+	if opts.Weight <= 0 {
+		opts.Weight = 1
+	}
+	if opts.NetworkMargin <= 0 {
+		opts.NetworkMargin = 150 * time.Millisecond
+	}
+	if opts.MinTimeout <= 0 {
+		opts.MinTimeout = 50 * time.Millisecond
+	}
+	for len(baseURL) > 0 && baseURL[len(baseURL)-1] == '/' {
+		baseURL = baseURL[:len(baseURL)-1]
+	}
+	return &RemoteWorker{
+		name: name, base: baseURL, client: client,
+		weight: opts.Weight, margin: opts.NetworkMargin, minTO: opts.MinTimeout,
+	}
+}
+
+// Name implements Worker.
+func (w *RemoteWorker) Name() string { return w.name }
+
+// Inflight implements Worker.
+func (w *RemoteWorker) Inflight() int64 { return w.inflight.Load() }
+
+// Weight implements Worker.
+func (w *RemoteWorker) Weight() float64 { return w.weight }
+
+// BaseURL returns the daemon address the worker drives.
+func (w *RemoteWorker) BaseURL() string { return w.base }
+
+// Generation returns the last db_generation the daemon reported (0 before
+// any contact).
+func (w *RemoteWorker) Generation() int64 { return w.gen.Load() }
+
+// do sends one JSON RPC and returns the response. The caller owns the body.
+func (w *RemoteWorker) do(ctx context.Context, method, path string, body any) (*http.Response, error) {
+	if err := fiRPC.Err(); err != nil {
+		return nil, fmt.Errorf("router: rpc to %s%s: %w", w.base, path, err)
+	}
+	var rd io.Reader
+	if body != nil {
+		raw, err := json.Marshal(body)
+		if err != nil {
+			return nil, err
+		}
+		rd = bytes.NewReader(raw)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, w.base+path, rd)
+	if err != nil {
+		return nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	// Propagate the trace context so the daemon's edge span stitches under
+	// this hop's span and both tiers log one request ID.
+	rid, tid := reqtrace.IDsFromContext(ctx)
+	reqtrace.Inject(req.Header, rid, tid, reqtrace.SpanFromContext(ctx))
+	return w.client.Do(req)
+}
+
+// errorBody extracts the daemon's error message (bounded) for diagnostics.
+func errorBody(resp *http.Response) string {
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	var eb struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(raw, &eb) == nil && eb.Error != "" {
+		return eb.Error
+	}
+	return string(bytes.TrimSpace(raw))
+}
+
+// Search implements Worker against POST /shard/search. The propagated
+// deadline is the context's remaining budget minus the network margin
+// (floored at MinTimeout), so the daemon gives up in time for its partial
+// result to make it back instead of burning the whole budget upstream.
+func (w *RemoteWorker) Search(ctx context.Context, queries []string, shard, numShards int) (*blast.ShardResult, error) {
+	w.inflight.Add(1)
+	defer w.inflight.Add(-1)
+
+	var timeoutMS int64
+	if dl, ok := ctx.Deadline(); ok {
+		budget := time.Until(dl) - w.margin
+		if budget < w.minTO {
+			budget = w.minTO
+		}
+		timeoutMS = budget.Milliseconds()
+		if timeoutMS < 1 {
+			timeoutMS = 1
+		}
+	}
+	resp, err := w.do(ctx, http.MethodPost, "/shard/search", server.ShardSearchRequest{
+		Queries: queries, Shard: shard, NumShards: numShards, TimeoutMS: timeoutMS,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("router: worker %s: %w", w.name, err)
+	}
+	defer resp.Body.Close()
+
+	switch resp.StatusCode {
+	case http.StatusOK:
+		// fall through to decode
+	case http.StatusTooManyRequests:
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		after := time.Second
+		if s, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && s > 0 {
+			after = time.Duration(s) * time.Second
+		}
+		return nil, &BusyError{Worker: w.name, RetryAfter: after}
+	default:
+		return nil, fmt.Errorf("router: worker %s: /shard/search status %d: %s",
+			w.name, resp.StatusCode, errorBody(resp))
+	}
+
+	var sr server.ShardSearchResponse
+	if err := json.NewDecoder(fiRPCBody.Reader(resp.Body)).Decode(&sr); err != nil {
+		return nil, fmt.Errorf("router: worker %s: decoding shard result: %w", w.name, err)
+	}
+	if sr.Result == nil {
+		return nil, fmt.Errorf("router: worker %s: response carries no shard result", w.name)
+	}
+	w.gen.Store(sr.Generation)
+	part, err := blast.ImportShardResult(sr.Result)
+	if err != nil {
+		return nil, fmt.Errorf("router: worker %s: %w", w.name, err)
+	}
+	return part, nil
+}
+
+// HealthCheck implements HealthChecker against GET /readyz: nil on 200,
+// an error (the prober's ejection signal) otherwise.
+func (w *RemoteWorker) HealthCheck(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, w.base+"/readyz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := w.client.Do(req)
+	if err != nil {
+		return fmt.Errorf("router: worker %s unreachable: %w", w.name, err)
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 512))
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("router: worker %s not ready: /readyz status %d", w.name, resp.StatusCode)
+	}
+	return nil
+}
+
+// Info runs the registration handshake against GET /shard/info.
+func (w *RemoteWorker) Info(ctx context.Context) (*server.ShardInfoResponse, error) {
+	resp, err := w.do(ctx, http.MethodGet, "/shard/info", nil)
+	if err != nil {
+		return nil, fmt.Errorf("router: worker %s: %w", w.name, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("router: worker %s: /shard/info status %d: %s",
+			w.name, resp.StatusCode, errorBody(resp))
+	}
+	var info server.ShardInfoResponse
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		return nil, fmt.Errorf("router: worker %s: decoding /shard/info: %w", w.name, err)
+	}
+	w.gen.Store(info.Generation)
+	return &info, nil
+}
+
+// Reload drives the daemon's POST /reload. With verifyOnly the daemon
+// validates the candidate container (fingerprint, checksums) without
+// swapping — the rolling orchestrator's pre-flight.
+func (w *RemoteWorker) Reload(ctx context.Context, path string, verifyOnly bool) (*server.ReloadResponse, error) {
+	resp, err := w.do(ctx, http.MethodPost, "/reload", server.ReloadRequest{Path: path, VerifyOnly: verifyOnly})
+	if err != nil {
+		return nil, fmt.Errorf("router: worker %s: %w", w.name, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("router: worker %s: /reload status %d: %s",
+			w.name, resp.StatusCode, errorBody(resp))
+	}
+	var rr server.ReloadResponse
+	if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
+		return nil, fmt.Errorf("router: worker %s: decoding /reload: %w", w.name, err)
+	}
+	if !verifyOnly {
+		w.gen.Store(rr.Generation)
+	}
+	return &rr, nil
+}
+
+// ReloadContainer implements Reloader over the wire.
+func (w *RemoteWorker) ReloadContainer(ctx context.Context, path string, verifyOnly bool) error {
+	_, err := w.Reload(ctx, path, verifyOnly)
+	return err
+}
+
+// VerifyRemoteTopology runs the coherence handshake across a remote fleet:
+// every replica of every shard must serve the same container parameters
+// (fingerprint), agree on the global search space, agree with its shard
+// peers on the local slice, and the slices must tile the logical database
+// (round-robin share per shard, totals summing to the global). It returns
+// the agreed fingerprint and global sequence count.
+func VerifyRemoteTopology(ctx context.Context, shards [][]*RemoteWorker) (*blast.Fingerprint, int64, error) {
+	if len(shards) == 0 {
+		return nil, 0, fmt.Errorf("router: no shards to verify")
+	}
+	n := int64(len(shards))
+	var fp *blast.Fingerprint
+	var globalSeqs, globalRes int64
+	var sumSeqs int64
+	for s, reps := range shards {
+		if len(reps) == 0 {
+			return nil, 0, fmt.Errorf("router: shard %d has no replicas", s)
+		}
+		var shardSeqs int
+		var shardRes int64
+		for i, w := range reps {
+			info, err := w.Info(ctx)
+			if err != nil {
+				return nil, 0, fmt.Errorf("router: shard %d replica %s: handshake: %w", s, w.Name(), err)
+			}
+			if fp == nil {
+				f := info.Fingerprint
+				fp = &f
+				globalSeqs, globalRes = info.GlobalSequences, info.GlobalResidues
+			} else if info.Fingerprint != *fp {
+				return nil, 0, fmt.Errorf("router: shard %d replica %s: fingerprint %+v differs from the fleet's %+v",
+					s, w.Name(), info.Fingerprint, *fp)
+			}
+			if info.GlobalSequences != globalSeqs || info.GlobalResidues != globalRes {
+				return nil, 0, fmt.Errorf("router: shard %d replica %s: global space %d seqs/%d residues, fleet says %d/%d",
+					s, w.Name(), info.GlobalSequences, info.GlobalResidues, globalSeqs, globalRes)
+			}
+			if i == 0 {
+				shardSeqs, shardRes = info.Sequences, info.TotalResidues
+			} else if info.Sequences != shardSeqs || info.TotalResidues != shardRes {
+				return nil, 0, fmt.Errorf("router: shard %d replica %s: %d seqs/%d residues, shard peer says %d/%d",
+					s, w.Name(), info.Sequences, info.TotalResidues, shardSeqs, shardRes)
+			}
+		}
+		// Round-robin sharding gives shard s sequences s, s+n, s+2n, ...
+		want := (globalSeqs - int64(s) + n - 1) / n
+		if int64(shardSeqs) != want {
+			return nil, 0, fmt.Errorf("router: shard %d holds %d sequences, round-robin share of %d over %d shards is %d",
+				s, shardSeqs, globalSeqs, n, want)
+		}
+		sumSeqs += int64(shardSeqs)
+	}
+	if sumSeqs != globalSeqs {
+		return nil, 0, fmt.Errorf("router: shards hold %d sequences, global says %d", sumSeqs, globalSeqs)
+	}
+	return fp, globalSeqs, nil
+}

@@ -1,0 +1,498 @@
+package router
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/blast"
+	"repro/internal/faultinject"
+	"repro/internal/obs"
+	"repro/internal/server"
+)
+
+// startShardDaemons serves each fixture shard from a real server.Server (the
+// way a mublastpd fleet would) and returns one RemoteWorker per shard.
+func startShardDaemons(t *testing.T, shards []*blast.Database) []*RemoteWorker {
+	t.Helper()
+	p := blast.DefaultParams()
+	p.BlockResidues = 16384
+	p.Threads = 1
+	workers := make([]*RemoteWorker, len(shards))
+	for s, sd := range shards {
+		srv := server.New(blast.NewSession(sd, p), p, server.Config{Registry: obs.NewRegistry()})
+		addr, err := srv.Start("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { srv.Close() })
+		workers[s] = NewRemoteWorker("s"+strconv.Itoa(s), "http://"+addr, RemoteOptions{})
+	}
+	return workers
+}
+
+// TestRemoteWorkersMatchMonolithic drives the full remote path: handshake
+// (VerifyRemoteTopology over /shard/info), scatter over HTTP /shard/search,
+// wire decode, merge — byte-identical to the monolithic search.
+func TestRemoteWorkersMatchMonolithic(t *testing.T) {
+	db, shards, queries := fixture(t)
+	mono, err := db.SearchBatchCtx(context.Background(), queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote := startShardDaemons(t, shards)
+
+	byShard := make([][]*RemoteWorker, len(remote))
+	workers := make([][]Worker, len(remote))
+	for s, w := range remote {
+		byShard[s] = []*RemoteWorker{w}
+		workers[s] = []Worker{w}
+	}
+	fp, globalSeqs, err := VerifyRemoteTopology(context.Background(), byShard)
+	if err != nil {
+		t.Fatalf("handshake over a coherent fleet: %v", err)
+	}
+	if fp == nil || int(globalSeqs) != db.NumSequences() {
+		t.Fatalf("handshake: fingerprint %v, %d global sequences, want %d", fp, globalSeqs, db.NumSequences())
+	}
+
+	rt, err := New(workers, Options{Registry: obs.NewRegistry(),
+		Resilience: ResilienceConfig{ProbeInterval: -1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	br, rep, err := rt.Search(context.Background(), queries, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Sheds() != 0 || rep.Failed() != 0 {
+		t.Fatalf("healthy remote fleet degraded: %+v", rep.Shards)
+	}
+	for qi := range queries {
+		if !br.Completed[qi] {
+			t.Fatalf("query %d incomplete over a healthy remote fleet", qi)
+		}
+		if g, w := br.Results[qi].Tabular("q"), mono.Results[qi].Tabular("q"); g != w {
+			t.Fatalf("query %d: remote scatter differs from monolithic:\n got:\n%s\n want:\n%s", qi, g, w)
+		}
+	}
+	for s, w := range remote {
+		if w.Generation() == 0 {
+			t.Fatalf("shard %d worker never learned the daemon's generation", s)
+		}
+	}
+}
+
+// TestRemoteWorkerDecodesBusy: an upstream 429 with Retry-After becomes a
+// BusyError — the shed/failure distinction survives the network hop.
+func TestRemoteWorkerDecodesBusy(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "7")
+		w.WriteHeader(http.StatusTooManyRequests)
+		fmt.Fprint(w, `{"error":"queue full"}`)
+	}))
+	defer ts.Close()
+	w := NewRemoteWorker("busy", ts.URL, RemoteOptions{})
+	_, err := w.Search(context.Background(), []string{"MKT"}, 0, 2)
+	var busy *BusyError
+	if !errors.As(err, &busy) {
+		t.Fatalf("err %v, want BusyError", err)
+	}
+	if busy.RetryAfter != 7*time.Second {
+		t.Fatalf("RetryAfter %v, want 7s from the header", busy.RetryAfter)
+	}
+}
+
+// TestRemoteWorkerSurfacesServerError: a non-shed upstream failure keeps the
+// daemon's message for diagnostics and is not a BusyError.
+func TestRemoteWorkerSurfacesServerError(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusInternalServerError)
+		fmt.Fprint(w, `{"error":"disk on fire"}`)
+	}))
+	defer ts.Close()
+	w := NewRemoteWorker("boom", ts.URL, RemoteOptions{})
+	_, err := w.Search(context.Background(), []string{"MKT"}, 0, 2)
+	var busy *BusyError
+	if errors.As(err, &busy) {
+		t.Fatal("a 500 must not decode as backpressure")
+	}
+	if err == nil || !strings.Contains(err.Error(), "disk on fire") {
+		t.Fatalf("err %v, want the daemon's message preserved", err)
+	}
+}
+
+// TestRemoteWorkerDeadlineBudget: the propagated shard deadline is the
+// context's remaining budget minus the network margin, floored at MinTimeout
+// — the daemon gives up early enough for its partial answer to travel back.
+func TestRemoteWorkerDeadlineBudget(t *testing.T) {
+	var got atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var req server.ShardSearchRequest
+		json.NewDecoder(r.Body).Decode(&req)
+		got.Store(req.TimeoutMS)
+		w.WriteHeader(http.StatusInternalServerError)
+	}))
+	defer ts.Close()
+	w := NewRemoteWorker("w", ts.URL, RemoteOptions{NetworkMargin: 200 * time.Millisecond, MinTimeout: 50 * time.Millisecond})
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	w.Search(ctx, []string{"MKT"}, 0, 2)
+	cancel()
+	if ms := got.Load(); ms < 700 || ms > 800 {
+		t.Fatalf("propagated budget %dms from a 1s deadline with 200ms margin, want ~800ms", ms)
+	}
+
+	// A deadline tighter than the margin still sends the floor, not zero.
+	ctx, cancel = context.WithTimeout(context.Background(), 100*time.Millisecond)
+	w.Search(ctx, []string{"MKT"}, 0, 2)
+	cancel()
+	if ms := got.Load(); ms != 50 {
+		t.Fatalf("propagated budget %dms under a too-tight deadline, want the 50ms floor", ms)
+	}
+}
+
+// TestRemoteWorkerHealthCheck: /readyz 200 is healthy, anything else is the
+// prober's ejection signal.
+func TestRemoteWorkerHealthCheck(t *testing.T) {
+	var ready atomic.Bool
+	ready.Store(true)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/readyz" {
+			http.NotFound(w, r)
+			return
+		}
+		if !ready.Load() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+	}))
+	defer ts.Close()
+	w := NewRemoteWorker("w", ts.URL, RemoteOptions{})
+	if err := w.HealthCheck(context.Background()); err != nil {
+		t.Fatalf("healthy daemon: %v", err)
+	}
+	ready.Store(false)
+	if err := w.HealthCheck(context.Background()); err == nil {
+		t.Fatal("draining daemon passed the health check")
+	}
+	ts.Close()
+	if err := w.HealthCheck(context.Background()); err == nil {
+		t.Fatal("dead daemon passed the health check")
+	}
+}
+
+// fakeInfoServer serves a scripted /shard/info for topology tests.
+func fakeInfoServer(t *testing.T, info server.ShardInfoResponse) *RemoteWorker {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(info)
+	}))
+	t.Cleanup(ts.Close)
+	return NewRemoteWorker("fake", ts.URL, RemoteOptions{})
+}
+
+// TestVerifyRemoteTopologyRejectsIncoherence: the handshake refuses fleets
+// whose replicas disagree — on build fingerprint, on the global search space,
+// on a shard slice — or whose slices do not tile the logical database.
+func TestVerifyRemoteTopologyRejectsIncoherence(t *testing.T) {
+	base := server.ShardInfoResponse{
+		Fingerprint:     blast.Fingerprint{Matrix: "BLOSUM62", WordSize: 3, NeighborThreshold: 11},
+		GlobalSequences: 4, GlobalResidues: 100,
+	}
+	mk := func(mut func(*server.ShardInfoResponse)) server.ShardInfoResponse {
+		in := base
+		mut(&in)
+		return in
+	}
+	shard := func(seqs int, res int64) func(*server.ShardInfoResponse) {
+		return func(in *server.ShardInfoResponse) { in.Sequences, in.TotalResidues = seqs, res }
+	}
+
+	// Coherent 2-shard fleet (round-robin split of 4 sequences) passes.
+	ok := [][]*RemoteWorker{
+		{fakeInfoServer(t, mk(shard(2, 60)))},
+		{fakeInfoServer(t, mk(shard(2, 40)))},
+	}
+	if _, n, err := VerifyRemoteTopology(context.Background(), ok); err != nil || n != 4 {
+		t.Fatalf("coherent fleet rejected: %v (global %d)", err, n)
+	}
+
+	for _, tc := range []struct {
+		name string
+		fleet [][]*RemoteWorker
+		want string
+	}{
+		{"fingerprint drift", [][]*RemoteWorker{
+			{fakeInfoServer(t, mk(shard(2, 60)))},
+			{fakeInfoServer(t, mk(func(in *server.ShardInfoResponse) {
+				in.Sequences, in.TotalResidues = 2, 40
+				in.Fingerprint.WordSize = 4
+			}))},
+		}, "fingerprint"},
+		{"global space disagreement", [][]*RemoteWorker{
+			{fakeInfoServer(t, mk(shard(2, 60)))},
+			{fakeInfoServer(t, mk(func(in *server.ShardInfoResponse) {
+				in.Sequences, in.TotalResidues = 2, 40
+				in.GlobalSequences = 5
+			}))},
+		}, "global space"},
+		{"replica slice disagreement", [][]*RemoteWorker{
+			{fakeInfoServer(t, mk(shard(2, 60))), fakeInfoServer(t, mk(shard(1, 60)))},
+			{fakeInfoServer(t, mk(shard(2, 40)))},
+		}, "shard peer"},
+		{"slice does not tile", [][]*RemoteWorker{
+			{fakeInfoServer(t, mk(shard(3, 60)))},
+			{fakeInfoServer(t, mk(shard(1, 40)))},
+		}, "round-robin"},
+	} {
+		_, _, err := VerifyRemoteTopology(context.Background(), tc.fleet)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err %v, want mention of %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestRemoteProbeEjectsDeadDaemon: the router's live prober ejects a worker
+// whose daemon died and keeps scatters complete from the surviving replica —
+// the in-process version of the kill-a-replica smoke test.
+func TestRemoteProbeEjectsDeadDaemon(t *testing.T) {
+	_, shards, queries := fixture(t)
+	p := blast.DefaultParams()
+	p.BlockResidues = 16384
+	p.Threads = 1
+
+	mkDaemon := func(sd *blast.Database) (*server.Server, *RemoteWorker) {
+		srv := server.New(blast.NewSession(sd, p), p, server.Config{Registry: obs.NewRegistry()})
+		addr, err := srv.Start("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return srv, NewRemoteWorker("r@"+addr, "http://"+addr, RemoteOptions{})
+	}
+	victimSrv, victim := mkDaemon(shards[0])
+	survivorSrv, survivor := mkDaemon(shards[0])
+	defer survivorSrv.Close()
+
+	rt, err := New([][]Worker{{victim, survivor}}, Options{Registry: obs.NewRegistry(),
+		Resilience: ResilienceConfig{
+			// A tight interval for test convergence, but a real-HTTP probe
+			// budget: the default timeout inherits the interval, far too
+			// short for a loopback round-trip under the race detector.
+			ProbeInterval: 2 * time.Millisecond, ProbeTimeout: 500 * time.Millisecond,
+			ReadmitBackoff: 10 * time.Millisecond, ReadmitBackoffMax: 40 * time.Millisecond,
+			RetryBudget: 2, RetryBackoff: time.Millisecond,
+		}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Start()
+	defer rt.Close()
+
+	victimSrv.Close() // the "SIGKILL"
+	deadline := time.Now().Add(2 * time.Second)
+	for !rt.ReplicaStates()[0][0].Ejected {
+		if time.Now().After(deadline) {
+			t.Fatal("dead daemon never ejected")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	for i := 0; i < 10; i++ {
+		br, rep, err := rt.Search(context.Background(), queries[:1], "")
+		if err != nil {
+			t.Fatalf("search %d after replica death: %v (shard 0: %+v)", i, err, rep.Shards[0])
+		}
+		if rep.Failed() != 0 || !br.Completed[0] {
+			t.Fatalf("search %d degraded despite a live survivor: %+v", i, rep.Shards)
+		}
+	}
+}
+
+// TestChaosRemoteTransport hammers a remote 2x2 fleet through the resilience
+// layer while the transport fault sites (router.rpc dropping calls,
+// router.rpcbody tearing response bodies) fire randomly. Invariants, whatever
+// the schedule: every query flagged completed is byte-identical to the
+// monolithic reference (a torn body or dropped RPC degrades honestly, never
+// corrupts a merge), per-request attempts stay within fanout + retry budget,
+// and no goroutines leak. `make chaos` runs this under -race; CHAOS_SEED
+// pins a schedule, CHAOS_ROUNDS widens the sweep.
+func TestChaosRemoteTransport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos sweep skipped in -short mode")
+	}
+	db, shards, queries := fixture(t)
+	mono, err := db.SearchBatchCtx(context.Background(), queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]string, len(queries))
+	for qi := range queries {
+		want[qi] = mono.Results[qi].Tabular("q")
+	}
+
+	rounds := 4
+	if s := os.Getenv("CHAOS_ROUNDS"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil {
+			t.Fatalf("bad CHAOS_ROUNDS %q: %v", s, err)
+		}
+		rounds = n
+	}
+	seeds := make([]int64, rounds)
+	for i := range seeds {
+		seeds[i] = int64(7100 + 13*i)
+	}
+	if s := os.Getenv("CHAOS_SEED"); s != "" {
+		n, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			t.Fatalf("bad CHAOS_SEED %q: %v", s, err)
+		}
+		seeds = []int64{n}
+	}
+
+	const budget = 2
+	base := runtime.NumGoroutine()
+	for _, seed := range seeds {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			defer func() {
+				if t.Failed() {
+					t.Logf("replay with: CHAOS_SEED=%d go test -race -run TestChaosRemoteTransport ./internal/router", seed)
+				}
+			}()
+			rng := rand.New(rand.NewSource(seed))
+			spec := remoteChaosSchedule(rng)
+			t.Logf("schedule %q", spec)
+			if err := faultinject.Enable(spec, uint64(seed)); err != nil {
+				t.Fatalf("enable %q: %v", spec, err)
+			}
+			defer faultinject.Disable()
+
+			// The fixture's full 3-shard split, 2 replicas each, every
+			// replica a real HTTP daemon.
+			workers := make([][]Worker, len(shards))
+			for s := range shards {
+				reps := startShardDaemons(t, []*blast.Database{shards[s], shards[s]})
+				// startShardDaemons maps slice index to the shard argument at
+				// search time via the router, so both replicas serve shard s.
+				workers[s] = []Worker{reps[0], reps[1]}
+			}
+			rt, err := New(workers, Options{Registry: obs.NewRegistry(),
+				Resilience: ResilienceConfig{
+					ProbeInterval: -1, // the breaker and retries carry this test
+					BreakerCooldown: 20 * time.Millisecond,
+					RetryBudget:     budget, RetryBackoff: time.Millisecond,
+				}})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			var wg sync.WaitGroup
+			errs := make(chan error, 64)
+			for g := 0; g < 4; g++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for j := 0; j < 4; j++ {
+						ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+						br, rep, err := rt.Search(ctx, queries, "")
+						cancel()
+						if err != nil {
+							if errors.Is(err, ErrAllShardsUnavailable) {
+								continue // honest full refusal under faults
+							}
+							errs <- fmt.Errorf("search: %v", err)
+							continue
+						}
+						total := 0
+						for _, st := range rep.Shards {
+							total += st.Attempts
+						}
+						if total > len(rep.Shards)+budget {
+							errs <- fmt.Errorf("attempts %d exceed fanout %d + budget %d", total, len(rep.Shards), budget)
+						}
+						for qi := range queries {
+							if !br.Completed[qi] {
+								continue // honest incompleteness under faults
+							}
+							if got := br.Results[qi].Tabular("q"); got != want[qi] {
+								errs <- fmt.Errorf("query %d completed but differs from the fault-free reference:\n got:\n%s\n want:\n%s", qi, got, want[qi])
+							}
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				t.Error(err)
+			}
+
+			// Faults off, the same fleet must serve complete identical results
+			// again (breakers recover through their half-open trials).
+			faultinject.Disable()
+			recovered := false
+			deadline := time.Now().Add(5 * time.Second)
+			for time.Now().Before(deadline) {
+				br, rep, err := rt.Search(context.Background(), queries, "")
+				if err == nil && rep.Sheds() == 0 && rep.Failed() == 0 {
+					for qi := range queries {
+						if got := br.Results[qi].Tabular("q"); got != want[qi] {
+							t.Fatalf("post-fault query %d differs from reference", qi)
+						}
+					}
+					recovered = true
+					break
+				}
+				time.Sleep(25 * time.Millisecond)
+			}
+			if !recovered {
+				t.Error("fleet never recovered to complete results after faults cleared")
+			}
+		})
+	}
+	waitForRouterGoroutines(t, base)
+}
+
+// remoteChaosSchedule draws one to two clauses over the transport sites.
+func remoteChaosSchedule(rng *rand.Rand) string {
+	clauses := []string{
+		fmt.Sprintf("router.rpc=error@0.%02d", 10+rng.Intn(30)),
+		fmt.Sprintf("router.rpcbody=shortread:%d@0.%02d", rng.Intn(64), 10+rng.Intn(30)),
+		"router.rpc=delay:2ms",
+	}
+	spec := clauses[rng.Intn(len(clauses))]
+	if rng.Intn(2) == 0 {
+		other := clauses[rng.Intn(len(clauses))]
+		if !strings.HasPrefix(other, spec[:strings.Index(spec, "=")]) {
+			spec += "," + other
+		}
+	}
+	return spec
+}
+
+// waitForRouterGoroutines asserts the goroutine count returns to baseline —
+// hedges, retries, and probers must not leak goroutines across rounds.
+func waitForRouterGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Second)
+	for runtime.NumGoroutine() > base {
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked: %d > baseline %d\n%s", runtime.NumGoroutine(), base, buf[:n])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/blast"
@@ -14,11 +15,11 @@ import (
 )
 
 // ShardStatus is the router's per-shard account of one scatter: which
-// replica was picked and how its search ended. Exactly one of the three
-// outcomes holds: OK (result merged), Shed (replica refused under
-// backpressure, RetryAfter carries its hint), or failed (Err non-nil, not a
-// shed). A non-OK shard never silently becomes "zero hits" — the merge marks
-// every query incomplete instead.
+// replica answered (or was last tried) and how its search ended. Exactly one
+// of the three outcomes holds: OK (result merged), Shed (every tried replica
+// refused under backpressure, RetryAfter carries its hint), or failed (Err
+// non-nil, not a shed). A non-OK shard never silently becomes "zero hits" —
+// the merge marks every query incomplete instead.
 type ShardStatus struct {
 	Shard      int
 	Worker     string
@@ -26,8 +27,9 @@ type ShardStatus struct {
 	Shed       bool
 	RetryAfter time.Duration // only when Shed
 	Err        error         // nil when OK
-	Nanos      int64         // wall time of this shard's search
+	Nanos      int64         // wall time of this shard's search (all attempts)
 	Completed  int           // queries the shard completed (when OK)
+	Attempts   int           // upstream attempts this shard spent (>=1; retries and hedges add)
 }
 
 // Report describes how one scatter-gather request was routed: the policy
@@ -105,18 +107,35 @@ type Options struct {
 	DefaultPolicy string
 	// Registry receives the router_* metrics. Nil means obs.Default.
 	Registry *obs.Registry
+	// Resilience tunes the per-replica lifecycle layer (health probing,
+	// breaker, retry budget, hedging). Zero fields select the defaults.
+	Resilience ResilienceConfig
 }
 
 // Router is the scatter-gather tier: it owns one replica set per shard,
 // scatters every search to all shards concurrently (one replica each, chosen
-// by the request's policy), and gathers the shard results into a merged
-// BatchResult that is byte-identical to a monolithic search when every shard
-// answers — and honestly incomplete when one does not.
+// by the request's policy among the shard's *eligible* replicas), and
+// gathers the shard results into a merged BatchResult that is byte-identical
+// to a monolithic search when every shard answers — and honestly incomplete
+// when one does not.
+//
+// Every replica is wrapped in a resilience layer: probe-driven ejection and
+// readmission (Start launches the prober), a circuit breaker fed by
+// request-path failures, and a per-request retry budget that bounds how many
+// extra upstream attempts (retries, hedges) one request may spend.
 type Router struct {
-	shards   [][]Worker
+	reps     [][]*replica
+	lat      []latRing
 	policies map[string]Policy
 	def      string
 	met      *obs.RouterMetrics
+	res      ResilienceConfig
+
+	ejectedCount atomic.Int64
+
+	probeMu   sync.Mutex
+	probeStop chan struct{}
+	probeDone chan struct{}
 }
 
 // New builds a Router over shards[s] = the replicas serving shard s. Every
@@ -126,10 +145,12 @@ func New(shards [][]Worker, opts Options) (*Router, error) {
 	if len(shards) == 0 {
 		return nil, errors.New("router: need at least one shard")
 	}
+	total := 0
 	for s, reps := range shards {
 		if len(reps) == 0 {
 			return nil, fmt.Errorf("router: shard %d has no replicas", s)
 		}
+		total += len(reps)
 	}
 	def := opts.DefaultPolicy
 	if def == "" {
@@ -150,16 +171,465 @@ func New(shards [][]Worker, opts Options) (*Router, error) {
 	if reg == nil {
 		reg = obs.Default
 	}
-	rt := &Router{shards: shards, policies: policies, def: def, met: obs.NewRouterMetrics(reg)}
+	res := opts.Resilience.withDefaults()
+	rt := &Router{
+		policies: policies, def: def,
+		met: obs.NewRouterMetrics(reg),
+		res: res,
+		lat: make([]latRing, len(shards)),
+	}
+	rt.reps = make([][]*replica, len(shards))
+	for s, ws := range shards {
+		rt.reps[s] = make([]*replica, len(ws))
+		for i, w := range ws {
+			rt.reps[s][i] = newReplica(w, res, rt.met, &rt.ejectedCount, int64(total))
+		}
+	}
 	rt.met.Fanout.Set(float64(len(shards)))
+	rt.met.ReplicasHealthy.Set(float64(total))
+	rt.met.ReplicasEjected.Set(0)
 	return rt, nil
 }
 
 // NumShards returns the fanout.
-func (rt *Router) NumShards() int { return len(rt.shards) }
+func (rt *Router) NumShards() int { return len(rt.reps) }
 
 // DefaultPolicy returns the policy used when a request names none.
 func (rt *Router) DefaultPolicy() string { return rt.def }
+
+// Resilience returns the resolved resilience configuration.
+func (rt *Router) Resilience() ResilienceConfig { return rt.res }
+
+// Workers returns the raw workers of one shard (reload orchestration walks
+// them; indexes match ReplicaStates).
+func (rt *Router) Workers(shard int) []Worker {
+	out := make([]Worker, len(rt.reps[shard]))
+	for i, r := range rt.reps[shard] {
+		out[i] = r.w
+	}
+	return out
+}
+
+// ReplicaStates snapshots every replica's lifecycle state, shard-major.
+func (rt *Router) ReplicaStates() [][]ReplicaState {
+	out := make([][]ReplicaState, len(rt.reps))
+	for s, reps := range rt.reps {
+		out[s] = make([]ReplicaState, len(reps))
+		for i, r := range reps {
+			out[s][i] = r.snapshot()
+		}
+	}
+	return out
+}
+
+// HealthErr reports nil while every shard keeps at least one replica in
+// rotation, and an error naming the starved shards otherwise — the
+// frontend's /readyz folds it in, so a fleet that cannot answer a full
+// scatter pulls itself from upstream rotation instead of serving guaranteed
+// incompletes.
+func (rt *Router) HealthErr() error {
+	var bad []int
+	for s, reps := range rt.reps {
+		ok := false
+		for _, r := range reps {
+			if r.healthy() {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			bad = append(bad, s)
+		}
+	}
+	if len(bad) > 0 {
+		return fmt.Errorf("router: shard(s) %v have no healthy replica", bad)
+	}
+	return nil
+}
+
+// HealthyReplicas counts the replicas of one shard currently in rotation.
+func (rt *Router) HealthyReplicas(shard int) int {
+	n := 0
+	for _, r := range rt.reps[shard] {
+		if r.healthy() {
+			n++
+		}
+	}
+	return n
+}
+
+// Start launches the health prober: every ProbeInterval each replica that
+// exposes a HealthCheck is probed concurrently — failing replicas are
+// ejected from rotation, ejected ones re-probed on their jittered backoff
+// schedule and readmitted when the probe recovers. A no-op when probing is
+// disabled or no replica is probeable. Pair with Close.
+func (rt *Router) Start() {
+	rt.probeMu.Lock()
+	defer rt.probeMu.Unlock()
+	if rt.probeStop != nil || rt.res.ProbeInterval <= 0 {
+		return
+	}
+	probeable := false
+	for _, reps := range rt.reps {
+		for _, r := range reps {
+			if r.hc != nil {
+				probeable = true
+			}
+		}
+	}
+	if !probeable {
+		return
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	rt.probeStop, rt.probeDone = stop, done
+	go func() {
+		defer close(done)
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		go func() {
+			<-stop
+			cancel()
+		}()
+		t := time.NewTicker(rt.res.ProbeInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case now := <-t.C:
+				rt.probeAll(ctx, now)
+			}
+		}
+	}()
+}
+
+// probeAll runs one probe cycle across the fleet, concurrently per replica.
+func (rt *Router) probeAll(ctx context.Context, now time.Time) {
+	var wg sync.WaitGroup
+	for _, reps := range rt.reps {
+		for _, r := range reps {
+			if r.hc == nil {
+				continue
+			}
+			wg.Add(1)
+			go func(r *replica) {
+				defer wg.Done()
+				r.probe(ctx, now)
+			}(r)
+		}
+	}
+	wg.Wait()
+}
+
+// Close stops the prober (idempotent; safe without Start).
+func (rt *Router) Close() {
+	rt.probeMu.Lock()
+	defer rt.probeMu.Unlock()
+	if rt.probeStop == nil {
+		return
+	}
+	close(rt.probeStop)
+	<-rt.probeDone
+	rt.probeStop, rt.probeDone = nil, nil
+}
+
+// spend takes one attempt from the request's retry budget; false (with the
+// budget-dry metric stamped) means the request has spent its amplification
+// allowance and the current outcome stands.
+func (rt *Router) spend(budget *atomic.Int64) bool {
+	if budget.Add(-1) < 0 {
+		budget.Add(1)
+		rt.met.RetryBudgetDry.Add(1)
+		return false
+	}
+	return true
+}
+
+// refund returns an attempt taken by spend when it ends up unused (no
+// eligible replica materialized).
+func refund(budget *atomic.Int64) { budget.Add(1) }
+
+// pick selects one eligible replica of shard s through the request policy,
+// excluding indices in excl (nil = none), and claims its breaker slot. -1
+// means no eligible replica.
+func (rt *Router) pick(s int, pol Policy, excl map[int]bool) int {
+	reps := rt.reps[s]
+	now := time.Now()
+	cand := make([]Worker, 0, len(reps))
+	idxs := make([]int, 0, len(reps))
+	for i, r := range reps {
+		if excl != nil && excl[i] {
+			continue
+		}
+		if r.eligibleHint(now) {
+			cand = append(cand, r.w)
+			idxs = append(idxs, i)
+		}
+	}
+	for len(cand) > 0 {
+		k := pol.Pick(s, cand)
+		if k < 0 || k >= len(cand) {
+			k = 0
+		}
+		i := idxs[k]
+		if reps[i].tryAcquire(now) {
+			return i
+		}
+		cand = append(cand[:k], cand[k+1:]...)
+		idxs = append(idxs[:k], idxs[k+1:]...)
+	}
+	return -1
+}
+
+// hedgeDelay derives the hedge trigger for shard s from its recent attempt
+// latencies; 0 disables hedging for this request (not enough signal yet).
+func (rt *Router) hedgeDelay(s int) time.Duration {
+	d := rt.lat[s].quantile(rt.res.HedgeQuantile)
+	if d == 0 {
+		return 0
+	}
+	if d < rt.res.HedgeMinDelay {
+		d = rt.res.HedgeMinDelay
+	}
+	return d
+}
+
+// classifyOutcome maps one attempt's error to the breaker's view of it.
+func classifyOutcome(attemptCtx context.Context, err error) int {
+	if err == nil {
+		return outcomeOK
+	}
+	var busy *BusyError
+	if errors.As(err, &busy) {
+		return outcomeShed
+	}
+	if attemptCtx.Err() != nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		// Cancelled (hedge loser, drain) or out of deadline: not the
+		// replica's verdict, the breaker learns nothing.
+		return outcomeNeutral
+	}
+	return outcomeFail
+}
+
+// sleepCtx sleeps d unless the context dies first.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
+// attemptOut is one upstream attempt's outcome.
+type attemptOut struct {
+	idx   int // replica index within the shard
+	res   *blast.ShardResult
+	err   error
+	nanos int64
+}
+
+// searchShard runs one shard's slice of the scatter through the resilience
+// layer: pick an eligible replica, run the attempt (optionally hedged with a
+// second replica after the shard's p95 delay, first result winning and the
+// loser cancelled), and on failure retry — governed by the shared per-request
+// budget — with backoff. A shed is retried only when a *different* eligible
+// replica exists: re-asking the replica that just declared itself saturated
+// would amplify the exact overload it shed. It fills st and returns the
+// winning result (nil when the shard contributed nothing).
+func (rt *Router) searchShard(ctx context.Context, queries []string, s int, pol Policy, budget *atomic.Int64, st *ShardStatus, scatter *reqtrace.Span) *blast.ShardResult {
+	n := len(rt.reps)
+	reps := rt.reps[s]
+	start := time.Now()
+	var ss *reqtrace.Span
+	if scatter != nil {
+		ss = scatter.Child("shard"+strconv.Itoa(s), start.UnixNano())
+	}
+	st.Shard = s
+
+	// launch runs one attempt on replica idx under its own cancel, feeding
+	// the breaker and the latency ring from inside the goroutine — so a
+	// hedge loser is still accounted after the shard's result is decided,
+	// and the buffered channel lets it finish without a reader (no leak).
+	// Non-primary attempts get a span under the shard span; the primary does
+	// not, keeping the healthy-path trace shape identical to a plain scatter.
+	launch := func(actx context.Context, idx int, kind string) <-chan attemptOut {
+		ch := make(chan attemptOut, 1)
+		st.Attempts++
+		rt.met.ShardSearches.Add(1)
+		go func() {
+			t0 := time.Now()
+			var as *reqtrace.Span
+			if ss != nil && kind != "" {
+				as = ss.Child("attempt:"+kind, t0.UnixNano())
+				as.SetAttr("worker", reps[idx].w.Name())
+			}
+			res, err := reps[idx].w.Search(reqtrace.ContextWithSpan(actx, ss), queries, s, n)
+			nanos := time.Since(t0).Nanoseconds()
+			o := classifyOutcome(actx, err)
+			reps[idx].onResult(o)
+			if o == outcomeOK {
+				rt.lat[s].add(nanos)
+			}
+			if as != nil {
+				switch o {
+				case outcomeOK:
+					as.SetAttr("status", "ok")
+				case outcomeShed:
+					as.SetAttr("status", "shed")
+				case outcomeFail:
+					as.SetAttr("status", "error")
+				default:
+					as.SetAttr("status", "cancelled")
+				}
+				as.End(nanos)
+			}
+			ch <- attemptOut{idx: idx, res: res, err: err, nanos: nanos}
+		}()
+		return ch
+	}
+
+	// runFirst runs the primary attempt on idx, firing a hedge on a second
+	// eligible replica if the primary outlives the shard's hedge delay. The
+	// first success wins and the other attempt is cancelled; when both fail,
+	// the primary's outcome stands (deterministic attribution).
+	runFirst := func(idx int) attemptOut {
+		actx, acancel := context.WithCancel(ctx)
+		defer acancel()
+		ch := launch(actx, idx, "")
+		var hch <-chan attemptOut
+		var timerC <-chan time.Time
+		if rt.res.Hedge {
+			if d := rt.hedgeDelay(s); d > 0 {
+				timer := time.NewTimer(d)
+				defer timer.Stop()
+				timerC = timer.C
+			}
+		}
+		for {
+			select {
+			case out := <-ch:
+				if out.err == nil || hch == nil {
+					return out
+				}
+				// Primary failed with a hedge in flight: its answer may
+				// still save the shard.
+				if hout := <-hch; hout.err == nil {
+					rt.met.HedgesWon.Add(1)
+					return hout
+				}
+				return out
+			case hout := <-hch:
+				if hout.err == nil {
+					rt.met.HedgesWon.Add(1)
+					acancel()
+					return hout
+				}
+				// Hedge failed first; the primary is still the main bet.
+				hch = nil
+			case <-timerC:
+				timerC = nil
+				if !rt.spend(budget) {
+					continue
+				}
+				hidx := rt.pick(s, pol, map[int]bool{idx: true})
+				if hidx < 0 {
+					refund(budget)
+					continue
+				}
+				rt.met.HedgesFired.Add(1)
+				// At most one hedge fires per shard (timerC goes nil), so
+				// this defer runs once: it cancels a losing hedge when the
+				// primary's result decides the shard.
+				hctx, hcancel := context.WithCancel(ctx)
+				defer hcancel()
+				hch = launch(hctx, hidx, "hedge")
+			}
+		}
+	}
+
+	finish := func(out attemptOut) *blast.ShardResult {
+		st.Nanos = time.Since(start).Nanoseconds()
+		if out.err == nil {
+			st.OK = true
+			st.Worker = reps[out.idx].w.Name()
+			st.Completed = out.res.CompletedCount()
+			if ss != nil {
+				ss.SetAttr("worker", st.Worker)
+				ss.SetAttr("status", "ok")
+				ss.SetAttr("completed", strconv.Itoa(st.Completed))
+				attachShardQuerySpans(ss, start.UnixNano(), out.res)
+				ss.End(st.Nanos)
+			}
+			return out.res
+		}
+		st.Err = out.err
+		if out.idx >= 0 {
+			st.Worker = reps[out.idx].w.Name()
+		}
+		var busy *BusyError
+		if errors.As(out.err, &busy) {
+			st.Shed = true
+			st.RetryAfter = busy.RetryAfter
+			rt.met.ShardSheds.Add(1)
+			ss.SetAttr("status", "shed")
+		} else {
+			rt.met.ShardErrors.Add(1)
+			ss.SetAttr("status", "error")
+		}
+		if ss != nil {
+			if st.Worker != "" {
+				ss.SetAttr("worker", st.Worker)
+			}
+			ss.End(st.Nanos)
+		}
+		return nil
+	}
+
+	tried := map[int]bool{}
+	idx := rt.pick(s, pol, nil)
+	if idx < 0 {
+		return finish(attemptOut{idx: -1, err: fmt.Errorf("router: shard %d: no eligible replica (all ejected or breaker-open)", s)})
+	}
+	tried[idx] = true
+	out := runFirst(idx)
+	tried[out.idx] = true
+
+	retry := 0
+	for out.err != nil && ctx.Err() == nil {
+		isShed := classifyOutcome(ctx, out.err) == outcomeShed
+		if !rt.spend(budget) {
+			break
+		}
+		// A shed must move to a different replica; a failure prefers one but
+		// may re-try the same (sole) replica while its breaker stays closed.
+		nidx := rt.pick(s, pol, tried)
+		if nidx < 0 && !isShed {
+			nidx = rt.pick(s, pol, nil)
+		}
+		if nidx < 0 {
+			refund(budget)
+			break
+		}
+		rt.met.Retries.Add(1)
+		retry++
+		if !sleepCtx(ctx, time.Duration(retry)*rt.res.RetryBackoff) {
+			reps[nidx].releaseTrial()
+			break
+		}
+		actx, acancel := context.WithCancel(ctx)
+		out = <-launch(actx, nidx, "retry")
+		acancel()
+		tried[nidx] = true
+	}
+	return finish(out)
+}
 
 // Search scatters the query batch to every shard and merges the gathered
 // results. policyName selects the replica-choice policy ("" means the
@@ -193,52 +663,20 @@ func (rt *Router) Search(ctx context.Context, queries []string, policyName strin
 	scatter := parent.Child("scatter", time.Now().UnixNano())
 	scatter.SetAttr("policy", pol.Name())
 
-	n := len(rt.shards)
+	n := len(rt.reps)
 	rep := &Report{Policy: pol.Name(), Shards: make([]ShardStatus, n)}
 	parts := make([]*blast.ShardResult, n)
+	var budget atomic.Int64
+	if rt.res.RetryBudget > 0 {
+		budget.Store(int64(rt.res.RetryBudget))
+	}
 	var wg sync.WaitGroup
 	for s := 0; s < n; s++ {
-		replicas := rt.shards[s]
-		w := replicas[pol.Pick(s, replicas)]
-		st := &rep.Shards[s]
-		st.Shard, st.Worker = s, w.Name()
 		wg.Add(1)
-		go func(s int, w Worker, st *ShardStatus) {
+		go func(s int) {
 			defer wg.Done()
-			rt.met.ShardSearches.Add(1)
-			start := time.Now()
-			var ss *reqtrace.Span
-			if scatter != nil {
-				ss = scatter.Child("shard"+strconv.Itoa(s), start.UnixNano())
-				ss.SetAttr("worker", w.Name())
-			}
-			res, err := w.Search(ctx, queries, s, n)
-			st.Nanos = time.Since(start).Nanoseconds()
-			if err != nil {
-				st.Err = err
-				var busy *BusyError
-				if errors.As(err, &busy) {
-					st.Shed = true
-					st.RetryAfter = busy.RetryAfter
-					rt.met.ShardSheds.Add(1)
-					ss.SetAttr("status", "shed")
-				} else {
-					rt.met.ShardErrors.Add(1)
-					ss.SetAttr("status", "error")
-				}
-				ss.End(st.Nanos)
-				return
-			}
-			st.OK = true
-			st.Completed = res.CompletedCount()
-			parts[s] = res
-			if ss != nil {
-				ss.SetAttr("status", "ok")
-				ss.SetAttr("completed", strconv.Itoa(st.Completed))
-				attachShardQuerySpans(ss, start.UnixNano(), res)
-				ss.End(st.Nanos)
-			}
-		}(s, w, st)
+			parts[s] = rt.searchShard(ctx, queries, s, pol, &budget, &rep.Shards[s], scatter)
+		}(s)
 	}
 	wg.Wait()
 

@@ -60,12 +60,16 @@ type Worker interface {
 // wait. The session can be hot-reloaded (blast.Session.Reload) while the
 // worker serves.
 type LocalWorker struct {
-	name       string
-	ses        *blast.Session
-	weight     float64
-	retryAfter time.Duration
-	tokens     chan struct{}
-	inflight   atomic.Int64
+	name        string
+	ses         *blast.Session
+	weight      float64
+	retryAfter  time.Duration
+	concurrency int
+	tokens      chan struct{}
+	inflight    atomic.Int64
+	// shedStreak counts sheds since the last admitted search; it scales the
+	// Retry-After hint so sustained pressure pushes retries further out.
+	shedStreak atomic.Int64
 }
 
 // NewLocalWorker wraps a session. concurrency <= 0 means 1; weight <= 0
@@ -82,7 +86,8 @@ func NewLocalWorker(name string, ses *blast.Session, concurrency int, weight flo
 	}
 	return &LocalWorker{
 		name: name, ses: ses, weight: weight, retryAfter: retryAfter,
-		tokens: make(chan struct{}, concurrency),
+		concurrency: concurrency,
+		tokens:      make(chan struct{}, concurrency),
 	}
 }
 
@@ -98,17 +103,48 @@ func (w *LocalWorker) Weight() float64 { return w.weight }
 // Session returns the underlying session (for hot reloads and stats).
 func (w *LocalWorker) Session() *blast.Session { return w.ses }
 
+// retryAfterShedCap bounds the adaptive Retry-After hint at this multiple of
+// the base: the hint must grow under sustained pressure but stay a hint, not
+// an exile.
+const retryAfterShedCap = 8
+
+// RetryAfterHint is the Retry-After a shed would carry right now: the base
+// hint scaled by the shed streak relative to the worker's capacity
+// (1 + streak/concurrency, capped at 8x). One refused caller on a big worker
+// barely moves it; a streak on a small worker pushes retries out fast, so
+// the hint tracks how outmatched the capacity actually is.
+func (w *LocalWorker) RetryAfterHint() time.Duration {
+	mult := 1 + float64(w.shedStreak.Load())/float64(w.concurrency)
+	if mult > retryAfterShedCap {
+		mult = retryAfterShedCap
+	}
+	return time.Duration(float64(w.retryAfter) * mult)
+}
+
 // Search implements Worker: token-bounded, shedding when saturated.
 func (w *LocalWorker) Search(ctx context.Context, queries []string, shard, numShards int) (*blast.ShardResult, error) {
 	select {
 	case w.tokens <- struct{}{}:
 	default:
-		return nil, &BusyError{Worker: w.name, RetryAfter: w.retryAfter}
+		w.shedStreak.Add(1)
+		return nil, &BusyError{Worker: w.name, RetryAfter: w.RetryAfterHint()}
 	}
 	defer func() { <-w.tokens }()
+	w.shedStreak.Store(0)
 	w.inflight.Add(1)
 	defer w.inflight.Add(-1)
 	db, release := w.ses.Acquire()
 	defer release()
 	return db.SearchShardBatchCtx(ctx, queries, shard, numShards)
+}
+
+// ReloadContainer implements Reloader: verify-only validates the candidate
+// container without touching the serving session; otherwise
+// blast.Session.Reload runs its verify-before-swap.
+func (w *LocalWorker) ReloadContainer(_ context.Context, path string, verifyOnly bool) error {
+	if verifyOnly {
+		_, err := blast.VerifyFile(path)
+		return err
+	}
+	return w.ses.Reload(path)
 }

@@ -414,3 +414,9 @@ func hspLess(a, b *HSP) bool {
 func SortHSPs(hsps []HSP) {
 	sort.SliceStable(hsps, func(i, j int) bool { return hspLess(&hsps[i], &hsps[j]) })
 }
+
+// LessHSP exposes the monolithic ranking order SortHSPs applies, so callers
+// that must keep side records aligned with a sort (the sharded merge keeps
+// per-HSP provenance) can run their own stable permutation sort and still
+// rank exactly like a single-database search.
+func LessHSP(a, b *HSP) bool { return hspLess(a, b) }

@@ -111,13 +111,23 @@ type SearchResponse struct {
 // ReloadRequest is the /reload request body.
 type ReloadRequest struct {
 	Path string `json:"path"`
+	// VerifyOnly validates the container end to end (CRCs, structure,
+	// fingerprint) and reports what it holds without swapping anything in.
+	// Rolling-reload orchestration probes every worker this way before the
+	// first swap, so a bad container is rejected fleet-wide up front.
+	VerifyOnly bool `json:"verify_only,omitempty"`
 }
 
-// ReloadResponse reports a successful swap.
+// ReloadResponse reports a successful swap, or — for a verify-only probe —
+// what the candidate container holds (Verified true, no swap happened, and
+// Generation is the still-serving database's).
 type ReloadResponse struct {
-	Generation int64 `json:"db_generation"`
-	Sequences  int   `json:"sequences"`
-	Blocks     int   `json:"blocks"`
+	Generation    int64              `json:"db_generation"`
+	Sequences     int                `json:"sequences"`
+	Blocks        int                `json:"blocks"`
+	Verified      bool               `json:"verified,omitempty"`
+	TotalResidues int64              `json:"total_residues,omitempty"`
+	Fingerprint   *blast.Fingerprint `json:"fingerprint,omitempty"`
 }
 
 // errorResponse is the uniform JSON error body.
@@ -370,6 +380,32 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 	}
 	if req.Path == "" {
 		writeError(w, http.StatusBadRequest, "missing path")
+		return
+	}
+	if req.VerifyOnly {
+		err := fiReload.Err()
+		var info *blast.ContainerInfo
+		if err == nil {
+			info, err = blast.VerifyFile(req.Path)
+		}
+		if err != nil {
+			s.met.ReloadsRejected.Add(1)
+			status := http.StatusConflict
+			if errors.Is(err, blast.ErrCorrupt) || errors.Is(err, blast.ErrVersion) ||
+				errors.Is(err, blast.ErrParamsMismatch) {
+				status = http.StatusUnprocessableEntity
+			}
+			writeError(w, status, "verify rejected: %v", err)
+			return
+		}
+		writeJSON(w, http.StatusOK, ReloadResponse{
+			Generation:    s.ses.Generation(),
+			Sequences:     info.NumSequences,
+			Blocks:        info.NumBlocks,
+			Verified:      true,
+			TotalResidues: info.TotalResidues,
+			Fingerprint:   &info.Fingerprint,
+		})
 		return
 	}
 	err := fiReload.Err()

@@ -206,6 +206,8 @@ func New(ses *blast.Session, p blast.Params, cfg Config) *Server {
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/search", s.handleSearch)
 	s.mux.HandleFunc("/reload", s.handleReload)
+	s.mux.HandleFunc("/shard/search", s.handleShardSearch)
+	s.mux.HandleFunc("/shard/info", s.handleShardInfo)
 	s.mux.Handle("/", obs.HandlerWithReadiness(cfg.Registry, s.Ready))
 	return s
 }

@@ -1,0 +1,269 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/blast"
+	"repro/internal/alphabet"
+	"repro/internal/reqtrace"
+)
+
+// This file is the daemon's shard-worker surface: the endpoints a remote
+// scatter-gather router (mublastpr with router.RemoteWorker) drives when
+// this daemon serves one shard container of a sharded logical database.
+//
+//	GET  /shard/info     coherence handshake: fingerprint, local and global
+//	                     search-space totals, result-shaping params, generation
+//	POST /shard/search   one shard's part of a scattered batch, returned in
+//	                     the portable ShardResultWire form (shard-local ids,
+//	                     merge side records) for a byte-identical remote merge
+//
+// /shard/search runs through the same admission machinery as /search — the
+// bounded queue, run tokens, deadline-covers-queue-wait, and degraded mode —
+// so a saturated shard worker sheds with 429 + Retry-After exactly like the
+// local-worker path, and the router's honesty contract (shed => incomplete,
+// never silent zero hits) holds across the network hop. The one deliberate
+// difference: degraded mode shrinks only the deadline, never the batch —
+// dropping queries from one shard's scatter would desynchronize the merge.
+
+// ShardSearchRequest is the /shard/search request body. Queries carry raw
+// residues only (names are router-side state); Shard/NumShards assert which
+// slice of the logical database the caller believes this daemon serves.
+type ShardSearchRequest struct {
+	Queries   []string `json:"queries"`
+	Shard     int      `json:"shard"`
+	NumShards int      `json:"num_shards"`
+	// TimeoutMS requests a per-request deadline in milliseconds; 0 means the
+	// server default. The router sets this to its remaining deadline budget
+	// minus a network margin.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// ShardSearchResponse is the /shard/search response body.
+type ShardSearchResponse struct {
+	Degraded   bool                   `json:"degraded"`
+	Generation int64                  `json:"db_generation"`
+	Result     *blast.ShardResultWire `json:"result"`
+}
+
+// ShardInfoResponse is the /shard/info handshake: everything a router must
+// cross-check before trusting this daemon with a shard's scatter traffic.
+type ShardInfoResponse struct {
+	Fingerprint     blast.Fingerprint `json:"fingerprint"`
+	Sequences       int               `json:"sequences"`
+	TotalResidues   int64             `json:"total_residues"`
+	GlobalSequences int64             `json:"global_sequences"`
+	GlobalResidues  int64             `json:"global_residues"`
+	EValueCutoff    float64           `json:"evalue_cutoff"`
+	MaxResults      int               `json:"max_results"`
+	Generation      int64             `json:"db_generation"`
+	Draining        bool              `json:"draining"`
+}
+
+func (s *Server) handleShardInfo(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	db, release := s.ses.Acquire()
+	defer release()
+	globalRes, globalSeqs := db.GlobalSearchSpace()
+	evalue, maxResults := db.SearchSettings()
+	writeJSON(w, http.StatusOK, ShardInfoResponse{
+		Fingerprint:     db.Fingerprint(),
+		Sequences:       db.NumSequences(),
+		TotalResidues:   db.TotalResidues(),
+		GlobalSequences: globalSeqs,
+		GlobalResidues:  globalRes,
+		EValueCutoff:    evalue,
+		MaxResults:      maxResults,
+		Generation:      s.ses.Generation(),
+		Draining:        s.Draining(),
+	})
+}
+
+func (s *Server) handleShardSearch(w http.ResponseWriter, r *http.Request) {
+	sc := s.beginSearchScope(w, r)
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		sc.finish(reqtrace.OutcomeRejected, http.StatusMethodNotAllowed)
+		return
+	}
+	if s.Draining() {
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		sc.finish(reqtrace.OutcomeCancelled, http.StatusServiceUnavailable)
+		return
+	}
+	if err := fiAdmit.Err(); err != nil {
+		writeError(w, http.StatusServiceUnavailable, "admission failure: %v", err)
+		sc.finish(reqtrace.OutcomeError, http.StatusServiceUnavailable)
+		return
+	}
+	var req ShardSearchRequest
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		sc.finish(reqtrace.OutcomeRejected, http.StatusBadRequest)
+		return
+	}
+	if len(req.Queries) == 0 {
+		writeError(w, http.StatusBadRequest, "no queries")
+		sc.finish(reqtrace.OutcomeRejected, http.StatusBadRequest)
+		return
+	}
+	if len(req.Queries) > s.cfg.MaxQueries {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			"%d queries exceeds the per-request cap of %d", len(req.Queries), s.cfg.MaxQueries)
+		sc.finish(reqtrace.OutcomeRejected, http.StatusRequestEntityTooLarge)
+		return
+	}
+	if req.NumShards <= 0 || req.Shard < 0 || req.Shard >= req.NumShards {
+		writeError(w, http.StatusBadRequest, "shard %d of %d out of range", req.Shard, req.NumShards)
+		sc.finish(reqtrace.OutcomeRejected, http.StatusBadRequest)
+		return
+	}
+	for i := range req.Queries {
+		if _, err := alphabet.Encode([]byte(req.Queries[i])); err != nil {
+			writeError(w, http.StatusBadRequest, "query %d: %v", i, err)
+			sc.finish(reqtrace.OutcomeRejected, http.StatusBadRequest)
+			return
+		}
+	}
+	if sc.rec != nil {
+		sc.rec.QueryLens = make([]int, len(req.Queries))
+		for i := range req.Queries {
+			sc.rec.QueryLens[i] = len(req.Queries[i])
+		}
+	}
+
+	// Degraded mode shrinks the deadline only — never the batch. A shard
+	// that silently dropped queries would desynchronize the merge; a shard
+	// that runs out of (shortened) deadline reports those queries incomplete
+	// and the merge stays honest.
+	degraded := s.deg.observe(s.adm.depth(), time.Now())
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	if timeout > s.cfg.MaxTimeout {
+		timeout = s.cfg.MaxTimeout
+	}
+	if degraded && timeout > s.cfg.DegradedTimeout {
+		timeout = s.cfg.DegradedTimeout
+	}
+	if sc.rec != nil {
+		sc.rec.DeadlineMS = timeout.Milliseconds()
+		sc.rec.Degraded = degraded
+	}
+
+	if !s.adm.enter() {
+		s.deg.observe(s.adm.depth(), time.Now())
+		w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter))
+		writeError(w, http.StatusTooManyRequests,
+			"admission queue full (%d waiting); retry later", s.cfg.Queue)
+		s.logf("shard request %s shed: admission queue full (%d waiting)", sc.rid, s.cfg.Queue)
+		sc.finish(reqtrace.OutcomeShed, http.StatusTooManyRequests)
+		return
+	}
+	s.deg.observe(s.adm.depth(), time.Now())
+
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+	enqueued := time.Now()
+	admSpan := sc.root.Child("admission", enqueued.UnixNano())
+	if !s.adm.acquire(ctx.Done()) {
+		admSpan.End(time.Since(enqueued).Nanoseconds())
+		sc.spanNanos("queue", time.Since(enqueued))
+		s.deg.observe(s.adm.depth(), time.Now())
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			s.met.TimedOut.Add(1)
+			w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter))
+			writeError(w, http.StatusServiceUnavailable,
+				"deadline expired after %v in the admission queue", time.Since(enqueued).Round(time.Millisecond))
+			s.logf("shard request %s timed out after %v in the admission queue", sc.rid, time.Since(enqueued).Round(time.Millisecond))
+			sc.finish(reqtrace.OutcomeTimeout, http.StatusServiceUnavailable)
+			return
+		}
+		writeError(w, http.StatusServiceUnavailable, "request cancelled while queued")
+		s.logf("shard request %s cancelled while queued", sc.rid)
+		sc.finish(reqtrace.OutcomeCancelled, http.StatusServiceUnavailable)
+		return
+	}
+	defer s.adm.release()
+	queueWait := time.Since(enqueued)
+	admSpan.End(queueWait.Nanoseconds())
+	sc.spanNanos("queue", queueWait)
+	s.met.Admitted.Add(1)
+	s.met.QueueWaitNanos.Observe(int64(queueWait))
+	s.deg.observe(s.adm.depth(), time.Now())
+	if s.testHookRunning != nil {
+		s.testHookRunning()
+	}
+
+	db, release := s.ses.Acquire()
+	searchStart := time.Now()
+	searchSpan := sc.root.Child("search", searchStart.UnixNano())
+	searchSpan.SetAttr("shard", strconv.Itoa(req.Shard))
+	part, err := db.SearchShardBatchCtx(reqtrace.ContextWithSpan(ctx, searchSpan), req.Queries, req.Shard, req.NumShards)
+	searchDur := time.Since(searchStart)
+	searchSpan.End(searchDur.Nanoseconds())
+	sc.spanNanos("search", searchDur)
+	if err != nil {
+		release()
+		writeError(w, http.StatusBadRequest, "shard search: %v", err)
+		sc.finish(reqtrace.OutcomeRejected, http.StatusBadRequest)
+		return
+	}
+	attachShardQuerySpans(searchSpan, searchStart.UnixNano(), part)
+	wire, err := part.Wire(req.Queries)
+	release()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "encoding shard result: %v", err)
+		sc.finish(reqtrace.OutcomeError, http.StatusInternalServerError)
+		return
+	}
+	s.met.RequestNanos.Observe(int64(time.Since(enqueued)))
+
+	if err := fiRespond.Err(); err != nil {
+		writeError(w, http.StatusInternalServerError, "response failure: %v", err)
+		sc.finish(reqtrace.OutcomeError, http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, http.StatusOK, ShardSearchResponse{
+		Degraded:   degraded,
+		Generation: s.ses.Generation(),
+		Result:     wire,
+	})
+	outcome := reqtrace.OutcomeOK
+	if part.Err() != nil {
+		outcome = reqtrace.OutcomeTimeout
+		s.logf("shard request %s incomplete: %v", sc.rid, part.Err())
+	}
+	sc.finish(outcome, http.StatusOK)
+}
+
+// attachShardQuerySpans is attachQuerySpans for a shard batch: one child per
+// completed query under the search span, holding the six-stage pipeline
+// spans. No-op with tracing off.
+func attachShardQuerySpans(search *reqtrace.Span, startNS int64, part *blast.ShardResult) {
+	if search == nil {
+		return
+	}
+	for i := 0; i < part.NumQueries(); i++ {
+		if !part.QueryCompleted(i) {
+			continue
+		}
+		q := search.Child("query:"+strconv.Itoa(i), startNS)
+		var total int64
+		for _, sp := range part.QueryStageSpans(i) {
+			q.StaticChild("stage:"+sp.Stage, startNS, sp.Nanos)
+			total += sp.Nanos
+		}
+		q.End(total)
+	}
+}

@@ -1,0 +1,237 @@
+#!/bin/sh
+# Remote-topology smoke test (the `make remote-smoke` target).
+#
+# Builds the toolchain, splits one generated database into 2 shard
+# containers, serves each shard from TWO mublastpd daemons (a 2-shard x
+# 2-replica fleet, every replica started with the global search space), puts
+# mublastpr -workers in front, and checks the remote scatter byte-identical
+# to a monolithic mublastpd. Then the failure drills: SIGKILL one replica
+# mid-run (the fleet must keep serving complete or honestly-incomplete
+# results, the prober must eject the corpse, /readyz must stay green),
+# SIGKILL the shard's second replica (/readyz must go 503 — a full scatter is
+# impossible), restart one replica (readmission must flip /readyz back and
+# results must be byte-identical again).
+set -eu
+
+workdir=$(mktemp -d "${TMPDIR:-/tmp}/remote-smoke.XXXXXX")
+pids=""
+cleanup() {
+    for p in $pids; do kill -9 "$p" 2>/dev/null || true; done
+    rm -rf "$workdir"
+}
+trap cleanup EXIT INT TERM
+
+echo "remote-smoke: building binaries..."
+go build -o "$workdir/mublastpd" ./cmd/mublastpd
+go build -o "$workdir/mublastpr" ./cmd/mublastpr
+go build -o "$workdir/makedb" ./cmd/makedb
+go build -o "$workdir/genseq" ./cmd/genseq
+
+echo "remote-smoke: generating workload and containers..."
+"$workdir/genseq" -n 400 -seed 33 -out "$workdir/db.fasta" \
+    -queries 3 -qlen 160 -qout "$workdir/queries.fasta"
+"$workdir/makedb" -in "$workdir/db.fasta" -out "$workdir/db.mublastp" 2>/dev/null
+"$workdir/makedb" -in "$workdir/db.fasta" -out "$workdir/db.mublastp" -shards 2 2>/dev/null
+shard0="$workdir/db.mublastp.shard0-of-2"
+shard1="$workdir/db.mublastp.shard1-of-2"
+[ -f "$shard0" ] && [ -f "$shard1" ] || {
+    echo "remote-smoke: FAIL: shard containers missing"; exit 1; }
+
+queries_json=$(awk '
+    function flush() { if (seq != "") { printf "%s{\"name\":\"q%d\",\"residues\":\"%s\"}", sep, n, seq; sep = ","; n++ } seq = "" }
+    /^>/ { flush(); next }
+    { seq = seq $0 }
+    END { flush() }
+' "$workdir/queries.fasta")
+[ -n "$queries_json" ] || { echo "remote-smoke: FAIL: no queries extracted"; exit 1; }
+search_body="{\"queries\":[$queries_json]}"
+
+wait_addr() { # name pid errfile -> prints addr
+    _addr=""
+    for _ in $(seq 1 100); do
+        _addr=$(sed -n "s/^$1: serving on \([^ ]*\) .*/\1/p" "$3" | head -n 1)
+        [ -n "$_addr" ] && break
+        kill -0 "$2" 2>/dev/null || { echo "remote-smoke: FAIL: $1 exited early" >&2; cat "$3" >&2; exit 1; }
+        sleep 0.1
+    done
+    [ -n "$_addr" ] || { echo "remote-smoke: FAIL: $1 never announced its address" >&2; cat "$3" >&2; exit 1; }
+    printf '%s' "$_addr"
+}
+
+echo "remote-smoke: starting monolithic mublastpd..."
+"$workdir/mublastpd" -db "$workdir/db.mublastp" -addr 127.0.0.1:0 \
+    -drain-grace 5s >/dev/null 2>"$workdir/mono.err" &
+mono_pid=$!
+pids="$pids $mono_pid"
+mono_addr=$(wait_addr mublastpd "$mono_pid" "$workdir/mono.err")
+
+# The global search space every shard worker must be told about, read off the
+# monolithic daemon's own handshake surface.
+info=$(curl -fsS "http://$mono_addr/shard/info")
+global_seqs=$(printf '%s' "$info" | sed -n 's/.*"sequences":\([0-9]*\).*/\1/p')
+global_res=$(printf '%s' "$info" | sed -n 's/.*"total_residues":\([0-9]*\).*/\1/p')
+[ -n "$global_seqs" ] && [ -n "$global_res" ] || {
+    echo "remote-smoke: FAIL: could not read the global search space"; exit 1; }
+echo "remote-smoke: global search space: $global_seqs sequences, $global_res residues"
+
+# Fixed (pid-derived) ports so a killed replica can be restarted in place.
+base_port=$((20000 + $$ % 20000))
+start_worker() { # index container -> pid via $worker_pid, addr via $worker_addr
+    _port=$((base_port + $1))
+    "$workdir/mublastpd" -db "$2" -addr "127.0.0.1:$_port" \
+        -global-sequences "$global_seqs" -global-residues "$global_res" \
+        -drain-grace 2s >/dev/null 2>"$workdir/worker$1.err" &
+    worker_pid=$!
+    pids="$pids $worker_pid"
+    worker_addr=$(wait_addr mublastpd "$worker_pid" "$workdir/worker$1.err")
+}
+
+echo "remote-smoke: starting the 2x2 worker fleet..."
+start_worker 0 "$shard0"; w00_pid=$worker_pid; w00_addr=$worker_addr
+start_worker 1 "$shard0"; w01_pid=$worker_pid; w01_addr=$worker_addr
+start_worker 2 "$shard1"; w10_pid=$worker_pid; w10_addr=$worker_addr
+start_worker 3 "$shard1"; w11_pid=$worker_pid; w11_addr=$worker_addr
+
+echo "remote-smoke: starting mublastpr -workers..."
+"$workdir/mublastpr" \
+    -workers "http://$w00_addr|http://$w01_addr,http://$w10_addr|http://$w11_addr" \
+    -probe-interval 100ms -readmit-backoff 200ms -readmit-backoff-max 1s \
+    -retry-budget 2 -retry-backoff 5ms \
+    -addr 127.0.0.1:0 -drain-grace 5s >/dev/null 2>"$workdir/router.err" &
+router_pid=$!
+pids="$pids $router_pid"
+router_addr=$(wait_addr mublastpr "$router_pid" "$workdir/router.err")
+echo "remote-smoke: monolithic at $mono_addr, router at $router_addr"
+
+grep -q "remote replicas) coherent" "$workdir/router.err" || {
+    echo "remote-smoke: FAIL: router did not announce the coherence handshake"; exit 1; }
+
+fail=0
+
+post() { # body out -> status code
+    curl -s -o "$2" -w '%{http_code}' -X POST -H 'Content-Type: application/json' \
+        -d "$1" "http://$router_addr/search"
+}
+strip_stats() { sed 's/,"stats".*//' "$1"; }
+
+echo "remote-smoke: remote scatter vs monolithic diff..."
+code=$(curl -s -o "$workdir/mono.json" -w '%{http_code}' -X POST \
+    -H 'Content-Type: application/json' -d "$search_body" "http://$mono_addr/search")
+[ "$code" = "200" ] || { echo "remote-smoke: FAIL: monolithic search = $code"; fail=1; }
+code=$(post "$search_body" "$workdir/remote.json")
+[ "$code" = "200" ] || { echo "remote-smoke: FAIL: remote search = $code: $(cat "$workdir/remote.json")"; fail=1; }
+strip_stats "$workdir/mono.json" >"$workdir/mono.results"
+strip_stats "$workdir/remote.json" >"$workdir/remote.results"
+if ! cmp -s "$workdir/mono.results" "$workdir/remote.results"; then
+    echo "remote-smoke: FAIL: remote results differ from monolithic"
+    diff "$workdir/mono.results" "$workdir/remote.results" | head -5
+    fail=1
+else
+    echo "remote-smoke: results byte-identical ($(grep -o '"subject"' "$workdir/mono.results" | wc -l | tr -d ' ') hits)"
+fi
+grep -q '"e_value"' "$workdir/remote.results" || {
+    echo "remote-smoke: FAIL: remote response carries no scored hits; diff is vacuous"; fail=1; }
+
+echo "remote-smoke: SIGKILL shard 0 replica 0 mid-run..."
+kill -9 "$w00_pid" 2>/dev/null || true
+complete=0
+for i in 1 2 3 4 5; do
+    code=$(post "$search_body" "$workdir/kill$i.json")
+    [ "$code" = "200" ] || { echo "remote-smoke: FAIL: search $i after kill = $code"; fail=1; continue; }
+    strip_stats "$workdir/kill$i.json" >"$workdir/kill$i.results"
+    if cmp -s "$workdir/mono.results" "$workdir/kill$i.results"; then
+        complete=$((complete + 1))
+    elif ! grep -q '"completed":false' "$workdir/kill$i.results"; then
+        echo "remote-smoke: FAIL: search $i after kill is neither byte-identical nor honestly incomplete"
+        fail=1
+    fi
+done
+[ "$complete" -ge 1 ] || {
+    echo "remote-smoke: FAIL: no complete result after the kill; retries never reached the surviving replica"; fail=1; }
+echo "remote-smoke: $complete/5 searches complete after the kill, rest honestly incomplete"
+
+echo "remote-smoke: waiting for the prober to eject the corpse..."
+ejected=""
+for _ in $(seq 1 50); do
+    if curl -fsS "http://$router_addr/replicas" | grep -q '"ejected":true'; then ejected=yes; break; fi
+    sleep 0.1
+done
+[ -n "$ejected" ] || { echo "remote-smoke: FAIL: dead replica never ejected"; fail=1; }
+code=$(curl -s -o /dev/null -w '%{http_code}' "http://$router_addr/readyz")
+[ "$code" = "200" ] || {
+    echo "remote-smoke: FAIL: /readyz = $code with a surviving replica, want 200"; fail=1; }
+
+echo "remote-smoke: SIGKILL shard 0's last replica -> /readyz must go 503..."
+kill -9 "$w01_pid" 2>/dev/null || true
+starved=""
+for _ in $(seq 1 50); do
+    code=$(curl -s -o /dev/null -w '%{http_code}' "http://$router_addr/readyz")
+    [ "$code" = "503" ] && { starved=yes; break; }
+    sleep 0.1
+done
+[ -n "$starved" ] || { echo "remote-smoke: FAIL: /readyz never went 503 with shard 0 fully dead"; fail=1; }
+# The fleet still answers what it can: 200 with shard 1's part, honestly
+# incomplete (or a full refusal once the budget meets two dead replicas).
+code=$(post "$search_body" "$workdir/starved.json")
+if [ "$code" = "200" ]; then
+    strip_stats "$workdir/starved.json" >"$workdir/starved.results"
+    grep -q '"completed":false' "$workdir/starved.results" || {
+        echo "remote-smoke: FAIL: starved-shard response claims completeness"; fail=1; }
+elif [ "$code" != "429" ] && [ "$code" != "503" ]; then
+    echo "remote-smoke: FAIL: starved-shard search = $code, want 200/429/503"; fail=1
+fi
+
+echo "remote-smoke: restarting shard 0 replica 0 -> readmission..."
+start_worker 0 "$shard0"; w00_pid=$worker_pid
+readmitted=""
+for _ in $(seq 1 100); do
+    code=$(curl -s -o /dev/null -w '%{http_code}' "http://$router_addr/readyz")
+    [ "$code" = "200" ] && { readmitted=yes; break; }
+    sleep 0.1
+done
+[ -n "$readmitted" ] || { echo "remote-smoke: FAIL: restarted replica never readmitted (/readyz stuck 503)"; fail=1; }
+identical=""
+for _ in $(seq 1 30); do
+    code=$(post "$search_body" "$workdir/after.json")
+    if [ "$code" = "200" ]; then
+        strip_stats "$workdir/after.json" >"$workdir/after.results"
+        cmp -s "$workdir/mono.results" "$workdir/after.results" && { identical=yes; break; }
+    fi
+    sleep 0.1
+done
+[ -n "$identical" ] || {
+    echo "remote-smoke: FAIL: results not byte-identical again after readmission"; fail=1; }
+echo "remote-smoke: readmitted, results byte-identical again"
+
+curl -fsS "http://$router_addr/metrics" >"$workdir/metrics.txt"
+for name in router_replica_ejections router_replica_readmissions; do
+    value=$(sed -n "s/^$name //p" "$workdir/metrics.txt")
+    if [ -z "$value" ] || [ "$value" = "0" ]; then
+        echo "remote-smoke: FAIL: $name = '${value:-missing}', want > 0"; fail=1
+    else
+        echo "remote-smoke: $name = $value"
+    fi
+done
+# Retries only fire in the window between the kill and the ejection, so the
+# count is timing-dependent — report it, don't gate on it.
+echo "remote-smoke: router_retries = $(sed -n 's/^router_retries //p' "$workdir/metrics.txt") (informational)"
+
+echo "remote-smoke: SIGTERM drain..."
+kill -TERM "$router_pid"
+status=0
+i=0
+while kill -0 "$router_pid" 2>/dev/null; do
+    i=$((i + 1))
+    [ "$i" -gt 150 ] && { echo "remote-smoke: FAIL: router did not exit within 15s"; fail=1; break; }
+    sleep 0.1
+done
+wait "$router_pid" 2>/dev/null || status=$?
+[ "$status" -eq 0 ] || { echo "remote-smoke: FAIL: router exit status $status, want 0"; fail=1; }
+grep -q "drained, exiting" "$workdir/router.err" || {
+    echo "remote-smoke: FAIL: no drain confirmation"; cat "$workdir/router.err"; fail=1; }
+
+if [ "$fail" -ne 0 ]; then
+    echo "remote-smoke: FAILED"
+    exit 1
+fi
+echo "remote-smoke: OK"
