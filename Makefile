@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath (stdlib only).
 
-.PHONY: all build vet test race fuzz chaos bench bench-json bench-compare bench-smoke obs-smoke obs-smoke-fault serve-smoke shard-smoke remote-smoke trace-smoke experiments examples golden clean
+.PHONY: all build vet fmtcheck test race fuzz chaos bench bench-json bench-compare bench-smoke obs-smoke obs-smoke-fault serve-smoke shard-smoke remote-smoke trace-smoke crash-smoke experiments examples golden clean
 
 all: build vet test bench-json
 
@@ -10,7 +10,13 @@ build:
 vet:
 	go vet ./...
 
-test: vet race fuzz chaos obs-smoke obs-smoke-fault serve-smoke shard-smoke remote-smoke trace-smoke bench-compare bench-smoke
+# gofmt gate: fail if any tracked Go file needs reformatting. gofmt -l
+# prints offenders; grep turns a non-empty list into a non-zero exit.
+fmtcheck:
+	@fmt_out=$$(gofmt -l .); if [ -n "$$fmt_out" ]; then \
+		echo "gofmt needed on:"; echo "$$fmt_out"; exit 1; fi
+
+test: vet fmtcheck race fuzz chaos obs-smoke obs-smoke-fault serve-smoke shard-smoke remote-smoke trace-smoke crash-smoke bench-compare bench-smoke
 	go test ./...
 
 # Race-detector pass over the packages with concurrent hot paths (the batch
@@ -41,6 +47,7 @@ fuzz:
 	go test -fuzz=FuzzReadFrom -fuzztime=$(FUZZTIME) -run='^$$' ./internal/dbindex
 	go test -fuzz=FuzzLoad -fuzztime=$(FUZZTIME) -run='^$$' ./blast
 	go test -fuzz=FuzzShardEquivalence -fuzztime=$(FUZZTIME) -run='^$$' ./blast
+	go test -fuzz=FuzzTieredEquivalence -fuzztime=$(FUZZTIME) -run='^$$' ./blast
 	go test -fuzz=FuzzExtendEquivalence -fuzztime=$(FUZZTIME) -run='^$$' ./internal/ungapped
 	go test -fuzz=FuzzExtendScoreProfEquivalence -fuzztime=$(FUZZTIME) -run='^$$' ./internal/gapped
 	go test -fuzz=FuzzLSDPairsEquivalence -fuzztime=$(FUZZTIME) -run='^$$' ./internal/hitsort
@@ -111,6 +118,13 @@ shard-smoke:
 # 503), restart (readmission, byte-identity restored).
 remote-smoke:
 	./scripts/remote_smoke.sh
+
+# Crash-recovery smoke test: SIGKILL a real makedb -append mid-commit at
+# varied points, then require recovery to a verifiable store at exactly the
+# pre- or post-append manifest, no batch lost or double-applied across the
+# drill, and a clean compaction afterwards.
+crash-smoke:
+	./scripts/crash_smoke.sh
 
 # Cross-tier tracing smoke test: traced mublastpd + mublastpr serve a batch,
 # then cmd/tracecheck asserts one stitched (span-ID-linked) trace tree per

@@ -54,6 +54,9 @@ func (b *BatchResult) CompletedCount() int {
 // cannot be encoded); runtime failures are reported per query inside the
 // BatchResult so partial results stay usable.
 func (d *Database) SearchBatchCtx(ctx context.Context, queries []string) (*BatchResult, error) {
+	if d.tiers != nil {
+		return d.searchTieredBatch(ctx, queries)
+	}
 	if ctx == nil {
 		ctx = context.Background()
 	}

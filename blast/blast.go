@@ -17,8 +17,10 @@
 package blast
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"sync"
 	"time"
 
 	"repro/internal/alphabet"
@@ -171,6 +173,21 @@ type Database struct {
 	ncbi    *search.QueryIndexed
 	ncbiDB  *search.DBIndexed
 	ncbiDFA *search.QueryIndexedDFA
+
+	// Tiered (base+deltas) state, attached when the database was opened from
+	// an ingest store with outstanding delta containers: tiers[0] is this
+	// database itself, tiers[1:] the deltas in manifest order, each with its
+	// local-to-combined id mapping; tierRev inverts the mapping. nil for a
+	// single-container database. See tiered.go.
+	tiers   []tierRef
+	tierRev []tierLoc
+
+	// Ingest-store provenance (zero when not opened from a store): the
+	// manifest commit seq, its content hash, and the delta count — the
+	// router's mixed-manifest refusal token.
+	manifestSeq  int64
+	manifestHash string
+	numDeltas    int
 }
 
 // chunkInfo maps a split chunk back to its source sequence.
@@ -266,6 +283,33 @@ func effectiveSplit(p Params) (splitLen, overlap int) {
 	return splitLen, overlap
 }
 
+// neighborFor memoizes neighbor.Build: the table is a pure function of
+// (matrix, threshold), read-only once built, and costs tens of milliseconds
+// to enumerate — which would dominate every small delta-container build on
+// the ingestion path (and every repeated NewDatabase in one process).
+// Built-in matrices are canonical singletons, so the name keys the cache.
+func neighborFor(m *matrix.Matrix, threshold int) *neighbor.Table {
+	key := neighborKey{matrix: m.Name, threshold: threshold}
+	neighborMu.Lock()
+	defer neighborMu.Unlock()
+	if t, ok := neighborCache[key]; ok {
+		return t
+	}
+	t := neighbor.Build(m, threshold)
+	neighborCache[key] = t
+	return t
+}
+
+type neighborKey struct {
+	matrix    string
+	threshold int
+}
+
+var (
+	neighborMu    sync.Mutex
+	neighborCache = map[neighborKey]*neighbor.Table{}
+)
+
 // schedulerFor maps the Params.Scheduler name to the engine option.
 func schedulerFor(name string) (core.Scheduler, error) {
 	switch name {
@@ -291,7 +335,7 @@ func buildConfig(p Params) (*search.Config, error) {
 	if err != nil {
 		return nil, fmt.Errorf("blast: %w", err)
 	}
-	nbr := neighbor.Build(m, p.NeighborThreshold)
+	nbr := neighborFor(m, p.NeighborThreshold)
 	cfg, err := search.NewConfig(m, nbr)
 	if err != nil {
 		return nil, fmt.Errorf("blast: %w", err)
@@ -312,8 +356,18 @@ func buildConfig(p Params) (*search.Config, error) {
 	return cfg, nil
 }
 
-// NumSequences returns the number of database sequences.
-func (d *Database) NumSequences() int { return d.db.NumSeqs() }
+// NumSequences returns the number of database sequences (summed across
+// base + deltas for a tiered database).
+func (d *Database) NumSequences() int {
+	if d.tiers != nil {
+		n := 0
+		for _, t := range d.tiers {
+			n += t.d.db.NumSeqs()
+		}
+		return n
+	}
+	return d.db.NumSeqs()
+}
 
 // SearchSettings reports the result-shaping parameters this database serves
 // with: the E-value cutoff and the per-query report cap. Shard-coherent
@@ -323,17 +377,51 @@ func (d *Database) SearchSettings() (evalueCutoff float64, maxResults int) {
 	return d.params.EValueCutoff, d.params.MaxResults
 }
 
-// TotalResidues returns the total residue count.
-func (d *Database) TotalResidues() int64 { return d.db.TotalResidues }
+// TotalResidues returns the total residue count (summed across base + deltas
+// for a tiered database).
+func (d *Database) TotalResidues() int64 {
+	if d.tiers != nil {
+		var n int64
+		for _, t := range d.tiers {
+			n += t.d.db.TotalResidues
+		}
+		return n
+	}
+	return d.db.TotalResidues
+}
 
-// NumBlocks returns the number of index blocks.
-func (d *Database) NumBlocks() int { return len(d.ix.Blocks) }
+// NumBlocks returns the number of index blocks (across all tiers).
+func (d *Database) NumBlocks() int {
+	if d.tiers != nil {
+		n := 0
+		for _, t := range d.tiers {
+			n += len(t.d.ix.Blocks)
+		}
+		return n
+	}
+	return len(d.ix.Blocks)
+}
 
-// IndexSizeBytes returns the in-memory size of the database index.
-func (d *Database) IndexSizeBytes() int64 { return d.ix.SizeBytes() }
+// IndexSizeBytes returns the in-memory size of the database index (across
+// all tiers).
+func (d *Database) IndexSizeBytes() int64 {
+	if d.tiers != nil {
+		var n int64
+		for _, t := range d.tiers {
+			n += t.d.ix.SizeBytes()
+		}
+		return n
+	}
+	return d.ix.SizeBytes()
+}
 
 // SubjectResidues returns the residues of a subject by its Hit.Subject id.
+// For a tiered database the id is in the combined (rebuild-global) space.
 func (d *Database) SubjectResidues(subject int) string {
+	if d.tiers != nil {
+		loc := d.tierRev[subject]
+		return alphabet.String(d.tiers[loc.tier].d.db.Seqs[loc.local].Data)
+	}
 	return alphabet.String(d.db.Seqs[subject].Data)
 }
 
@@ -366,6 +454,22 @@ func (d *Database) Search(query string) (*Result, error) {
 
 // SearchWithEngine runs a single query through the chosen engine.
 func (d *Database) SearchWithEngine(kind EngineKind, query string) (*Result, error) {
+	if d.tiers != nil {
+		if kind != EngineMuBLASTP {
+			return nil, fmt.Errorf("blast: tiered (base+deltas) database supports only the muBLASTP engine, not %v; compact the store first", kind)
+		}
+		br, err := d.searchTieredBatch(context.Background(), []string{query})
+		if err != nil {
+			return nil, err
+		}
+		if !br.Completed[0] {
+			if br.QueryErrs[0] != nil {
+				return nil, br.QueryErrs[0]
+			}
+			return nil, br.Err
+		}
+		return br.Results[0], nil
+	}
 	q, err := alphabet.Encode([]byte(query))
 	if err != nil {
 		return nil, fmt.Errorf("blast: query: %w", err)
@@ -397,6 +501,16 @@ func (d *Database) SearchBatch(queries []string) ([]*Result, error) {
 // SearchBatchStats is SearchBatch plus the batch scheduler's utilization
 // counters (workers used, task spread, busy vs stalled worker-time).
 func (d *Database) SearchBatchStats(queries []string) ([]*Result, search.SchedStats, error) {
+	if d.tiers != nil {
+		br, err := d.searchTieredBatch(context.Background(), queries)
+		if err != nil {
+			return nil, search.SchedStats{}, err
+		}
+		if br.Err != nil {
+			return nil, br.Sched, br.Err
+		}
+		return br.Results, br.Sched, nil
+	}
 	enc := make([][]alphabet.Code, len(queries))
 	for i, s := range queries {
 		q, err := alphabet.Encode([]byte(s))

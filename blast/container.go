@@ -141,6 +141,9 @@ func (d *Database) fingerprint() Fingerprint {
 // reuse the paper's database-index design is for. Every section is framed
 // with a length and a CRC32 so Load can prove integrity.
 func (d *Database) Save(w io.Writer) error {
+	if d.tiers != nil {
+		return fmt.Errorf("blast: cannot save a tiered (base+deltas) database as one container; compact the store instead")
+	}
 	var hdr [len(containerMagic) + 2]byte
 	copy(hdr[:], containerMagic)
 	binary.LittleEndian.PutUint16(hdr[len(containerMagic):], containerVersion)

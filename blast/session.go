@@ -77,9 +77,10 @@ func NewSession(db *Database, p Params) *Session {
 	return s
 }
 
-// OpenSession loads a saved container and wraps it in a Session.
+// OpenSession loads a saved container — or an ingest-store directory, with
+// full crash recovery — and wraps it in a Session.
 func OpenSession(path string, p Params) (*Session, error) {
-	db, err := LoadFile(path, p)
+	db, err := Open(path, p)
 	if err != nil {
 		return nil, err
 	}
@@ -112,28 +113,58 @@ func (s *Session) Generation() int64 { return s.cur.Load().gen }
 // Reloads returns how many successful Reloads the session has performed.
 func (s *Session) Reloads() int64 { return s.reloads.Load() }
 
-// Reload atomically replaces the session's database with the container at
-// path, loaded with the session's stored Params. The candidate is validated
-// twice before the swap — a full Verify pass (every checksum, complete
-// decode) and then the Load itself (fingerprint enforcement) — so any
-// failure, from a flipped byte to a params mismatch, leaves the old database
-// serving untouched. After the swap Reload waits for every search still
-// pinned to the displaced generation to finish (they complete normally,
-// byte-identical to an undisturbed run) before returning.
+// Refs returns the reference count of the current generation: 1 when no
+// search is pinned to it (the session's own reference), higher while
+// searches hold pins. Reload failure paths must leave this balanced — a
+// rejected candidate must not leak a pin on the generation that keeps
+// serving — and the refcount-balance tests assert exactly that.
+func (s *Session) Refs() int64 { return s.cur.Load().refs.Load() }
+
+// Reload atomically replaces the session's database with the one at path —
+// a single container file or an ingest-store directory (base + deltas) —
+// loaded with the session's stored Params. The candidate is validated twice
+// before the swap: a full VerifyPath pass (every checksum of every file,
+// complete decode) and then the Open itself (fingerprint enforcement, store
+// recovery), so any failure, from a flipped byte to a params mismatch,
+// leaves the old database serving untouched with its refcount balanced.
+// After the swap Reload waits for every search still pinned to the
+// displaced generation to finish (they complete normally, byte-identical to
+// an undisturbed run) before returning.
 func (s *Session) Reload(path string) error {
 	s.reloadMu.Lock()
 	defer s.reloadMu.Unlock()
-	if _, err := VerifyFile(path); err != nil {
+	if _, err := VerifyPath(path); err != nil {
 		return fmt.Errorf("blast: reload rejected, keeping current database: %w", err)
 	}
-	db, err := LoadFile(path, s.params)
+	db, err := Open(path, s.params)
 	if err != nil {
 		return fmt.Errorf("blast: reload rejected, keeping current database: %w", err)
 	}
+	s.swap(db)
+	return nil
+}
+
+// ReloadDB swaps in an already-constructed (and already-validated) database.
+// The ingestion path uses it: after a successful Append the daemon's own
+// Store builds the new base+deltas view in process, and re-opening the
+// directory — which would race a second recovery pass against the live
+// single-writer Store — is neither needed nor allowed.
+func (s *Session) ReloadDB(db *Database) error {
+	if db == nil {
+		return fmt.Errorf("blast: ReloadDB needs a database")
+	}
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	s.swap(db)
+	return nil
+}
+
+// swap installs db as the next generation and drains the displaced one.
+// Callers hold reloadMu.
+func (s *Session) swap(db *Database) {
 	next := newSessionGen(db, s.gen.Add(1))
 	old := s.cur.Swap(next)
 	s.reloads.Add(1)
 	old.release() // drop the session's own reference...
 	<-old.drained // ...and wait for in-flight searches to finish with it
-	return nil
 }

@@ -265,3 +265,150 @@ func TestSessionReloadDrains(t *testing.T) {
 		t.Fatal("Reload never returned after the pinned search released")
 	}
 }
+
+// TestSessionRefcountBalance pins the reload error paths against generation
+// leaks: every rejected Reload — missing path, corrupt container, params
+// mismatch — must leave the serving generation's refcount at exactly 1 (the
+// session's own reference) and the generation number unchanged, so the old
+// database can still drain and be released on the next successful swap.
+func TestSessionRefcountBalance(t *testing.T) {
+	p := sessionParams()
+	pathA, pathB, query := sessionFixture(t, p)
+	ses, err := OpenSession(pathA, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ses.Refs() != 1 {
+		t.Fatalf("fresh session Refs() = %d, want 1", ses.Refs())
+	}
+	gen := ses.Generation()
+
+	// A pinned search raises the count; release restores it.
+	_, release := ses.Acquire()
+	if ses.Refs() != 2 {
+		t.Fatalf("after Acquire Refs() = %d, want 2", ses.Refs())
+	}
+	release()
+	if ses.Refs() != 1 {
+		t.Fatalf("after release Refs() = %d, want 1", ses.Refs())
+	}
+
+	// Failure modes, each of which must not touch the refcount or swap.
+	corrupt := filepath.Join(t.TempDir(), "corrupt.mublastp")
+	data, err := os.ReadFile(pathB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x01
+	if err := os.WriteFile(corrupt, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{
+		filepath.Join(t.TempDir(), "missing.mublastp"),
+		corrupt,
+		t.TempDir(), // a directory that is not an ingest store
+	} {
+		if err := ses.Reload(path); err == nil {
+			t.Fatalf("Reload(%s) succeeded, want rejection", path)
+		}
+		if ses.Refs() != 1 {
+			t.Fatalf("after rejected Reload(%s) Refs() = %d, want 1", path, ses.Refs())
+		}
+		if ses.Generation() != gen {
+			t.Fatalf("rejected Reload(%s) advanced generation %d -> %d", path, gen, ses.Generation())
+		}
+	}
+	if err := ses.ReloadDB(nil); err == nil {
+		t.Fatal("ReloadDB(nil) succeeded")
+	}
+	if ses.Refs() != 1 || ses.Generation() != gen {
+		t.Fatalf("after ReloadDB(nil): Refs=%d gen=%d, want 1/%d", ses.Refs(), ses.Generation(), gen)
+	}
+
+	// The session still works and a real reload still swaps cleanly.
+	if res, err := ses.DB().Search(query); err != nil || len(res.Hits) == 0 {
+		t.Fatalf("search after rejected reloads: %v (%d hits)", err, len(res.Hits))
+	}
+	if err := ses.Reload(pathB); err != nil {
+		t.Fatal(err)
+	}
+	if ses.Refs() != 1 || ses.Generation() != gen+1 {
+		t.Fatalf("after successful Reload: Refs=%d gen=%d, want 1/%d", ses.Refs(), ses.Generation(), gen+1)
+	}
+}
+
+// TestSessionReloadStore covers the delta-aware reload path: a session
+// serving a container can Reload onto an ingest-store directory (tiered
+// database), onto the same store after more ingestion via ReloadDB, and is
+// protected by the same verify-before-swap when the store is corrupt.
+func TestSessionReloadStore(t *testing.T) {
+	p := storeParams()
+	base := storeSeqs(20, 121, "base")
+	batch := storeSeqs(6, 122, "inc")
+	dir := t.TempDir()
+	st, err := InitStore(dir, base, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Append(batch); err != nil {
+		t.Fatal(err)
+	}
+
+	baseOnly, err := NewDatabase(base, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ses := NewSession(baseOnly, p)
+	if err := ses.Reload(dir); err != nil {
+		t.Fatal(err)
+	}
+	db := ses.DB()
+	if !db.Tiered() {
+		t.Fatal("session reloaded a store with deltas into an untiered database")
+	}
+	rebuild, err := NewDatabase(concat(base, batch), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameSearch(t, "session store reload", db, rebuild,
+		[]string{queryFrom(base, 120), batch[0].Residues})
+
+	// In-process ingest path: Append + ReloadDB from the live Store.
+	more := storeSeqs(4, 123, "more")
+	if _, err := st.Append(more); err != nil {
+		t.Fatal(err)
+	}
+	next, err := st.Database()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ses.ReloadDB(next); err != nil {
+		t.Fatal(err)
+	}
+	if ses.Refs() != 1 {
+		t.Fatalf("after ReloadDB Refs() = %d, want 1", ses.Refs())
+	}
+	rebuild2, err := NewDatabase(concat(base, batch, more), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameSearch(t, "session ingest reload", ses.DB(), rebuild2,
+		[]string{queryFrom(base, 120), more[0].Residues})
+
+	// Corrupt store: verify-before-swap keeps the current generation.
+	gen := ses.Generation()
+	manPath := filepath.Join(dir, manifestName)
+	data, err := os.ReadFile(manPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(manPath, append(data, '!'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := ses.Reload(dir); err == nil {
+		t.Fatal("Reload accepted a corrupt store")
+	}
+	if ses.Refs() != 1 || ses.Generation() != gen {
+		t.Fatalf("after rejected store reload: Refs=%d gen=%d, want 1/%d", ses.Refs(), ses.Generation(), gen)
+	}
+}

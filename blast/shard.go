@@ -60,6 +60,9 @@ func (d *Database) Shards(n int) ([]*Database, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("blast: shard count must be positive, got %d", n)
 	}
+	if d.tiers != nil {
+		return nil, fmt.Errorf("blast: cannot shard a tiered (base+deltas) database; compact the store first")
+	}
 	if n > d.db.NumSeqs() {
 		return nil, fmt.Errorf("blast: %d shards for %d sequences; shards must not be empty", n, d.db.NumSeqs())
 	}
@@ -240,6 +243,14 @@ func (d *Database) SearchShardBatchCtx(ctx context.Context, queries []string, sh
 		ctx, cancel = context.WithTimeout(ctx, d.params.Timeout)
 		defer cancel()
 	}
+	if d.tiers != nil {
+		// A store-backed shard searches base+deltas and hands the merge a
+		// detached result whose local ids live in the combined id space; the
+		// round-robin id restoration then works unchanged, provided every
+		// shard of the topology serves the same manifest generation (the
+		// router's coherence handshake enforces this).
+		return d.searchTieredShard(ctx, queries, shard, numShards)
+	}
 	enc := make([][]alphabet.Code, len(queries))
 	for i, s := range queries {
 		q, err := alphabet.Encode([]byte(s))
@@ -399,15 +410,17 @@ type hspRef struct {
 }
 
 // sortHSPsWithRefs sorts hsps exactly as search.SortHSPs does (stable,
-// monolithic comparator) while permuting refs the same way.
-func sortHSPsWithRefs(hsps []search.HSP, refs []hspRef) {
+// monolithic comparator) while permuting the provenance refs the same way.
+// Generic over the ref type: the shard merge carries hspRef, the tiered
+// (base+deltas) merge carries tierHSPRef.
+func sortHSPsWithRefs[R any](hsps []search.HSP, refs []R) {
 	idx := make([]int, len(hsps))
 	for i := range idx {
 		idx[i] = i
 	}
 	sort.SliceStable(idx, func(a, b int) bool { return search.LessHSP(&hsps[idx[a]], &hsps[idx[b]]) })
 	outH := make([]search.HSP, len(hsps))
-	outR := make([]hspRef, len(refs))
+	outR := make([]R, len(refs))
 	for i, j := range idx {
 		outH[i] = hsps[j]
 		outR[i] = refs[j]

@@ -65,12 +65,14 @@ type ShardResultWire struct {
 	Queries    []ShardQueryWire  `json:"queries"`
 }
 
-// Wire converts an attached shard result (fresh from SearchShardBatchCtx)
-// into its portable form. queries must be the same batch the shard searched:
-// the identity side records need the query residues.
+// Wire converts a shard result (fresh from SearchShardBatchCtx) into its
+// portable form. queries must be the same batch the shard searched: the
+// identity side records need the query residues. Detached results — tiered
+// (base+deltas) shard searches, which precompute their side records — wire
+// their sidecar verbatim.
 func (r *ShardResult) Wire(queries []string) (*ShardResultWire, error) {
-	if r.db == nil {
-		return nil, errors.New("blast: Wire needs an attached shard result (from SearchShardBatchCtx)")
+	if r.db == nil && r.sidecar == nil {
+		return nil, errors.New("blast: Wire needs a shard result from SearchShardBatchCtx")
 	}
 	if len(queries) != len(r.results) {
 		return nil, fmt.Errorf("blast: Wire got %d queries for a %d-query shard result", len(queries), len(r.results))
@@ -78,7 +80,7 @@ func (r *ShardResult) Wire(queries []string) (*ShardResultWire, error) {
 	w := &ShardResultWire{
 		Shard:      r.shard,
 		NumShards:  r.numShards,
-		MaxResults: r.db.params.MaxResults,
+		MaxResults: r.maxHits(),
 		Sched:      r.sched,
 		Queries:    make([]ShardQueryWire, len(r.results)),
 	}
@@ -114,12 +116,20 @@ func (r *ShardResult) Wire(queries []string) (*ShardResultWire, error) {
 				Ops:         string(h.Aln.Ops),
 				BitScore:    h.BitScore,
 				EValue:      h.EValue,
-				Identity:    identity(q, r.db.db.Seqs[h.Subject].Data, &h.Aln),
 			}
-			if info, ok := r.db.chunkOrigin[h.SubjectName]; ok {
-				qw.HSPs[i].OrigName = info.origName
-				qw.HSPs[i].OrigOffset = info.offset
-				qw.HSPs[i].HasOrigin = true
+			if r.db != nil {
+				qw.HSPs[i].Identity = identity(q, r.db.db.Seqs[h.Subject].Data, &h.Aln)
+				if info, ok := r.db.chunkOrigin[h.SubjectName]; ok {
+					qw.HSPs[i].OrigName = info.origName
+					qw.HSPs[i].OrigOffset = info.offset
+					qw.HSPs[i].HasOrigin = true
+				}
+			} else {
+				m := &r.sidecar[qi][i]
+				qw.HSPs[i].Identity = m.identity
+				qw.HSPs[i].OrigName = m.origName
+				qw.HSPs[i].OrigOffset = m.offset
+				qw.HSPs[i].HasOrigin = m.hasOrigin
 			}
 		}
 	}

@@ -1,0 +1,623 @@
+package blast
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"repro/internal/alphabet"
+	"repro/internal/dbase"
+	"repro/internal/dbindex"
+)
+
+// Store is a crash-safe, incrementally growable database on disk: one
+// directory holding an immutable base container, zero or more immutable
+// delta containers, the manifest naming the current set, and the ingestion
+// WAL. All mutation goes through Append/Compact under the store's lock;
+// every commit is WAL-then-delta-then-manifest with fsyncs at each boundary,
+// so a crash anywhere leaves a state OpenStore recovers to exactly the pre-
+// or post-commit database — never a torn hybrid. A Store is a single-writer
+// object: exactly one process (and within it, one Store value) may own a
+// directory at a time.
+type Store struct {
+	dir string
+	p   Params
+
+	mu  sync.Mutex
+	man *manifest
+	// broken latches after a failed commit: the on-disk state is whatever
+	// the failure left (recoverable, by construction), but the in-memory
+	// view can no longer be trusted to extend it — a retried Append could
+	// re-log an already-durable WAL seq. Reopening runs recovery and
+	// produces a clean Store, exactly as a crashed process would.
+	broken bool
+}
+
+const (
+	storeContainerSuffix = ".mublastp"
+	storeBasePrefix      = "base-"
+	storeDeltaPrefix     = "delta-"
+)
+
+func baseFileName(seq int64) string {
+	return fmt.Sprintf("%s%06d%s", storeBasePrefix, seq, storeContainerSuffix)
+}
+
+func deltaFileName(seq int64) string {
+	return fmt.Sprintf("%s%06d%s", storeDeltaPrefix, seq, storeContainerSuffix)
+}
+
+// AppendStats reports what one Append committed.
+type AppendStats struct {
+	ManifestSeq int64  // manifest commit seq after the append
+	WALSeq      uint64 // WAL record seq the batch was logged as
+	DeltaFile   string // file name of the new delta container
+	Sequences   int    // sequences in the batch
+	Deltas      int    // delta containers now outstanding
+}
+
+// StoreInfo is what VerifyStore reports about a fully validated store.
+type StoreInfo struct {
+	ManifestSeq   int64
+	ManifestHash  string
+	Deltas        int
+	PendingWAL    int // durably logged batches not yet reflected in the manifest
+	Fingerprint   Fingerprint
+	NumSequences  int
+	TotalResidues int64
+	NumBlocks     int
+}
+
+// validateBatch rejects an ingestion batch before it reaches the WAL: every
+// sequence must carry a name (tiered naming must match what a rebuild over
+// explicitly named input produces) and encodable residues (replay must never
+// fail on a durably logged record).
+func validateBatch(batch []Sequence) error {
+	if len(batch) == 0 {
+		return errors.New("blast: empty ingestion batch")
+	}
+	if len(batch) > maxWALBatch {
+		return fmt.Errorf("blast: ingestion batch of %d sequences exceeds cap %d", len(batch), maxWALBatch)
+	}
+	for i, s := range batch {
+		if s.Name == "" {
+			return fmt.Errorf("blast: ingestion batch sequence %d has no name", i)
+		}
+		if len(s.Residues) == 0 {
+			return fmt.Errorf("blast: ingestion batch sequence %q is empty", s.Name)
+		}
+		if _, err := alphabet.Encode([]byte(s.Residues)); err != nil {
+			return fmt.Errorf("blast: ingestion batch sequence %q: %w", s.Name, err)
+		}
+	}
+	return nil
+}
+
+// InitStore creates a new ingest store at dir from an initial sequence set:
+// the base container is built with p, written atomically, and committed as
+// manifest seq 1. dir is created if missing; it must not already hold a
+// store.
+func InitStore(dir string, seqs []Sequence, p Params) (*Store, error) {
+	if err := validateBatch(seqs); err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("blast: creating store dir: %w", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, manifestName)); err == nil {
+		return nil, fmt.Errorf("blast: %s already holds an ingest store (append to it instead)", dir)
+	}
+	db, err := NewDatabase(seqs, p)
+	if err != nil {
+		return nil, err
+	}
+	name := baseFileName(1)
+	if err := writeContainer(dir, name, db); err != nil {
+		return nil, err
+	}
+	entry, err := fileEntry(dir, name, db.db.NumSeqs(), db.db.TotalResidues)
+	if err != nil {
+		return nil, fmt.Errorf("blast: fingerprinting base: %w", err)
+	}
+	man := &manifest{Version: manifestVersion, Seq: 1, Base: entry}
+	if err := commitManifest(dir, man); err != nil {
+		return nil, err
+	}
+	return &Store{dir: dir, p: p, man: man}, nil
+}
+
+// writeContainer serializes db and commits it atomically as dir/name,
+// exercising the delta-boundary fault sites.
+func writeContainer(dir, name string, db *Database) error {
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		return err
+	}
+	if err := atomicWrite(dir, name, buf.Bytes(), fiDeltaWrite, fiDeltaSync, fiDeltaRename); err != nil {
+		return fmt.Errorf("blast: committing %s: %w", name, err)
+	}
+	return nil
+}
+
+// OpenStore opens the store at dir, running full crash recovery first:
+// validate the manifest and every container it references, replay durably
+// logged WAL batches the manifest does not yet reflect (rolling the crash
+// forward to its post-commit state), discard torn WAL tails (rolling back to
+// the pre-commit state), and garbage-collect orphaned files from
+// interrupted commits. Ambiguous damage — a manifest that fails its
+// checksum, a referenced container missing or altered, intact WAL records
+// that contradict the watermark — is refused with ErrStoreCorrupt rather
+// than guessed around.
+//
+// p plays the same role as in Load: it must be compatible with the base
+// container's build fingerprint. Set p.GlobalDB* only when this store is one
+// shard of a larger logical database.
+func OpenStore(dir string, p Params) (*Store, error) {
+	man, err := readManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range man.entries() {
+		if err := checkEntry(dir, e); err != nil {
+			return nil, err
+		}
+	}
+	st := &Store{dir: dir, p: p, man: man}
+
+	// Replay: every intact WAL record past the watermark was durably logged
+	// by an Append whose commit did not land; delta construction is
+	// deterministic, so applying it now yields the exact post-commit state.
+	recs, _, err := scanWAL(st.walPath())
+	if err != nil {
+		return nil, err
+	}
+	pending := 0
+	for _, rec := range recs {
+		if rec.Seq <= man.WALApplied {
+			continue // applied before the crash; the reset just didn't land
+		}
+		if rec.Seq != st.man.WALApplied+1 {
+			return nil, fmt.Errorf("blast: %w: wal record seq %d but manifest applied through %d",
+				ErrStoreCorrupt, rec.Seq, st.man.WALApplied)
+		}
+		if err := validateBatch(rec.Batch); err != nil {
+			return nil, fmt.Errorf("blast: %w: replaying wal record %d: %v", ErrStoreCorrupt, rec.Seq, err)
+		}
+		if err := st.applyBatch(rec.Seq, rec.Batch); err != nil {
+			return nil, fmt.Errorf("blast: replaying wal record %d: %w", rec.Seq, err)
+		}
+		pending++
+	}
+	if len(recs) > 0 || pending > 0 {
+		if err := resetWAL(st.walPath()); err != nil {
+			return nil, err
+		}
+	} else if _, err := os.Stat(st.walPath()); err == nil {
+		// A torn tail with no intact records still needs discarding.
+		if err := resetWAL(st.walPath()); err != nil {
+			return nil, err
+		}
+	}
+	if err := st.gc(); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+func (st *Store) walPath() string { return filepath.Join(st.dir, walName) }
+
+// Dir returns the store directory.
+func (st *Store) Dir() string { return st.dir }
+
+// ManifestSeq returns the current manifest commit sequence number.
+func (st *Store) ManifestSeq() int64 {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.man.Seq
+}
+
+// ManifestHash returns the current manifest content hash.
+func (st *Store) ManifestHash() string {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.man.hash()
+}
+
+// NumDeltas returns how many delta containers are outstanding.
+func (st *Store) NumDeltas() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.man.Deltas)
+}
+
+// NumSequences returns the combined sequence count across base + deltas.
+func (st *Store) NumSequences() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.man.sequences()
+}
+
+// gc removes files from interrupted commits: container files and temp files
+// in the store directory that the current manifest does not reference. Runs
+// only after recovery has settled the manifest, so everything unreferenced
+// is provably garbage.
+func (st *Store) gc() error {
+	referenced := map[string]bool{manifestName: true, walName: true}
+	for _, e := range st.man.entries() {
+		referenced[e.Name] = true
+	}
+	ents, err := os.ReadDir(st.dir)
+	if err != nil {
+		return fmt.Errorf("blast: store gc: %w", err)
+	}
+	for _, ent := range ents {
+		name := ent.Name()
+		if ent.IsDir() || referenced[name] {
+			continue
+		}
+		owned := strings.HasSuffix(name, ".tmp") ||
+			((strings.HasPrefix(name, storeBasePrefix) || strings.HasPrefix(name, storeDeltaPrefix)) &&
+				strings.HasSuffix(name, storeContainerSuffix))
+		if !owned {
+			continue // not ours; leave foreign files alone
+		}
+		if err := os.Remove(filepath.Join(st.dir, name)); err != nil {
+			return fmt.Errorf("blast: store gc: %w", err)
+		}
+	}
+	return nil
+}
+
+// deltaParams derives the build parameters for a delta container from the
+// base fingerprint, so every tier carries the identical fingerprint and the
+// combined view is indistinguishable from one build.
+func (st *Store) deltaParams(fp Fingerprint) Params {
+	p := st.p
+	p.Matrix = fp.Matrix
+	p.NeighborThreshold = fp.NeighborThreshold
+	p.BlockResidues = fp.BlockResidues
+	if fp.SplitLongerThan > 0 {
+		p.SplitLongerThan, p.SplitOverlap = fp.SplitLongerThan, fp.SplitOverlap
+	} else {
+		p.SplitLongerThan, p.SplitOverlap = -1, 0
+	}
+	p.GlobalDBResidues, p.GlobalDBSequences = 0, 0
+	return p
+}
+
+// baseFingerprint reads the base container's build fingerprint.
+func (st *Store) baseFingerprint() (Fingerprint, error) {
+	info, err := VerifyFile(filepath.Join(st.dir, st.man.Base.Name))
+	if err != nil {
+		return Fingerprint{}, err
+	}
+	return info.Fingerprint, nil
+}
+
+// applyBatch builds the delta container for one durably logged batch and
+// commits the manifest that includes it. Called with st.mu held (or before
+// the store is shared). Deterministic: replaying the same record after a
+// crash produces byte-identical results.
+func (st *Store) applyBatch(walSeq uint64, batch []Sequence) error {
+	fp, err := st.baseFingerprint()
+	if err != nil {
+		return err
+	}
+	db, err := NewDatabase(batch, st.deltaParams(fp))
+	if err != nil {
+		return fmt.Errorf("blast: building delta: %w", err)
+	}
+	next := st.man.Seq + 1
+	name := deltaFileName(next)
+	if err := writeContainer(st.dir, name, db); err != nil {
+		return err
+	}
+	entry, err := fileEntry(st.dir, name, db.db.NumSeqs(), db.db.TotalResidues)
+	if err != nil {
+		return fmt.Errorf("blast: fingerprinting delta: %w", err)
+	}
+	newMan := *st.man
+	newMan.Seq = next
+	newMan.Deltas = append(append([]manifestEntry{}, st.man.Deltas...), entry)
+	newMan.WALApplied = walSeq
+	if err := commitManifest(st.dir, &newMan); err != nil {
+		return err
+	}
+	st.man = &newMan
+	return nil
+}
+
+// Append ingests a batch of new sequences as one delta container. The batch
+// is validated, made durable in the WAL (the commit point: from here a crash
+// rolls forward), built into a delta with the base's build fingerprint,
+// written atomically, and committed to the manifest. On success the new
+// sequences are part of the store's database; Database() reflects them.
+func (st *Store) Append(batch []Sequence) (*AppendStats, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.broken {
+		return nil, fmt.Errorf("blast: store %s needs recovery after a failed commit; reopen it", st.dir)
+	}
+	if err := validateBatch(batch); err != nil {
+		return nil, err
+	}
+	walSeq := st.man.WALApplied + 1
+	if err := appendWAL(st.walPath(), walSeq, encodeWALPayload(batch)); err != nil {
+		st.broken = true
+		return nil, fmt.Errorf("blast: %w", err)
+	}
+	if err := st.applyBatch(walSeq, batch); err != nil {
+		st.broken = true
+		return nil, err
+	}
+	// Cleanup only: a failed (or crashed) reset leaves applied records that
+	// the next open skips via the watermark and then truncates.
+	_ = resetWAL(st.walPath())
+	return &AppendStats{
+		ManifestSeq: st.man.Seq,
+		WALSeq:      walSeq,
+		DeltaFile:   st.man.Deltas[len(st.man.Deltas)-1].Name,
+		Sequences:   len(batch),
+		Deltas:      len(st.man.Deltas),
+	}, nil
+}
+
+// Database opens the store's current container set as one searchable
+// database: the base plus every delta, each opened with the combined totals
+// as its global search space (exactly the shard-statistics threading), tied
+// together by the stable merge-order id mapping. With no deltas outstanding
+// this is a plain single-container load. The result is byte-identical to a
+// from-scratch rebuild over the same sequences.
+func (st *Store) Database() (*Database, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.databaseLocked()
+}
+
+func (st *Store) databaseLocked() (*Database, error) {
+	p := st.p
+	if len(st.man.Deltas) > 0 && p.GlobalDBResidues == 0 {
+		// Every tier computes E-values against the combined search space.
+		p.GlobalDBResidues = st.man.residues()
+		p.GlobalDBSequences = int64(st.man.sequences())
+	}
+	base, err := LoadFile(filepath.Join(st.dir, st.man.Base.Name), p)
+	if err != nil {
+		return nil, fmt.Errorf("blast: opening base %s: %w", st.man.Base.Name, err)
+	}
+	baseFP := base.fingerprint()
+	deltas := make([]*Database, len(st.man.Deltas))
+	for i, e := range st.man.Deltas {
+		dd, err := LoadFile(filepath.Join(st.dir, e.Name), p)
+		if err != nil {
+			return nil, fmt.Errorf("blast: opening delta %s: %w", e.Name, err)
+		}
+		if dd.fingerprint() != baseFP {
+			return nil, fmt.Errorf("blast: %w: delta %s fingerprint %+v diverges from base %+v",
+				ErrStoreCorrupt, e.Name, dd.fingerprint(), baseFP)
+		}
+		deltas[i] = dd
+	}
+	if len(deltas) > 0 {
+		attachTiers(base, deltas)
+	}
+	base.manifestSeq = st.man.Seq
+	base.manifestHash = st.man.hash()
+	base.numDeltas = len(deltas)
+	return base, nil
+}
+
+// Compact merges the base and every outstanding delta into a single new base
+// container and commits a manifest that references only it. The merged
+// database preserves the combined (rebuild-global) sequence order, so search
+// results are byte-identical before and after compaction. The new base is
+// fully verified before the manifest swap; any failure leaves the old set
+// serving. Old containers are garbage-collected after the commit.
+func (st *Store) Compact() error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.broken {
+		return fmt.Errorf("blast: store %s needs recovery after a failed commit; reopen it", st.dir)
+	}
+	if len(st.man.Deltas) == 0 {
+		return nil
+	}
+	tiered, err := st.databaseLocked()
+	if err != nil {
+		return err
+	}
+	// Merge the already-split, already-sorted tier sequences in combined
+	// order. Splitting does not recur (every stored sequence is at most the
+	// split threshold long) and chunk origins are carried over, so this is
+	// the rebuild's database without re-running the rebuild.
+	dbs := make([]*dbase.DB, len(tiered.tiers))
+	orders := make([][]int, len(tiered.tiers))
+	origins := make(map[string]chunkInfo)
+	for t, tr := range tiered.tiers {
+		dbs[t] = tr.d.db
+		orders[t] = tr.idMap
+		for name, info := range tr.d.chunkOrigin {
+			origins[name] = info
+		}
+	}
+	merged := dbase.Merged(dbs, orders)
+	baseTier := tiered.tiers[0].d
+	ix, err := dbindex.Build(merged, baseTier.cfg.Neighbors, baseTier.ix.BlockResidues)
+	if err != nil {
+		return fmt.Errorf("blast: compaction index build: %w", err)
+	}
+	if len(origins) == 0 {
+		origins = nil
+	}
+	bp := st.deltaParams(baseTier.fingerprint())
+	cfg, err := buildConfig(bp)
+	if err != nil {
+		return err
+	}
+	nd := &Database{params: bp, cfg: cfg, db: merged, ix: ix, chunkOrigin: origins,
+		splitLen: baseTier.splitLen, splitOverlap: baseTier.splitOverlap}
+	nd.attachEngines()
+
+	next := st.man.Seq + 1
+	name := baseFileName(next)
+	if err := writeContainer(st.dir, name, nd); err != nil {
+		return err
+	}
+	// Verify-before-swap: the manifest only ever references proven bytes.
+	if _, err := VerifyFile(filepath.Join(st.dir, name)); err != nil {
+		return fmt.Errorf("blast: compacted base failed verification: %w", err)
+	}
+	entry, err := fileEntry(st.dir, name, merged.NumSeqs(), merged.TotalResidues)
+	if err != nil {
+		return fmt.Errorf("blast: fingerprinting compacted base: %w", err)
+	}
+	newMan := *st.man
+	newMan.Seq = next
+	newMan.Base = entry
+	newMan.Deltas = nil
+	if err := commitManifest(st.dir, &newMan); err != nil {
+		return err
+	}
+	st.man = &newMan
+	return st.gc()
+}
+
+// VerifyStore fully validates the store at dir without mutating it: the
+// manifest (checksum, structure), every referenced container (size and CRC
+// against its manifest entry, then the container's own full Verify pass,
+// fingerprint coherence across tiers, totals against the manifest), and the
+// WAL (intact records must sit coherently against the watermark). Torn WAL
+// tails and orphaned files are reported implicitly via PendingWAL and are
+// not errors — recovery handles them — so a store that passes VerifyStore
+// plus OpenStore is exactly as trustworthy as a verified container.
+func VerifyStore(dir string) (*StoreInfo, error) {
+	man, err := readManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+	info := &StoreInfo{
+		ManifestSeq:  man.Seq,
+		ManifestHash: man.hash(),
+		Deltas:       len(man.Deltas),
+	}
+	var baseFP Fingerprint
+	for i, e := range man.entries() {
+		if err := checkEntry(dir, e); err != nil {
+			return nil, err
+		}
+		ci, err := VerifyFile(filepath.Join(dir, e.Name))
+		if err != nil {
+			return nil, fmt.Errorf("blast: store container %s: %w", e.Name, err)
+		}
+		if ci.NumSequences != e.Sequences || ci.TotalResidues != e.Residues {
+			return nil, fmt.Errorf("blast: %w: %s holds %d sequences/%d residues, manifest says %d/%d",
+				ErrStoreCorrupt, e.Name, ci.NumSequences, ci.TotalResidues, e.Sequences, e.Residues)
+		}
+		if i == 0 {
+			baseFP = ci.Fingerprint
+		} else if ci.Fingerprint != baseFP {
+			return nil, fmt.Errorf("blast: %w: %s fingerprint diverges from base", ErrStoreCorrupt, e.Name)
+		}
+		info.NumSequences += ci.NumSequences
+		info.TotalResidues += ci.TotalResidues
+		info.NumBlocks += ci.NumBlocks
+	}
+	info.Fingerprint = baseFP
+	recs, _, err := scanWAL(filepath.Join(dir, walName))
+	if err != nil {
+		return nil, err
+	}
+	for _, rec := range recs {
+		if rec.Seq <= man.WALApplied {
+			continue
+		}
+		if rec.Seq != man.WALApplied+uint64(info.PendingWAL)+1 {
+			return nil, fmt.Errorf("blast: %w: wal record seq %d but manifest applied through %d",
+				ErrStoreCorrupt, rec.Seq, man.WALApplied)
+		}
+		info.PendingWAL++
+	}
+	return info, nil
+}
+
+// IsStoreDir reports whether path is an ingest-store directory (holds a
+// manifest), as opposed to a single-container file.
+func IsStoreDir(path string) bool {
+	fi, err := os.Stat(path)
+	if err != nil || !fi.IsDir() {
+		return false
+	}
+	_, err = os.Stat(filepath.Join(path, manifestName))
+	return err == nil
+}
+
+// PathInfo is what VerifyPath reports about a validated database path —
+// either a single container or a whole ingest store.
+type PathInfo struct {
+	Fingerprint   Fingerprint
+	NumSequences  int
+	TotalResidues int64
+	NumBlocks     int
+	// Store provenance; zero values for a plain container.
+	ManifestSeq  int64
+	ManifestHash string
+	Deltas       int
+	PendingWAL   int
+}
+
+// VerifyPath fully validates the database at path: a directory is verified
+// as an ingest store, a file as a single container. This is what the
+// serving tier's verify-before-swap reload runs, making /reload delta-aware.
+func VerifyPath(path string) (*PathInfo, error) {
+	if IsStoreDir(path) {
+		si, err := VerifyStore(path)
+		if err != nil {
+			return nil, err
+		}
+		return &PathInfo{
+			Fingerprint:   si.Fingerprint,
+			NumSequences:  si.NumSequences,
+			TotalResidues: si.TotalResidues,
+			NumBlocks:     si.NumBlocks,
+			ManifestSeq:   si.ManifestSeq,
+			ManifestHash:  si.ManifestHash,
+			Deltas:        si.Deltas,
+			PendingWAL:    si.PendingWAL,
+		}, nil
+	}
+	if fi, err := os.Stat(path); err == nil && fi.IsDir() {
+		return nil, fmt.Errorf("blast: %w: %s", ErrNoStore, path)
+	}
+	ci, err := VerifyFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return &PathInfo{
+		Fingerprint:   ci.Fingerprint,
+		NumSequences:  ci.NumSequences,
+		TotalResidues: ci.TotalResidues,
+		NumBlocks:     ci.NumBlocks,
+	}, nil
+}
+
+// Open opens the database at path with p: an ingest-store directory is
+// opened with full crash recovery (WAL replay, torn-tail discard, orphan
+// GC) and served as its base+deltas view; a file is loaded as a single
+// container. The uniform entry point the session reload path uses.
+func Open(path string, p Params) (*Database, error) {
+	if IsStoreDir(path) {
+		st, err := OpenStore(path, p)
+		if err != nil {
+			return nil, err
+		}
+		return st.Database()
+	}
+	if fi, err := os.Stat(path); err == nil && fi.IsDir() {
+		return nil, fmt.Errorf("blast: %w: %s", ErrNoStore, path)
+	}
+	return LoadFile(path, p)
+}

@@ -1,0 +1,207 @@
+package blast
+
+import (
+	"testing"
+
+	"repro/internal/faultinject"
+)
+
+// TestStoreCrashAtEveryBoundary is the seed-deterministic crash drill the
+// issue demands: arm an injected error at every fsync/rename boundary of
+// the commit protocol in turn — each fault aborts the Append exactly where
+// a crash would — then run recovery and assert the invariant that makes the
+// store crash-safe: the recovered state is byte-identical to either the
+// pre-commit or the post-commit database (never a hybrid), it passes full
+// verification, and it keeps accepting writes.
+//
+// The WAL fsync is the commit point, so the expectation per site is sharp:
+// a fault before the WAL record is durable recovers to the pre-commit
+// state; a fault anywhere after recovers to post-commit (recovery replays
+// the record into the delta deterministically). The injected wal.sync fault
+// leaves an intact record on disk — a real crash could also tear it, which
+// TestStoreWALTornTail covers — so it lands post-commit here.
+func TestStoreCrashAtEveryBoundary(t *testing.T) {
+	base := storeSeqs(25, 101, "base")
+	batch := storeSeqs(6, 102, "inc")
+	p := storeParams()
+	queries := []string{queryFrom(base, 120), batch[0].Residues}
+
+	preDB, err := NewDatabase(base, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	postDB, err := NewDatabase(concat(base, batch), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		spec      string // one boundary = one armed site
+		wantErr   bool   // Append must surface the fault...
+		wantState string // ...and recovery must land exactly here
+	}{
+		{"store.wal.append=error#1", true, "pre"},
+		{"store.wal.sync=error#1", true, "post"}, // record intact on disk => replay
+		{"store.delta.write=error#1", true, "post"},
+		{"store.delta.sync=error#1", true, "post"},
+		{"store.delta.rename=error#1", true, "post"},
+		{"store.dir.sync=error#1", true, "post"}, // delta visible-but-unsynced dir
+		{"store.manifest.write=error#1", true, "post"},
+		{"store.manifest.sync=error#1", true, "post"},
+		{"store.manifest.rename=error#1", true, "post"},
+		{"store.dir.sync=error#2", true, "post"},   // manifest renamed, dir sync lost
+		{"store.wal.reset=error#1", false, "post"}, // post-commit housekeeping only
+	}
+	for _, tc := range cases {
+		t.Run(tc.spec, func(t *testing.T) {
+			dir := t.TempDir()
+			st, err := InitStore(dir, base, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := faultinject.Enable(tc.spec, 1); err != nil {
+				t.Fatal(err)
+			}
+			_, appendErr := st.Append(batch)
+			faultinject.Disable()
+			if (appendErr != nil) != tc.wantErr {
+				t.Fatalf("Append error = %v, wantErr=%v", appendErr, tc.wantErr)
+			}
+			if appendErr != nil {
+				// A failed commit poisons the handle: crash-equivalent
+				// semantics demand a reopen, not a retry on stale state.
+				if _, err := st.Append(batch); err == nil {
+					t.Fatal("poisoned store accepted a retry without recovery")
+				}
+				if err := st.Compact(); err == nil {
+					t.Fatal("poisoned store accepted Compact without recovery")
+				}
+			}
+
+			// Recovery: reopen as a crashed-and-restarted process would.
+			st2, err := OpenStore(dir, p)
+			if err != nil {
+				t.Fatalf("recovery: %v", err)
+			}
+			// Counts are post-split, so compare against the rebuilds'.
+			var want *Database
+			switch n := st2.NumSequences(); n {
+			case preDB.NumSequences():
+				if tc.wantState != "pre" {
+					t.Fatalf("recovered to pre-commit state, want %s", tc.wantState)
+				}
+				want = preDB
+			case postDB.NumSequences():
+				if tc.wantState != "post" {
+					t.Fatalf("recovered to post-commit state, want %s", tc.wantState)
+				}
+				want = postDB
+			default:
+				t.Fatalf("recovered to %d sequences — neither pre (%d) nor post (%d)",
+					n, preDB.NumSequences(), postDB.NumSequences())
+			}
+			if _, err := VerifyStore(dir); err != nil {
+				t.Fatalf("recovered store fails verification: %v", err)
+			}
+			db, err := st2.Database()
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertSameSearch(t, tc.spec, db, want, queries)
+
+			// The recovered store must keep working: if the batch was lost,
+			// ingest it again; either way a further batch must commit.
+			if want == preDB {
+				if _, err := st2.Append(batch); err != nil {
+					t.Fatalf("re-append after rollback: %v", err)
+				}
+			}
+			more := storeSeqs(3, 103, "more")
+			if _, err := st2.Append(more); err != nil {
+				t.Fatalf("append after recovery: %v", err)
+			}
+			if _, err := VerifyStore(dir); err != nil {
+				t.Fatalf("final verification: %v", err)
+			}
+			final, err := st2.Database()
+			if err != nil {
+				t.Fatal(err)
+			}
+			finalWant, err := NewDatabase(concat(base, batch, more), p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertSameSearch(t, tc.spec+"/final", final, finalWant, append(queries, more[0].Residues))
+		})
+	}
+}
+
+// TestStoreCrashDuringCompaction arms faults at the container and manifest
+// boundaries of Compact: a failed compaction must leave the tiered store
+// intact (verification passes, search unchanged) — verify-before-swap means
+// the old generation keeps serving.
+func TestStoreCrashDuringCompaction(t *testing.T) {
+	base := storeSeqs(20, 111, "base")
+	batch := storeSeqs(5, 112, "inc")
+	p := storeParams()
+	want, err := NewDatabase(concat(base, batch), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := []string{queryFrom(base, 120), batch[0].Residues}
+
+	for _, spec := range []string{
+		"store.delta.write=error#1", // compaction writes the new base through the same sites
+		"store.delta.sync=error#1",
+		"store.delta.rename=error#1",
+		"store.manifest.write=error#1",
+		"store.manifest.rename=error#1",
+	} {
+		t.Run(spec, func(t *testing.T) {
+			dir := t.TempDir()
+			st, err := InitStore(dir, base, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := st.Append(batch); err != nil {
+				t.Fatal(err)
+			}
+			if err := faultinject.Enable(spec, 1); err != nil {
+				t.Fatal(err)
+			}
+			compactErr := st.Compact()
+			faultinject.Disable()
+			if compactErr == nil {
+				t.Fatal("Compact succeeded with an armed fault")
+			}
+			st2, err := OpenStore(dir, p)
+			if err != nil {
+				t.Fatalf("recovery after failed compaction: %v", err)
+			}
+			if st2.NumSequences() != want.NumSequences() {
+				t.Fatalf("recovered store holds %d sequences, want %d",
+					st2.NumSequences(), want.NumSequences())
+			}
+			if _, err := VerifyStore(dir); err != nil {
+				t.Fatalf("recovered store fails verification: %v", err)
+			}
+			db, err := st2.Database()
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertSameSearch(t, spec, db, want, queries)
+			// And a retried compaction with the fault gone must succeed.
+			if err := st2.Compact(); err != nil {
+				t.Fatalf("retried compaction: %v", err)
+			}
+			db2, err := st2.Database()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if db2.Tiered() {
+				t.Fatal("retried compaction left a tiered database")
+			}
+			assertSameSearch(t, spec+"/compacted", db2, want, queries)
+		})
+	}
+}

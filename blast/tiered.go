@@ -1,0 +1,283 @@
+package blast
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/alphabet"
+	"repro/internal/dbase"
+	"repro/internal/search"
+)
+
+// This file implements multi-container (tiered) search: a base container
+// plus the ordered delta containers an ingest store has layered on it,
+// searched as one database. The design piggybacks on two existing
+// invariants:
+//
+//   - every container is internally in ascending length order (the format
+//     requires it), and a from-scratch rebuild over base input followed by
+//     each delta batch stable-sorts exactly that concatenation — so the
+//     stable multi-way merge of the tiers (dbase.MergeOrder) reproduces the
+//     rebuild's global id space with no stored mapping;
+//   - E-values depend on the database only through its residue/sequence
+//     totals, so opening every tier with Params.GlobalDB* set to the
+//     combined totals (the same threading the shard merge uses) makes each
+//     tier's scores and E-values equal the rebuild's.
+//
+// Each tier is searched by its own engine — deltas are just extra scheduler
+// blocks — and the per-tier HSP lists are merged like shard results: subject
+// ids remapped to the rebuild's ids, re-ranked with the monolithic
+// comparator, re-capped at MaxResults, and converted through the same
+// convertHSPs path. The merged output is byte-identical to searching a
+// from-scratch rebuild of the same sequences (pinned by test + fuzz), with
+// the same theoretical MaxResults-co-rank caveat the shard merge documents.
+
+// tierRef is one container of a tiered database with its id remapping.
+type tierRef struct {
+	d     *Database
+	idMap []int // local subject id -> combined (rebuild) id
+}
+
+// tierLoc locates a combined id back in its tier.
+type tierLoc struct {
+	tier, local int32
+}
+
+// tierHSPRef records which tier a merged HSP came from and its shard-local
+// subject id, so identity/origin lookups survive the merge sort.
+type tierHSPRef struct {
+	tier      int32
+	localSubj int32
+}
+
+// attachTiers turns base into the facade of a tiered database over
+// base+deltas. The base database is tier 0 of its own tier list; accessors
+// and search paths branch on d.tiers != nil.
+func attachTiers(base *Database, deltas []*Database) {
+	dbs := make([]*dbase.DB, 1+len(deltas))
+	dbs[0] = base.db
+	for i, dd := range deltas {
+		dbs[i+1] = dd.db
+	}
+	order := dbase.MergeOrder(dbs)
+	tiers := make([]tierRef, len(dbs))
+	tiers[0] = tierRef{d: base, idMap: order[0]}
+	total := base.db.NumSeqs()
+	for i, dd := range deltas {
+		tiers[i+1] = tierRef{d: dd, idMap: order[i+1]}
+		total += dd.db.NumSeqs()
+	}
+	rev := make([]tierLoc, total)
+	for t := range tiers {
+		for j, rank := range tiers[t].idMap {
+			rev[rank] = tierLoc{tier: int32(t), local: int32(j)}
+		}
+	}
+	base.tiers = tiers
+	base.tierRev = rev
+}
+
+// Tiered reports whether this database is a base+deltas view from an ingest
+// store (true) or a single container (false).
+func (d *Database) Tiered() bool { return d.tiers != nil }
+
+// Manifest reports the ingest-store manifest this database was opened from:
+// its commit sequence number, its content hash, and how many delta
+// containers are layered on the base. All three are zero for a database that
+// did not come from a store. Replicas serving one logical store must agree
+// on the hash — the router's coherence handshake refuses mixed-manifest
+// topologies.
+func (d *Database) Manifest() (seq int64, hash string, deltas int) {
+	return d.manifestSeq, d.manifestHash, d.numDeltas
+}
+
+// tieredBatch is the raw outcome of a tiered batch search: per-query merged
+// HSP lists carrying combined (rebuild-global) subject ids, already ranked
+// and capped, with per-HSP tier provenance for identity/origin resolution.
+type tieredBatch struct {
+	results   []search.QueryResult
+	refs      [][]tierHSPRef
+	completed []bool
+	queryErrs []error
+	sched     search.SchedStats
+	err       error
+}
+
+// searchTieredRaw runs the batch over every tier and merges per-tier HSPs
+// into the combined id space, mirroring MergeShards. Tiers run sequentially:
+// a delta is a handful of extra blocks, and the per-tier scheduler already
+// saturates the cores.
+func (d *Database) searchTieredRaw(ctx context.Context, enc [][]alphabet.Code) *tieredBatch {
+	nq := len(enc)
+	tb := &tieredBatch{
+		results:   make([]search.QueryResult, nq),
+		refs:      make([][]tierHSPRef, nq),
+		completed: make([]bool, nq),
+		queryErrs: make([]error, nq),
+	}
+	maxResults := d.params.MaxResults
+
+	type tierOut struct {
+		results   []search.QueryResult
+		completed []bool
+		queryErrs []error
+	}
+	outs := make([]tierOut, len(d.tiers))
+	var errs []error
+	for t := range d.tiers {
+		br := d.tiers[t].d.mu.SearchBatchCtx(ctx, enc, d.params.Threads)
+		outs[t] = tierOut{results: br.Results, completed: br.Completed, queryErrs: br.QueryErrs}
+		tb.sched.Workers = max(tb.sched.Workers, br.Sched.Workers)
+		tb.sched.Scheduler = br.Sched.Scheduler
+		tb.sched.Tasks += br.Sched.Tasks
+		tb.sched.BusyNanos += br.Sched.BusyNanos
+		tb.sched.StallNanos += br.Sched.StallNanos
+		tb.sched.ElapsedNanos += br.Sched.ElapsedNanos
+		tb.sched.TasksPanicked += br.Sched.TasksPanicked
+		tb.sched.TasksCancelled += br.Sched.TasksCancelled
+		tb.sched.QueriesAborted += br.Sched.QueriesAborted
+		tb.sched.DeadlineExceeded = tb.sched.DeadlineExceeded || br.Sched.DeadlineExceeded
+		if br.Err != nil {
+			errs = append(errs, fmt.Errorf("tier %d: %w", t, br.Err))
+		}
+	}
+	tb.err = errors.Join(errs...)
+
+	for qi := 0; qi < nq; qi++ {
+		completed := true
+		var qerr error
+		for t := range outs {
+			if !outs[t].completed[qi] {
+				completed = false
+				if qerr == nil {
+					qerr = outs[t].queryErrs[qi]
+				}
+			}
+		}
+		if !completed {
+			tb.queryErrs[qi] = qerr
+			tb.results[qi] = search.QueryResult{Query: qi}
+			continue
+		}
+		merged := search.QueryResult{Query: qi}
+		var refs []tierHSPRef
+		for t := range outs {
+			res := &outs[t].results[qi]
+			idMap := d.tiers[t].idMap
+			for li := range res.HSPs {
+				h := res.HSPs[li]
+				local := h.Subject
+				h.Subject = idMap[local] // restore the rebuild-global id
+				merged.HSPs = append(merged.HSPs, h)
+				refs = append(refs, tierHSPRef{tier: int32(t), localSubj: int32(local)})
+			}
+			merged.Stats.Add(res.Stats)
+		}
+		// Rebuild-global ranking over rebuild-global ids, then the global
+		// cap — exactly what Finalize does on the from-scratch rebuild.
+		sortHSPsWithRefs(merged.HSPs, refs)
+		if maxResults > 0 && len(merged.HSPs) > maxResults {
+			merged.HSPs = merged.HSPs[:maxResults]
+			refs = refs[:maxResults]
+		}
+		tb.results[qi] = merged
+		tb.refs[qi] = refs
+		tb.completed[qi] = true
+	}
+	return tb
+}
+
+// tierIdentity resolves a merged HSP to its aligned-column identity.
+func (d *Database) tierIdentity(q []alphabet.Code, r tierHSPRef, h *search.HSP) float64 {
+	return identity(q, d.tiers[r.tier].d.db.Seqs[r.localSubj].Data, &h.Aln)
+}
+
+// tierOrigin resolves a merged HSP to its split-chunk origin.
+func (d *Database) tierOrigin(r tierHSPRef, h *search.HSP) (chunkInfo, bool) {
+	info, ok := d.tiers[r.tier].d.chunkOrigin[h.SubjectName]
+	return info, ok
+}
+
+// searchTieredBatch is the tiered SearchBatchCtx body: raw tier merge, then
+// conversion through the shared convertHSPs path.
+func (d *Database) searchTieredBatch(ctx context.Context, queries []string) (*BatchResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if d.params.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d.params.Timeout)
+		defer cancel()
+	}
+	enc := make([][]alphabet.Code, len(queries))
+	for i, s := range queries {
+		q, err := alphabet.Encode([]byte(s))
+		if err != nil {
+			return nil, fmt.Errorf("blast: query %d: %w", i, err)
+		}
+		enc[i] = q
+	}
+	tb := d.searchTieredRaw(ctx, enc)
+	out := &BatchResult{
+		Results:   make([]*Result, len(queries)),
+		Completed: tb.completed,
+		QueryErrs: tb.queryErrs,
+		Sched:     tb.sched,
+		Err:       tb.err,
+	}
+	for qi := range queries {
+		if !tb.completed[qi] {
+			out.Results[qi] = &Result{QueryLen: len(enc[qi])}
+			continue
+		}
+		q := enc[qi]
+		refs := tb.refs[qi]
+		out.Results[qi] = convertHSPs(q, tb.results[qi],
+			func(i int, h *search.HSP) float64 { return d.tierIdentity(q, refs[i], h) },
+			func(i int, h *search.HSP) (chunkInfo, bool) { return d.tierOrigin(refs[i], h) })
+	}
+	return out, nil
+}
+
+// searchTieredShard is the tiered SearchShardBatchCtx body: it produces a
+// detached ShardResult (sidecar identity/origin records, like a wire import)
+// whose HSPs carry combined local ids, so the scatter-gather merge treats a
+// store-backed shard exactly like a single-container one.
+func (d *Database) searchTieredShard(ctx context.Context, queries []string, shard, numShards int) (*ShardResult, error) {
+	enc := make([][]alphabet.Code, len(queries))
+	for i, s := range queries {
+		q, err := alphabet.Encode([]byte(s))
+		if err != nil {
+			return nil, fmt.Errorf("blast: query %d: %w", i, err)
+		}
+		enc[i] = q
+	}
+	tb := d.searchTieredRaw(ctx, enc)
+	r := &ShardResult{
+		shard: shard, numShards: numShards,
+		results: tb.results, completed: tb.completed, queryErrs: tb.queryErrs,
+		sched: tb.sched, err: tb.err,
+		maxResults: d.params.MaxResults,
+		sidecar:    make([][]hspMeta, len(queries)),
+	}
+	for qi := range queries {
+		if !tb.completed[qi] || len(tb.results[qi].HSPs) == 0 {
+			continue
+		}
+		q := enc[qi]
+		hsps := tb.results[qi].HSPs
+		metas := make([]hspMeta, len(hsps))
+		for i := range hsps {
+			ref := tb.refs[qi][i]
+			metas[i] = hspMeta{identity: d.tierIdentity(q, ref, &hsps[i])}
+			if info, ok := d.tierOrigin(ref, &hsps[i]); ok {
+				metas[i].origName = info.origName
+				metas[i].offset = info.offset
+				metas[i].hasOrigin = true
+			}
+		}
+		r.sidecar[qi] = metas
+	}
+	return r, nil
+}

@@ -1,0 +1,59 @@
+package blast
+
+import (
+	"fmt"
+)
+
+// ShardSetInfo is what VerifyShardSet reports about a coherent shard set.
+type ShardSetInfo struct {
+	NumShards      int
+	Fingerprint    Fingerprint
+	TotalSequences int
+	TotalResidues  int64
+	PerShard       []*ContainerInfo // per-file reports, in shard order
+}
+
+// VerifyShardSet validates a sharded database as a set, not just file by
+// file: every container passes its own full Verify, all carry the same
+// build-params fingerprint (one makedb run — a mixed set merges garbage
+// silently, since the merge trusts ids and E-value statistics), and the
+// per-shard sequence counts fit the round-robin deal exactly (shard s of N
+// holds ceil((total-s)/N) sequences, the count the id restoration
+// local*N + s presumes). paths must be in shard order: paths[s] is shard s.
+//
+// This is the cross-check `mublastp -verifydb a,b,c` and `makedb -shards`
+// run; single-file verification (len(paths) == 1) degenerates to VerifyFile.
+func VerifyShardSet(paths []string) (*ShardSetInfo, error) {
+	n := len(paths)
+	if n == 0 {
+		return nil, fmt.Errorf("blast: VerifyShardSet needs at least one container")
+	}
+	info := &ShardSetInfo{NumShards: n, PerShard: make([]*ContainerInfo, n)}
+	for s, path := range paths {
+		ci, err := VerifyFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("blast: shard %d (%s): %w", s, path, err)
+		}
+		info.PerShard[s] = ci
+		info.TotalSequences += ci.NumSequences
+		info.TotalResidues += ci.TotalResidues
+		if s == 0 {
+			info.Fingerprint = ci.Fingerprint
+		} else if ci.Fingerprint != info.Fingerprint {
+			return nil, fmt.Errorf("blast: %w: shard %d (%s) fingerprint %+v diverges from shard 0's %+v — the set mixes different builds",
+				ErrParamsMismatch, s, path, ci.Fingerprint, info.Fingerprint)
+		}
+	}
+	// Round-robin fit: with T total sequences dealt over N shards, shard s
+	// must hold exactly (T - s + N - 1) / N. A set that verifies per file
+	// but fails this was assembled from the wrong files (or the wrong
+	// order), and the merge would restore wrong monolithic ids.
+	for s, ci := range info.PerShard {
+		want := (info.TotalSequences - s + n - 1) / n
+		if ci.NumSequences != want {
+			return nil, fmt.Errorf("blast: %w: shard %d (%s) holds %d sequences; a round-robin deal of %d over %d shards puts %d there — wrong file or wrong order",
+				ErrParamsMismatch, s, paths[s], ci.NumSequences, info.TotalSequences, n, want)
+		}
+	}
+	return info, nil
+}

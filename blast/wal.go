@@ -1,0 +1,231 @@
+package blast
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// This file implements the ingestion write-ahead log. Every Append first
+// makes its FASTA batch durable as one WAL record — header, length, payload,
+// CRC — and only then builds the delta container and commits the manifest.
+// Because delta construction is deterministic (NewDatabase over the same
+// batch with the same fingerprint parameters yields the same bytes), a
+// durably logged record can always be replayed after a crash, so recovery
+// lands on the exact post-commit state; a torn record (the crash interrupted
+// the log write itself) is discarded, landing on the exact pre-commit state.
+// Nothing in between is ever visible.
+//
+// On-disk layout:
+//
+//	magic   8 bytes   "muWALv1\n"
+//	records, each:
+//	  seq     uint64 LE   strictly increasing by 1 across the log's life
+//	  length  uint32 LE   payload bytes
+//	  payload             uvarint count, then per sequence:
+//	                      uvarint name length, name,
+//	                      uvarint residue length, ASCII residues
+//	  crc32   uint32 LE   IEEE CRC of seq+length+payload
+//
+// The log is truncated back to just the magic after its records are applied
+// to the manifest; a crash between commit and truncation only leaves records
+// whose seq is at or below the manifest's wal_applied watermark, which the
+// scanner skips.
+
+const (
+	walMagic     = "muWALv1\n"
+	walName      = "ingest.wal"
+	maxWALRecord = 1 << 30 // bytes; a flipped length bit must not drive allocation
+	maxWALBatch  = 1 << 24 // sequences per record
+)
+
+// walRecord is one decoded ingestion batch.
+type walRecord struct {
+	Seq   uint64
+	Batch []Sequence
+}
+
+// encodeWALPayload serializes an ingestion batch.
+func encodeWALPayload(batch []Sequence) []byte {
+	var buf [binary.MaxVarintLen64]byte
+	var out []byte
+	putUvarint := func(v uint64) { out = append(out, buf[:binary.PutUvarint(buf[:], v)]...) }
+	putUvarint(uint64(len(batch)))
+	for _, s := range batch {
+		putUvarint(uint64(len(s.Name)))
+		out = append(out, s.Name...)
+		putUvarint(uint64(len(s.Residues)))
+		out = append(out, s.Residues...)
+	}
+	return out
+}
+
+// decodeWALPayload parses a record payload back into its batch.
+func decodeWALPayload(data []byte) ([]Sequence, error) {
+	rd := bytes.NewReader(data)
+	n, err := binary.ReadUvarint(rd)
+	if err != nil {
+		return nil, fmt.Errorf("batch count: %w", err)
+	}
+	if n == 0 || n > maxWALBatch {
+		return nil, fmt.Errorf("implausible batch count %d", n)
+	}
+	batch := make([]Sequence, 0, min(int(n), 1<<16))
+	readStr := func(what string) (string, error) {
+		l, err := binary.ReadUvarint(rd)
+		if err != nil {
+			return "", fmt.Errorf("%s length: %w", what, err)
+		}
+		if l > uint64(rd.Len()) {
+			return "", fmt.Errorf("%s length %d exceeds remaining payload", what, l)
+		}
+		b := make([]byte, l)
+		if _, err := io.ReadFull(rd, b); err != nil {
+			return "", fmt.Errorf("%s: %w", what, err)
+		}
+		return string(b), nil
+	}
+	for i := uint64(0); i < n; i++ {
+		name, err := readStr("name")
+		if err != nil {
+			return nil, fmt.Errorf("sequence %d %w", i, err)
+		}
+		res, err := readStr("residues")
+		if err != nil {
+			return nil, fmt.Errorf("sequence %d %w", i, err)
+		}
+		batch = append(batch, Sequence{Name: name, Residues: res})
+	}
+	if rd.Len() != 0 {
+		return nil, fmt.Errorf("%d trailing payload bytes", rd.Len())
+	}
+	return batch, nil
+}
+
+// walFrame builds the on-disk bytes of one record.
+func walFrame(seq uint64, payload []byte) []byte {
+	frame := make([]byte, 12+len(payload)+4)
+	binary.LittleEndian.PutUint64(frame[0:], seq)
+	binary.LittleEndian.PutUint32(frame[8:], uint32(len(payload)))
+	copy(frame[12:], payload)
+	crc := crc32.ChecksumIEEE(frame[:12+len(payload)])
+	binary.LittleEndian.PutUint32(frame[12+len(payload):], crc)
+	return frame
+}
+
+// appendWAL makes one record durable: create-or-open the log (writing the
+// magic on creation), append the frame, fsync. The record is the commit
+// point of the ingestion protocol — once this returns nil, recovery will
+// roll the batch forward even if everything after it crashes.
+func appendWAL(path string, seq uint64, payload []byte) error {
+	if err := fiWALAppend.Err(); err != nil {
+		return fmt.Errorf("wal append: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal append: %w", err)
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return fmt.Errorf("wal append: %w", err)
+	}
+	off := st.Size()
+	if off == 0 {
+		if _, err := f.Write([]byte(walMagic)); err != nil {
+			return fmt.Errorf("wal append: writing magic: %w", err)
+		}
+		off = int64(len(walMagic))
+	}
+	if _, err := f.WriteAt(walFrame(seq, payload), off); err != nil {
+		return fmt.Errorf("wal append: %w", err)
+	}
+	if err := fiWALSync.Err(); err != nil {
+		return fmt.Errorf("wal sync: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("wal sync: %w", err)
+	}
+	return f.Close()
+}
+
+// scanWAL reads every intact record of the log in order. A missing log means
+// no pending work (nil records). A torn tail — truncated frame, short
+// payload, CRC mismatch — ends the scan: everything before it is returned,
+// everything from the tear on is reported via torn and will be discarded by
+// recovery, matching a crash that interrupted the append. Structural
+// violations *inside* intact records (a CRC-valid record whose sequence
+// number regresses, an undecodable payload) are not torn tails but evidence
+// of foul play, and surface as ErrStoreCorrupt.
+func scanWAL(path string) (recs []walRecord, torn bool, err error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("wal: %w", err)
+	}
+	if len(data) < len(walMagic) {
+		// The log was created but the crash tore even the magic write.
+		return nil, len(data) > 0, nil
+	}
+	if string(data[:len(walMagic)]) != walMagic {
+		return nil, false, fmt.Errorf("%w: wal has bad magic %q", ErrStoreCorrupt, data[:len(walMagic)])
+	}
+	rest := data[len(walMagic):]
+	for len(rest) > 0 {
+		if len(rest) < 16 {
+			return recs, true, nil
+		}
+		seq := binary.LittleEndian.Uint64(rest[0:])
+		length := binary.LittleEndian.Uint32(rest[8:])
+		if uint64(length) > maxWALRecord || uint64(len(rest)) < 16+uint64(length) {
+			return recs, true, nil
+		}
+		frame := rest[:12+length]
+		want := binary.LittleEndian.Uint32(rest[12+length:])
+		if crc32.ChecksumIEEE(frame) != want {
+			return recs, true, nil
+		}
+		// The record is intact; from here on damage is corruption, not tearing.
+		if len(recs) > 0 && seq != recs[len(recs)-1].Seq+1 {
+			return nil, false, fmt.Errorf("%w: wal record seq %d follows %d", ErrStoreCorrupt, seq, recs[len(recs)-1].Seq)
+		}
+		batch, err := decodeWALPayload(frame[12:])
+		if err != nil {
+			return nil, false, fmt.Errorf("%w: wal record seq %d: %v", ErrStoreCorrupt, seq, err)
+		}
+		recs = append(recs, walRecord{Seq: seq, Batch: batch})
+		rest = rest[16+length:]
+	}
+	return recs, false, nil
+}
+
+// resetWAL truncates the log back to just its magic after its records are
+// applied. Best-effort from the caller's point of view: a failure (or crash)
+// here leaves already-applied records behind, which the next open skips via
+// the manifest watermark and then resets again.
+func resetWAL(path string) error {
+	if err := fiWALReset.Err(); err != nil {
+		return fmt.Errorf("wal reset: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY, 0o644)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("wal reset: %w", err)
+	}
+	defer f.Close()
+	if err := f.Truncate(int64(len(walMagic))); err != nil {
+		return fmt.Errorf("wal reset: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("wal reset: %w", err)
+	}
+	return f.Close()
+}

@@ -42,6 +42,7 @@ var experiments = []experiment{
 	{"index-size", "two-level vs expanded index size", bench.IndexSize},
 	{"verify", "Section V-E output verification", bench.Verify},
 	{"capsim", "capacity model: record, fit, predict vs measured overload", bench.CapacityValidation},
+	{"ingest", "incremental ingest: delta append vs full rebuild, durable-to-durable", bench.IngestLatency},
 	{"replay", "re-issue a recorded workload against a live daemon (-replay-target, -replay-workload)", runReplay},
 }
 

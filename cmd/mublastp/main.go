@@ -8,6 +8,8 @@
 //	mublastp -subjects db.fasta -query queries.fasta -engine ncbi -format full
 //	mublastp -db db.mublastp -query queries.fasta -timeout 30s
 //	mublastp -verifydb db.mublastp
+//	mublastp -verifydb db.shard0-of-2,db.shard1-of-2
+//	mublastp -verifydb dbstore/
 //
 // SIGINT/SIGTERM cancel the running batch between tasks: completed queries
 // are printed (identical to an uninterrupted run), the trace file and debug
@@ -22,6 +24,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"repro/blast"
@@ -61,7 +64,7 @@ func run() (retErr error) {
 		tracePath   = flag.String("trace", "", "write per-query stage spans as JSONL to this file")
 		debugAddr   = flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof/ on this address (e.g. :6060)")
 		debugLinger = flag.Duration("debug-linger", 0, "keep the -debug-addr server up this long after the search finishes")
-		verifyDB    = flag.String("verifydb", "", "verify a saved database container (checksums, fingerprint, full decode) and exit")
+		verifyDB    = flag.String("verifydb", "", "verify a database and exit: a container file, a comma-separated shard set (cross-checked as one build), or an ingest-store directory")
 	)
 	flag.Parse()
 
@@ -255,7 +258,18 @@ func run() (retErr error) {
 	return retErr
 }
 
+// runVerify dispatches on what the -verifydb argument names: a
+// comma-separated list verifies the files as a shard set (one fingerprint,
+// exact round-robin fit — the invariants the scatter-gather merge trusts),
+// an ingest-store directory runs the full store verification (manifest,
+// every tier, WAL), and a single file keeps the original container check.
 func runVerify(path string) error {
+	if paths := strings.Split(path, ","); len(paths) > 1 {
+		return runVerifySet(paths)
+	}
+	if blast.IsStoreDir(path) {
+		return runVerifyStorePath(path)
+	}
 	info, err := blast.VerifyFile(path)
 	if err != nil {
 		return fmt.Errorf("verify %s: %w", path, err)
@@ -272,6 +286,43 @@ func runVerify(path string) error {
 	} else {
 		fmt.Printf("  long-sequence splitting disabled\n")
 	}
+	return nil
+}
+
+func runVerifySet(paths []string) error {
+	for i := range paths {
+		paths[i] = strings.TrimSpace(paths[i])
+	}
+	set, err := blast.VerifyShardSet(paths)
+	if err != nil {
+		return fmt.Errorf("verify shard set: %w", err)
+	}
+	fp := set.Fingerprint
+	fmt.Printf("shard set: OK (%d shards, one build)\n", set.NumShards)
+	fmt.Printf("  matrix %s, word size %d, neighbor threshold %d\n",
+		fp.Matrix, fp.WordSize, fp.NeighborThreshold)
+	fmt.Printf("  %d sequences, %d residues total; round-robin fit verified\n",
+		set.TotalSequences, set.TotalResidues)
+	for s, ci := range set.PerShard {
+		fmt.Printf("  shard %d: %s — %d sequences, %d residues, %d blocks\n",
+			s, paths[s], ci.NumSequences, ci.TotalResidues, ci.NumBlocks)
+	}
+	return nil
+}
+
+func runVerifyStorePath(dir string) error {
+	info, err := blast.VerifyStore(dir)
+	if err != nil {
+		return fmt.Errorf("verify store %s: %w", dir, err)
+	}
+	fp := info.Fingerprint
+	fmt.Printf("%s: OK (ingest store)\n", dir)
+	fmt.Printf("  manifest seq %d (%s), %d delta container(s), %d pending WAL record(s)\n",
+		info.ManifestSeq, info.ManifestHash, info.Deltas, info.PendingWAL)
+	fmt.Printf("  matrix %s, word size %d, neighbor threshold %d\n",
+		fp.Matrix, fp.WordSize, fp.NeighborThreshold)
+	fmt.Printf("  %d sequences, %d residues, %d index blocks across all tiers\n",
+		info.NumSequences, info.TotalResidues, info.NumBlocks)
 	return nil
 }
 

@@ -13,7 +13,11 @@
 //
 //	POST /search        {"queries":[{"name":"q1","residues":"MKT..."}], "timeout_ms":5000}
 //	POST /reload        {"path":"new.mublastp"}   verify-then-swap; rejects corrupt
-//	                    containers; {"verify_only":true} validates without swapping
+//	                    containers; {"verify_only":true} validates without swapping;
+//	                    delta-aware: an ingest-store path reloads base+deltas
+//	POST /ingest        (with -store) append a sequence batch as a WAL-journaled
+//	                    delta and swap the serving generation; bounded, single-
+//	                    flight, sheds concurrent ingests with 503 + Retry-After
 //	POST /shard/search  one shard's part of a routed scatter (driven by
 //	                    mublastpr -workers; pair with -global-sequences/-global-residues)
 //	GET  /shard/info    shard-coherence handshake for the router
@@ -49,31 +53,40 @@ func main() {
 
 func run() error {
 	var (
-		dbPath      = flag.String("db", "", "prebuilt database container (from makedb); reloadable at runtime")
-		subjects    = flag.String("subjects", "", "FASTA database to index on the fly (reload still requires containers)")
-		addr        = flag.String("addr", ":8044", "listen address (use :0 for an ephemeral port)")
-		threads     = flag.Int("threads", 0, "threads per batch search (0 = all cores)")
-		evalue      = flag.Float64("evalue", 10, "E-value cutoff")
-		maxHits     = flag.Int("max-hits", 250, "maximum hits per query")
-		queue       = flag.Int("queue", 64, "admission queue bound; excess requests are shed with 429")
-		concurrency = flag.Int("concurrency", 0, "concurrent batch searches (0 = size to the scheduler's worker pool)")
-		timeout     = flag.Duration("timeout", 30*time.Second, "default per-request deadline")
-		maxTimeout  = flag.Duration("max-timeout", 2*time.Minute, "cap on client-requested deadlines")
-		maxQueries  = flag.Int("max-queries", 64, "per-request batch size cap")
-		degAfter    = flag.Duration("degrade-after", 250*time.Millisecond, "sustained queue pressure before degraded mode trips")
-		degTimeout  = flag.Duration("degraded-timeout", 0, "per-request deadline in degraded mode (0 = timeout/4)")
-		drainGrace  = flag.Duration("drain-grace", 10*time.Second, "time in-flight searches get to finish on shutdown before partial-result flush")
-		debugAddr   = flag.String("debug-addr", "", "also serve /metrics, /debug/vars and /debug/pprof/ on this address (e.g. :6060), separate from -addr")
-		tracePath   = flag.String("trace", "", "append one JSONL trace tree per request (edge, admission, search, per-query stage spans) to this file")
-		recordPath  = flag.String("record", "", "append one workload record per request (arrival, query lengths, deadline, outcome, span durations) to this file — replay/capsim input")
-		faultSpec   = flag.String("faultspec", "", "arm fault-injection sites, e.g. 'server.admit=error@0.1' (testing aid)")
-		faultSeed   = flag.Uint64("faultseed", 1, "seed for probabilistic -faultspec clauses")
-		globalSeqs  = flag.Int64("global-sequences", 0, "sequence count of the whole logical database when -db is one shard of it; with -global-residues, E-values use the global search space so a remote merge is byte-identical")
-		globalRes   = flag.Int64("global-residues", 0, "residue count of the whole logical database when -db is one shard of it")
+		dbPath       = flag.String("db", "", "prebuilt database container (from makedb); reloadable at runtime")
+		storeDir     = flag.String("store", "", "serve from the crash-safe ingest store at this directory (makedb -store); enables POST /ingest")
+		subjects     = flag.String("subjects", "", "FASTA database to index on the fly (reload still requires containers)")
+		addr         = flag.String("addr", ":8044", "listen address (use :0 for an ephemeral port)")
+		threads      = flag.Int("threads", 0, "threads per batch search (0 = all cores)")
+		evalue       = flag.Float64("evalue", 10, "E-value cutoff")
+		maxHits      = flag.Int("max-hits", 250, "maximum hits per query")
+		queue        = flag.Int("queue", 64, "admission queue bound; excess requests are shed with 429")
+		concurrency  = flag.Int("concurrency", 0, "concurrent batch searches (0 = size to the scheduler's worker pool)")
+		timeout      = flag.Duration("timeout", 30*time.Second, "default per-request deadline")
+		maxTimeout   = flag.Duration("max-timeout", 2*time.Minute, "cap on client-requested deadlines")
+		maxQueries   = flag.Int("max-queries", 64, "per-request batch size cap")
+		degAfter     = flag.Duration("degrade-after", 250*time.Millisecond, "sustained queue pressure before degraded mode trips")
+		degTimeout   = flag.Duration("degraded-timeout", 0, "per-request deadline in degraded mode (0 = timeout/4)")
+		drainGrace   = flag.Duration("drain-grace", 10*time.Second, "time in-flight searches get to finish on shutdown before partial-result flush")
+		debugAddr    = flag.String("debug-addr", "", "also serve /metrics, /debug/vars and /debug/pprof/ on this address (e.g. :6060), separate from -addr")
+		tracePath    = flag.String("trace", "", "append one JSONL trace tree per request (edge, admission, search, per-query stage spans) to this file")
+		recordPath   = flag.String("record", "", "append one workload record per request (arrival, query lengths, deadline, outcome, span durations) to this file — replay/capsim input")
+		faultSpec    = flag.String("faultspec", "", "arm fault-injection sites, e.g. 'server.admit=error@0.1' (testing aid)")
+		faultSeed    = flag.Uint64("faultseed", 1, "seed for probabilistic -faultspec clauses")
+		globalSeqs   = flag.Int64("global-sequences", 0, "sequence count of the whole logical database when -db is one shard of it; with -global-residues, E-values use the global search space so a remote merge is byte-identical")
+		globalRes    = flag.Int64("global-residues", 0, "residue count of the whole logical database when -db is one shard of it")
+		maxIngest    = flag.Int("max-ingest", 0, "per-request sequence cap for POST /ingest (0 = default)")
+		compactAfter = flag.Int("compact-after", 0, "compact the store once it accumulates this many deltas (0 = only on request)")
 	)
 	flag.Parse()
-	if (*dbPath == "") == (*subjects == "") {
-		fmt.Fprintln(os.Stderr, "mublastpd: need exactly one of -db / -subjects")
+	srcs := 0
+	for _, src := range []string{*dbPath, *storeDir, *subjects} {
+		if src != "" {
+			srcs++
+		}
+	}
+	if srcs != 1 {
+		fmt.Fprintln(os.Stderr, "mublastpd: need exactly one of -db / -store / -subjects")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -103,11 +116,27 @@ func run() error {
 
 	start := time.Now()
 	var ses *blast.Session
+	var store *blast.Store
 	if *dbPath != "" {
 		var err error
 		if ses, err = blast.OpenSession(*dbPath, p); err != nil {
 			return fmt.Errorf("loading database: %w", err)
 		}
+	} else if *storeDir != "" {
+		// Opening the store runs crash recovery (WAL replay, orphan GC)
+		// before anything serves, so a daemon restarted after a mid-ingest
+		// crash comes up on a consistent manifest without operator action.
+		var err error
+		if store, err = blast.OpenStore(*storeDir, p); err != nil {
+			return fmt.Errorf("opening store: %w", err)
+		}
+		db, err := store.Database()
+		if err != nil {
+			return fmt.Errorf("loading store tiers: %w", err)
+		}
+		ses = blast.NewSession(db, p)
+		fmt.Fprintf(os.Stderr, "mublastpd: ingest store %s at manifest seq %d (%s), %d deltas\n",
+			store.Dir(), store.ManifestSeq(), store.ManifestHash(), store.NumDeltas())
 	} else {
 		seqs, err := blast.ReadFASTAFile(*subjects)
 		if err != nil {
@@ -153,6 +182,9 @@ func run() error {
 		Registry:        obs.Default,
 		Tracer:          tracer,
 		Recorder:        recorder,
+		Store:           store,
+		MaxIngestSeqs:   *maxIngest,
+		CompactAfter:    *compactAfter,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "mublastpd: "+format+"\n", args...)
 		},

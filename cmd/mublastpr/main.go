@@ -31,7 +31,12 @@
 //
 //	POST /search    {"queries":[...], "timeout_ms":5000, "policy":"round-robin"}
 //	POST /reload    {"paths":["shard0.mbc","shard1.mbc"]} rolling per-shard reload,
-//	                verify-before-swap per replica, never the last healthy one
+//	                verify-before-swap per replica, never the last healthy one.
+//	                Paths may be ingest-store directories: this is how delta
+//	                propagation rolls across a fleet — each replica picks up the
+//	                store's current base+delta manifest in turn, and the remote
+//	                coherence handshake refuses to serve a shard whose replicas
+//	                sit at different manifest commits until the roll completes
 //	GET  /replicas  per-replica lifecycle state (ejection, breaker)
 //	GET  /healthz   liveness; /readyz readiness (503 while draining or a shard
 //	                has no healthy replica)

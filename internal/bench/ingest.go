@@ -1,0 +1,100 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"repro/blast"
+	"repro/internal/alphabet"
+	"repro/internal/seqgen"
+)
+
+// IngestLatency measures what the crash-safe ingest store buys over the
+// rebuild-the-world alternative: appending a small delta batch (1% of the
+// database, the nightly-update shape) versus re-running the full database
+// build for the same final sequence set. Both sides are timed
+// durable-to-durable — Append is WAL-journaled, fsynced, and
+// manifest-committed on return, and the rebuild is a complete InitStore on
+// disk — so the ratio is the honest operational comparison, not an
+// in-memory shortcut. A second batch is appended on top of the first to
+// show the delta path holds its speed as deltas accumulate.
+func IngestLatency(s Scale) (*Table, error) {
+	baseN := s.UniprotSeqs
+	batchN := baseN / 100
+	if batchN < 10 {
+		batchN = 10
+	}
+	p := blast.DefaultParams()
+	p.Threads = s.threads()
+	if s.BlockBytes > 0 {
+		p.BlockResidues = s.BlockBytes / 4
+	}
+
+	gen := func(n int, seed int64, prefix string) []blast.Sequence {
+		g := seqgen.New(seqgen.UniprotProfile(), seed)
+		raw := g.Database(n)
+		seqs := make([]blast.Sequence, len(raw))
+		for i, r := range raw {
+			seqs[i] = blast.Sequence{Name: fmt.Sprintf("%s%06d", prefix, i), Residues: alphabet.String(r)}
+		}
+		return seqs
+	}
+	base := gen(baseN, s.Seed, "base")
+	batch1 := gen(batchN, s.Seed+1, "d1-")
+	batch2 := gen(batchN, s.Seed+2, "d2-")
+
+	dir, err := os.MkdirTemp("", "ingest-exp")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	st, err := blast.InitStore(dir+"/store", base, p)
+	if err != nil {
+		return nil, err
+	}
+	// One throwaway delta build warms the process-wide caches (neighbor
+	// table) so the measured appends reflect a long-running ingester, the
+	// deployment this path exists for, not a cold process.
+	if _, err := st.Append(gen(batchN, s.Seed+9, "warm")); err != nil {
+		return nil, err
+	}
+
+	appendOnce := func(batch []blast.Sequence) (time.Duration, error) {
+		start := time.Now()
+		if _, err := st.Append(batch); err != nil {
+			return 0, err
+		}
+		return time.Since(start), nil
+	}
+	d1, err := appendOnce(batch1)
+	if err != nil {
+		return nil, err
+	}
+	d2, err := appendOnce(batch2)
+	if err != nil {
+		return nil, err
+	}
+
+	// The alternative: rebuild the whole store from scratch for the same
+	// final set (base + first batch).
+	all := append(append([]blast.Sequence{}, base...), batch1...)
+	start := time.Now()
+	if _, err := blast.InitStore(dir+"/rebuild", all, p); err != nil {
+		return nil, err
+	}
+	rebuild := time.Since(start)
+
+	ms := func(d time.Duration) string { return fmt.Sprintf("%.1f", float64(d)/float64(time.Millisecond)) }
+	t := &Table{
+		Title:   fmt.Sprintf("ingest latency: %d-sequence delta vs full rebuild (base %d)", batchN, baseN),
+		Columns: []string{"path", "durable ms", "speedup"},
+	}
+	t.AddRow("delta append (1st)", ms(d1), fmt.Sprintf("%.1fx", float64(rebuild)/float64(d1)))
+	t.AddRow("delta append (2nd)", ms(d2), fmt.Sprintf("%.1fx", float64(rebuild)/float64(d2)))
+	t.AddRow("full rebuild", ms(rebuild), "1.0x")
+	t.Note("both paths timed to durable on-disk state: Append returns after WAL fsync, "+
+		"delta build, and atomic manifest commit; the rebuild is a complete InitStore of %d sequences", len(all))
+	return t, nil
+}

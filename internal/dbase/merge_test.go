@@ -1,0 +1,86 @@
+package dbase
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/alphabet"
+)
+
+// randomSorted builds a database of n random-length sequences in ascending
+// length order, tagging names with the given prefix so merged identity is
+// checkable.
+func randomSorted(t *testing.T, rng *rand.Rand, prefix string, n int) *DB {
+	t.Helper()
+	seqs := make([][]alphabet.Code, n)
+	for i := range seqs {
+		l := 1 + rng.Intn(30)
+		s := make([]alphabet.Code, l)
+		for j := range s {
+			s[j] = alphabet.Code(rng.Intn(20))
+		}
+		seqs[i] = s
+	}
+	db := New(seqs)
+	for i := range db.Seqs {
+		db.Seqs[i].Name = prefix + db.Seqs[i].Name
+	}
+	db.SortByLength()
+	return db
+}
+
+// TestMergeOrderMatchesStableSort pins the identity the delta-container
+// search depends on: MergeOrder over sorted tiers equals a stable
+// SortByLength over the tier-order concatenation.
+func TestMergeOrderMatchesStableSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		nTiers := 1 + rng.Intn(4)
+		dbs := make([]*DB, nTiers)
+		for tIdx := range dbs {
+			dbs[tIdx] = randomSorted(t, rng, string(rune('a'+tIdx))+"/", 1+rng.Intn(20))
+		}
+
+		// Reference: concatenate in tier order, stable sort.
+		ref := &DB{}
+		for _, db := range dbs {
+			for j := range db.Seqs {
+				ref.Seqs = append(ref.Seqs, Sequence{ID: len(ref.Seqs), Name: db.Seqs[j].Name, Data: db.Seqs[j].Data})
+			}
+			ref.TotalResidues += db.TotalResidues
+		}
+		ref.SortByLength()
+
+		order := MergeOrder(dbs)
+		got := Merged(dbs, order)
+
+		if got.NumSeqs() != ref.NumSeqs() || got.TotalResidues != ref.TotalResidues {
+			t.Fatalf("trial %d: merged %d seqs/%d residues, want %d/%d",
+				trial, got.NumSeqs(), got.TotalResidues, ref.NumSeqs(), ref.TotalResidues)
+		}
+		for i := range ref.Seqs {
+			if got.Seqs[i].Name != ref.Seqs[i].Name {
+				t.Fatalf("trial %d: position %d holds %q, want %q", trial, i, got.Seqs[i].Name, ref.Seqs[i].Name)
+			}
+			if got.Seqs[i].ID != i {
+				t.Fatalf("trial %d: position %d has ID %d", trial, i, got.Seqs[i].ID)
+			}
+		}
+		if !got.IsSortedByLength() {
+			t.Fatalf("trial %d: merged database not length-sorted", trial)
+		}
+	}
+}
+
+// TestMergeOrderSingle pins that a single database merges to the identity
+// mapping (the no-delta fast path must not perturb ids).
+func TestMergeOrderSingle(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	db := randomSorted(t, rng, "x/", 17)
+	order := MergeOrder([]*DB{db})
+	for j, rank := range order[0] {
+		if rank != j {
+			t.Fatalf("identity merge moved %d to %d", j, rank)
+		}
+	}
+}

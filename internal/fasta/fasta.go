@@ -70,7 +70,11 @@ func (r *Reader) Read() (*Record, error) {
 			break
 		}
 		for _, b := range trimmed {
-			if b == ' ' || b == '\t' {
+			if b == ' ' || b == '\t' || b == '\v' || b == '\f' || b == '\r' {
+				// Skip every ASCII whitespace byte, not just space and tab:
+				// an interior '\v' kept in Seq would be wrapped by the
+				// writer onto a line boundary and then trimmed away on
+				// re-read, silently changing the record.
 				continue
 			}
 			if b == '>' {

@@ -31,6 +31,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
@@ -273,7 +274,9 @@ func parseSpec(spec string, seed uint64) (map[*Site]*arming, error) {
 		}
 		if i := strings.IndexByte(rest, '@'); i >= 0 {
 			p, err := strconv.ParseFloat(rest[i+1:], 64)
-			if err != nil || p < 0 || p > 1 {
+			// The range check must reject NaN explicitly: NaN compares false
+			// against both bounds, and a NaN prob would fire on every hit.
+			if err != nil || math.IsNaN(p) || p < 0 || p > 1 {
 				return nil, fmt.Errorf("faultinject: clause %q: bad @prob %q", clause, rest[i+1:])
 			}
 			a.prob = p

@@ -160,6 +160,79 @@ func TestEnableRejectsUnknownSiteAndBadSpecs(t *testing.T) {
 	}
 }
 
+// TestEnableGrammarEdges pins the spec grammar's edges: probabilities
+// outside [0,1] or unparsable, #nth values of zero or past uint64, and
+// malformed numerics must all be loud errors, never a silently inert
+// schedule.
+func TestEnableGrammarEdges(t *testing.T) {
+	NewSite("test.grammar")
+	for _, spec := range []string{
+		"test.grammar=error@1.5",
+		"test.grammar=error@-0.1",
+		"test.grammar=error@nan",
+		"test.grammar=error@",
+		"test.grammar=error#0",
+		"test.grammar=error#-1",
+		"test.grammar=error#18446744073709551616", // 2^64: overflows uint64
+		"test.grammar=error#three",
+		"test.grammar=shortread:-1",
+		"test.grammar=shortread:many",
+		"test.grammar=delay:-5ms",
+	} {
+		if err := Enable(spec, 1); err == nil {
+			t.Errorf("Enable(%q) accepted", spec)
+			Disable()
+		}
+	}
+	// The extremes that are legal stay legal: @0 never fires, @1 always,
+	// #nth at uint64 max parses (it just never triggers in practice).
+	for _, spec := range []string{
+		"test.grammar=error@0",
+		"test.grammar=error@1",
+		"test.grammar=error#18446744073709551615",
+	} {
+		if err := Enable(spec, 1); err != nil {
+			t.Errorf("Enable(%q): %v", spec, err)
+		}
+	}
+	Disable()
+}
+
+// TestUnknownSiteErrorListsKnown: arming a nonexistent site is an error that
+// names the offender and lists the registered sites — the operator's typo is
+// diagnosable from the message alone, not a silent no-op schedule.
+func TestUnknownSiteErrorListsKnown(t *testing.T) {
+	known := NewSite("test.known")
+	err := Enable("test.kn0wn=error", 1)
+	if err == nil {
+		Disable()
+		t.Fatal("Enable of an unknown site succeeded")
+	}
+	if !strings.Contains(err.Error(), "test.kn0wn") || !strings.Contains(err.Error(), "test.known") {
+		t.Errorf("error %q does not name the unknown site and list known ones", err)
+	}
+	if known.Err() != nil {
+		t.Error("failed Enable left a site armed")
+	}
+}
+
+// TestFailedEnableKeepsPreviousSchedule: Enable is parse-then-swap — a spec
+// that fails to parse must leave the previously armed schedule running, not
+// tear it down halfway.
+func TestFailedEnableKeepsPreviousSchedule(t *testing.T) {
+	s := NewSite("test.keep")
+	if err := Enable("test.keep=error", 1); err != nil {
+		t.Fatal(err)
+	}
+	defer Disable()
+	if err := Enable("test.keep=error@2", 1); err == nil {
+		t.Fatal("bad spec accepted")
+	}
+	if s.Err() == nil {
+		t.Error("failed Enable disarmed the previous schedule")
+	}
+}
+
 func TestEnableReplacesSchedule(t *testing.T) {
 	a := NewSite("test.replace.a")
 	b := NewSite("test.replace.b")

@@ -441,10 +441,20 @@ type ServerMetrics struct {
 	Reloads         *Counter // successful hot database reloads
 	ReloadsRejected *Counter // reloads rejected (corrupt/mismatched container)
 
-	QueueDepth *Gauge // requests currently waiting for a run token
-	Inflight   *Gauge // requests currently searching
-	Degraded   *Gauge // 1 while degraded mode is tripped, else 0
-	Generation *Gauge // current database generation (1-based)
+	// Ingestion outcomes (POST /ingest on a store-backed daemon).
+	Ingests         *Counter // batches durably committed
+	IngestsShed     *Counter // batches refused 503 (single-flight busy / draining)
+	IngestsRejected *Counter // batches refused 4xx (validation, no store)
+	IngestsFailed   *Counter // batches that failed mid-commit (store needs recovery)
+	IngestedSeqs    *Counter // sequences committed across all batches
+	Compactions     *Counter // delta compactions completed
+
+	QueueDepth  *Gauge // requests currently waiting for a run token
+	Inflight    *Gauge // requests currently searching
+	Degraded    *Gauge // 1 while degraded mode is tripped, else 0
+	Generation  *Gauge // current database generation (1-based)
+	ManifestSeq *Gauge // ingest-store manifest commit seq (0 = not store-backed)
+	DeltaCount  *Gauge // delta containers currently layered on the base
 
 	QueueWaitNanos *Histogram // admission-queue wait per admitted request
 	RequestNanos   *Histogram // total handler time per admitted request
@@ -459,10 +469,18 @@ func NewServerMetrics(r *Registry) *ServerMetrics {
 		TimedOut:        r.Counter("requests_timed_out"),
 		Reloads:         r.Counter("db_reloads"),
 		ReloadsRejected: r.Counter("db_reloads_rejected"),
+		Ingests:         r.Counter("ingest_batches"),
+		IngestsShed:     r.Counter("ingest_shed"),
+		IngestsRejected: r.Counter("ingest_rejected"),
+		IngestsFailed:   r.Counter("ingest_failed"),
+		IngestedSeqs:    r.Counter("ingest_sequences"),
+		Compactions:     r.Counter("ingest_compactions"),
 		QueueDepth:      r.Gauge("queue_depth"),
 		Inflight:        r.Gauge("requests_inflight"),
 		Degraded:        r.Gauge("degraded_mode"),
 		Generation:      r.Gauge("db_generation"),
+		ManifestSeq:     r.Gauge("manifest_seq"),
+		DeltaCount:      r.Gauge("delta_count"),
 		QueueWaitNanos:  r.Histogram("queue_wait_nanos"),
 		RequestNanos:    r.Histogram("request_nanos"),
 	}

@@ -287,6 +287,8 @@ func VerifyRemoteTopology(ctx context.Context, shards [][]*RemoteWorker) (*blast
 		}
 		var shardSeqs int
 		var shardRes int64
+		var shardManSeq int64
+		var shardManHash string
 		for i, w := range reps {
 			info, err := w.Info(ctx)
 			if err != nil {
@@ -306,9 +308,19 @@ func VerifyRemoteTopology(ctx context.Context, shards [][]*RemoteWorker) (*blast
 			}
 			if i == 0 {
 				shardSeqs, shardRes = info.Sequences, info.TotalResidues
+				shardManSeq, shardManHash = info.ManifestSeq, info.ManifestHash
 			} else if info.Sequences != shardSeqs || info.TotalResidues != shardRes {
 				return nil, 0, fmt.Errorf("router: shard %d replica %s: %d seqs/%d residues, shard peer says %d/%d",
 					s, w.Name(), info.Sequences, info.TotalResidues, shardSeqs, shardRes)
+			} else if info.ManifestSeq != shardManSeq || info.ManifestHash != shardManHash {
+				// Store-backed replicas must sit at the same manifest
+				// commit: equal sequence totals do not prove equal
+				// sequences once deltas are involved, and merging results
+				// computed against different delta sets is silent garbage.
+				// Mixed-manifest shards are refused until delta
+				// propagation brings every replica to the same commit.
+				return nil, 0, fmt.Errorf("router: shard %d replica %s: manifest %d/%s, shard peer says %d/%s — delta propagation incomplete, refusing mixed-manifest topology",
+					s, w.Name(), info.ManifestSeq, info.ManifestHash, shardManSeq, shardManHash)
 			}
 		}
 		// Round-robin sharding gives shard s sequences s, s+n, s+2n, ...

@@ -220,9 +220,14 @@ func TestVerifyRemoteTopologyRejectsIncoherence(t *testing.T) {
 		return func(in *server.ShardInfoResponse) { in.Sequences, in.TotalResidues = seqs, res }
 	}
 
-	// Coherent 2-shard fleet (round-robin split of 4 sequences) passes.
+	// Coherent 2-shard fleet (round-robin split of 4 sequences) passes,
+	// including store-backed replicas sitting at the same manifest commit.
+	stored := func(in *server.ShardInfoResponse) {
+		in.Sequences, in.TotalResidues = 2, 60
+		in.ManifestSeq, in.ManifestHash, in.Deltas = 3, "aabbccdd", 2
+	}
 	ok := [][]*RemoteWorker{
-		{fakeInfoServer(t, mk(shard(2, 60)))},
+		{fakeInfoServer(t, mk(stored)), fakeInfoServer(t, mk(stored))},
 		{fakeInfoServer(t, mk(shard(2, 40)))},
 	}
 	if _, n, err := VerifyRemoteTopology(context.Background(), ok); err != nil || n != 4 {
@@ -230,9 +235,9 @@ func TestVerifyRemoteTopologyRejectsIncoherence(t *testing.T) {
 	}
 
 	for _, tc := range []struct {
-		name string
+		name  string
 		fleet [][]*RemoteWorker
-		want string
+		want  string
 	}{
 		{"fingerprint drift", [][]*RemoteWorker{
 			{fakeInfoServer(t, mk(shard(2, 60)))},
@@ -256,6 +261,22 @@ func TestVerifyRemoteTopologyRejectsIncoherence(t *testing.T) {
 			{fakeInfoServer(t, mk(shard(3, 60)))},
 			{fakeInfoServer(t, mk(shard(1, 40)))},
 		}, "round-robin"},
+		// Equal sequence totals do not prove equal sequences once deltas are
+		// involved: replicas of one shard at different manifest commits are
+		// refused until delta propagation catches the laggard up.
+		{"mixed manifest across replicas", [][]*RemoteWorker{
+			{
+				fakeInfoServer(t, mk(func(in *server.ShardInfoResponse) {
+					in.Sequences, in.TotalResidues = 2, 60
+					in.ManifestSeq, in.ManifestHash, in.Deltas = 3, "aabbccdd", 2
+				})),
+				fakeInfoServer(t, mk(func(in *server.ShardInfoResponse) {
+					in.Sequences, in.TotalResidues = 2, 60
+					in.ManifestSeq, in.ManifestHash, in.Deltas = 2, "11223344", 1
+				})),
+			},
+			{fakeInfoServer(t, mk(shard(2, 40)))},
+		}, "mixed-manifest"},
 	} {
 		_, _, err := VerifyRemoteTopology(context.Background(), tc.fleet)
 		if err == nil || !strings.Contains(err.Error(), tc.want) {
@@ -390,7 +411,7 @@ func TestChaosRemoteTransport(t *testing.T) {
 			}
 			rt, err := New(workers, Options{Registry: obs.NewRegistry(),
 				Resilience: ResilienceConfig{
-					ProbeInterval: -1, // the breaker and retries carry this test
+					ProbeInterval:   -1, // the breaker and retries carry this test
 					BreakerCooldown: 20 * time.Millisecond,
 					RetryBudget:     budget, RetryBackoff: time.Millisecond,
 				}})

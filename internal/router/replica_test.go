@@ -205,7 +205,7 @@ func TestReplicaFlapConvergence(t *testing.T) {
 	rt, err := New([][]Worker{{a, b}}, Options{
 		Registry: obs.NewRegistry(),
 		Resilience: ResilienceConfig{
-			ProbeInterval: 2 * time.Millisecond,
+			ProbeInterval:  2 * time.Millisecond,
 			ReadmitBackoff: 10 * time.Millisecond, ReadmitBackoffMax: 40 * time.Millisecond,
 		},
 	})

@@ -139,11 +139,12 @@ func (w *LocalWorker) Search(ctx context.Context, queries []string, shard, numSh
 }
 
 // ReloadContainer implements Reloader: verify-only validates the candidate
-// container without touching the serving session; otherwise
+// — a container file or an ingest-store directory (manifest, every
+// container, pending WAL) — without touching the serving session; otherwise
 // blast.Session.Reload runs its verify-before-swap.
 func (w *LocalWorker) ReloadContainer(_ context.Context, path string, verifyOnly bool) error {
 	if verifyOnly {
-		_, err := blast.VerifyFile(path)
+		_, err := blast.VerifyPath(path)
 		return err
 	}
 	return w.ses.Reload(path)

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"path/filepath"
 	"strconv"
 	"time"
 
@@ -120,7 +121,10 @@ type ReloadRequest struct {
 
 // ReloadResponse reports a successful swap, or — for a verify-only probe —
 // what the candidate container holds (Verified true, no swap happened, and
-// Generation is the still-serving database's).
+// Generation is the still-serving database's). Manifest fields are set when
+// the candidate (or the swapped-in database) is an ingest store: replicas
+// serving one logical store must agree on them, and the router's rolling
+// delta propagation refuses mixed-manifest topologies.
 type ReloadResponse struct {
 	Generation    int64              `json:"db_generation"`
 	Sequences     int                `json:"sequences"`
@@ -128,6 +132,9 @@ type ReloadResponse struct {
 	Verified      bool               `json:"verified,omitempty"`
 	TotalResidues int64              `json:"total_residues,omitempty"`
 	Fingerprint   *blast.Fingerprint `json:"fingerprint,omitempty"`
+	ManifestSeq   int64              `json:"manifest_seq,omitempty"`
+	ManifestHash  string             `json:"manifest_hash,omitempty"`
+	Deltas        int                `json:"deltas,omitempty"`
 }
 
 // errorResponse is the uniform JSON error body.
@@ -384,18 +391,15 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 	}
 	if req.VerifyOnly {
 		err := fiReload.Err()
-		var info *blast.ContainerInfo
+		var info *blast.PathInfo
 		if err == nil {
-			info, err = blast.VerifyFile(req.Path)
+			// VerifyPath handles both shapes: a single container file and
+			// an ingest-store directory (manifest + base + deltas + WAL).
+			info, err = blast.VerifyPath(req.Path)
 		}
 		if err != nil {
 			s.met.ReloadsRejected.Add(1)
-			status := http.StatusConflict
-			if errors.Is(err, blast.ErrCorrupt) || errors.Is(err, blast.ErrVersion) ||
-				errors.Is(err, blast.ErrParamsMismatch) {
-				status = http.StatusUnprocessableEntity
-			}
-			writeError(w, status, "verify rejected: %v", err)
+			writeError(w, reloadErrStatus(err), "verify rejected: %v", err)
 			return
 		}
 		writeJSON(w, http.StatusOK, ReloadResponse{
@@ -405,29 +409,79 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 			Verified:      true,
 			TotalResidues: info.TotalResidues,
 			Fingerprint:   &info.Fingerprint,
+			ManifestSeq:   info.ManifestSeq,
+			ManifestHash:  info.ManifestHash,
+			Deltas:        info.Deltas,
 		})
 		return
 	}
 	err := fiReload.Err()
 	if err == nil {
-		err = s.ses.Reload(req.Path)
+		err = s.reloadPath(req.Path)
 	}
 	if err != nil {
 		s.met.ReloadsRejected.Add(1)
-		status := http.StatusConflict
-		if errors.Is(err, blast.ErrCorrupt) || errors.Is(err, blast.ErrVersion) ||
-			errors.Is(err, blast.ErrParamsMismatch) {
-			status = http.StatusUnprocessableEntity
-		}
-		writeError(w, status, "reload rejected, previous database still serving: %v", err)
+		writeError(w, reloadErrStatus(err), "reload rejected, previous database still serving: %v", err)
 		return
 	}
 	s.met.Reloads.Add(1)
 	s.met.Generation.Set(float64(s.ses.Generation()))
 	db := s.ses.DB()
+	seq, hash, deltas := db.Manifest()
 	writeJSON(w, http.StatusOK, ReloadResponse{
-		Generation: s.ses.Generation(),
-		Sequences:  db.NumSequences(),
-		Blocks:     db.NumBlocks(),
+		Generation:   s.ses.Generation(),
+		Sequences:    db.NumSequences(),
+		Blocks:       db.NumBlocks(),
+		ManifestSeq:  seq,
+		ManifestHash: hash,
+		Deltas:       deltas,
 	})
+}
+
+// reloadPath routes a reload: a path naming the daemon's own live store is
+// served from the in-process Store (re-opening the directory would run a
+// second recovery pass — WAL replay, orphan GC — against files the live
+// single-writer Store owns); anything else goes through the session's
+// verify-before-swap open.
+func (s *Server) reloadPath(path string) error {
+	if st := s.cfg.Store; st != nil && sameDir(path, st.Dir()) {
+		db, err := st.Database()
+		if err != nil {
+			return err
+		}
+		if err := s.ses.ReloadDB(db); err != nil {
+			return err
+		}
+		s.met.ManifestSeq.Set(float64(st.ManifestSeq()))
+		s.met.DeltaCount.Set(float64(st.NumDeltas()))
+		return nil
+	}
+	return s.ses.Reload(path)
+}
+
+// sameDir reports whether two paths name the same directory, resolving
+// symlinks and relative segments where possible.
+func sameDir(a, b string) bool {
+	ra, err := filepath.EvalSymlinks(a)
+	if err != nil {
+		return false
+	}
+	rb, err := filepath.EvalSymlinks(b)
+	if err != nil {
+		return false
+	}
+	return ra == rb
+}
+
+// reloadErrStatus maps reload/verify failures: structural invalidity of the
+// candidate (corruption, version or params mismatch, not-a-store) is 422 —
+// retrying the same path is pointless; anything else (missing file,
+// injected fault) is 409.
+func reloadErrStatus(err error) int {
+	if errors.Is(err, blast.ErrCorrupt) || errors.Is(err, blast.ErrVersion) ||
+		errors.Is(err, blast.ErrParamsMismatch) || errors.Is(err, blast.ErrStoreCorrupt) ||
+		errors.Is(err, blast.ErrNoStore) {
+		return http.StatusUnprocessableEntity
+	}
+	return http.StatusConflict
 }

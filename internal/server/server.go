@@ -43,6 +43,9 @@ var (
 	fiReload = faultinject.NewSite("server.reload")
 	// fiRespond sits on the response path, before the body is encoded.
 	fiRespond = faultinject.NewSite("server.respond")
+	// fiIngest sits on the ingestion path, after admission but before the
+	// WAL append: an error fault answers 503 with nothing durable written.
+	fiIngest = faultinject.NewSite("server.ingest")
 )
 
 // Config tunes the serving layer. The zero value of every field selects the
@@ -80,6 +83,23 @@ type Config struct {
 
 	// RetryAfter is the Retry-After hint attached to sheds (default 1s).
 	RetryAfter time.Duration
+
+	// Store, when set, is the crash-safe ingest store backing this daemon's
+	// database: POST /ingest appends batches to it (WAL-committed delta
+	// containers) and hot-swaps the session onto the new base+deltas view,
+	// and /reload requests naming the store's own directory route through
+	// the live Store rather than re-running recovery against it. Nil (the
+	// default) answers /ingest with 409: this daemon serves an immutable
+	// container.
+	Store *blast.Store
+	// MaxIngestSeqs caps the sequences of one ingest batch (default 10000);
+	// larger batches are refused 413 before anything touches the WAL.
+	MaxIngestSeqs int
+	// CompactAfter, when positive, compacts the store (merging base+deltas
+	// into a fresh base under verify-before-swap) as part of any ingest that
+	// leaves at least this many delta containers. 0 disables automatic
+	// compaction.
+	CompactAfter int
 
 	// Registry receives the serving metrics (default obs.Default).
 	Registry *obs.Registry
@@ -153,6 +173,9 @@ func (c Config) withDefaults(threads int) Config {
 	if c.Registry == nil {
 		c.Registry = obs.Default
 	}
+	if c.MaxIngestSeqs <= 0 {
+		c.MaxIngestSeqs = 10000
+	}
 	return c
 }
 
@@ -166,6 +189,13 @@ type Server struct {
 
 	adm *admission
 	deg *degrader
+
+	// ingestTok is the ingestion single-flight: one slot, held for the
+	// duration of an /ingest commit. A second concurrent ingest sheds with
+	// 503 + Retry-After instead of queueing — the store is single-writer,
+	// and an unbounded ingest queue is exactly the irregularity the
+	// admission layer exists to refuse.
+	ingestTok chan struct{}
 
 	// searchCtx is the ancestor of every request context (via BaseContext):
 	// cancelling it stops all in-flight batches between tasks so their
@@ -201,11 +231,18 @@ func New(ses *blast.Session, p blast.Params, cfg Config) *Server {
 		searchCtx:      ctx,
 		cancelSearches: cancel,
 		draining:       make(chan struct{}),
+		ingestTok:      make(chan struct{}, 1),
 	}
+	s.ingestTok <- struct{}{}
 	met.Generation.Set(float64(ses.Generation()))
+	if cfg.Store != nil {
+		met.ManifestSeq.Set(float64(cfg.Store.ManifestSeq()))
+		met.DeltaCount.Set(float64(cfg.Store.NumDeltas()))
+	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/search", s.handleSearch)
 	s.mux.HandleFunc("/reload", s.handleReload)
+	s.mux.HandleFunc("/ingest", s.handleIngest)
 	s.mux.HandleFunc("/shard/search", s.handleShardSearch)
 	s.mux.HandleFunc("/shard/info", s.handleShardInfo)
 	s.mux.Handle("/", obs.HandlerWithReadiness(cfg.Registry, s.Ready))

@@ -63,6 +63,14 @@ type ShardInfoResponse struct {
 	MaxResults      int               `json:"max_results"`
 	Generation      int64             `json:"db_generation"`
 	Draining        bool              `json:"draining"`
+	// Ingest-store provenance (zero when serving a plain container).
+	// Replicas of one shard must agree on seq+hash: a mixed-manifest
+	// topology would merge results computed against different sequence
+	// sets, so the router's handshake and the rolling delta propagation
+	// both refuse it.
+	ManifestSeq  int64  `json:"manifest_seq,omitempty"`
+	ManifestHash string `json:"manifest_hash,omitempty"`
+	Deltas       int    `json:"deltas,omitempty"`
 }
 
 func (s *Server) handleShardInfo(w http.ResponseWriter, r *http.Request) {
@@ -74,6 +82,7 @@ func (s *Server) handleShardInfo(w http.ResponseWriter, r *http.Request) {
 	defer release()
 	globalRes, globalSeqs := db.GlobalSearchSpace()
 	evalue, maxResults := db.SearchSettings()
+	manSeq, manHash, deltas := db.Manifest()
 	writeJSON(w, http.StatusOK, ShardInfoResponse{
 		Fingerprint:     db.Fingerprint(),
 		Sequences:       db.NumSequences(),
@@ -84,6 +93,9 @@ func (s *Server) handleShardInfo(w http.ResponseWriter, r *http.Request) {
 		MaxResults:      maxResults,
 		Generation:      s.ses.Generation(),
 		Draining:        s.Draining(),
+		ManifestSeq:     manSeq,
+		ManifestHash:    manHash,
+		Deltas:          deltas,
 	})
 }
 

@@ -3,6 +3,7 @@ package sigctx
 import (
 	"context"
 	"os"
+	"os/signal"
 	"syscall"
 	"testing"
 	"time"
@@ -63,6 +64,44 @@ func TestSecondSignalForcesExit(t *testing.T) {
 		}
 	case <-time.After(5 * time.Second):
 		t.Fatal("second signal did not force exit")
+	}
+}
+
+// TestStopDisarmsEscalation: once stop runs, a later signal must not take
+// the force-exit path — the escalation goroutine is gone with the
+// registration. A guard channel keeps the test's own SIGTERM from hitting
+// the process default disposition after sigctx unregisters.
+func TestStopDisarmsEscalation(t *testing.T) {
+	guard := make(chan os.Signal, 4)
+	signal.Notify(guard, syscall.SIGTERM)
+	defer signal.Stop(guard)
+
+	exited := make(chan int, 1)
+	old := exit
+	exit = func(code int) {
+		exited <- code
+		select {}
+	}
+	defer func() { exit = old }()
+
+	ctx, stop := WithForcedExit(context.Background(), nil)
+	kill(t, syscall.SIGTERM)
+	waitDone(t, ctx)
+	stop() // graceful path finished before any second signal
+
+	for len(guard) > 0 { // drop signals delivered before stop
+		<-guard
+	}
+	kill(t, syscall.SIGTERM)
+	select {
+	case <-guard: // the post-stop signal arrived
+	case <-time.After(5 * time.Second):
+		t.Fatal("guard never saw the post-stop signal")
+	}
+	select {
+	case code := <-exited:
+		t.Fatalf("signal after stop forced exit with code %d", code)
+	case <-time.After(100 * time.Millisecond):
 	}
 }
 

@@ -1,0 +1,114 @@
+#!/bin/sh
+# Crash-recovery smoke test (the `make crash-smoke` target).
+#
+# Drills the ingest store's crash-consistency contract with real SIGKILLs:
+# a base store is built, then each delta batch is appended by a makedb
+# process that is SIGKILLed mid-append. After every kill the store must
+# recover (makedb -recover), pass full offline verification
+# (makedb -verify-store), and sit at exactly the pre- or post-append
+# manifest — never between. A batch that did not survive the kill is
+# re-appended; one that rolled forward from its WAL record must not be.
+# The final store's totals must match a from-scratch build of the same
+# sequences, proving no batch was lost or double-applied across the kills.
+set -eu
+
+workdir=$(mktemp -d "${TMPDIR:-/tmp}/crash-smoke.XXXXXX")
+pid=""
+cleanup() {
+    [ -n "$pid" ] && kill -9 "$pid" 2>/dev/null || true
+    rm -rf "$workdir"
+}
+trap cleanup EXIT INT TERM
+
+echo "crash-smoke: building binaries..."
+go build -o "$workdir/makedb" ./cmd/makedb
+go build -o "$workdir/genseq" ./cmd/genseq
+
+echo "crash-smoke: generating workload..."
+"$workdir/genseq" -n 600 -seed 41 -out "$workdir/base.fasta"
+"$workdir/genseq" -n 120 -seed 42 -out "$workdir/batch1.fasta"
+"$workdir/genseq" -n 120 -seed 43 -out "$workdir/batch2.fasta"
+"$workdir/genseq" -n 120 -seed 44 -out "$workdir/batch3.fasta"
+
+store="$workdir/store"
+"$workdir/makedb" -in "$workdir/base.fasta" -store "$store" 2>"$workdir/init.log" ||
+    { echo "crash-smoke: FAIL: store init"; cat "$workdir/init.log"; exit 1; }
+
+# manifest_seq prints the store's current manifest sequence number.
+manifest_seq() {
+    "$workdir/makedb" -verify-store "$store" | sed -n 's/.*manifest seq \([0-9]*\).*/\1/p' | head -n 1
+}
+
+fail=0
+seq_now=$(manifest_seq)
+[ "$seq_now" = "1" ] || { echo "crash-smoke: FAIL: fresh store at manifest seq $seq_now, want 1"; fail=1; }
+
+round=0
+for spec in "batch1.fasta 0" "batch2.fasta 0.03" "batch3.fasta 0.06"; do
+    round=$((round + 1))
+    batch=${spec% *}
+    delay=${spec#* }
+    before=$seq_now
+
+    echo "crash-smoke: round $round: SIGKILL append of $batch after ${delay}s..."
+    "$workdir/makedb" -in "$workdir/$batch" -append "$store" 2>"$workdir/append_$round.log" &
+    pid=$!
+    [ "$delay" != "0" ] && sleep "$delay"
+    kill -9 "$pid" 2>/dev/null || true
+    wait "$pid" 2>/dev/null || true
+    pid=""
+
+    # Recovery must succeed and leave a fully verifiable store.
+    "$workdir/makedb" -recover "$store" 2>"$workdir/recover_$round.log" ||
+        { echo "crash-smoke: FAIL: recovery after kill $round"; cat "$workdir/recover_$round.log"; fail=1; break; }
+    "$workdir/makedb" -verify-store "$store" >"$workdir/verify_$round.txt" ||
+        { echo "crash-smoke: FAIL: verification after recovery $round"; cat "$workdir/verify_$round.txt"; fail=1; break; }
+
+    # The recovered manifest is exactly pre- or post-append, never between.
+    seq_now=$(manifest_seq)
+    case "$seq_now" in
+    "$before")
+        echo "crash-smoke: round $round rolled back (manifest seq $seq_now); re-appending"
+        "$workdir/makedb" -in "$workdir/$batch" -append "$store" 2>"$workdir/reappend_$round.log" ||
+            { echo "crash-smoke: FAIL: re-append $round"; cat "$workdir/reappend_$round.log"; fail=1; break; }
+        seq_now=$(manifest_seq)
+        ;;
+    $((before + 1)))
+        echo "crash-smoke: round $round survived the kill (manifest seq $seq_now); batch already durable"
+        ;;
+    *)
+        echo "crash-smoke: FAIL: round $round recovered to manifest seq $seq_now, want $before or $((before + 1))"
+        fail=1
+        break
+        ;;
+    esac
+done
+
+if [ "$fail" -eq 0 ]; then
+    # Every batch applied exactly once: totals match a from-scratch build of
+    # the same sequences (same params, so the same post-split chunk count).
+    cat "$workdir/base.fasta" "$workdir/batch1.fasta" "$workdir/batch2.fasta" "$workdir/batch3.fasta" \
+        >"$workdir/all.fasta"
+    "$workdir/makedb" -in "$workdir/all.fasta" -store "$workdir/rebuild" 2>"$workdir/rebuild.log" ||
+        { echo "crash-smoke: FAIL: reference rebuild"; cat "$workdir/rebuild.log"; fail=1; }
+    got=$("$workdir/makedb" -verify-store "$store" | sed -n 's/.*  \([0-9]*\) sequences.*/\1/p' | head -n 1)
+    want=$("$workdir/makedb" -verify-store "$workdir/rebuild" | sed -n 's/.*  \([0-9]*\) sequences.*/\1/p' | head -n 1)
+    if [ -z "$got" ] || [ "$got" != "$want" ]; then
+        echo "crash-smoke: FAIL: store holds $got sequences after the drill, rebuild holds $want"
+        fail=1
+    else
+        echo "crash-smoke: store matches rebuild: $got sequences across base+deltas"
+    fi
+
+    # Compaction after the drill folds the deltas and still verifies.
+    "$workdir/makedb" -compact "$store" 2>"$workdir/compact.log" ||
+        { echo "crash-smoke: FAIL: compaction"; cat "$workdir/compact.log"; fail=1; }
+    "$workdir/makedb" -verify-store "$store" >/dev/null ||
+        { echo "crash-smoke: FAIL: verification after compaction"; fail=1; }
+fi
+
+if [ "$fail" -ne 0 ]; then
+    echo "crash-smoke: FAILED"
+    exit 1
+fi
+echo "crash-smoke: OK"
